@@ -1,0 +1,91 @@
+//! The adversary's corruption budget.
+
+use now_core::NowSystem;
+
+/// Enforces the model's corruption bound: the adversary controls at most
+/// a `τ` fraction of the *current* population, and may only corrupt
+/// nodes at start or on arrival (never adaptively).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionBudget {
+    tau: f64,
+}
+
+impl CorruptionBudget {
+    /// A budget of fraction `tau`.
+    ///
+    /// # Panics
+    /// Panics if `tau ∉ [0, 1)`.
+    pub fn new(tau: f64) -> Self {
+        assert!((0.0..1.0).contains(&tau), "tau must lie in [0,1)");
+        CorruptionBudget { tau }
+    }
+
+    /// The fraction bound.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Whether corrupting one more arrival keeps the adversary within
+    /// budget (evaluated against the population *after* the arrival).
+    pub fn can_corrupt_arrival(&self, sys: &NowSystem) -> bool {
+        let pop_after = sys.population() as f64 + 1.0;
+        let byz_after = sys.byz_population() as f64 + 1.0;
+        byz_after / pop_after <= self.tau
+    }
+
+    /// Current slack: how many more corrupt arrivals fit (approximate,
+    /// assuming all upcoming arrivals are corrupt).
+    pub fn slack(&self, sys: &NowSystem) -> u64 {
+        let pop = sys.population() as f64;
+        let byz = sys.byz_population() as f64;
+        // Largest j with (byz + j) / (pop + j) ≤ tau.
+        if self.tau >= 1.0 || byz / pop >= self.tau {
+            return 0;
+        }
+        let j = (self.tau * pop - byz) / (1.0 - self.tau);
+        j.max(0.0).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_core::NowParams;
+
+    fn system(n0: usize, tau: f64) -> NowSystem {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        NowSystem::init_fast(params, n0, tau, 1)
+    }
+
+    #[test]
+    fn budget_allows_up_to_tau() {
+        let sys = system(100, 0.1); // 10 byz of 100
+        let budget = CorruptionBudget::new(0.3);
+        assert!(budget.can_corrupt_arrival(&sys));
+        let slack = budget.slack(&sys);
+        // (10 + j)/(100 + j) ≤ 0.3 → j ≤ 20/0.7 ≈ 28.
+        assert_eq!(slack, 28);
+    }
+
+    #[test]
+    fn budget_blocks_at_tau() {
+        let sys = system(100, 0.3);
+        let budget = CorruptionBudget::new(0.3);
+        assert!(!budget.can_corrupt_arrival(&sys), "(31)/(101) > 0.3");
+        assert_eq!(budget.slack(&sys), 0);
+    }
+
+    #[test]
+    fn zero_budget_never_corrupts() {
+        let sys = system(50, 0.0);
+        let budget = CorruptionBudget::new(0.0);
+        assert!(!budget.can_corrupt_arrival(&sys));
+        assert_eq!(budget.slack(&sys), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must lie in")]
+    fn invalid_tau_rejected() {
+        let _ = CorruptionBudget::new(1.0);
+    }
+}

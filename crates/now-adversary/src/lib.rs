@@ -1,0 +1,38 @@
+//! Adversary models for NOW.
+//!
+//! The paper's adversary is **static** (corruptions fixed at start, plus
+//! a corrupt-or-not decision for every arrival) but has **full
+//! information** (it knows every node's position at all times) and
+//! drives churn: join–leave attacks and forced departures of honest
+//! nodes (e.g. DoS). This crate packages those capabilities:
+//!
+//! * [`Adversary`] — per-time-step churn decisions ([`Action`]),
+//!   consuming the full system state the model entitles it to.
+//! * Strategies: [`RandomChurn`] (environmental churn at a corruption
+//!   rate), [`JoinLeaveAttack`] (the §3.3 cluster-capture strategy),
+//!   [`ForcedLeaveAttack`] (DoS on a target cluster's honest members),
+//!   [`SplitForcing`]/[`MergeForcing`] (pressure on the split/merge
+//!   machinery), [`BurstChurn`] (the high-rate regime of the parallel-
+//!   batch footnote), [`Quiet`] (no churn).
+//! * [`TargetedMalice`] — the in-protocol [`now_core::Malice`]
+//!   implementation a strategic adversary uses once some cluster is
+//!   compromised: steer walks toward the target, surrender honest
+//!   members first, extremize `randNum`.
+//!
+//! The corruption *budget* is enforced by [`CorruptionBudget`]: the
+//! adversary may corrupt an arrival only while its share is below `τ`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod malice_impls;
+mod oscillation;
+mod pressure;
+mod strategies;
+
+pub use budget::CorruptionBudget;
+pub use malice_impls::TargetedMalice;
+pub use oscillation::Oscillation;
+pub use pressure::{BurstChurn, MergeForcing, SplitForcing};
+pub use strategies::{Action, Adversary, ForcedLeaveAttack, JoinLeaveAttack, Quiet, RandomChurn};

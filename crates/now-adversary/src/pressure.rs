@@ -1,0 +1,313 @@
+//! Structural-pressure attacks: churn aimed at the split/merge machinery
+//! rather than directly at cluster composition.
+//!
+//! The §3.3 join–leave attack targets *who* is in a cluster; these
+//! strategies target the *operations* that reshape clusters. They probe
+//! corners the paper's analysis treats implicitly:
+//!
+//! * [`SplitForcing`] floods one cluster with (corrupt, budget
+//!   permitting) arrivals so it keeps splitting — the adversary hopes to
+//!   seize one of the halves, since a split partitions the *current*
+//!   membership rather than resampling it.
+//! * [`MergeForcing`] drains a cluster's members to force merges — each
+//!   merge dissolves a `randCl`-chosen victim and re-joins the target's
+//!   members, churning two clusters' worth of membership per step.
+//! * [`BurstChurn`] alternates bursts of joins and leaves — the high-
+//!   rate regime the parallel-batch generalization (the paper's
+//!   footnote) is meant for; it doubles as the workload of the batch
+//!   experiments.
+
+use crate::budget::CorruptionBudget;
+use crate::strategies::{Action, Adversary};
+use now_core::NowSystem;
+use now_net::{ClusterId, DetRng};
+use rand::Rng;
+
+/// Flood a target cluster with arrivals so that it oversizes and splits
+/// every few steps.
+///
+/// All arrivals contact the target (NOW's `randCl` re-routes each one to
+/// a random host, so against the full protocol the pressure diffuses;
+/// against the no-shuffle ablation the target itself inflates). Corrupt
+/// while the budget allows, so captured halves stay captured.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitForcing {
+    /// The cluster under pressure.
+    pub target: ClusterId,
+    /// Corruption budget for the flood's arrivals.
+    pub budget: CorruptionBudget,
+}
+
+impl SplitForcing {
+    /// Floods `target` with arrivals, corrupting a `tau` fraction.
+    pub fn new(target: ClusterId, tau: f64) -> Self {
+        SplitForcing {
+            target,
+            budget: CorruptionBudget::new(tau),
+        }
+    }
+}
+
+impl Adversary for SplitForcing {
+    fn decide(&mut self, sys: &NowSystem, rng: &mut DetRng) -> Action {
+        if sys.cluster(self.target).is_none() {
+            let ids = sys.cluster_ids();
+            self.target = ids[rng.gen_range(0..ids.len())];
+        }
+        Action::Join {
+            honest: !self.budget.can_corrupt_arrival(sys),
+            contact: Some(self.target),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "split-forcing"
+    }
+}
+
+/// Drain a target cluster to force merges.
+///
+/// Each step forces one member of the target to leave (honest members
+/// first — the adversary would rather keep its own nodes in play). When
+/// the target dips below `k·logN/l`, the merge machinery dissolves a
+/// random victim cluster into it and re-joins the original members:
+/// maximal structural churn for one departure per step.
+#[derive(Debug, Clone, Copy)]
+pub struct MergeForcing {
+    /// The cluster being drained.
+    pub target: ClusterId,
+    /// Corruption budget for interleaved replacement arrivals.
+    pub budget: CorruptionBudget,
+    rejoin_next: bool,
+}
+
+impl MergeForcing {
+    /// Drains `target`, replacing departures with arrivals corrupted at
+    /// fraction `tau` (so the population — and the model's floor — hold).
+    pub fn new(target: ClusterId, tau: f64) -> Self {
+        MergeForcing {
+            target,
+            budget: CorruptionBudget::new(tau),
+            rejoin_next: false,
+        }
+    }
+}
+
+impl Adversary for MergeForcing {
+    fn decide(&mut self, sys: &NowSystem, rng: &mut DetRng) -> Action {
+        if sys.cluster(self.target).is_none() {
+            let ids = sys.cluster_ids();
+            self.target = ids[rng.gen_range(0..ids.len())];
+        }
+        if self.rejoin_next {
+            self.rejoin_next = false;
+            return Action::Join {
+                honest: !self.budget.can_corrupt_arrival(sys),
+                contact: None,
+            };
+        }
+        let cluster = sys.cluster(self.target).expect("checked live above");
+        let victim = cluster
+            .members()
+            .find(|&m| sys.is_honest(m).unwrap_or(false))
+            .or_else(|| cluster.members().next());
+        match victim {
+            Some(node) => {
+                self.rejoin_next = true;
+                Action::Leave { node }
+            }
+            None => Action::Idle,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "merge-forcing"
+    }
+}
+
+/// Alternating bursts: `burst` consecutive joins, then `burst`
+/// consecutive leaves of uniformly random nodes, repeated.
+///
+/// Population is stationary over a full period but the instantaneous
+/// churn rate is maximal — the regime in which batching several
+/// operations into one time step (the paper's footnote) pays off.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstChurn {
+    /// Operations per burst.
+    pub burst: u64,
+    /// Corruption budget for the join bursts.
+    pub budget: CorruptionBudget,
+    position: u64,
+}
+
+impl BurstChurn {
+    /// Bursts of `burst` operations with corruption fraction `tau`.
+    ///
+    /// # Panics
+    /// Panics if `burst == 0`.
+    pub fn new(burst: u64, tau: f64) -> Self {
+        assert!(burst > 0, "burst length must be positive");
+        BurstChurn {
+            burst,
+            budget: CorruptionBudget::new(tau),
+            position: 0,
+        }
+    }
+
+    /// Whether the driver is currently in the joining half of its
+    /// period.
+    pub fn is_joining(&self) -> bool {
+        self.position % (2 * self.burst) < self.burst
+    }
+}
+
+impl Adversary for BurstChurn {
+    fn decide(&mut self, sys: &NowSystem, rng: &mut DetRng) -> Action {
+        let joining = self.is_joining();
+        self.position += 1;
+        if joining {
+            Action::Join {
+                honest: !self.budget.can_corrupt_arrival(sys),
+                contact: None,
+            }
+        } else {
+            let nodes = sys.node_ids();
+            Action::Leave {
+                node: nodes[rng.gen_range(0..nodes.len())],
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "burst-churn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_core::NowParams;
+
+    fn system(n0: usize, tau: f64, seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        NowSystem::init_fast(params, n0, tau, seed)
+    }
+
+    #[test]
+    fn split_forcing_always_joins_at_target() {
+        let sys = system(150, 0.2, 1);
+        let target = sys.cluster_ids()[0];
+        let mut adv = SplitForcing::new(target, 0.3);
+        let mut rng = DetRng::new(1);
+        for _ in 0..5 {
+            match adv.decide(&sys, &mut rng) {
+                Action::Join { contact, .. } => assert_eq!(contact, Some(target)),
+                other => panic!("expected join, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn split_forcing_retargets_dead_cluster() {
+        let sys = system(150, 0.2, 2);
+        let mut adv = SplitForcing::new(ClusterId::from_raw(77_777), 0.3);
+        let mut rng = DetRng::new(2);
+        let _ = adv.decide(&sys, &mut rng);
+        assert!(sys.cluster(adv.target).is_some());
+    }
+
+    #[test]
+    fn merge_forcing_alternates_leave_and_join() {
+        let sys = system(150, 0.2, 3);
+        let target = sys.cluster_ids()[0];
+        let mut adv = MergeForcing::new(target, 0.2);
+        let mut rng = DetRng::new(3);
+        match adv.decide(&sys, &mut rng) {
+            Action::Leave { node } => {
+                assert_eq!(sys.node_cluster(node).unwrap(), target);
+                assert!(sys.is_honest(node).unwrap(), "honest drained first");
+            }
+            other => panic!("expected leave, got {other:?}"),
+        }
+        assert!(matches!(adv.decide(&sys, &mut rng), Action::Join { .. }));
+    }
+
+    #[test]
+    fn burst_churn_has_the_right_period() {
+        let sys = system(200, 0.1, 4);
+        let mut adv = BurstChurn::new(3, 0.1);
+        let mut rng = DetRng::new(4);
+        let mut pattern = Vec::new();
+        for _ in 0..12 {
+            pattern.push(matches!(
+                adv.decide(&sys, &mut rng),
+                Action::Join { .. }
+            ));
+        }
+        assert_eq!(
+            pattern,
+            vec![
+                true, true, true, false, false, false, true, true, true, false, false, false
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "burst length")]
+    fn burst_zero_rejected() {
+        let _ = BurstChurn::new(0, 0.1);
+    }
+
+    /// End-to-end: split-forcing actually causes splits under the real
+    /// protocol, and the invariants survive it at low τ.
+    #[test]
+    fn split_forcing_triggers_splits_against_now() {
+        use crate::strategies::Adversary as _;
+        let mut sys = system(150, 0.1, 5);
+        let target = sys.cluster_ids()[0];
+        let mut adv = SplitForcing::new(target, 0.1);
+        let mut rng = DetRng::new(5);
+        for _ in 0..80 {
+            match adv.decide(&sys, &mut rng) {
+                Action::Join { honest, contact } => {
+                    let c = contact.filter(|c| sys.cluster(*c).is_some());
+                    match c {
+                        Some(c) => {
+                            sys.join_via(c, honest);
+                        }
+                        None => {
+                            sys.join(honest);
+                        }
+                    }
+                }
+                _ => unreachable!("split forcing only joins"),
+            }
+        }
+        let (_, _, splits, _) = sys.op_counts();
+        assert!(splits > 0, "80 arrivals must split something");
+        sys.check_consistency().unwrap();
+    }
+
+    /// End-to-end: merge-forcing causes merges under the real protocol.
+    #[test]
+    fn merge_forcing_triggers_merges_against_now() {
+        let mut sys = system(200, 0.1, 6);
+        let target = sys.cluster_ids()[0];
+        let mut adv = MergeForcing::new(target, 0.1);
+        let mut rng = DetRng::new(6);
+        for _ in 0..120 {
+            match adv.decide(&sys, &mut rng) {
+                Action::Leave { node } => {
+                    let _ = sys.leave(node);
+                }
+                Action::Join { honest, .. } => {
+                    sys.join(honest);
+                }
+                Action::Idle => {}
+            }
+        }
+        let (_, _, _, merges) = sys.op_counts();
+        assert!(merges > 0, "sustained draining must merge something");
+        sys.check_consistency().unwrap();
+    }
+}

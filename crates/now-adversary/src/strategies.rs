@@ -1,0 +1,339 @@
+//! Churn strategies: what the adversary (or the environment) does at
+//! each time step.
+
+use crate::budget::CorruptionBudget;
+use now_core::NowSystem;
+use now_net::{ClusterId, DetRng, NodeId};
+use rand::Rng;
+
+/// One time step's worth of churn (the paper's model: one join or leave
+/// per step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// A node joins; `honest` is the adversary's corruption decision,
+    /// `contact` the cluster it approaches (`None` = uniform).
+    Join {
+        /// Whether the arrival is honest.
+        honest: bool,
+        /// Contact cluster, if the adversary steers it.
+        contact: Option<ClusterId>,
+    },
+    /// The given node leaves (the adversary may force honest departures
+    /// — a DoS — and may withdraw its own nodes at will).
+    Leave {
+        /// The departing node.
+        node: NodeId,
+    },
+    /// No churn this step.
+    Idle,
+}
+
+/// A churn driver. Both adversarial strategies and environmental churn
+/// (growth phases, random turnover) implement this.
+pub trait Adversary {
+    /// Decides this time step's action from the full system state (the
+    /// paper's adversary has full information).
+    fn decide(&mut self, sys: &NowSystem, rng: &mut DetRng) -> Action;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// No churn at all (control runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Quiet;
+
+impl Adversary for Quiet {
+    fn decide(&mut self, _sys: &NowSystem, _rng: &mut DetRng) -> Action {
+        Action::Idle
+    }
+
+    fn name(&self) -> &'static str {
+        "quiet"
+    }
+}
+
+/// Environmental churn: each step is a join with probability `p_join`,
+/// else a leave of a uniformly random node. Arrivals are corrupted
+/// whenever the budget allows (the adversary maximizes its presence).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomChurn {
+    /// Probability a step is a join.
+    pub p_join: f64,
+    /// Corruption budget for arrivals.
+    pub budget: CorruptionBudget,
+}
+
+impl RandomChurn {
+    /// Balanced churn (joins and leaves equally likely) at corruption
+    /// fraction `tau`.
+    pub fn balanced(tau: f64) -> Self {
+        RandomChurn {
+            p_join: 0.5,
+            budget: CorruptionBudget::new(tau),
+        }
+    }
+}
+
+impl Adversary for RandomChurn {
+    fn decide(&mut self, sys: &NowSystem, rng: &mut DetRng) -> Action {
+        if rng.gen_bool(self.p_join.clamp(0.0, 1.0)) {
+            Action::Join {
+                honest: !self.budget.can_corrupt_arrival(sys),
+                contact: None,
+            }
+        } else {
+            let nodes = sys.node_ids();
+            let node = nodes[rng.gen_range(0..nodes.len())];
+            Action::Leave { node }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random-churn"
+    }
+}
+
+/// The §3.3 cluster-capture strategy: "the adversary chooses a specific
+/// cluster and keeps adding and removing the Byzantine nodes until they
+/// fall into that cluster."
+///
+/// Each step: withdraw a Byzantine node that is *not* in the target
+/// cluster (members already inside stay put), then re-join it (corrupt,
+/// budget permitting), contacting the target so the walk starts there.
+/// Against NOW the exchange shuffling makes the capture probability
+/// vanish; against the no-shuffle ablation the target cluster is
+/// captured quickly (experiment X-JLA).
+#[derive(Debug, Clone, Copy)]
+pub struct JoinLeaveAttack {
+    /// The cluster the adversary wants to capture.
+    pub target: ClusterId,
+    /// Corruption budget.
+    pub budget: CorruptionBudget,
+    leave_next: bool,
+}
+
+impl JoinLeaveAttack {
+    /// Attacks `target` with corruption fraction `tau`.
+    pub fn new(target: ClusterId, tau: f64) -> Self {
+        JoinLeaveAttack {
+            target,
+            budget: CorruptionBudget::new(tau),
+            leave_next: true,
+        }
+    }
+
+    /// Retargets the attack (e.g. after the target cluster is merged
+    /// away).
+    pub fn retarget(&mut self, target: ClusterId) {
+        self.target = target;
+    }
+}
+
+impl Adversary for JoinLeaveAttack {
+    fn decide(&mut self, sys: &NowSystem, rng: &mut DetRng) -> Action {
+        // If the target vanished (merged), retarget to some live cluster.
+        if sys.cluster(self.target).is_none() {
+            let ids = sys.cluster_ids();
+            self.target = ids[rng.gen_range(0..ids.len())];
+        }
+        if self.leave_next {
+            // Withdraw a Byzantine node outside the target, if any.
+            let candidate = sys
+                .byz_node_ids()
+                .into_iter()
+                .find(|&b| sys.node_cluster(b).map(|c| c != self.target).unwrap_or(false));
+            if let Some(node) = candidate {
+                self.leave_next = false;
+                return Action::Leave { node };
+            }
+            // All byzantine nodes already in the target (or none exist):
+            // try to add one.
+        }
+        self.leave_next = true;
+        if self.budget.can_corrupt_arrival(sys) {
+            Action::Join {
+                honest: false,
+                contact: Some(self.target),
+            }
+        } else {
+            Action::Idle
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "join-leave-attack"
+    }
+}
+
+/// DoS attack: force *honest* members of the target cluster to leave,
+/// concentrating the surviving Byzantine share. The paper's model allows
+/// the adversary to induce such churn; NOW's leave-triggered exchanges
+/// are the designed countermeasure.
+#[derive(Debug, Clone, Copy)]
+pub struct ForcedLeaveAttack {
+    /// Cluster under attack.
+    pub target: ClusterId,
+    /// Corruption budget for replacement arrivals (interleaved joins
+    /// keep the population steady).
+    pub budget: CorruptionBudget,
+    join_next: bool,
+}
+
+impl ForcedLeaveAttack {
+    /// Attacks `target` with corruption fraction `tau`.
+    pub fn new(target: ClusterId, tau: f64) -> Self {
+        ForcedLeaveAttack {
+            target,
+            budget: CorruptionBudget::new(tau),
+            join_next: false,
+        }
+    }
+}
+
+impl Adversary for ForcedLeaveAttack {
+    fn decide(&mut self, sys: &NowSystem, rng: &mut DetRng) -> Action {
+        if sys.cluster(self.target).is_none() {
+            let ids = sys.cluster_ids();
+            self.target = ids[rng.gen_range(0..ids.len())];
+        }
+        if self.join_next {
+            self.join_next = false;
+            return Action::Join {
+                honest: !self.budget.can_corrupt_arrival(sys),
+                contact: None,
+            };
+        }
+        let victim = sys
+            .cluster(self.target)
+            .and_then(|c| c.members().find(|&m| sys.is_honest(m).unwrap_or(false)));
+        match victim {
+            Some(node) => {
+                self.join_next = true; // replace next step to keep n stable
+                Action::Leave { node }
+            }
+            None => Action::Idle,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "forced-leave-attack"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_core::NowParams;
+
+    fn system(n0: usize, tau: f64, seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        NowSystem::init_fast(params, n0, tau, seed)
+    }
+
+    #[test]
+    fn quiet_never_acts() {
+        let sys = system(100, 0.1, 1);
+        let mut rng = DetRng::new(1);
+        assert_eq!(Quiet.decide(&sys, &mut rng), Action::Idle);
+        assert_eq!(Quiet.name(), "quiet");
+    }
+
+    #[test]
+    fn random_churn_mixes_joins_and_leaves() {
+        let sys = system(100, 0.1, 2);
+        let mut adv = RandomChurn::balanced(0.2);
+        let mut rng = DetRng::new(2);
+        let mut joins = 0;
+        let mut leaves = 0;
+        for _ in 0..100 {
+            match adv.decide(&sys, &mut rng) {
+                Action::Join { .. } => joins += 1,
+                Action::Leave { .. } => leaves += 1,
+                Action::Idle => {}
+            }
+        }
+        assert!(joins > 20 && leaves > 20, "joins {joins}, leaves {leaves}");
+    }
+
+    #[test]
+    fn random_churn_respects_budget() {
+        let sys = system(100, 0.3, 3); // already at 30%
+        let mut adv = RandomChurn {
+            p_join: 1.0,
+            budget: CorruptionBudget::new(0.3),
+        };
+        let mut rng = DetRng::new(3);
+        for _ in 0..10 {
+            match adv.decide(&sys, &mut rng) {
+                Action::Join { honest, .. } => assert!(honest, "budget exhausted"),
+                other => panic!("expected join, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn join_leave_attack_alternates_and_targets() {
+        let sys = system(150, 0.2, 4);
+        let target = sys.cluster_ids()[0];
+        let mut adv = JoinLeaveAttack::new(target, 0.3);
+        let mut rng = DetRng::new(4);
+        // First action: withdraw a byzantine node from outside the target.
+        match adv.decide(&sys, &mut rng) {
+            Action::Leave { node } => {
+                assert!(!sys.is_honest(node).unwrap());
+                assert_ne!(sys.node_cluster(node).unwrap(), target);
+            }
+            other => panic!("expected leave, got {other:?}"),
+        }
+        // Second: corrupt join contacting the target.
+        match adv.decide(&sys, &mut rng) {
+            Action::Join { honest, contact } => {
+                assert!(!honest);
+                assert_eq!(contact, Some(target));
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_leave_attack_retargets_dead_cluster() {
+        let sys = system(150, 0.2, 5);
+        let ghost = ClusterId::from_raw(99_999);
+        let mut adv = JoinLeaveAttack::new(ghost, 0.3);
+        let mut rng = DetRng::new(5);
+        let _ = adv.decide(&sys, &mut rng);
+        assert!(sys.cluster(adv.target).is_some(), "must retarget to live");
+    }
+
+    #[test]
+    fn forced_leave_attack_evicts_honest_from_target() {
+        let sys = system(150, 0.2, 6);
+        let target = sys.cluster_ids()[1];
+        let mut adv = ForcedLeaveAttack::new(target, 0.2);
+        let mut rng = DetRng::new(6);
+        match adv.decide(&sys, &mut rng) {
+            Action::Leave { node } => {
+                assert!(sys.is_honest(node).unwrap(), "DoS hits honest nodes");
+                assert_eq!(sys.node_cluster(node).unwrap(), target);
+            }
+            other => panic!("expected leave, got {other:?}"),
+        }
+        // Next step replaces the departed node.
+        assert!(matches!(adv.decide(&sys, &mut rng), Action::Join { .. }));
+    }
+
+    #[test]
+    fn adversary_is_object_safe() {
+        let sys = system(100, 0.1, 7);
+        let mut rng = DetRng::new(7);
+        let mut advs: Vec<Box<dyn Adversary>> = vec![
+            Box::new(Quiet),
+            Box::new(RandomChurn::balanced(0.2)),
+            Box::new(JoinLeaveAttack::new(sys.cluster_ids()[0], 0.2)),
+        ];
+        for a in advs.iter_mut() {
+            let _ = a.decide(&sys, &mut rng);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Byzantine agreement and broadcast substrate for NOW.
+//!
+//! The paper uses these as black boxes; we build them as genuinely
+//! executing per-node state machines over the synchronous bus of
+//! [`now_net`] (fidelity level L0):
+//!
+//! * [`phase_king::run_phase_king`] — multivalued synchronous Byzantine
+//!   agreement tolerating `f < n/4` (Berman–Garay–Perry). Used by the
+//!   clusterization step of NOW's initialization; the paper permits "any
+//!   Byzantine agreement protocol" there.
+//! * [`dolev_strong::run_dolev_strong`] — authenticated broadcast
+//!   tolerating any number of faults in `f+1` rounds, over simulated
+//!   unforgeable signatures ([`crypto::SigOracle`]). This is the
+//!   cryptographic route of the paper's Remark 1 (τ < 1/2).
+//! * [`bracha::run_bracha`] — reliable broadcast tolerating `f < n/3`;
+//!   the transport under the commit–reveal `randNum`.
+//! * [`ben_or::run_ben_or`] — **asynchronous** randomized binary
+//!   consensus (`f < n/5`) over the event-driven
+//!   [`now_net::AsyncNet`]: the building block for the paper's §6
+//!   future-work item of removing the synchrony assumption.
+//! * [`rand_num_async::rand_num_async`] — that substitution carried
+//!   through: the intra-cluster `randNum` rebuilt for asynchrony as
+//!   commit–reveal + agreement-on-a-common-subset (one Ben-Or
+//!   inclusion instance per contribution).
+//! * [`rand_num`] — the intra-cluster distributed random number
+//!   generator: a full commit–reveal protocol over Bracha broadcast, plus
+//!   the *ideal functionality* used by the cluster-level execution path
+//!   (uniform when Byzantine < 1/3 of the cluster, adversary-chosen
+//!   otherwise — the security threshold the paper states).
+//! * [`quorum`] — the inter-cluster acceptance rule: a node accepts a
+//!   message from cluster `C` iff more than half of `C`'s members sent
+//!   the identical message.
+//!
+//! Byzantine behavior in every protocol is driven by a [`ByzPlan`]
+//! describing the classic attack shapes (silence, constant lies,
+//! equivocation, randomized noise).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ben_or;
+pub mod bracha;
+pub mod certificate;
+pub mod crypto;
+pub mod dolev_strong;
+pub mod outcome;
+pub mod phase_king;
+pub mod quorum;
+pub mod rand_num;
+pub mod rand_num_async;
+
+pub use ben_or::{run_ben_or, run_ben_or_with_coin, BenOrReport, CoinMode};
+pub use rand_num_async::{rand_num_async, AsyncRandNum};
+pub use bracha::run_bracha;
+pub use certificate::{certify_by_honest, CertificateError, QuorumCertificate};
+pub use crypto::{commit_value, verify_commitment, Commitment, SigOracle};
+pub use dolev_strong::run_dolev_strong;
+pub use outcome::{check_agreement, check_validity, ByzPlan, ProtocolResult};
+pub use phase_king::run_phase_king;
+pub use quorum::{accept_cluster_message, QuorumDecision};
+pub use rand_num::{rand_num_commit_reveal, rand_num_ideal, RandNumSecurity};

@@ -1,0 +1,290 @@
+//! Phase-King synchronous Byzantine agreement (Berman–Garay–Perry).
+//!
+//! Multivalued agreement over `u64` tolerating `f < n/4`. Each of the
+//! `f+1` phases has two rounds:
+//!
+//! 1. **Exchange**: every node broadcasts its current value; each node
+//!    computes the most frequent value it saw (`maj`) and its count
+//!    (`cnt`), counting its own value once.
+//! 2. **King**: the phase's king broadcasts its `maj`. A node keeps its
+//!    own `maj` if `cnt > n/2 + f`, otherwise adopts the king's value.
+//!
+//! With `n > 4f` there are `f+1` kings among which at least one is
+//! honest; after that king's phase all honest nodes hold the same value
+//! and the threshold keeps them there. NOW's initialization uses this to
+//! agree on the random partition seed; the paper notes any BA protocol
+//! will do.
+
+use crate::outcome::{ByzPlan, ProtocolResult};
+use now_net::{Bus, CostKind, Ledger};
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Msg {
+    Value(u64),
+    KingValue(u64),
+}
+
+fn byz_value<R: Rng>(plan: ByzPlan, to: usize, rng: &mut R) -> Option<u64> {
+    match plan {
+        ByzPlan::Silent => None,
+        ByzPlan::ConstantValue(v) => Some(v),
+        ByzPlan::Equivocate(a, b) => Some(if to % 2 == 0 { a } else { b }),
+        ByzPlan::Random => Some(rng.gen()),
+    }
+}
+
+/// Most frequent value with deterministic tie-breaking (smallest value
+/// wins ties), plus its multiplicity.
+fn majority(counts: &BTreeMap<u64, usize>) -> (u64, usize) {
+    let mut best_v = 0u64;
+    let mut best_c = 0usize;
+    for (&v, &c) in counts {
+        if c > best_c {
+            best_v = v;
+            best_c = c;
+        }
+    }
+    (best_v, best_c)
+}
+
+/// Runs Phase-King among `n = inputs.len()` ports, with `byz` ports
+/// controlled by `plan`.
+///
+/// `f_max` is the resilience the protocol is configured for (number of
+/// phases is `f_max + 1`); correctness requires `n > 4·f_max` **and**
+/// `byz.len() ≤ f_max`. Running outside those bounds is allowed (tests
+/// do, to demonstrate failure modes) — the protocol simply loses its
+/// guarantees.
+///
+/// Costs are recorded under [`CostKind::Agreement`] in `ledger`.
+///
+/// # Panics
+/// Panics if `inputs` is empty or a port in `byz` is out of range.
+pub fn run_phase_king<R: Rng>(
+    inputs: &[u64],
+    byz: &BTreeSet<usize>,
+    f_max: usize,
+    plan: ByzPlan,
+    ledger: &mut Ledger,
+    rng: &mut R,
+) -> ProtocolResult<u64> {
+    let n = inputs.len();
+    assert!(n > 0, "phase king needs at least one node");
+    if let Some(&p) = byz.iter().next_back() {
+        assert!(p < n, "byzantine port {p} out of range for n={n}");
+    }
+
+    ledger.begin(CostKind::Agreement);
+    let mut bus: Bus<Msg> = Bus::new(n);
+    let mut value: Vec<u64> = inputs.to_vec();
+    let threshold = n / 2 + f_max;
+
+    for phase in 0..=f_max {
+        let king = phase % n;
+
+        // Round 1: exchange values.
+        for p in 0..n {
+            if byz.contains(&p) {
+                for to in 0..n {
+                    if to != p {
+                        if let Some(v) = byz_value(plan, to, rng) {
+                            bus.send(p, to, Msg::Value(v));
+                        }
+                    }
+                }
+            } else {
+                bus.broadcast(p, Msg::Value(value[p]));
+            }
+        }
+        bus.step();
+        let mut maj = vec![0u64; n];
+        let mut cnt = vec![0usize; n];
+        for p in 0..n {
+            let received = bus.recv(p);
+            if byz.contains(&p) {
+                continue;
+            }
+            let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+            *counts.entry(value[p]).or_default() += 1; // own value
+            for (_, msg) in received {
+                if let Msg::Value(v) = msg {
+                    *counts.entry(v).or_default() += 1;
+                }
+            }
+            let (m, c) = majority(&counts);
+            maj[p] = m;
+            cnt[p] = c;
+        }
+
+        // Round 2: king broadcast.
+        if byz.contains(&king) {
+            for to in 0..n {
+                if to != king {
+                    if let Some(v) = byz_value(plan, to, rng) {
+                        bus.send(king, to, Msg::KingValue(v));
+                    }
+                }
+            }
+        } else {
+            bus.broadcast(king, Msg::KingValue(maj[king]));
+        }
+        bus.step();
+        for p in 0..n {
+            let received = bus.recv(p);
+            if byz.contains(&p) {
+                continue;
+            }
+            let king_value = received.iter().find_map(|(from, msg)| match msg {
+                Msg::KingValue(v) if *from == king => Some(*v),
+                _ => None,
+            });
+            if p == king || cnt[p] > threshold {
+                value[p] = maj[p];
+            } else {
+                // Adopt the king's value; a silent king leaves maj.
+                value[p] = king_value.unwrap_or(maj[p]);
+            }
+        }
+    }
+
+    ledger.add_messages(bus.messages_sent());
+    ledger.add_rounds(bus.round());
+    ledger.end();
+
+    ProtocolResult {
+        decisions: (0..n)
+            .filter(|p| !byz.contains(p))
+            .map(|p| (p, value[p]))
+            .collect(),
+        rounds: bus.round(),
+        messages: bus.messages_sent(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::{check_agreement, check_validity};
+    use now_net::DetRng;
+    use proptest::prelude::*;
+
+    fn run(
+        inputs: &[u64],
+        byz: &[usize],
+        f_max: usize,
+        plan: ByzPlan,
+        seed: u64,
+    ) -> ProtocolResult<u64> {
+        let byz: BTreeSet<usize> = byz.iter().copied().collect();
+        let mut ledger = Ledger::new();
+        let mut rng = DetRng::new(seed);
+        run_phase_king(inputs, &byz, f_max, plan, &mut ledger, &mut rng)
+    }
+
+    #[test]
+    fn all_honest_same_input_decides_it() {
+        let r = run(&[7; 9], &[], 2, ByzPlan::Silent, 1);
+        assert!(check_agreement(&r));
+        assert_eq!(r.unanimous(), Some(&7));
+    }
+
+    #[test]
+    fn validity_with_byzantine_noise() {
+        // n = 9, f = 2 ≤ f_max = 2, n > 4f.
+        let inputs = [5u64; 9];
+        for plan in [
+            ByzPlan::Silent,
+            ByzPlan::ConstantValue(9),
+            ByzPlan::Equivocate(1, 2),
+            ByzPlan::Random,
+        ] {
+            let r = run(&inputs, &[0, 4], 2, plan, 2);
+            assert!(
+                check_validity(&inputs, &[0, 4].into_iter().collect(), &r),
+                "validity broken under {plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn agreement_with_split_inputs_and_byzantine_kings() {
+        // Kings 0 and 1 are Byzantine; the third phase's king is honest.
+        let inputs = [1u64, 2, 1, 2, 1, 2, 1, 2, 1];
+        for plan in [
+            ByzPlan::Equivocate(1, 2),
+            ByzPlan::ConstantValue(3),
+            ByzPlan::Random,
+            ByzPlan::Silent,
+        ] {
+            let r = run(&inputs, &[0, 1], 2, plan, 3);
+            assert!(check_agreement(&r), "agreement broken under {plan:?}");
+        }
+    }
+
+    #[test]
+    fn single_node_decides_own_input() {
+        let r = run(&[3], &[], 0, ByzPlan::Silent, 4);
+        assert_eq!(r.unanimous(), Some(&3));
+    }
+
+    #[test]
+    fn rounds_are_two_per_phase() {
+        let r = run(&[0; 5], &[], 1, ByzPlan::Silent, 5);
+        assert_eq!(r.rounds, 4, "(f_max+1) phases × 2 rounds");
+    }
+
+    #[test]
+    fn message_complexity_is_quadratic_per_phase() {
+        let n = 9u64;
+        let r = run(&[0; 9], &[], 2, ByzPlan::Silent, 6);
+        // 3 phases × (n(n−1) exchange + (n−1) king).
+        assert_eq!(r.messages, 3 * (n * (n - 1) + (n - 1)));
+    }
+
+    #[test]
+    fn ledger_captures_agreement_cost() {
+        let byz = BTreeSet::new();
+        let mut ledger = Ledger::new();
+        let mut rng = DetRng::new(7);
+        let r = run_phase_king(&[1; 5], &byz, 1, ByzPlan::Silent, &mut ledger, &mut rng);
+        let s = ledger.stats(CostKind::Agreement);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.total_messages, r.messages);
+        assert_eq!(s.total_rounds, r.rounds);
+    }
+
+    #[test]
+    fn too_many_byzantine_can_break_agreement_sometimes() {
+        // Sanity check that the f < n/4 bound is load-bearing: with 3
+        // byzantine of 9 (f_max still 2), equivocation is *allowed* to
+        // break things. We only assert the run completes.
+        let inputs = [1u64, 2, 1, 2, 1, 2, 1, 2, 1];
+        let r = run(&inputs, &[0, 1, 2], 2, ByzPlan::Equivocate(1, 2), 8);
+        assert_eq!(r.decisions.len(), 6);
+    }
+
+    proptest! {
+        /// Agreement and validity hold for random inputs, any ≤ f_max
+        /// byzantine set, and all plans, when n > 4·f_max.
+        #[test]
+        fn agreement_validity_hold_in_regime(
+            seed in any::<u64>(),
+            inputs in proptest::collection::vec(0u64..4, 9),
+            byz_pair in proptest::collection::btree_set(0usize..9, 0..3),
+            plan_idx in 0usize..4,
+        ) {
+            let plan = [
+                ByzPlan::Silent,
+                ByzPlan::ConstantValue(77),
+                ByzPlan::Equivocate(0, 1),
+                ByzPlan::Random,
+            ][plan_idx];
+            let byz: Vec<usize> = byz_pair.into_iter().take(2).collect();
+            let r = run(&inputs, &byz, 2, plan, seed);
+            prop_assert!(check_agreement(&r));
+            prop_assert!(check_validity(&inputs, &byz.into_iter().collect(), &r));
+        }
+    }
+}

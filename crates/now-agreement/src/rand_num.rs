@@ -1,0 +1,483 @@
+//! `randNum` — intra-cluster distributed random number generation.
+//!
+//! The paper assumes "a distributed random number generation protocol,
+//! enabling the nodes of a cluster to agree on a common integer chosen
+//! uniformly at random from the interval (0, r)", secure while the
+//! cluster has more than two thirds honest members, and defers the
+//! construction to its long version. We provide both:
+//!
+//! * [`rand_num_commit_reveal`] — a genuinely executing commit–reveal
+//!   protocol: every member Bracha-broadcasts a commitment to a local
+//!   draw, then Bracha-broadcasts the opening; the result is the sum
+//!   (mod `r`) of all correctly opened contributions. Bracha's
+//!   consistency + totality make the honest members agree on the valid
+//!   set, hence on the result, for `f < n/3`. A Byzantine member's only
+//!   leverage is *selective abort* (withholding its opening), which is
+//!   visible and bounded — it cannot steer the sum because commitments
+//!   are binding and at least one honest contribution is uniform.
+//! * [`rand_num_ideal`] — the ideal functionality used by the
+//!   cluster-level (L1) execution path: uniform while Byzantine < 1/3 of
+//!   the cluster, adversary-chosen otherwise, with the paper's stated
+//!   cost of `O(log²N)` accounted as `2·c·(c−1)` messages in 2 rounds
+//!   for a cluster of `c` members.
+
+use crate::crypto::{commit_value, verify_commitment, Commitment};
+use crate::outcome::{ByzPlan, ProtocolResult};
+use now_net::{Bus, CostKind, Ledger};
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Whether a cluster's composition keeps `randNum` secure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RandNumSecurity {
+    /// Byzantine members are fewer than one third: output is uniform.
+    Secure,
+    /// Byzantine members reached one third: the adversary may control
+    /// the output.
+    Compromised,
+}
+
+impl RandNumSecurity {
+    /// Classifies a cluster of `size` members with `byz` Byzantine ones.
+    pub fn from_counts(byz: usize, size: usize) -> Self {
+        if 3 * byz < size {
+            RandNumSecurity::Secure
+        } else {
+            RandNumSecurity::Compromised
+        }
+    }
+
+    /// Convenience predicate.
+    pub fn is_secure(self) -> bool {
+        matches!(self, RandNumSecurity::Secure)
+    }
+}
+
+/// Ideal-functionality `randNum` used by the L1 execution path.
+///
+/// Returns a uniform draw from `0..range` while the cluster is
+/// [`RandNumSecurity::Secure`]; otherwise returns `adversary_pick`
+/// (clamped into range; defaults to `range − 1` — "the adversary chooses
+/// freely" and any fixed choice is the worst case for the caller).
+///
+/// Accounts the paper's stated cost: one all-to-all commit round and one
+/// all-to-all reveal round among `cluster_size` members.
+///
+/// # Panics
+/// Panics if `range == 0` or `cluster_size == 0`.
+pub fn rand_num_ideal<R: Rng>(
+    range: u64,
+    cluster_size: usize,
+    byz_in_cluster: usize,
+    adversary_pick: Option<u64>,
+    ledger: &mut Ledger,
+    rng: &mut R,
+) -> u64 {
+    assert!(range > 0, "randNum range must be positive");
+    assert!(cluster_size > 0, "randNum needs a non-empty cluster");
+    ledger.begin(CostKind::RandNum);
+    let c = cluster_size as u64;
+    ledger.add_messages(2 * c * (c - 1));
+    ledger.add_rounds(2);
+    ledger.end();
+    match RandNumSecurity::from_counts(byz_in_cluster, cluster_size) {
+        RandNumSecurity::Secure => rng.gen_range(0..range),
+        RandNumSecurity::Compromised => adversary_pick.unwrap_or(range - 1).min(range - 1),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Item {
+    Commit(u64),
+    Reveal(u64, u64),
+}
+
+impl Item {
+    fn phase(self) -> u8 {
+        match self {
+            Item::Commit(_) => 0,
+            Item::Reveal(..) => 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Init,
+    Echo,
+    Ready,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Msg {
+    kind: Kind,
+    src: usize,
+    item: Item,
+}
+
+#[derive(Debug, Default, Clone)]
+struct NodeState {
+    echoed: BTreeSet<(usize, u8)>,
+    readied: BTreeSet<(usize, u8)>,
+    echo_counts: BTreeMap<(usize, Item), BTreeSet<usize>>,
+    ready_counts: BTreeMap<(usize, Item), BTreeSet<usize>>,
+    delivered: BTreeMap<(usize, u8), Item>,
+}
+
+/// One phase of parallel Bracha broadcasts: every port in `initiators`
+/// broadcasts its item; everyone echoes/readies. Returns nothing —
+/// deliveries accumulate in `state`.
+#[allow(clippy::too_many_arguments)]
+fn run_parallel_bracha_phase<R: Rng>(
+    bus: &mut Bus<Msg>,
+    state: &mut [NodeState],
+    items: &BTreeMap<usize, Item>,
+    byz: &BTreeSet<usize>,
+    plan: ByzPlan,
+    f: usize,
+    rounds: usize,
+    rng: &mut R,
+) {
+    let n = state.len();
+    let echo_threshold = (n + f + 1).div_ceil(2);
+    let ready_amplify = f + 1;
+    let deliver_threshold = 2 * f + 1;
+
+    // Dispatch.
+    for (&src, &item) in items {
+        if byz.contains(&src) {
+            match plan {
+                ByzPlan::Silent => {}
+                ByzPlan::Equivocate(a, b) => {
+                    // Equivocate the *commitment digest* (or the reveal
+                    // value): different item to even vs odd ports.
+                    for to in 0..n {
+                        if to == src {
+                            continue;
+                        }
+                        let forged = match item {
+                            Item::Commit(_) => {
+                                Item::Commit(if to % 2 == 0 { a } else { b })
+                            }
+                            Item::Reveal(_, nonce) => {
+                                Item::Reveal(if to % 2 == 0 { a } else { b }, nonce)
+                            }
+                        };
+                        bus.send(src, to, Msg { kind: Kind::Init, src, item: forged });
+                    }
+                }
+                _ => {
+                    // ConstantValue/Random byzantines follow the wire
+                    // format (their *contribution* was already chosen by
+                    // the plan at the caller).
+                    for to in 0..n {
+                        if to != src {
+                            bus.send(src, to, Msg { kind: Kind::Init, src, item });
+                        }
+                    }
+                }
+            }
+        } else {
+            for to in 0..n {
+                if to != src {
+                    bus.send(src, to, Msg { kind: Kind::Init, src, item });
+                }
+            }
+            // Self-echo.
+            let key = (src, item);
+            state[src].echoed.insert((src, item.phase()));
+            state[src].echo_counts.entry(key).or_default().insert(src);
+            for to in 0..n {
+                if to != src {
+                    bus.send(src, to, Msg { kind: Kind::Echo, src, item });
+                }
+            }
+        }
+    }
+
+    for _ in 0..rounds {
+        bus.step();
+        let mut outgoing: Vec<(usize, Msg)> = Vec::new();
+        for p in 0..n {
+            let inbox = bus.recv(p);
+            if byz.contains(&p) {
+                if matches!(plan, ByzPlan::Random) {
+                    // Random echo noise for a random source.
+                    let src = rng.gen_range(0..n);
+                    let item = Item::Commit(rng.gen());
+                    for to in 0..n {
+                        if to != p {
+                            bus.send(p, to, Msg { kind: Kind::Echo, src, item });
+                        }
+                    }
+                }
+                continue;
+            }
+            for (from, msg) in inbox {
+                let key = (msg.src, msg.item);
+                match msg.kind {
+                    Kind::Init => {
+                        if from == msg.src && !state[p].echoed.contains(&(msg.src, msg.item.phase())) {
+                            state[p].echoed.insert((msg.src, msg.item.phase()));
+                            state[p].echo_counts.entry(key).or_default().insert(p);
+                            outgoing.push((p, Msg { kind: Kind::Echo, ..msg }));
+                        }
+                    }
+                    Kind::Echo => {
+                        state[p].echo_counts.entry(key).or_default().insert(from);
+                    }
+                    Kind::Ready => {
+                        state[p].ready_counts.entry(key).or_default().insert(from);
+                    }
+                }
+            }
+            // Threshold transitions.
+            let mut to_ready: Vec<(usize, Item)> = Vec::new();
+            for (&(src, item), echoes) in &state[p].echo_counts {
+                if echoes.len() >= echo_threshold
+                    && !state[p].readied.contains(&(src, item.phase()))
+                {
+                    to_ready.push((src, item));
+                }
+            }
+            for (&(src, item), readies) in &state[p].ready_counts {
+                if readies.len() >= ready_amplify
+                    && !state[p].readied.contains(&(src, item.phase()))
+                {
+                    to_ready.push((src, item));
+                }
+            }
+            for (src, item) in to_ready {
+                if state[p].readied.insert((src, item.phase())) {
+                    state[p]
+                        .ready_counts
+                        .entry((src, item))
+                        .or_default()
+                        .insert(p);
+                    outgoing.push((p, Msg { kind: Kind::Ready, src, item }));
+                }
+            }
+            let mut to_deliver: Vec<(usize, Item)> = Vec::new();
+            for (&(src, item), readies) in &state[p].ready_counts {
+                if readies.len() >= deliver_threshold
+                    && !state[p].delivered.contains_key(&(src, item.phase()))
+                {
+                    to_deliver.push((src, item));
+                }
+            }
+            for (src, item) in to_deliver {
+                state[p].delivered.insert((src, item.phase()), item);
+            }
+        }
+        for (p, msg) in outgoing {
+            bus.broadcast(p, msg);
+        }
+    }
+}
+
+/// Full commit–reveal `randNum` among `n` ports over parallel Bracha
+/// broadcasts (fidelity level L0).
+///
+/// Every honest port draws a uniform contribution from `0..range`,
+/// commits, then reveals; the agreed result is the sum of valid openings
+/// mod `range`. Byzantine ports follow `plan`:
+/// * `Silent` — contribute nothing (selective abort);
+/// * `ConstantValue(v)` — contribute `v mod range` honestly on the wire
+///   (bias attempt by choosing rather than drawing — harmless);
+/// * `Equivocate(a, b)` — equivocate commitments/reveals (defeated by
+///   Bracha consistency);
+/// * `Random` — random contribution plus random echo noise.
+///
+/// Returns each honest port's computed result; agreement across honest
+/// ports holds whenever `byz.len() < n/3`. Costs are recorded under
+/// [`CostKind::RandNum`].
+///
+/// # Panics
+/// Panics if `n == 0` or `range == 0`.
+pub fn rand_num_commit_reveal<R: Rng>(
+    n: usize,
+    range: u64,
+    byz: &BTreeSet<usize>,
+    plan: ByzPlan,
+    ledger: &mut Ledger,
+    rng: &mut R,
+) -> ProtocolResult<u64> {
+    assert!(n > 0, "randNum needs at least one node");
+    assert!(range > 0, "randNum range must be positive");
+    let f = (n.saturating_sub(1)) / 3;
+
+    ledger.begin(CostKind::RandNum);
+    let mut bus: Bus<Msg> = Bus::new(n);
+    let mut state: Vec<NodeState> = vec![NodeState::default(); n];
+
+    // Local draws.
+    let mut xs = vec![0u64; n];
+    let mut nonces = vec![0u64; n];
+    for p in 0..n {
+        xs[p] = match plan {
+            ByzPlan::ConstantValue(v) if byz.contains(&p) => v % range,
+            _ => rng.gen_range(0..range),
+        };
+        nonces[p] = rng.gen();
+    }
+
+    // Phase 1: commitments.
+    let commits: BTreeMap<usize, Item> = (0..n)
+        .filter(|p| !(byz.contains(p) && matches!(plan, ByzPlan::Silent)))
+        .map(|p| (p, Item::Commit(commit_value(xs[p], nonces[p], p).0)))
+        .collect();
+    run_parallel_bracha_phase(&mut bus, &mut state, &commits, byz, plan, f, 8, rng);
+
+    // Phase 2: reveals.
+    let reveals: BTreeMap<usize, Item> = (0..n)
+        .filter(|p| !(byz.contains(p) && matches!(plan, ByzPlan::Silent)))
+        .map(|p| (p, Item::Reveal(xs[p], nonces[p])))
+        .collect();
+    run_parallel_bracha_phase(&mut bus, &mut state, &reveals, byz, plan, f, 8, rng);
+
+    ledger.add_messages(bus.messages_sent());
+    ledger.add_rounds(bus.round());
+    ledger.end();
+
+    // Result extraction per honest node.
+    let mut decisions = BTreeMap::new();
+    for p in 0..n {
+        if byz.contains(&p) {
+            continue;
+        }
+        let mut sum: u64 = 0;
+        for src in 0..n {
+            let Some(Item::Commit(digest)) = state[p].delivered.get(&(src, 0)).copied() else {
+                continue;
+            };
+            let Some(Item::Reveal(x, nonce)) = state[p].delivered.get(&(src, 1)).copied() else {
+                continue;
+            };
+            if x < range && verify_commitment(Commitment(digest), x, nonce, src) {
+                sum = ((sum as u128 + x as u128) % range as u128) as u64;
+            }
+        }
+        decisions.insert(p, sum);
+    }
+
+    ProtocolResult {
+        decisions,
+        rounds: bus.round(),
+        messages: bus.messages_sent(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::check_agreement;
+    use now_net::DetRng;
+
+    fn run(n: usize, range: u64, byz: &[usize], plan: ByzPlan, seed: u64) -> ProtocolResult<u64> {
+        let byz: BTreeSet<usize> = byz.iter().copied().collect();
+        let mut ledger = Ledger::new();
+        let mut rng = DetRng::new(seed);
+        rand_num_commit_reveal(n, range, &byz, plan, &mut ledger, &mut rng)
+    }
+
+    #[test]
+    fn all_honest_agree_in_range() {
+        let r = run(7, 100, &[], ByzPlan::Silent, 1);
+        assert!(check_agreement(&r));
+        let v = *r.unanimous().unwrap();
+        assert!(v < 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(7, 1000, &[], ByzPlan::Silent, 9);
+        let b = run(7, 1000, &[], ByzPlan::Silent, 9);
+        assert_eq!(a.unanimous(), b.unanimous());
+    }
+
+    #[test]
+    fn silent_byzantine_cannot_break_agreement() {
+        let r = run(7, 50, &[2, 5], ByzPlan::Silent, 2);
+        assert!(check_agreement(&r));
+    }
+
+    #[test]
+    fn equivocating_byzantine_cannot_break_agreement() {
+        for seed in 0..10u64 {
+            let r = run(7, 50, &[0, 3], ByzPlan::Equivocate(7, 13), seed);
+            assert!(check_agreement(&r), "seed {seed}: {:?}", r.decisions);
+        }
+    }
+
+    #[test]
+    fn constant_contribution_cannot_fix_output() {
+        // A byzantine member contributing a constant cannot force the
+        // result: honest contributions randomize the sum. Across seeds
+        // the outputs must not all equal the constant.
+        let outputs: BTreeSet<u64> = (0..12u64)
+            .map(|seed| *run(7, 97, &[1], ByzPlan::ConstantValue(42), seed).unanimous().unwrap())
+            .collect();
+        assert!(outputs.len() > 4, "outputs suspiciously concentrated: {outputs:?}");
+    }
+
+    #[test]
+    fn random_noise_byzantine_cannot_break_agreement() {
+        let r = run(10, 64, &[4, 8], ByzPlan::Random, 3);
+        assert!(check_agreement(&r));
+    }
+
+    #[test]
+    fn outputs_spread_over_range() {
+        // Coarse uniformity check: over 40 seeds with range 8, every
+        // bucket should be hit at least once and none should dominate.
+        let mut counts = [0u32; 8];
+        for seed in 0..40u64 {
+            let v = *run(5, 8, &[], ByzPlan::Silent, seed).unanimous().unwrap();
+            counts[v as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c >= 1), "never-hit bucket: {counts:?}");
+        assert!(counts.iter().all(|&c| c <= 20), "dominant bucket: {counts:?}");
+    }
+
+    #[test]
+    fn ideal_secure_is_uniformish_and_cheap() {
+        let mut ledger = Ledger::new();
+        let mut rng = DetRng::new(4);
+        let mut seen = BTreeSet::new();
+        for _ in 0..64 {
+            seen.insert(rand_num_ideal(16, 20, 6, None, &mut ledger, &mut rng));
+        }
+        assert!(seen.len() > 8, "secure ideal should spread: {seen:?}");
+        let s = ledger.stats(CostKind::RandNum);
+        assert_eq!(s.count, 64);
+        assert_eq!(s.total_messages / 64, 2 * 20 * 19);
+        assert_eq!(s.total_rounds / 64, 2);
+    }
+
+    #[test]
+    fn ideal_compromised_is_adversary_controlled() {
+        let mut ledger = Ledger::new();
+        let mut rng = DetRng::new(5);
+        // 7 byzantine of 20: 3·7 = 21 ≥ 20 → compromised.
+        let v = rand_num_ideal(10, 20, 7, Some(3), &mut ledger, &mut rng);
+        assert_eq!(v, 3);
+        let w = rand_num_ideal(10, 20, 7, None, &mut ledger, &mut rng);
+        assert_eq!(w, 9, "default adversary pick is range−1");
+    }
+
+    #[test]
+    fn security_threshold_is_one_third() {
+        assert!(RandNumSecurity::from_counts(6, 19).is_secure());
+        assert!(!RandNumSecurity::from_counts(7, 19).is_secure(), "3·7 > 19");
+        assert!(!RandNumSecurity::from_counts(7, 21).is_secure(), "3·7 = 21 boundary");
+        assert!(RandNumSecurity::from_counts(0, 1).is_secure());
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn zero_range_rejected() {
+        let mut ledger = Ledger::new();
+        let mut rng = DetRng::new(6);
+        let _ = rand_num_ideal(0, 5, 0, None, &mut ledger, &mut rng);
+    }
+}

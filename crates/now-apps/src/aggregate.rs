@@ -1,0 +1,158 @@
+//! Aggregation over a BFS tree of clusters.
+
+use now_core::NowSystem;
+use now_net::{ClusterId, CostKind};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Outcome of one aggregation (here: a population count, the simplest
+/// verifiable aggregate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggregateReport {
+    /// Root cluster of the aggregation tree.
+    pub root: ClusterId,
+    /// The aggregate value (count of nodes in reached clusters).
+    pub total: u64,
+    /// Messages spent (tree construction + convergecast).
+    pub messages: u64,
+    /// Rounds (2 × tree depth: downstream request, upstream replies).
+    pub rounds: u64,
+    /// Whether every cluster contributed.
+    pub complete: bool,
+}
+
+/// Counts the network's nodes by convergecast over a BFS tree of
+/// clusters rooted at `root`: the request floods down (quorum cost per
+/// tree edge), partial sums flow back up the same edges. Exactness is
+/// checkable against [`NowSystem::population`] — the aggregation
+/// analogue of §6's "efficient and robust algorithms for aggregation".
+///
+/// Costs are recorded under [`CostKind::Aggregation`].
+///
+/// # Panics
+/// Panics if `root` is not a live cluster.
+pub fn aggregate_count(sys: &mut NowSystem, root: ClusterId) -> AggregateReport {
+    assert!(
+        sys.cluster(root).is_some(),
+        "aggregate: unknown root {root}"
+    );
+    sys.ledger_mut().begin(CostKind::Aggregation);
+
+    // BFS tree.
+    let mut parent: BTreeMap<ClusterId, ClusterId> = BTreeMap::new();
+    let mut order: Vec<ClusterId> = Vec::new();
+    let mut depth: BTreeMap<ClusterId, u64> = BTreeMap::new();
+    let mut seen: BTreeSet<ClusterId> = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(root);
+    depth.insert(root, 0);
+    queue.push_back(root);
+    let mut messages = 0u64;
+    while let Some(c) = queue.pop_front() {
+        order.push(c);
+        let c_size = sys.cluster(c).map(|cl| cl.size() as u64).unwrap_or(0);
+        for nbr in sys.overlay().neighbors(c) {
+            if seen.insert(nbr) {
+                parent.insert(nbr, c);
+                depth.insert(nbr, depth[&c] + 1);
+                let nbr_size = sys.cluster(nbr).map(|cl| cl.size() as u64).unwrap_or(0);
+                messages += c_size * nbr_size; // downstream request
+                queue.push_back(nbr);
+            }
+        }
+    }
+
+    // Convergecast: children report partial sums to parents, deepest
+    // first; each report is a quorum message along the tree edge.
+    let mut partial: BTreeMap<ClusterId, u64> = BTreeMap::new();
+    for &c in order.iter().rev() {
+        let own = sys.cluster(c).map(|cl| cl.size() as u64).unwrap_or(0);
+        let sum = own + partial.get(&c).copied().unwrap_or(0);
+        if let Some(&p) = parent.get(&c) {
+            let c_size = sys.cluster(c).map(|cl| cl.size() as u64).unwrap_or(0);
+            let p_size = sys.cluster(p).map(|cl| cl.size() as u64).unwrap_or(0);
+            messages += c_size * p_size;
+            *partial.entry(p).or_default() += sum;
+        } else {
+            partial.insert(c, sum);
+        }
+    }
+    let total = partial.get(&root).copied().unwrap_or(0);
+    let max_depth = depth.values().max().copied().unwrap_or(0);
+    let rounds = 2 * max_depth + 1;
+    sys.ledger_mut().add_messages(messages);
+    sys.ledger_mut().add_rounds(rounds);
+    sys.ledger_mut().end();
+
+    AggregateReport {
+        root,
+        total,
+        messages,
+        rounds,
+        complete: order.len() == sys.cluster_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_core::{NowParams, NowSystem};
+
+    fn system(n0: usize, seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        NowSystem::init_fast(params, n0, 0.1, seed)
+    }
+
+    #[test]
+    fn count_is_exact_on_connected_overlay() {
+        let mut sys = system(300, 1);
+        assert!(sys.overlay_audit().connected);
+        let root = sys.cluster_ids()[0];
+        let report = aggregate_count(&mut sys, root);
+        assert!(report.complete);
+        assert_eq!(report.total, sys.population());
+    }
+
+    #[test]
+    fn count_exact_from_any_root() {
+        let mut sys = system(240, 2);
+        for root in sys.cluster_ids() {
+            let report = aggregate_count(&mut sys, root);
+            assert_eq!(report.total, sys.population(), "root {root}");
+        }
+    }
+
+    #[test]
+    fn aggregation_costs_accounted_and_subquadratic() {
+        let mut sys = system(500, 3);
+        let root = sys.cluster_ids()[0];
+        let report = aggregate_count(&mut sys, root);
+        let s = sys.ledger().stats(CostKind::Aggregation);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.total_messages, report.messages);
+        let n = sys.population();
+        assert!(
+            report.messages < n * n / 2,
+            "aggregation {} vs n² {}",
+            report.messages,
+            n * n
+        );
+    }
+
+    #[test]
+    fn single_cluster_aggregation() {
+        let mut sys = system(20, 4);
+        let root = sys.cluster_ids()[0];
+        let report = aggregate_count(&mut sys, root);
+        assert!(report.complete);
+        assert_eq!(report.total, 20);
+        assert_eq!(report.messages, 0, "no tree edges");
+        assert_eq!(report.rounds, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown root")]
+    fn unknown_root_panics() {
+        let mut sys = system(100, 5);
+        let _ = aggregate_count(&mut sys, ClusterId::from_raw(31_337));
+    }
+}

@@ -1,0 +1,154 @@
+//! System-wide agreement through the cluster overlay.
+//!
+//! §1 of the paper: instead of reducing `n` processes to *one* reliable
+//! process (full-network Byzantine agreement, `Ω(n²)` per decision),
+//! NOW reduces them to `#C` reliable super-nodes. A system-wide decision
+//! then costs one intra-cluster agreement (the leader cluster, which is
+//! > 2/3 honest whp, acts as the "single highly available process")
+//! plus one overlay broadcast — `Õ(n)` in total.
+
+use crate::broadcast::broadcast;
+use now_core::NowSystem;
+use now_net::{ClusterId, CostKind};
+use std::collections::BTreeMap;
+
+/// Outcome of one system-wide agreement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgreementReport {
+    /// The cluster that acted as the deciding super-node.
+    pub leader: ClusterId,
+    /// The decided value.
+    pub decided: u64,
+    /// Messages spent (leader-internal agreement + overlay broadcast).
+    pub messages: u64,
+    /// Rounds spent.
+    pub rounds: u64,
+    /// Whether the decision reached every cluster.
+    pub complete: bool,
+}
+
+/// Decides one value system-wide from per-cluster `proposals`.
+///
+/// The leader is the smallest live cluster id (any deterministic rule
+/// known to all works — cluster ids are common knowledge through the
+/// overlay views). The leader picks a proposal: its own if present, else
+/// the proposal of the smallest proposing cluster; leader-internal
+/// coordination costs one `randNum`-style all-to-all round. The decision
+/// is then flooded with [`broadcast`].
+///
+/// Returns `None` if `proposals` is empty.
+///
+/// # Panics
+/// Panics if a proposing cluster id is not live.
+pub fn cluster_agreement(
+    sys: &mut NowSystem,
+    proposals: &BTreeMap<ClusterId, u64>,
+) -> Option<AgreementReport> {
+    if proposals.is_empty() {
+        return None;
+    }
+    for &c in proposals.keys() {
+        assert!(
+            sys.cluster(c).is_some(),
+            "agreement: unknown proposing cluster {c}"
+        );
+    }
+    let before = sys.ledger().total();
+    sys.ledger_mut().begin(CostKind::Agreement);
+
+    let leader = sys.cluster_ids()[0];
+    let decided = proposals
+        .get(&leader)
+        .or_else(|| proposals.values().next())
+        .copied()
+        .expect("non-empty proposals");
+
+    // Leader-internal coordination: one all-to-all round.
+    let leader_size = sys.cluster(leader).map(|c| c.size() as u64).unwrap_or(0);
+    sys.ledger_mut()
+        .add_messages(leader_size * leader_size.saturating_sub(1));
+    sys.ledger_mut().add_rounds(1);
+    sys.ledger_mut().end();
+
+    // Disseminate the decision (separately accounted as Broadcast).
+    let bc = broadcast(sys, leader);
+    let spent = sys.ledger().total();
+
+    Some(AgreementReport {
+        leader,
+        decided,
+        messages: spent.messages - before.messages,
+        rounds: spent.rounds - before.rounds,
+        complete: bc.complete,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_core::{NowParams, NowSystem};
+    use now_sim::baselines::single_cluster_round_cost;
+
+    fn system(n0: usize, seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        NowSystem::init_fast(params, n0, 0.1, seed)
+    }
+
+    fn all_propose(sys: &NowSystem, value_of: impl Fn(u64) -> u64) -> BTreeMap<ClusterId, u64> {
+        sys.cluster_ids()
+            .into_iter()
+            .map(|c| (c, value_of(c.raw())))
+            .collect()
+    }
+
+    #[test]
+    fn leader_proposal_wins_and_reaches_all() {
+        let mut sys = system(300, 1);
+        let proposals = all_propose(&sys, |raw| raw * 10);
+        let leader = sys.cluster_ids()[0];
+        let report = cluster_agreement(&mut sys, &proposals).unwrap();
+        assert_eq!(report.leader, leader);
+        assert_eq!(report.decided, leader.raw() * 10);
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn empty_proposals_yield_none() {
+        let mut sys = system(100, 2);
+        assert!(cluster_agreement(&mut sys, &BTreeMap::new()).is_none());
+    }
+
+    #[test]
+    fn agreement_beats_single_cluster_bft() {
+        let mut sys = system(600, 3);
+        let proposals = all_propose(&sys, |r| r);
+        let report = cluster_agreement(&mut sys, &proposals).unwrap();
+        // The §1 comparison: full-network BFT needs Ω(n²) per round and
+        // multiple rounds (take 3 as a floor).
+        let naive = single_cluster_round_cost(sys.population(), 3);
+        assert!(
+            report.messages < naive / 4,
+            "clustered {} vs single-cluster {naive}",
+            report.messages
+        );
+    }
+
+    #[test]
+    fn non_leader_proposal_used_when_leader_silent() {
+        let mut sys = system(200, 4);
+        let ids = sys.cluster_ids();
+        let mut proposals = BTreeMap::new();
+        proposals.insert(ids[1], 777u64);
+        let report = cluster_agreement(&mut sys, &proposals).unwrap();
+        assert_eq!(report.decided, 777);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown proposing cluster")]
+    fn unknown_proposer_panics() {
+        let mut sys = system(100, 5);
+        let mut proposals = BTreeMap::new();
+        proposals.insert(ClusterId::from_raw(88_888), 1u64);
+        let _ = cluster_agreement(&mut sys, &proposals);
+    }
+}

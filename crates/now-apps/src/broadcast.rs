@@ -1,0 +1,167 @@
+//! Overlay broadcast: `Õ(n)` messages instead of `O(n²)`.
+
+use now_core::NowSystem;
+use now_net::{ClusterId, CostKind};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Outcome of one overlay broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BroadcastReport {
+    /// Cluster the message originated in.
+    pub origin: ClusterId,
+    /// Point-to-point messages spent.
+    pub messages: u64,
+    /// Communication rounds (BFS depth + intra-cluster dissemination).
+    pub rounds: u64,
+    /// Clusters the message reached.
+    pub clusters_reached: usize,
+    /// Nodes the message reached.
+    pub nodes_reached: u64,
+    /// Whether every cluster (hence every node) was reached.
+    pub complete: bool,
+}
+
+/// Floods a message from a node of `origin` over the cluster overlay.
+///
+/// One member disseminates within `origin` (`|C|−1` messages); then each
+/// newly reached cluster relays to every neighbor it did not hear from,
+/// at quorum cost `|C|·|D|` per relay. With overlay degree `O(log^{1+α}N)`
+/// and cluster size `O(logN)`, the total is `Õ(n)` — experiment X-A1
+/// compares against the naive `n(n−1)` flood.
+///
+/// Costs are recorded under [`CostKind::Broadcast`].
+///
+/// # Panics
+/// Panics if `origin` is not a live cluster.
+pub fn broadcast(sys: &mut NowSystem, origin: ClusterId) -> BroadcastReport {
+    assert!(
+        sys.cluster(origin).is_some(),
+        "broadcast: unknown origin {origin}"
+    );
+    sys.ledger_mut().begin(CostKind::Broadcast);
+
+    let mut messages = 0u64;
+    let mut reached: BTreeSet<ClusterId> = BTreeSet::new();
+    let mut queue: VecDeque<(ClusterId, u64)> = VecDeque::new();
+    reached.insert(origin);
+    queue.push_back((origin, 0));
+    // Intra-origin dissemination by the initiating node.
+    let origin_size = sys.cluster(origin).map(|c| c.size() as u64).unwrap_or(0);
+    messages += origin_size.saturating_sub(1);
+    let mut depth_max = 0u64;
+
+    while let Some((c, depth)) = queue.pop_front() {
+        depth_max = depth_max.max(depth);
+        let c_size = sys.cluster(c).map(|cl| cl.size() as u64).unwrap_or(0);
+        for nbr in sys.overlay().neighbors(c) {
+            if reached.contains(&nbr) {
+                continue;
+            }
+            let nbr_size = sys.cluster(nbr).map(|cl| cl.size() as u64).unwrap_or(0);
+            // Quorum-rule relay: every member of c to every member of nbr.
+            messages += c_size * nbr_size;
+            reached.insert(nbr);
+            queue.push_back((nbr, depth + 1));
+        }
+    }
+
+    let nodes_reached: u64 = reached
+        .iter()
+        .map(|&c| sys.cluster(c).map(|cl| cl.size() as u64).unwrap_or(0))
+        .sum();
+    let rounds = depth_max + 1;
+    sys.ledger_mut().add_messages(messages);
+    sys.ledger_mut().add_rounds(rounds);
+    sys.ledger_mut().end();
+
+    BroadcastReport {
+        origin,
+        messages,
+        rounds,
+        clusters_reached: reached.len(),
+        nodes_reached,
+        complete: reached.len() == sys.cluster_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_core::{NowParams, NowSystem};
+    use now_sim::baselines::naive_broadcast_cost;
+
+    fn system(n0: usize, seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        NowSystem::init_fast(params, n0, 0.1, seed)
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_on_connected_overlay() {
+        let mut sys = system(300, 1);
+        assert!(sys.overlay_audit().connected);
+        let origin = sys.cluster_ids()[0];
+        let report = broadcast(&mut sys, origin);
+        assert!(report.complete);
+        assert_eq!(report.clusters_reached, sys.cluster_count());
+        assert_eq!(report.nodes_reached, sys.population());
+        assert!(report.rounds >= 1);
+    }
+
+    #[test]
+    fn broadcast_beats_naive_quadratic() {
+        let mut sys = system(600, 2);
+        let origin = sys.cluster_ids()[0];
+        let report = broadcast(&mut sys, origin);
+        let naive = naive_broadcast_cost(sys.population());
+        assert!(
+            report.messages < naive / 2,
+            "clustered {} vs naive {naive}",
+            report.messages
+        );
+    }
+
+    #[test]
+    fn broadcast_cost_is_accounted() {
+        let mut sys = system(200, 3);
+        let origin = sys.cluster_ids()[0];
+        let report = broadcast(&mut sys, origin);
+        let s = sys.ledger().stats(CostKind::Broadcast);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.total_messages, report.messages);
+        assert_eq!(s.total_rounds, report.rounds);
+    }
+
+    #[test]
+    fn single_cluster_broadcast_is_intra_only() {
+        let mut sys = system(20, 4); // one cluster
+        let origin = sys.cluster_ids()[0];
+        let report = broadcast(&mut sys, origin);
+        assert!(report.complete);
+        assert_eq!(report.messages, 19, "|C|−1 intra messages only");
+        assert_eq!(report.rounds, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown origin")]
+    fn unknown_origin_panics() {
+        let mut sys = system(100, 5);
+        let ghost = ClusterId::from_raw(77_777);
+        let _ = broadcast(&mut sys, ghost);
+    }
+
+    #[test]
+    fn broadcast_scales_subquadratically() {
+        // Õ(n): doubling n should far less than quadruple the cost.
+        let cost = |n0: usize| {
+            let mut sys = system(n0, 6);
+            let origin = sys.cluster_ids()[0];
+            broadcast(&mut sys, origin).messages as f64
+        };
+        let small = cost(300);
+        let large = cost(600);
+        assert!(
+            large < 3.0 * small,
+            "broadcast scaled quadratically: {small} → {large}"
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Secure polling over the cluster overlay.
+//!
+//! Reference \[12\] of the paper (Gambs, Guerraoui, Harkous, Huc,
+//! Kermarrec — *Scalable and secure polling in dynamic distributed
+//! networks*, SRDS 2012) is the worked application of exactly this
+//! clustering: a binary poll whose outcome the adversary can only bias
+//! by the ballots of the nodes it actually controls.
+//!
+//! The mechanism here: each cluster tallies its members' ballots
+//! internally (one intra-cluster broadcast round — identities are
+//! unforgeable, so a Byzantine member casts *its own* ballot however it
+//! likes but cannot stuff anyone else's), then the per-cluster tallies
+//! convergecast over a BFS tree of the overlay under the quorum rule.
+//! With every cluster holding an honest quorum (Theorem 3), a Byzantine
+//! member cannot mis-report its cluster's tally either — the honest
+//! majority's identical message is the one neighbors accept. The
+//! adversary's total distortion is therefore bounded by its ballot
+//! count: `|yes − honest_yes| ≤ byz_population`.
+
+use now_core::NowSystem;
+use now_net::{ClusterId, CostKind};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Outcome of one poll ([`poll`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollReport {
+    /// Root cluster of the tally tree.
+    pub root: ClusterId,
+    /// "Yes" ballots counted (honest intents plus Byzantine ballots).
+    pub yes: u64,
+    /// "No" ballots counted.
+    pub no: u64,
+    /// Ground truth: honest nodes intending "yes".
+    pub honest_yes: u64,
+    /// Ground truth: honest nodes intending "no".
+    pub honest_no: u64,
+    /// Messages spent (intra-cluster ballots + tree convergecast).
+    pub messages: u64,
+    /// Rounds (1 ballot round + 2 × tree depth).
+    pub rounds: u64,
+    /// Whether every cluster's tally reached the root.
+    pub complete: bool,
+}
+
+impl PollReport {
+    /// The adversary's achieved distortion: counted "yes" minus the
+    /// honest "yes" ground truth (Byzantine ballots are the only
+    /// source, so this is bounded by the Byzantine population).
+    pub fn distortion(&self) -> u64 {
+        self.yes.abs_diff(self.honest_yes)
+    }
+}
+
+/// Runs a binary poll: every honest node ballots `intent(node)`, every
+/// Byzantine node ballots `adversary_ballot` (the adversary maximizes
+/// bias by voting as a bloc). Tallies flow root-ward over a BFS tree of
+/// the overlay; costs land under [`CostKind::Aggregation`].
+///
+/// # Panics
+/// Panics if `root` is not a live cluster.
+pub fn poll(
+    sys: &mut NowSystem,
+    root: ClusterId,
+    intent: impl Fn(now_net::NodeId) -> bool,
+    adversary_ballot: bool,
+) -> PollReport {
+    assert!(sys.cluster(root).is_some(), "poll: unknown root {root}");
+    sys.ledger_mut().begin(CostKind::Aggregation);
+    let mut messages = 0u64;
+
+    // Intra-cluster balloting: every member broadcasts its ballot to
+    // its cluster (one round, |C|·(|C|−1) messages per cluster).
+    let mut tallies: BTreeMap<ClusterId, (u64, u64)> = BTreeMap::new();
+    let mut honest_yes = 0u64;
+    let mut honest_no = 0u64;
+    for cid in sys.cluster_ids() {
+        let cluster = sys.cluster(cid).expect("listed cluster is live");
+        let size = cluster.size() as u64;
+        messages += size * size.saturating_sub(1);
+        let mut yes = 0u64;
+        let mut no = 0u64;
+        for member in cluster.members() {
+            let honest = sys.is_honest(member).expect("live member");
+            let ballot = if honest {
+                let b = intent(member);
+                if b {
+                    honest_yes += 1;
+                } else {
+                    honest_no += 1;
+                }
+                b
+            } else {
+                adversary_ballot
+            };
+            if ballot {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+        }
+        tallies.insert(cid, (yes, no));
+    }
+
+    // BFS tree over the overlay, rooted at `root`.
+    let mut parent: BTreeMap<ClusterId, ClusterId> = BTreeMap::new();
+    let mut depth: BTreeMap<ClusterId, u64> = BTreeMap::new();
+    let mut order: Vec<ClusterId> = Vec::new();
+    let mut seen: BTreeSet<ClusterId> = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(root);
+    depth.insert(root, 0);
+    queue.push_back(root);
+    while let Some(c) = queue.pop_front() {
+        order.push(c);
+        let c_size = sys.cluster(c).map(|cl| cl.size() as u64).unwrap_or(0);
+        for nbr in sys.overlay().neighbors(c) {
+            if seen.insert(nbr) {
+                parent.insert(nbr, c);
+                depth.insert(nbr, depth[&c] + 1);
+                let nbr_size = sys.cluster(nbr).map(|cl| cl.size() as u64).unwrap_or(0);
+                messages += c_size * nbr_size; // downstream poll request
+                queue.push_back(nbr);
+            }
+        }
+    }
+
+    // Convergecast of (yes, no) partial tallies under the quorum rule.
+    let mut partial: BTreeMap<ClusterId, (u64, u64)> = BTreeMap::new();
+    for &c in order.iter().rev() {
+        let own = tallies.get(&c).copied().unwrap_or((0, 0));
+        let acc = partial.get(&c).copied().unwrap_or((0, 0));
+        let sum = (own.0 + acc.0, own.1 + acc.1);
+        if let Some(&p) = parent.get(&c) {
+            let c_size = sys.cluster(c).map(|cl| cl.size() as u64).unwrap_or(0);
+            let p_size = sys.cluster(p).map(|cl| cl.size() as u64).unwrap_or(0);
+            messages += c_size * p_size;
+            let e = partial.entry(p).or_default();
+            e.0 += sum.0;
+            e.1 += sum.1;
+        } else {
+            partial.insert(c, sum);
+        }
+    }
+    let (yes, no) = partial.get(&root).copied().unwrap_or((0, 0));
+    let max_depth = depth.values().max().copied().unwrap_or(0);
+    let rounds = 2 * max_depth + 2;
+    sys.ledger_mut().add_messages(messages);
+    sys.ledger_mut().add_rounds(rounds);
+    sys.ledger_mut().end();
+
+    PollReport {
+        root,
+        yes,
+        no,
+        honest_yes,
+        honest_no,
+        messages,
+        rounds,
+        complete: order.len() == sys.cluster_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_core::{NowParams, NowSystem};
+
+    fn system(n0: usize, tau: f64, seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        NowSystem::init_fast(params, n0, tau, seed)
+    }
+
+    #[test]
+    fn honest_only_poll_is_exact() {
+        let mut sys = system(200, 0.0, 1);
+        let root = sys.cluster_ids()[0];
+        // Nodes with even raw id vote yes.
+        let report = poll(&mut sys, root, |n| n.raw() % 2 == 0, true);
+        assert!(report.complete);
+        assert_eq!(report.yes + report.no, 200);
+        assert_eq!(report.yes, report.honest_yes);
+        assert_eq!(report.distortion(), 0);
+    }
+
+    #[test]
+    fn distortion_is_bounded_by_byzantine_ballots() {
+        let mut sys = system(300, 0.2, 2);
+        let root = sys.cluster_ids()[0];
+        // Honest ground truth: all vote no; adversary blocs yes.
+        let report = poll(&mut sys, root, |_| false, true);
+        assert_eq!(report.honest_yes, 0);
+        assert_eq!(report.yes, sys.byz_population());
+        assert_eq!(report.distortion(), sys.byz_population());
+        assert!(report.distortion() <= 60, "τ = 0.2 of 300");
+    }
+
+    #[test]
+    fn every_ballot_is_counted_once() {
+        let mut sys = system(240, 0.15, 3);
+        let root = sys.cluster_ids()[1];
+        let report = poll(&mut sys, root, |n| n.raw() % 3 == 0, false);
+        assert_eq!(report.yes + report.no, sys.population());
+        assert_eq!(
+            report.honest_yes + report.honest_no,
+            sys.population() - sys.byz_population()
+        );
+    }
+
+    #[test]
+    fn poll_cost_is_subquadratic_and_accounted() {
+        let mut sys = system(500, 0.1, 4);
+        let root = sys.cluster_ids()[0];
+        let before = sys.ledger().stats(CostKind::Aggregation);
+        let report = poll(&mut sys, root, |_| true, false);
+        let after = sys.ledger().stats(CostKind::Aggregation);
+        assert_eq!(after.count - before.count, 1);
+        let n = sys.population();
+        assert!(
+            report.messages < n * n / 2,
+            "poll {} vs n²/2 {}",
+            report.messages,
+            n * n / 2
+        );
+    }
+
+    #[test]
+    fn poll_from_every_root_agrees() {
+        let mut sys = system(200, 0.1, 5);
+        let reports: Vec<PollReport> = sys
+            .cluster_ids()
+            .into_iter()
+            .map(|root| poll(&mut sys, root, |n| n.raw() % 2 == 0, true))
+            .collect();
+        let first = reports[0];
+        for r in &reports {
+            assert_eq!((r.yes, r.no), (first.yes, first.no));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown root")]
+    fn unknown_root_panics() {
+        let mut sys = system(100, 0.1, 6);
+        let _ = poll(
+            &mut sys,
+            now_net::ClusterId::from_raw(40_404),
+            |_| true,
+            false,
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Criterion benches for the agreement substrate (the genuinely
+//! executing L0 protocols).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use now_agreement::{
+    run_ben_or, run_bracha, run_dolev_strong, run_phase_king, rand_num_commit_reveal, ByzPlan,
+};
+use now_net::{DetRng, Ledger};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+fn bench_phase_king(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agreement/phase_king");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    for n in [9usize, 17, 33] {
+        let inputs: Vec<u64> = (0..n as u64).map(|i| i % 3).collect();
+        let byz: BTreeSet<usize> = (0..(n - 1) / 4).collect();
+        let f = (n - 1) / 4;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut ledger = Ledger::new();
+                let mut rng = DetRng::new(1);
+                run_phase_king(&inputs, &byz, f, ByzPlan::Equivocate(0, 1), &mut ledger, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bracha(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agreement/bracha");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    for n in [10usize, 22, 46] {
+        let byz: BTreeSet<usize> = (1..=(n - 1) / 3).collect();
+        let f = (n - 1) / 3;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut ledger = Ledger::new();
+                let mut rng = DetRng::new(2);
+                run_bracha(n, 0, 42, &byz, f, ByzPlan::Random, &mut ledger, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dolev_strong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agreement/dolev_strong");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    for n in [8usize, 16, 32] {
+        let byz: BTreeSet<usize> = (1..n / 2).collect(); // beyond n/3!
+        let f = n / 2;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut ledger = Ledger::new();
+                let mut rng = DetRng::new(3);
+                run_dolev_strong(n, 0, 9, &byz, f, ByzPlan::Equivocate(1, 2), &mut ledger, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rand_num(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agreement/rand_num_commit_reveal");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [7usize, 13, 25] {
+        let byz: BTreeSet<usize> = (0..(n - 1) / 3).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut ledger = Ledger::new();
+                let mut rng = DetRng::new(4);
+                rand_num_commit_reveal(n, 1 << 20, &byz, ByzPlan::Silent, &mut ledger, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ben_or(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agreement/ben_or_async");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for n in [6usize, 11, 21] {
+        let inputs: Vec<u64> = (0..n as u64).map(|i| i % 2).collect();
+        let f = (n - 1) / 5;
+        let byz: BTreeSet<usize> = (1..=f).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut ledger = Ledger::new();
+                let mut rng = DetRng::new(5);
+                run_ben_or(
+                    n,
+                    &inputs,
+                    &byz,
+                    f,
+                    ByzPlan::Equivocate(0, 1),
+                    20,
+                    400,
+                    &mut ledger,
+                    &mut rng,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_phase_king,
+    bench_bracha,
+    bench_dolev_strong,
+    bench_rand_num,
+    bench_ben_or
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benches for the §6 applications and the Theorem-3 churn
+//! step (join + leave under balanced churn).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use now_apps::{aggregate_count, broadcast, sample_node};
+use now_core::{NowParams, NowSystem};
+use std::time::Duration;
+
+fn system(clusters: usize, seed: u64) -> NowSystem {
+    let params = NowParams::new(1 << 12, 2, 1.5, 0.30, 0.05).unwrap();
+    NowSystem::init_fast(params, clusters * params.target_cluster_size(), 0.10, seed)
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps/broadcast");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for clusters in [8usize, 32] {
+        let mut sys = system(clusters, 1);
+        let origin = sys.cluster_ids()[0];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(clusters),
+            &clusters,
+            |b, _| b.iter(|| broadcast(&mut sys, origin)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps/sampling");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    let mut sys = system(16, 2);
+    let origin = sys.cluster_ids()[0];
+    group.bench_function("sample_node", |b| b.iter(|| sample_node(&mut sys, origin)));
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps/aggregate");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    let mut sys = system(16, 3);
+    let root = sys.cluster_ids()[0];
+    group.bench_function("count", |b| b.iter(|| aggregate_count(&mut sys, root)));
+    group.finish();
+}
+
+fn bench_churn_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem3/churn_step");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("join_then_leave", |b| {
+        b.iter_batched(
+            || system(12, 4),
+            |mut sys| {
+                sys.join(false);
+                let node = sys.node_ids()[0];
+                let _ = sys.leave(node);
+                sys
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_broadcast,
+    bench_sampling,
+    bench_aggregate,
+    bench_churn_step
+);
+criterion_main!(benches);

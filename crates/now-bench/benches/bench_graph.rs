@@ -1,0 +1,74 @@
+//! Criterion benches for the graph substrate: spectral λ₂, exact
+//! isoperimetric enumeration, and CTRW endpoint sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use now_graph::{
+    algebraic_connectivity, ctrw_endpoint, exact_isoperimetric, gen, sweep_cut_upper_bound,
+    SpectralOptions,
+};
+use now_net::DetRng;
+use std::time::Duration;
+
+fn bench_lambda2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/lambda2");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [64usize, 256, 1024] {
+        let mut rng = DetRng::new(1);
+        let g = gen::erdos_renyi(n, (16.0 / n as f64).min(0.5), &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| algebraic_connectivity(&g, SpectralOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_isoperimetric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/exact_isoperimetric");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [12usize, 16, 20] {
+        let mut rng = DetRng::new(2);
+        let g = gen::ring_with_chords(n, n / 2, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| exact_isoperimetric(&g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_cut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/sweep_cut");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let mut rng = DetRng::new(3);
+    let g = gen::erdos_renyi(256, 0.08, &mut rng);
+    group.bench_function("n=256", |b| {
+        b.iter(|| sweep_cut_upper_bound(&g, SpectralOptions::default()))
+    });
+    group.finish();
+}
+
+fn bench_ctrw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/ctrw");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    let mut seed_rng = DetRng::new(4);
+    let g = gen::erdos_renyi(128, 0.12, &mut seed_rng);
+    for duration in [1.0f64, 4.0, 16.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{duration}")),
+            &duration,
+            |b, &d| {
+                let mut rng = DetRng::new(5);
+                b.iter(|| ctrw_endpoint(&g, 0, d, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lambda2,
+    bench_exact_isoperimetric,
+    bench_sweep_cut,
+    bench_ctrw
+);
+criterion_main!(benches);

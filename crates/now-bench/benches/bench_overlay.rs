@@ -1,0 +1,91 @@
+//! Criterion benches for OVER (Properties 1–2): Add/Remove maintenance
+//! and the spectral audit.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use now_net::{ClusterId, DetRng};
+use now_over::{OverParams, Overlay};
+use std::time::Duration;
+
+fn fresh_overlay(m: u64, seed: u64) -> (Overlay, DetRng) {
+    let params = OverParams::for_capacity(1 << 14);
+    let ids: Vec<ClusterId> = (0..m).map(ClusterId::from_raw).collect();
+    let mut rng = DetRng::new(seed);
+    let overlay = Overlay::init_random(&ids, params, &mut rng);
+    (overlay, rng)
+}
+
+fn bench_add_remove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay/maintenance");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group.bench_function("add_uniform", |b| {
+        b.iter_batched(
+            || fresh_overlay(64, 1),
+            |(mut overlay, mut rng)| {
+                overlay.add_uniform(ClusterId::from_raw(9999), &mut rng);
+                overlay
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("remove_with_repair", |b| {
+        b.iter_batched(
+            || fresh_overlay(64, 2),
+            |(mut overlay, mut rng)| {
+                overlay.remove(ClusterId::from_raw(7), &mut rng);
+                overlay
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay/audit");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for m in [32u64, 128, 512] {
+        let (overlay, _) = fresh_overlay(m, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| overlay.audit())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cycles(c: &mut Criterion) {
+    // The constant-degree alternative (§3 / X-ALT): maintenance should
+    // be O(r) per operation — far below OVER's degree-repair work.
+    use now_over::CyclesOverlay;
+    let mut group = c.benchmark_group("overlay/cycles");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    let fresh = |seed: u64| {
+        let ids: Vec<ClusterId> = (0..64).map(ClusterId::from_raw).collect();
+        let mut rng = DetRng::new(seed);
+        let overlay = CyclesOverlay::init(&ids, 2, &mut rng);
+        (overlay, rng)
+    };
+    group.bench_function("insert_r2", |b| {
+        b.iter_batched(
+            || fresh(5),
+            |(mut overlay, mut rng)| {
+                overlay.insert(ClusterId::from_raw(9_999), &mut rng);
+                overlay
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("remove_r2", |b| {
+        b.iter_batched(
+            || fresh(6),
+            |(mut overlay, _)| {
+                overlay.remove(ClusterId::from_raw(7));
+                overlay
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_add_remove, bench_audit, bench_cycles);
+criterion_main!(benches);

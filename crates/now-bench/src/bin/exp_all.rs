@@ -1,0 +1,56 @@
+//! Convenience runner: executes every experiment binary in sequence,
+//! streaming their reports. Equivalent to the loop in README.md.
+//!
+//! `cargo run --release -p now-bench --bin exp_all`
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 20] = [
+    // Paper claims (first EXPERIMENTS.md section).
+    "x_f1_init",
+    "x_f2_ops",
+    "x_l1_exchange",
+    "x_l23_drift",
+    "x_t3_longrun",
+    "x_p12_overlay",
+    "x_rc_randcl",
+    "x_r2_ratio",
+    "x_jla_attack",
+    "x_poly_growth",
+    "x_a1_broadcast",
+    "x_a2_sampling",
+    // Stated extensions and open problems (second section).
+    "x_r1_authenticated",
+    "x_batch_parallel",
+    "x_yz_growth",
+    "x_abl_exchange",
+    "x_pressure",
+    "x_init2_tree",
+    "x_async_benor",
+    "x_alt_overlay",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe has a directory")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n================ {name} ================\n");
+        let path = exe_dir.join(name);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            failures.push(name);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments completed; CSVs in results/", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nfailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,53 @@
+//! X-A1 — §6: broadcast `Õ(n)` with clustering vs `O(n²)` without.
+
+use now_bench::{build_system, results_dir, slope};
+use now_apps::broadcast;
+use now_sim::baselines::naive_broadcast_cost;
+use now_sim::{CsvTable, MdTable};
+
+fn main() {
+    println!("# X-A1: broadcast complexity (§6)\n");
+    let mut md = MdTable::new([
+        "n", "clusters", "clustered_msgs", "naive_msgs", "speedup", "rounds", "complete",
+    ]);
+    let mut csv = CsvTable::new([
+        "n", "clusters", "clustered_msgs", "naive_msgs", "speedup", "rounds", "complete",
+    ]);
+    let mut ns: Vec<f64> = Vec::new();
+    let mut costs: Vec<f64> = Vec::new();
+
+    for (i, clusters) in [8usize, 16, 32, 64].into_iter().enumerate() {
+        let mut sys = build_system(1 << 12, 2, clusters, 0.10, 600 + i as u64);
+        let n = sys.population();
+        let origin = sys.cluster_ids()[0];
+        let report = broadcast(&mut sys, origin);
+        let naive = naive_broadcast_cost(n);
+        ns.push((n as f64).ln());
+        costs.push((report.messages as f64).ln());
+        md.row([
+            n.to_string(),
+            sys.cluster_count().to_string(),
+            report.messages.to_string(),
+            naive.to_string(),
+            format!("{:.1}×", naive as f64 / report.messages.max(1) as f64),
+            report.rounds.to_string(),
+            report.complete.to_string(),
+        ]);
+        csv.row([
+            n.to_string(),
+            sys.cluster_count().to_string(),
+            report.messages.to_string(),
+            naive.to_string(),
+            format!("{:.4}", naive as f64 / report.messages.max(1) as f64),
+            report.rounds.to_string(),
+            report.complete.to_string(),
+        ]);
+    }
+
+    let exponent = slope(&ns, &costs);
+    println!("{}", md.render());
+    println!("fitted cost exponent: clustered_msgs ≈ n^{exponent:.2} (naive is n^2.00)");
+    println!("expectation: exponent ≈ 1 (Õ(n)); speedup grows with n; delivery complete.");
+    csv.write_csv(&results_dir().join("x_a1_broadcast.csv")).unwrap();
+    println!("wrote results/x_a1_broadcast.csv");
+}

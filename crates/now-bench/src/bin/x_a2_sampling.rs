@@ -1,0 +1,73 @@
+//! X-A2 — §6: uniform sampling at `polylog(n)` messages per sample.
+
+use now_bench::{build_system, results_dir, slope};
+use now_apps::sample_node;
+use now_sim::baselines::naive_sampling_cost;
+use now_sim::{CsvTable, MdTable};
+use std::collections::BTreeMap;
+
+fn main() {
+    println!("# X-A2: sampling complexity and uniformity (§6)\n");
+    let trials = 400u64;
+    let mut md = MdTable::new([
+        "n", "mean_msgs/sample", "naive_flood", "mean_rounds", "TV_to_uniform", "noise_floor",
+    ]);
+    let mut csv = CsvTable::new([
+        "n", "mean_msgs", "naive_flood", "mean_rounds", "tv_uniform", "noise_floor",
+    ]);
+    let mut ns = Vec::new();
+    let mut costs = Vec::new();
+
+    for (i, clusters) in [8usize, 16, 32, 64].into_iter().enumerate() {
+        let mut sys = build_system(1 << 12, 2, clusters, 0.10, 700 + i as u64);
+        let n = sys.population();
+        let origin = sys.cluster_ids()[0];
+        let mut msgs = 0u64;
+        let mut rounds = 0u64;
+        let mut counts: BTreeMap<now_net::NodeId, u64> = BTreeMap::new();
+        for _ in 0..trials {
+            let s = sample_node(&mut sys, origin);
+            msgs += s.messages;
+            rounds += s.rounds;
+            *counts.entry(s.node).or_default() += 1;
+        }
+        let mut tv = 0.0;
+        for node in sys.node_ids() {
+            let got = *counts.get(&node).unwrap_or(&0) as f64 / trials as f64;
+            tv += (got - 1.0 / n as f64).abs();
+        }
+        tv /= 2.0;
+        let mean = msgs as f64 / trials as f64;
+        ns.push((n as f64).ln());
+        costs.push(mean.ln());
+        // An ideal uniform sampler measured with `trials` draws over n
+        // atoms still shows TV ≈ sqrt(n/(2π·trials)) — the noise floor.
+        let floor = (n as f64 / (2.0 * std::f64::consts::PI * trials as f64)).sqrt();
+        md.row([
+            n.to_string(),
+            format!("{mean:.0}"),
+            naive_sampling_cost(n).to_string(),
+            format!("{:.1}", rounds as f64 / trials as f64),
+            format!("{tv:.3}"),
+            format!("{floor:.3}"),
+        ]);
+        csv.row([
+            n.to_string(),
+            format!("{mean:.2}"),
+            naive_sampling_cost(n).to_string(),
+            format!("{:.3}", rounds as f64 / trials as f64),
+            format!("{tv:.6}"),
+            format!("{floor:.6}"),
+        ]);
+    }
+
+    let exponent = slope(&ns, &costs);
+    println!("{}", md.render());
+    println!("fitted cost exponent: msgs/sample ≈ n^{exponent:.2} (naive flood is n^1.00)");
+    println!("expectation: sub-linear exponent (the growth is the walk length log²m and");
+    println!("overlay-degree saturation, not n itself); TV tracking the noise_floor column");
+    println!("is the uniformity verdict — an ideal sampler cannot do better at this trial");
+    println!("count.");
+    csv.write_csv(&results_dir().join("x_a2_sampling.csv")).unwrap();
+    println!("wrote results/x_a2_sampling.csv");
+}

@@ -1,0 +1,118 @@
+//! X-ALT — overlay alternatives: OVER vs Law–Siu random cycles.
+//!
+//! §3: NOW's requirements "could also be ensured by other protocols
+//! which differ either in the number of failures they can \[tolerate\]
+//! or their degree (e.g. 4 in \[2\] instead of log^{1+α}N in OVER)".
+//! The constant-degree construction in the paper's related work is Law
+//! & Siu's union of random cycles (\[26\]). We compare, at equal vertex
+//! count and under identical add/remove churn:
+//!
+//! * degree (the resource the alternative saves),
+//! * spectral gap λ₂ (the expansion OVER buys with its higher degree),
+//! * CTRW mixing: the walk duration needed to reach a fixed TV distance
+//!   from the uniform endpoint law — the quantity `randCl`'s accuracy
+//!   and cost actually depend on.
+
+use now_bench::results_dir;
+use now_graph::walks::{endpoint_distribution, total_variation, uniform_distribution};
+use now_net::{ClusterId, DetRng};
+use now_over::{CyclesOverlay, OverParams, Overlay};
+use now_sim::{CsvTable, MdTable};
+
+fn ids(n: u64) -> Vec<ClusterId> {
+    (0..n).map(ClusterId::from_raw).collect()
+}
+
+fn main() {
+    println!("# X-ALT: OVER vs Law-Siu cycles (§3 overlay-agnosticism)\n");
+    let m = 96usize; // overlay vertices (clusters)
+    let churn_rounds = 200usize;
+    let trials = 3000usize;
+    let mut md = MdTable::new([
+        "overlay", "max_deg", "mean_deg", "lambda2", "TV@dur2", "TV@dur8", "TV@dur32",
+    ]);
+    let mut csv = CsvTable::new([
+        "overlay", "max_deg", "mean_deg", "lambda2", "tv_dur2", "tv_dur8", "tv_dur32",
+    ]);
+
+    // Identical churn script applied to each candidate.
+    let mut eval = |name: &str, graph: now_graph::Graph| {
+        let n = graph.vertex_count();
+        let uniform = uniform_distribution(n);
+        let mut tvs = Vec::new();
+        for duration in [2.0f64, 8.0, 32.0] {
+            let mut rng = DetRng::new(42);
+            // CTRW with per-edge rate 1: holding rate = degree, uniform
+            // stationary law over vertices regardless of regularity.
+            let dist = endpoint_distribution(&graph, 0, duration, trials, &mut rng);
+            tvs.push(total_variation(&dist, &uniform));
+        }
+        let lambda2 =
+            now_graph::algebraic_connectivity(&graph, now_graph::SpectralOptions::default());
+        md.row([
+            name.to_string(),
+            graph.max_degree().to_string(),
+            format!("{:.1}", graph.mean_degree()),
+            format!("{lambda2:.3}"),
+            format!("{:.3}", tvs[0]),
+            format!("{:.3}", tvs[1]),
+            format!("{:.3}", tvs[2]),
+        ]);
+        csv.row([
+            name.to_string(),
+            graph.max_degree().to_string(),
+            format!("{:.3}", graph.mean_degree()),
+            format!("{lambda2:.6}"),
+            format!("{:.6}", tvs[0]),
+            format!("{:.6}", tvs[1]),
+            format!("{:.6}", tvs[2]),
+        ]);
+    };
+
+    // OVER, after churn.
+    let params = OverParams::for_capacity(1 << 12);
+    let mut rng = DetRng::new(7);
+    let mut over = Overlay::init_random(&ids(m as u64), params, &mut rng);
+    let mut next = 10_000u64;
+    for round in 0..churn_rounds {
+        if round % 2 == 0 {
+            over.add_uniform(ClusterId::from_raw(next), &mut rng);
+            next += 1;
+        } else {
+            let live: Vec<ClusterId> = over.vertices().collect();
+            over.remove(live[round % live.len()], &mut rng);
+        }
+    }
+    let (g_over, _) = over.to_dense();
+    eval("OVER", g_over);
+
+    // Law–Siu cycles at r ∈ {1, 2, 3}, same churn script.
+    for r in [1usize, 2, 3] {
+        let mut rng = DetRng::new(7);
+        let mut cyc = CyclesOverlay::init(&ids(m as u64), r, &mut rng);
+        let mut next = 10_000u64;
+        for round in 0..churn_rounds {
+            if round % 2 == 0 {
+                cyc.insert(ClusterId::from_raw(next), &mut rng);
+                next += 1;
+            } else {
+                let live: Vec<ClusterId> = cyc.vertices().collect();
+                cyc.remove(live[round % live.len()]);
+            }
+        }
+        cyc.check_invariants().unwrap();
+        let (g_cyc, _) = cyc.to_dense();
+        eval(&format!("cycles r={r} (deg<={})", 2 * r), g_cyc);
+    }
+
+    println!("{}", md.render());
+    println!("expectation: OVER's log-degree buys a larger λ₂ and near-instant mixing");
+    println!("(TV at the noise floor already at duration 2); the r = 2 cycles overlay");
+    println!("(degree ≤ 4 — the constant the paper quotes for [2]) still mixes, but");
+    println!("needs a longer walk for the same TV — the degree/walk-length trade-off");
+    println!("that makes randCl's cost O(log⁵N) either way: cheaper hops × more of");
+    println!("them. r = 1 is the control: a single cycle's λ₂ vanishes and walks do");
+    println!("not mix at any affordable duration.");
+    csv.write_csv(&results_dir().join("x_alt_overlay.csv")).unwrap();
+    println!("wrote results/x_alt_overlay.csv");
+}

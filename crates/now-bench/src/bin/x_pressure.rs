@@ -1,0 +1,87 @@
+//! X-PRESSURE — structural attacks on the split/merge machinery.
+//!
+//! §3.3's join–leave attack targets cluster *composition*; these
+//! adversaries target the *operations* that reshape clusters:
+//!
+//! * split-forcing floods one cluster with arrivals (every arrival
+//!   contacts the target) hoping to seize a split half — a split
+//!   partitions the current membership rather than resampling it;
+//! * merge-forcing drains a target so it keeps absorbing `randCl`-chosen
+//!   victims — maximal structural churn per departure.
+//!
+//! Measured: operation mix, invariant violations, and the worst
+//! composition reached — against both the full protocol and the
+//! no-shuffle ablation (where the same pressure is expected to break
+//! the target).
+
+use now_bench::results_dir;
+use now_sim::{ChurnStyle, CsvTable, MdTable, Scenario, ViolationKind};
+
+fn main() {
+    println!("# X-PRESSURE: split/merge-forcing attacks (§3.3 extension)\n");
+    let steps = 500u64;
+    let tau = 0.20;
+    let mut md = MdTable::new([
+        "attack", "shuffle", "splits", "merges", "peak_frac", "not_2/3_steps", "forgeable_steps",
+    ]);
+    let mut csv = CsvTable::new([
+        "attack", "shuffle", "splits", "merges", "peak_frac", "not_two_thirds_steps",
+        "forgeable_steps",
+    ]);
+
+    for (style, label) in [
+        (ChurnStyle::Balanced, "balanced (control)"),
+        (ChurnStyle::SplitForcing, "split-forcing"),
+        (ChurnStyle::MergeForcing, "merge-forcing"),
+        (ChurnStyle::Burst { burst: 8 }, "burst-8"),
+    ] {
+        for shuffle in [true, false] {
+            let mut scenario = Scenario::new(1 << 12)
+                .k(4)
+                .tau(tau)
+                .churn(style)
+                .steps(steps)
+                .seed(23);
+            if !shuffle {
+                scenario = scenario.without_shuffle();
+            }
+            let (report, sys) = scenario.run().unwrap();
+            let (_, _, splits, merges) = sys.op_counts();
+            md.row([
+                label.to_string(),
+                shuffle.to_string(),
+                splits.to_string(),
+                merges.to_string(),
+                format!("{:.3}", report.peak_byz_fraction),
+                report.count(ViolationKind::NotTwoThirdsHonest).to_string(),
+                report.count(ViolationKind::Forgeable).to_string(),
+            ]);
+            csv.row([
+                label.to_string(),
+                shuffle.to_string(),
+                splits.to_string(),
+                merges.to_string(),
+                format!("{:.6}", report.peak_byz_fraction),
+                report.count(ViolationKind::NotTwoThirdsHonest).to_string(),
+                report.count(ViolationKind::Forgeable).to_string(),
+            ]);
+            sys.check_consistency().unwrap();
+        }
+    }
+
+    println!("{}", md.render());
+    println!("expectation: the attacks trigger their targeted operations (splits resp.");
+    println!("merges > 0) but never capture a cluster (forgeable_steps = 0 everywhere):");
+    println!("randCl re-routes the flood and merges re-sample both clusters, so structural");
+    println!("pressure buys the adversary nothing beyond the balanced-churn control's");
+    println!("numbers. The not-2/3 excursions in the shuffle=true rows track the control:");
+    println!("they are the k = 4, τ = 0.20 thin-margin *resampling noise* of Lemma 1 (every");
+    println!("exchange redraws a Binomial(|C|, τ) composition; X-T3's k-sweep kills them),");
+    println!("not an attack effect. The shuffle=false column splits by churn direction:");
+    println!("join-dominated rows (split-forcing, burst) barely move — nothing resamples —");
+    println!("while leave-bearing rows (control, merge-forcing) drift *worse* than with");
+    println!("shuffling, the §3.3 motivation. And no-shuffle is exactly the configuration");
+    println!("the join-leave attacker captures outright (X-JLA, X-ABL-EX).");
+    csv.write_csv(&results_dir().join("x_pressure.csv")).unwrap();
+    println!("wrote results/x_pressure.csv");
+}

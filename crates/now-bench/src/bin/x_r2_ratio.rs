@@ -1,0 +1,79 @@
+//! X-R2 — Remark 2: generalized corruption ratios.
+//!
+//! Claim: for an adversary controlling at most `1/r − ε` of the nodes
+//! (`r ≥ 2`), every cluster keeps its Byzantine fraction at most `1/r`.
+//! We sweep `r ∈ {3, 4, 5}` (the `r = 2` case additionally needs the
+//! cryptographic quorum of Remark 1 — demonstrated separately by the
+//! Dolev–Strong substrate, which tolerates any `f`; the system-level
+//! simulation keeps the paper's information-theoretic `τ < 1/3` regime).
+
+use now_bench::{results_dir, standard_params};
+use now_adversary::RandomChurn;
+use now_core::NowSystem;
+use now_sim::{run, CsvTable, MdTable, RunConfig};
+
+fn main() {
+    println!("# X-R2: generalized ratio bound (Remark 2)\n");
+    let steps = 1000u64;
+    let k = 8usize;
+    let mut md = MdTable::new([
+        "r", "tau=1/r-ε", "bound 1/r", "peak_frac", "steps_over_bound", "over_rate", "holds_95",
+    ]);
+    let mut csv = CsvTable::new([
+        "r", "tau", "bound", "peak_frac", "steps_over_bound", "over_rate", "holds_95",
+    ]);
+
+    for r in [3u32, 4, 5] {
+        let bound = 1.0 / r as f64;
+        let tau = bound - 0.10;
+        let params = standard_params(1 << 12, k);
+        let n0 = 10 * params.target_cluster_size();
+        let mut sys = NowSystem::init_fast(params, n0, tau, 900 + r as u64);
+        let mut churn = RandomChurn::balanced(tau);
+        let report = run(
+            &mut sys,
+            &mut churn,
+            RunConfig {
+                steps,
+                audit_every: 1,
+                seed: 43,
+            },
+        );
+        let over_bound = report
+            .worst_byz_fraction
+            .points()
+            .iter()
+            .filter(|&&(_, v)| v > bound)
+            .count();
+        let over_rate = over_bound as f64 / steps as f64;
+        md.row([
+            r.to_string(),
+            format!("{tau:.3}"),
+            format!("{bound:.3}"),
+            format!("{:.3}", report.peak_byz_fraction),
+            over_bound.to_string(),
+            format!("{over_rate:.4}"),
+            (over_rate <= 0.05).to_string(),
+        ]);
+        csv.row([
+            r.to_string(),
+            format!("{tau:.6}"),
+            format!("{bound:.6}"),
+            format!("{:.6}", report.peak_byz_fraction),
+            over_bound.to_string(),
+            format!("{over_rate:.6}"),
+            (over_rate <= 0.05).to_string(),
+        ]);
+        sys.check_consistency().unwrap();
+    }
+
+    println!("{}", md.render());
+    println!("expectation: the exceedance rate falls monotonically in r (larger absolute");
+    println!("margin ε relative to the cluster-size fluctuation scale ~1/sqrt(k·logN)), and");
+    println!("holds_95 (≤ 5% of steps over the bound) passes for r ≥ 4. Remark 2 is whp and");
+    println!("asymptotic: r = 3 puts the bound at 1/3 itself, the protocol's thinnest");
+    println!("margin, and needs cluster sizes beyond laptop scale for strict containment");
+    println!("(cross-check the k-sweep in X-T3: violations fall exponentially in k).");
+    csv.write_csv(&results_dir().join("x_r2_ratio.csv")).unwrap();
+    println!("wrote results/x_r2_ratio.csv");
+}

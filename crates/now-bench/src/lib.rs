@@ -1,0 +1,101 @@
+//! Shared helpers for the experiment harness.
+//!
+//! Each binary in `src/bin/` regenerates one row-group of
+//! `EXPERIMENTS.md` (see `DESIGN.md` §5 for the experiment index):
+//! it prints a markdown table to stdout and writes a CSV next to it
+//! under `results/`. Criterion benches in `benches/` measure the same
+//! primitives' wall-clock behavior.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use now_core::{NowParams, NowSystem};
+use std::path::PathBuf;
+
+/// Directory experiment CSVs are written to (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Standard parameters used across experiments: band constant 1.5,
+/// slack ε = 0.05, τ-bound 0.30 (the per-run corruption rate is chosen
+/// by each experiment's churn driver).
+pub fn standard_params(capacity: u64, k: usize) -> NowParams {
+    NowParams::new(capacity, k, 1.5, 0.30, 0.05).expect("standard parameters are valid")
+}
+
+/// Builds a system with `clusters`×(target size) nodes at corruption
+/// rate `tau`.
+pub fn build_system(capacity: u64, k: usize, clusters: usize, tau: f64, seed: u64) -> NowSystem {
+    let params = standard_params(capacity, k);
+    let n0 = clusters * params.target_cluster_size();
+    NowSystem::init_fast(params, n0, tau, seed)
+}
+
+/// Least-squares slope of `y` against `x` (both logged by the caller if
+/// a power-law exponent is wanted). Returns 0 for fewer than 2 points.
+pub fn slope(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs[..n].iter().sum::<f64>() / n as f64;
+    let my = ys[..n].iter().sum::<f64>() / n as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..n {
+        num += (xs[i] - mx) * (ys[i] - my);
+        den += (xs[i] - mx) * (xs[i] - mx);
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Fits the exponent `p` in `cost ≈ c · (log₂ N)^p` from capacity/cost
+/// sample pairs — the instrument for every "polylog(N)" claim.
+pub fn polylog_exponent(capacities: &[u64], costs: &[f64]) -> f64 {
+    let xs: Vec<f64> = capacities
+        .iter()
+        .map(|&c| (c as f64).log2().ln())
+        .collect();
+    let ys: Vec<f64> = costs.iter().map(|&c| c.max(1.0).ln()).collect();
+    slope(&xs, &ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_line_is_exact() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        assert!((slope(&xs, &ys) - 2.0).abs() < 1e-12);
+        assert_eq!(slope(&[1.0], &[2.0]), 0.0);
+        assert_eq!(slope(&[1.0, 1.0], &[1.0, 2.0]), 0.0, "degenerate x");
+    }
+
+    #[test]
+    fn polylog_exponent_recovers_power() {
+        // cost = (log2 N)^3 exactly.
+        let caps = [1u64 << 8, 1 << 10, 1 << 12, 1 << 16];
+        let costs: Vec<f64> = caps
+            .iter()
+            .map(|&c| (c as f64).log2().powi(3))
+            .collect();
+        let p = polylog_exponent(&caps, &costs);
+        assert!((p - 3.0).abs() < 1e-9, "got {p}");
+    }
+
+    #[test]
+    fn build_system_shapes() {
+        let sys = build_system(1 << 10, 2, 5, 0.1, 1);
+        assert_eq!(sys.cluster_count(), 5);
+        assert_eq!(sys.population(), 100);
+    }
+}

@@ -1,0 +1,242 @@
+//! Parallel join/leave batches.
+//!
+//! The paper's model processes one join or leave per time step "for
+//! simplicity of presentation", with the footnote: *"However, the
+//! analysis can be generalized to several parallel join and leave
+//! operations."* This module implements that generalization: a batch of
+//! arrivals and departures executed within a **single** time step.
+//!
+//! Execution model: departures are processed before arrivals (failure
+//! detection of the step's leavers precedes the admission of its
+//! joiners), and the operations of the batch run on disjoint clusters
+//! *in parallel* in the intended deployment. The simulator sequences
+//! them deterministically, but reports two round counts:
+//!
+//! * the **serial** sum (what a one-at-a-time execution would cost), and
+//! * the **parallel** maximum over the batch's operations — the round
+//!   complexity of the concurrent execution the footnote appeals to
+//!   (operations of a batch proceed in lockstep; the slowest one
+//!   determines the step's duration).
+//!
+//! Message costs are identical in both models (parallelism saves time,
+//! not traffic).
+
+use crate::error::NowError;
+use crate::system::NowSystem;
+use now_net::{Cost, CostKind, NodeId};
+
+/// Outcome of one batched time step ([`NowSystem::step_parallel`]).
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Ids assigned to the batch's admitted joiners, in input order.
+    pub joined: Vec<NodeId>,
+    /// Departures that completed.
+    pub left: Vec<NodeId>,
+    /// Departures that were refused, with the reason (unknown node,
+    /// population floor).
+    pub rejected: Vec<(NodeId, NowError)>,
+    /// Inclusive batch cost; `rounds` is the *serial* sum.
+    pub cost: Cost,
+    /// Round complexity of the parallel execution: the maximum inclusive
+    /// round count over the batch's operations.
+    pub rounds_parallel: u64,
+}
+
+impl BatchReport {
+    /// Rounds saved by executing the batch in parallel rather than
+    /// serially.
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.rounds_parallel == 0 {
+            1.0
+        } else {
+            self.cost.rounds as f64 / self.rounds_parallel as f64
+        }
+    }
+}
+
+impl NowSystem {
+    /// Executes a batch of departures and arrivals as **one** time step
+    /// (the paper footnote's "several parallel join and leave
+    /// operations").
+    ///
+    /// `leaves` are processed first, then one join per entry of
+    /// `join_honesty` (the flag is the adversary's corruption decision
+    /// for that arrival; each joiner contacts a uniformly drawn
+    /// cluster). A departure that fails (unknown node — e.g. listed
+    /// twice — or the `N^{1/y}` population floor) is reported in
+    /// [`BatchReport::rejected`] and does not abort the rest of the
+    /// batch.
+    ///
+    /// The whole batch lands in the ledger under [`CostKind::Batch`]
+    /// (with the usual per-operation spans nested inside it); the
+    /// report carries the parallel round count alongside.
+    pub fn step_parallel(&mut self, join_honesty: &[bool], leaves: &[NodeId]) -> BatchReport {
+        self.ledger_mut().begin(CostKind::Batch);
+        let mut joined = Vec::with_capacity(join_honesty.len());
+        let mut left = Vec::with_capacity(leaves.len());
+        let mut rejected = Vec::new();
+        let mut rounds_parallel = 0u64;
+
+        for &node in leaves {
+            let before = self.ledger().total();
+            match self.leave_inner(node) {
+                Ok(()) => left.push(node),
+                Err(e) => rejected.push((node, e)),
+            }
+            let delta = self.ledger().total().rounds - before.rounds;
+            rounds_parallel = rounds_parallel.max(delta);
+        }
+        for &honest in join_honesty {
+            let before = self.ledger().total();
+            let contact = self.contact_cluster();
+            joined.push(self.join_inner(contact, honest));
+            let delta = self.ledger().total().rounds - before.rounds;
+            rounds_parallel = rounds_parallel.max(delta);
+        }
+
+        let cost = self.ledger_mut().end();
+        self.advance_time_step();
+        BatchReport {
+            joined,
+            left,
+            rejected,
+            cost,
+            rounds_parallel,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::NowParams;
+    use now_net::NodeId;
+
+    fn system(n0: usize, seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        NowSystem::init_fast(params, n0, 0.2, seed)
+    }
+
+    #[test]
+    fn batch_of_joins_is_one_time_step() {
+        let mut sys = system(120, 1);
+        let before = sys.population();
+        let t0 = sys.time_step();
+        let report = sys.step_parallel(&[true, true, false, true], &[]);
+        assert_eq!(report.joined.len(), 4);
+        assert!(report.left.is_empty());
+        assert!(report.rejected.is_empty());
+        assert_eq!(sys.population(), before + 4);
+        assert_eq!(sys.time_step(), t0 + 1, "one step for the whole batch");
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn mixed_batch_nets_out() {
+        let mut sys = system(150, 2);
+        let leavers: Vec<NodeId> = sys.node_ids().into_iter().take(3).collect();
+        let before = sys.population();
+        let report = sys.step_parallel(&[true, true], &leavers);
+        assert_eq!(report.left.len(), 3);
+        assert_eq!(report.joined.len(), 2);
+        assert_eq!(sys.population(), before - 1);
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn duplicate_leave_is_rejected_not_fatal() {
+        let mut sys = system(150, 3);
+        let victim = sys.node_ids()[0];
+        let report = sys.step_parallel(&[], &[victim, victim]);
+        assert_eq!(report.left, vec![victim]);
+        assert_eq!(report.rejected.len(), 1);
+        assert!(matches!(
+            report.rejected[0].1,
+            NowError::UnknownNode { .. }
+        ));
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn floor_rejections_are_reported() {
+        let params = NowParams::for_capacity(1 << 10).unwrap(); // floor 32
+        let mut sys = NowSystem::init_fast(params, 33, 0.0, 4);
+        let leavers: Vec<NodeId> = sys.node_ids().into_iter().take(3).collect();
+        let report = sys.step_parallel(&[], &leavers);
+        assert_eq!(report.left.len(), 1, "only one leave fits above the floor");
+        assert_eq!(report.rejected.len(), 2);
+        assert!(report
+            .rejected
+            .iter()
+            .all(|(_, e)| matches!(e, NowError::PopulationFloor { .. })));
+    }
+
+    #[test]
+    fn parallel_rounds_are_max_not_sum() {
+        let mut sys = system(200, 5);
+        let leavers: Vec<NodeId> = sys.node_ids().into_iter().take(2).collect();
+        let report = sys.step_parallel(&[true, true, true], &leavers);
+        assert!(report.rounds_parallel > 0);
+        assert!(
+            report.rounds_parallel < report.cost.rounds,
+            "a 5-op batch must beat serial: {} vs {}",
+            report.rounds_parallel,
+            report.cost.rounds
+        );
+        assert!(report.parallel_speedup() > 1.0);
+    }
+
+    #[test]
+    fn empty_batch_still_advances_time() {
+        // "At each time step … or nothing occurs."
+        let mut sys = system(100, 6);
+        let t0 = sys.time_step();
+        let report = sys.step_parallel(&[], &[]);
+        assert_eq!(sys.time_step(), t0 + 1);
+        assert_eq!(report.cost, Cost::ZERO);
+        assert_eq!(report.rounds_parallel, 0);
+        assert_eq!(report.parallel_speedup(), 1.0);
+    }
+
+    #[test]
+    fn batch_lands_under_batch_cost_kind() {
+        let mut sys = system(150, 7);
+        sys.step_parallel(&[true], &[]);
+        let s = sys.ledger().stats(CostKind::Batch);
+        assert_eq!(s.count, 1);
+        assert!(s.total_messages > 0);
+        // The nested join is still individually accounted.
+        assert!(sys.ledger().stats(CostKind::Join).count >= 1);
+    }
+
+    #[test]
+    fn batch_matches_serial_population_effect() {
+        let mut a = system(160, 8);
+        let mut b = system(160, 8);
+        let leavers: Vec<NodeId> = a.node_ids().into_iter().take(4).collect();
+        a.step_parallel(&[true, false, true], &leavers);
+        for &n in &leavers {
+            b.leave(n).unwrap();
+        }
+        for honest in [true, false, true] {
+            b.join(honest);
+        }
+        assert_eq!(a.population(), b.population());
+        assert_eq!(a.byz_population(), b.byz_population());
+        // Batch took 1 step; serial took 7.
+        assert_eq!(a.time_step() + 6, b.time_step());
+    }
+
+    #[test]
+    fn sustained_batches_keep_invariants() {
+        let mut sys = system(200, 9);
+        for round in 0..30 {
+            let leavers: Vec<NodeId> = sys.node_ids().into_iter().take(2).collect();
+            let joins = [round % 3 != 0, true];
+            sys.step_parallel(&joins, &leavers);
+        }
+        sys.check_consistency().unwrap();
+        let audit = sys.audit();
+        assert!(audit.size_bounds_ok);
+    }
+}

@@ -1,0 +1,299 @@
+//! `exchange` — the node-shuffling primitive.
+//!
+//! From the paper (§3.1): for each node `x` to be exchanged from cluster
+//! `C`, a cluster `C'` is chosen at random with `randCl`; `C'` is
+//! informed it will receive `x` and picks (via `randNum`) one of its own
+//! members `y` to send back in replacement. Neighbors of both clusters
+//! learn the new compositions, because the quorum rule requires every
+//! receiver to know the exact membership of the sending cluster.
+//!
+//! Exchanging *all* members of `C` is what resets its composition to a
+//! fresh τ-Bernoulli sample (Lemma 1): each incoming `y` is a uniformly
+//! random member of a size-biased random cluster — that is, a uniformly
+//! random node of the network.
+//!
+//! The `cascade` flag implements the rule the Theorem 3 proof leans on
+//! for `leave`: every cluster that received one of `C`'s (possibly
+//! non-uniform) nodes must itself exchange all of its nodes afterwards.
+
+use crate::system::NowSystem;
+use now_net::{ClusterId, CostKind};
+use std::collections::BTreeSet;
+
+impl NowSystem {
+    /// Exchanges every member of `c` with uniformly chosen nodes of the
+    /// network (one `randCl` + one `randNum` per member). Returns the
+    /// set of partner clusters that received one of `c`'s former
+    /// members.
+    ///
+    /// With `cascade = true`, each partner cluster then exchanges all of
+    /// *its* members (non-recursively — partners of partners do not
+    /// cascade), matching the `leave` operation's specification.
+    ///
+    /// Costs land under [`CostKind::Exchange`] (inclusive of the inner
+    /// `randCl`/`randNum` invocations; the paper's stated complexity for
+    /// one exchange is `O(log⁶N)` messages and `O(log⁴N)` rounds).
+    ///
+    /// # Panics
+    /// Panics if `c` is not a live cluster.
+    pub fn exchange_all(&mut self, c: ClusterId, cascade: bool) -> BTreeSet<ClusterId> {
+        assert!(
+            self.clusters.contains_key(&c),
+            "exchange_all: unknown cluster {c}"
+        );
+        let receivers = self.exchange_single(c);
+        if cascade {
+            for &partner in &receivers {
+                if self.clusters.contains_key(&partner) {
+                    self.exchange_single(partner);
+                }
+            }
+        }
+        receivers
+    }
+
+    /// One full-membership exchange of `c`, no cascade. With the
+    /// [`crate::NowParams::with_exchange_cap`] ablation set, only a
+    /// uniformly chosen subset of that size is exchanged (the regime
+    /// Lemmas 2–3 analyze between full refreshes).
+    fn exchange_single(&mut self, c: ClusterId) -> BTreeSet<ClusterId> {
+        self.ledger.begin(CostKind::Exchange);
+        let mut members = self.cluster_ref(c).member_vec();
+        if let Some(cap) = self.params.exchange_cap() {
+            if cap < members.len() {
+                let picks = now_graph::sample::sample_distinct(members.len(), cap, &mut self.rng);
+                members = picks.into_iter().map(|i| members[i]).collect();
+            }
+        }
+        let mut receivers = BTreeSet::new();
+
+        for x in members {
+            // `x` may have been swapped out by an earlier iteration only
+            // if it was chosen as a partner's replacement — the partner
+            // picks from *its* members, so `x` (still in `c`) is safe;
+            // guard anyway for robustness.
+            if self.node_cluster(x).map(|home| home != c).unwrap_or(true) {
+                continue;
+            }
+            let (partner, _trace) = self.rand_cl_from(c);
+            if partner == c {
+                continue; // self-exchange is a no-op
+            }
+            // Partner picks a uniformly random member via randNum; if
+            // the partner is compromised, Malice chooses the victim.
+            let partner_size = self.cluster_ref(partner).size();
+            if partner_size == 0 {
+                continue;
+            }
+            let idx = self.rand_num_in(
+                partner,
+                partner_size as u64,
+                crate::malice::RandNumPurpose::MemberIndex,
+            ) as usize;
+            let mut y = self
+                .cluster_ref(partner)
+                .member_at(idx.min(partner_size - 1));
+            if !self
+                .cluster_ref(partner)
+                .rand_num_secure_in(self.params.security())
+            {
+                let labeled: Vec<(now_net::NodeId, bool)> = self
+                    .cluster_ref(partner)
+                    .members()
+                    .map(|m| (m, self.is_honest(m).expect("live member")))
+                    .collect();
+                if let Some(forced) = self.malice.exchange_victim(&labeled, &mut self.rng) {
+                    if self.cluster_ref(partner).contains(forced) {
+                        y = forced;
+                    }
+                }
+            }
+            // Swap x ↔ y.
+            self.move_node(x, partner);
+            self.move_node(y, c);
+            receivers.insert(partner);
+            // Transfer + view updates inside both clusters: each member
+            // of each cluster learns the newcomer (1 round).
+            let size_c = self.cluster_ref(c).size() as u64;
+            let size_p = self.cluster_ref(partner).size() as u64;
+            self.ledger.add_messages(size_c + size_p);
+            self.ledger.add_rounds(1);
+        }
+
+        // Both `c` and the partners announce their final compositions to
+        // their overlay neighbors.
+        self.account_neighbor_notification(c);
+        for &partner in &receivers {
+            self.account_neighbor_notification(partner);
+        }
+        self.ledger.end();
+        receivers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::NowParams;
+    use now_net::NodeId;
+    use std::collections::BTreeSet;
+
+    fn system(n0: usize, seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        NowSystem::init_fast(params, n0, 0.25, seed)
+    }
+
+    #[test]
+    fn exchange_preserves_population_and_sizes() {
+        let mut sys = system(200, 1);
+        let c = sys.cluster_ids()[0];
+        let sizes_before: Vec<usize> = sys.clusters().map(|cl| cl.size()).collect();
+        let all_before: BTreeSet<NodeId> = sys.node_ids().into_iter().collect();
+        sys.exchange_all(c, false);
+        let sizes_after: Vec<usize> = sys.clusters().map(|cl| cl.size()).collect();
+        let all_after: BTreeSet<NodeId> = sys.node_ids().into_iter().collect();
+        assert_eq!(sizes_before, sizes_after, "exchange is size-preserving");
+        assert_eq!(all_before, all_after, "no node lost or duplicated");
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn exchange_replaces_most_members() {
+        let mut sys = system(300, 2);
+        let c = sys.cluster_ids()[0];
+        let before: BTreeSet<NodeId> = sys.cluster(c).unwrap().members().collect();
+        sys.exchange_all(c, false);
+        let after: BTreeSet<NodeId> = sys.cluster(c).unwrap().members().collect();
+        let kept = before.intersection(&after).count();
+        // Self-exchanges keep a ~|C|/n fraction; most members must go.
+        assert!(
+            kept * 3 < before.len() * 2,
+            "only {kept}/{} replaced",
+            before.len()
+        );
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn cascade_reaches_receivers() {
+        let mut sys = system(200, 3);
+        let c = sys.cluster_ids()[0];
+        let receivers = sys.exchange_all(c, true);
+        assert!(!receivers.is_empty());
+        let s = sys.ledger().stats(CostKind::Exchange);
+        // One exchange for c + one per receiver.
+        assert_eq!(s.count, 1 + receivers.len() as u64);
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn exchange_costs_dominate_their_parts() {
+        let mut sys = system(200, 4);
+        let c = sys.cluster_ids()[0];
+        sys.exchange_all(c, false);
+        let ex = sys.ledger().stats(CostKind::Exchange);
+        let rc = sys.ledger().stats(CostKind::RandCl);
+        assert_eq!(ex.count, 1);
+        assert!(
+            ex.total_messages >= rc.total_messages,
+            "inclusive accounting: exchange ≥ its randCls"
+        );
+        assert!(rc.count as usize >= sys.cluster(c).unwrap().size() / 2);
+    }
+
+    /// Lemma 1's mechanism: a cluster packed with Byzantine nodes
+    /// returns to the global corruption rate after one full exchange.
+    #[test]
+    fn full_exchange_detoxifies_a_polluted_cluster() {
+        let mut sys = system(400, 5);
+        let victim = sys.cluster_ids()[0];
+        // Pollute: move byzantine nodes in until the cluster is ~90% byz.
+        let byz_nodes = sys.byz_node_ids();
+        let mut moved = 0;
+        for b in byz_nodes {
+            if sys.node_cluster(b).unwrap() != victim {
+                let target_size = sys.cluster(victim).unwrap().size();
+                // Swap an honest member out to keep size constant.
+                if let Some(h) = sys
+                    .cluster(victim)
+                    .unwrap()
+                    .member_vec()
+                    .into_iter()
+                    .find(|&m| sys.is_honest(m).unwrap())
+                {
+                    let other = sys.node_cluster(b).unwrap();
+                    sys.move_node(b, victim);
+                    sys.move_node(h, other);
+                    moved += 1;
+                    assert_eq!(sys.cluster(victim).unwrap().size(), target_size);
+                }
+            }
+            if sys.cluster(victim).unwrap().byz_fraction() > 0.85 {
+                break;
+            }
+        }
+        assert!(moved > 5);
+        let polluted = sys.cluster(victim).unwrap().byz_fraction();
+        assert!(polluted > 0.7, "setup failed: {polluted}");
+
+        sys.exchange_all(victim, false);
+        let cured = sys.cluster(victim).unwrap().byz_fraction();
+        // Global rate is 0.25; the cured cluster should be near it.
+        assert!(
+            cured < 0.5,
+            "exchange failed to detoxify: {polluted} → {cured}"
+        );
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn exchange_cap_limits_shuffle_volume() {
+        let params = NowParams::for_capacity(1 << 10)
+            .unwrap()
+            .with_exchange_cap(Some(3));
+        let mut sys = NowSystem::init_fast(params, 300, 0.25, 8);
+        let c = sys.cluster_ids()[0];
+        let before: BTreeSet<NodeId> = sys.cluster(c).unwrap().members().collect();
+        sys.exchange_all(c, false);
+        let after: BTreeSet<NodeId> = sys.cluster(c).unwrap().members().collect();
+        let replaced = before.difference(&after).count();
+        assert!(
+            replaced <= 3,
+            "cap 3 but {replaced} members were exchanged"
+        );
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn uncapped_exchange_touches_whole_membership() {
+        // Control for the cap test: same system, no cap.
+        let mut sys = system(300, 8);
+        let c = sys.cluster_ids()[0];
+        let size = sys.cluster(c).unwrap().size();
+        let before: BTreeSet<NodeId> = sys.cluster(c).unwrap().members().collect();
+        sys.exchange_all(c, false);
+        let after: BTreeSet<NodeId> = sys.cluster(c).unwrap().members().collect();
+        let replaced = before.difference(&after).count();
+        assert!(replaced > size / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown cluster")]
+    fn exchange_unknown_cluster_panics() {
+        let mut sys = system(100, 6);
+        let ghost = now_net::ClusterId::from_raw(4242);
+        let _ = sys.exchange_all(ghost, false);
+    }
+
+    #[test]
+    fn exchange_on_single_cluster_system_is_noop() {
+        let mut sys = system(20, 7);
+        assert_eq!(sys.cluster_count(), 1);
+        let c = sys.cluster_ids()[0];
+        let before: BTreeSet<NodeId> = sys.cluster(c).unwrap().members().collect();
+        let receivers = sys.exchange_all(c, true);
+        assert!(receivers.is_empty());
+        let after: BTreeSet<NodeId> = sys.cluster(c).unwrap().members().collect();
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,71 @@
+//! NOW — *Neighbors On Watch* (Guerraoui, Huc, Kermarrec; PODC 2013).
+//!
+//! NOW maintains, under heavy churn and a Byzantine adversary, a
+//! partition of the network into clusters of size `Θ(log N)` such that
+//! every cluster keeps **more than two thirds honest members** with high
+//! probability, while the total population may vary polynomially
+//! (`√N ≤ n ≤ N`). Clusters form the vertices of the OVER expander
+//! overlay ([`now_over`]); all cross-cluster influence flows through the
+//! quorum rule of [`now_agreement::quorum`].
+//!
+//! The crate exposes:
+//!
+//! * [`NowParams`] — the paper's parameters (`N`, `k`, `l`, `τ`, `ε`)
+//!   with the derived cluster-size band `[k·logN/l, l·k·logN]`.
+//! * [`NowSystem`] — the live system: registry of nodes, clusters,
+//!   overlay, ledger; with the maintenance operations `join`, `leave`
+//!   (which internally trigger `split`/`merge`/`exchange`), the biased
+//!   continuous-time random walk [`NowSystem::rand_cl_from`], and invariant
+//!   audits ([`SystemAudit`]).
+//! * [`init`] — the initialization phase: genuinely executed discovery
+//!   flooding and committee-based clusterization over the synchronous
+//!   bus (fidelity L0), plus the fast path used by large-scale
+//!   experiments.
+//! * [`Malice`] — the hook through which an adversary exploits
+//!   *compromised* clusters (≥ 1/3 Byzantine ⇒ `randNum` steerable;
+//!   > 1/2 ⇒ message forgery). In the Theorem-3 regime these hooks stay
+//!   dormant because no cluster ever crosses the thresholds — which is
+//!   exactly what the audits verify.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use now_core::{NowParams, NowSystem};
+//!
+//! let params = NowParams::for_capacity(1 << 10).unwrap();
+//! // 64 initial nodes, 20% corrupted, seed 42.
+//! let mut sys = NowSystem::init_fast(params, 64, 0.2, 42);
+//! for _ in 0..10 {
+//!     sys.join(true); // honest arrivals
+//! }
+//! let audit = sys.audit();
+//! assert!(audit.worst_byz_fraction < 1.0 / 3.0);
+//! assert!(audit.size_bounds_ok);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod audit;
+mod batch;
+mod cluster;
+mod error;
+mod exchange;
+pub mod init;
+pub mod init_tree;
+mod malice;
+mod ops;
+mod params;
+mod rand_cl;
+mod system;
+mod views;
+
+pub use audit::SystemAudit;
+pub use batch::BatchReport;
+pub use cluster::Cluster;
+pub use error::NowError;
+pub use malice::{Malice, NoMalice, RandNumContext, RandNumPurpose};
+pub use params::{NowParams, SecurityMode};
+pub use rand_cl::WalkTrace;
+pub use system::NowSystem;
+pub use views::{NodeView, ViewAudit};

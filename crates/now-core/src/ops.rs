@@ -1,0 +1,548 @@
+//! The NOW maintenance operations: `join`, `leave`, `split`, `merge`.
+//!
+//! Figure 2 of the paper, implemented exactly:
+//!
+//! * **Join** (Algorithm 1): the newcomer contacts some cluster `C`;
+//!   `C` draws `C' = randCl()`; `C'` absorbs the newcomer, announces it,
+//!   and then exchanges *all* of its members; if `|C'| > l·k·logN`, `C'`
+//!   splits.
+//! * **Leave** (Algorithm 2): the departed node's cluster `C` removes it
+//!   from all views, exchanges all of its members (with cascade: every
+//!   receiving cluster re-exchanges), and merges if `|C| < k·logN/l`.
+//! * **Split**: `C` randomly halves itself; the old half keeps `C`'s
+//!   overlay vertex and neighbors, the new half enters the overlay via
+//!   OVER `Add` with `randCl`-sampled neighbor candidates.
+//! * **Merge**: the undersized `C` draws a random victim cluster `C'`
+//!   (via `randCl`); `C'`'s overlay vertex is removed (OVER `Remove`),
+//!   its members move into `C`, and `C`'s original members re-join the
+//!   network through ordinary joins (the paper spreads these re-joins
+//!   over subsequent time steps; we execute them inline, which accounts
+//!   identical costs and keeps one external operation per time step —
+//!   see DESIGN.md §6).
+
+use crate::error::NowError;
+use crate::system::NowSystem;
+use now_net::{ClusterId, CostKind, NodeId};
+
+impl NowSystem {
+    /// A node joins the network; `honest` is the adversary's corruption
+    /// decision for this arrival (the paper allows corrupting nodes at
+    /// join time only). The contact cluster is drawn uniformly. Returns
+    /// the new node's id.
+    ///
+    /// The population ceiling `N^z` is *not* enforced here — the paper
+    /// treats the band `N^{1/y} ≤ n ≤ N^z` as an environment assumption,
+    /// not protocol behavior. Use [`NowSystem::try_join`] to opt into
+    /// enforcement.
+    pub fn join(&mut self, honest: bool) -> NodeId {
+        let contact = self.contact_cluster();
+        self.join_via(contact, honest)
+    }
+
+    /// A node joins by contacting a specific cluster (the adversary
+    /// controls its own nodes' contact choice).
+    ///
+    /// # Panics
+    /// Panics if `contact` is not a live cluster.
+    pub fn join_via(&mut self, contact: ClusterId, honest: bool) -> NodeId {
+        let node = self.join_inner(contact, honest);
+        self.time_step += 1;
+        node
+    }
+
+    /// Ceiling-enforcing join: refuses the arrival when the population
+    /// already sits at the model's `N^z` bound (see
+    /// [`crate::NowParams::with_population_exponents`]).
+    ///
+    /// # Errors
+    /// [`NowError::PopulationCeiling`] if the arrival would exceed `N^z`.
+    pub fn try_join(&mut self, honest: bool) -> Result<NodeId, NowError> {
+        let ceiling = self.params.max_population();
+        if self.population() >= ceiling {
+            return Err(NowError::PopulationCeiling {
+                population: self.population(),
+                ceiling,
+            });
+        }
+        Ok(self.join(honest))
+    }
+
+    /// Join path shared by external arrivals and batched steps: performs
+    /// the operation without advancing the time step.
+    pub(crate) fn join_inner(&mut self, contact: ClusterId, honest: bool) -> NodeId {
+        let node = self.ids.node();
+        self.admit(node, honest, contact);
+        node
+    }
+
+    /// Shared join path for fresh arrivals and merge re-joins.
+    fn admit(&mut self, node: NodeId, honest: bool, contact: ClusterId) {
+        assert!(
+            self.clusters.contains_key(&contact),
+            "join: unknown contact cluster {contact}"
+        );
+        self.ledger.begin(CostKind::Join);
+        self.join_count += 1;
+
+        // The contact cluster runs randCl to pick the host.
+        let (host, _) = self.rand_cl_from(contact);
+
+        // Host inserts the newcomer into every member's view and
+        // announces it to neighboring clusters; the newcomer receives
+        // the local overlay structure.
+        self.attach_node(node, honest, host);
+        let host_size = self.cluster_ref(host).size() as u64;
+        self.ledger.add_messages(host_size); // views += x
+        self.ledger.add_rounds(1);
+        self.account_neighbor_notification(host);
+        self.ledger.add_messages(host_size); // x learns its neighborhood
+        self.ledger.add_rounds(1);
+
+        // The host exchanges all of its nodes (Algorithm 1). Skipped by
+        // the no-shuffle ablation (the baseline the paper's §3.3 attack
+        // argument targets).
+        if self.params.shuffle_enabled() {
+            self.exchange_all(host, false);
+        }
+
+        // Oversize check.
+        if self.cluster_ref(host).size() > self.params.max_cluster_size() {
+            self.split(host);
+        }
+        self.ledger.end();
+    }
+
+    /// A node leaves (voluntarily, by crash, or forced out by the
+    /// adversary's DoS — the caller decides *who* leaves).
+    ///
+    /// # Errors
+    /// * [`NowError::UnknownNode`] if the node is not in the network.
+    /// * [`NowError::PopulationFloor`] if the departure would push the
+    ///   population below the model's `√N` floor.
+    pub fn leave(&mut self, node: NodeId) -> Result<(), NowError> {
+        self.leave_inner(node)?;
+        self.time_step += 1;
+        Ok(())
+    }
+
+    /// Leave path shared by external departures and batched steps:
+    /// performs the operation without advancing the time step.
+    pub(crate) fn leave_inner(&mut self, node: NodeId) -> Result<(), NowError> {
+        let floor = self.params.min_population();
+        if self.population() <= floor {
+            return Err(NowError::PopulationFloor {
+                population: self.population(),
+                floor,
+            });
+        }
+        let home = self.node_cluster(node)?;
+        self.ledger.begin(CostKind::Leave);
+        self.leave_count += 1;
+
+        // Members of C update their views and tell the neighbors to
+        // drop x (accepted once more than half of C says so).
+        self.detach_node(node).expect("checked above");
+        let size = self.cluster_ref(home).size() as u64;
+        self.ledger.add_messages(size);
+        self.ledger.add_rounds(1);
+        self.account_neighbor_notification(home);
+
+        // C exchanges all of its nodes; receivers cascade (Algorithm 2).
+        if self.params.shuffle_enabled() {
+            let cascade = self.params.cascade_enabled();
+            self.exchange_all(home, cascade);
+        }
+
+        // Undersize check.
+        if self.cluster_ref(home).size() < self.params.min_cluster_size()
+            && self.cluster_count() > 1
+        {
+            self.merge(home);
+        }
+        self.ledger.end();
+        Ok(())
+    }
+
+    /// Splits an oversized cluster `c` into two, per Figure 2. Public
+    /// for experiments; normally triggered by [`NowSystem::join`].
+    ///
+    /// # Panics
+    /// Panics if `c` is not a live cluster.
+    pub fn split(&mut self, c: ClusterId) {
+        assert!(self.clusters.contains_key(&c), "split: unknown cluster {c}");
+        self.ledger.begin(CostKind::Split);
+        self.split_count += 1;
+
+        // The members compute a random partition collaboratively: a
+        // randNum seed drives the shuffle, so every member derives the
+        // same halves.
+        let seed = self.rand_num_in(c, u64::MAX, crate::malice::RandNumPurpose::SplitSeed);
+        let mut members = self.cluster_ref(c).member_vec();
+        let mut part_rng = now_net::DetRng::new(seed);
+        now_graph::sample::shuffle(&mut members, &mut part_rng);
+        let half = members.len() / 2;
+        let movers: Vec<NodeId> = members[half..].to_vec();
+
+        // New cluster enters the overlay with randCl-sampled neighbor
+        // candidates (OVER Add).
+        let new_id = self.ids.cluster();
+        self.clusters
+            .insert(new_id, crate::cluster::Cluster::new(new_id));
+        self.ledger.begin(CostKind::Overlay);
+        let want = self.params.over().target_degree() + 4;
+        let mut candidates = Vec::with_capacity(want);
+        for _ in 0..want {
+            let (cand, _) = self.rand_cl_from(c);
+            if cand != new_id {
+                candidates.push(cand);
+            }
+        }
+        self.overlay.insert_vertex(new_id);
+        let linked = self.overlay.add_with_candidates(new_id, &candidates);
+        // Edge establishment: the new cluster's membership is sent to
+        // every member of each new neighbor (and vice versa).
+        let new_size = movers.len() as u64;
+        for nbr in &linked {
+            let nbr_size = self.cluster_ref(*nbr).size() as u64;
+            self.ledger.add_messages(2 * new_size * nbr_size);
+        }
+        self.ledger.add_rounds(1);
+        self.ledger.end();
+
+        for node in movers {
+            self.move_node(node, new_id);
+        }
+
+        // Old cluster keeps its neighbors but announces the shrinkage;
+        // the new cluster announces itself.
+        self.account_neighbor_notification(c);
+        self.account_neighbor_notification(new_id);
+        self.ledger.end();
+    }
+
+    /// Merges an undersized cluster `c` per Figure 2: a `randCl`-chosen
+    /// victim cluster is dissolved into `c`, and `c`'s original members
+    /// re-join the network as ordinary joins. Public for experiments;
+    /// normally triggered by [`NowSystem::leave`].
+    ///
+    /// # Panics
+    /// Panics if `c` is not a live cluster or is the only cluster.
+    pub fn merge(&mut self, c: ClusterId) {
+        assert!(self.clusters.contains_key(&c), "merge: unknown cluster {c}");
+        assert!(self.cluster_count() > 1, "cannot merge the last cluster");
+        self.ledger.begin(CostKind::Merge);
+        self.merge_count += 1;
+
+        // Draw the victim cluster (≠ c) via randCl; fall back to a
+        // uniform pick if the walk keeps landing on c.
+        let mut victim = None;
+        for _ in 0..8 {
+            let (cand, _) = self.rand_cl_from(c);
+            if cand != c {
+                victim = Some(cand);
+                break;
+            }
+        }
+        let victim = victim.unwrap_or_else(|| {
+            self.cluster_ids()
+                .into_iter()
+                .find(|&id| id != c)
+                .expect("more than one cluster")
+        });
+
+        // Original members of c will re-join; victim's members become c.
+        let rejoiners: Vec<(NodeId, bool)> = self
+            .cluster_ref(c)
+            .member_vec()
+            .into_iter()
+            .map(|m| (m, self.is_honest(m).expect("live member")))
+            .collect();
+        let absorbed = self.cluster_ref(victim).member_vec();
+
+        // OVER Remove of the victim's overlay vertex, with floor
+        // repairs; account the teardown notifications.
+        self.ledger.begin(CostKind::Overlay);
+        let victim_size = absorbed.len() as u64;
+        let mut teardown_msgs = 0u64;
+        for nbr in self.overlay.neighbors(victim) {
+            if let Some(cl) = self.clusters.get(&nbr) {
+                teardown_msgs += victim_size * cl.size() as u64;
+            }
+        }
+        self.ledger.add_messages(teardown_msgs);
+        self.ledger.add_rounds(1);
+        self.overlay.remove(victim, &mut self.rng);
+        self.ledger.end();
+
+        for node in absorbed {
+            self.move_node(node, c);
+        }
+        for (node, _) in &rejoiners {
+            self.detach_node(*node).expect("rejoiner is live");
+        }
+        self.clusters.remove(&victim);
+        self.account_neighbor_notification(c);
+
+        // Re-joins through the ordinary join path (contact chosen
+        // uniformly, as for any arrival).
+        for (node, honest) in rejoiners {
+            let contact = self.contact_cluster();
+            self.admit(node, honest, contact);
+        }
+        self.ledger.end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::NowParams;
+    use std::collections::BTreeSet;
+
+    fn system(n0: usize, seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        NowSystem::init_fast(params, n0, 0.2, seed)
+    }
+
+    #[test]
+    fn join_grows_population_and_stays_consistent() {
+        let mut sys = system(100, 1);
+        let before = sys.population();
+        let node = sys.join(true);
+        assert_eq!(sys.population(), before + 1);
+        assert!(sys.node_cluster(node).is_ok());
+        assert!(sys.is_honest(node).unwrap());
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn byzantine_join_is_recorded() {
+        let mut sys = system(100, 2);
+        let node = sys.join(false);
+        assert!(!sys.is_honest(node).unwrap());
+        assert!(sys.byz_node_ids().contains(&node));
+    }
+
+    #[test]
+    fn join_costs_scale_polylog_in_population() {
+        // The polylog claim, testable at fixed N: a 16× population
+        // increase must multiply the per-join cost by far less than 16
+        // (cluster size is pinned at k·logN; only walk length ~log²m and
+        // overlay degree grow). Linear cost would scale ∝ n.
+        let mean_join_cost = |n0: usize| -> f64 {
+            let params = NowParams::for_capacity(1 << 14).unwrap();
+            let mut sys = NowSystem::init_fast(params, n0, 0.1, 3);
+            for _ in 0..5 {
+                sys.join(true);
+            }
+            sys.ledger().stats(CostKind::Join).mean_messages()
+        };
+        // Use populations past the overlay's degree-saturation point so
+        // the comparison isolates the log²m walk growth.
+        let small = mean_join_cost(800);
+        let large = mean_join_cost(3200);
+        assert!(
+            large < 3.0 * small,
+            "per-join cost scaled like n: {small} → {large} (×{:.1})",
+            large / small
+        );
+    }
+
+    #[test]
+    fn leave_shrinks_population() {
+        let mut sys = system(120, 4);
+        let node = sys.node_ids()[5];
+        sys.leave(node).unwrap();
+        assert_eq!(sys.population(), 119);
+        assert!(matches!(
+            sys.node_cluster(node),
+            Err(NowError::UnknownNode { .. })
+        ));
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn leave_unknown_node_errors() {
+        let mut sys = system(100, 5);
+        let ghost = NodeId::from_raw(55_555);
+        assert!(matches!(
+            sys.leave(ghost),
+            Err(NowError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn try_join_respects_population_ceiling() {
+        // Capacity 16 with default z = 1 → ceiling 16.
+        let params = NowParams::for_capacity(16).unwrap();
+        let mut sys = NowSystem::init_fast(params, 15, 0.0, 20);
+        assert!(sys.try_join(true).is_ok());
+        assert!(matches!(
+            sys.try_join(true),
+            Err(NowError::PopulationCeiling { population: 16, ceiling: 16 })
+        ));
+        // The unchecked join still admits (environment assumption, not
+        // protocol enforcement).
+        sys.join(true);
+        assert_eq!(sys.population(), 17);
+    }
+
+    #[test]
+    fn widened_ceiling_admits_more() {
+        let params = NowParams::for_capacity(16)
+            .unwrap()
+            .with_population_exponents(2.0, 1.25)
+            .unwrap(); // ceiling 16^1.25 = 32
+        let mut sys = NowSystem::init_fast(params, 16, 0.0, 21);
+        for _ in 0..16 {
+            sys.try_join(true).unwrap();
+        }
+        assert!(matches!(
+            sys.try_join(true),
+            Err(NowError::PopulationCeiling { .. })
+        ));
+        assert_eq!(sys.population(), 32);
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn leave_respects_population_floor() {
+        let params = NowParams::for_capacity(1 << 10).unwrap(); // floor 32
+        let mut sys = NowSystem::init_fast(params, 33, 0.0, 6);
+        let node = sys.node_ids()[0];
+        sys.leave(node).unwrap();
+        let node2 = sys.node_ids()[0];
+        assert!(matches!(
+            sys.leave(node2),
+            Err(NowError::PopulationFloor { .. })
+        ));
+    }
+
+    #[test]
+    fn sustained_joins_trigger_splits_and_keep_band() {
+        let mut sys = system(100, 7);
+        for i in 0..120 {
+            sys.join(i % 5 == 0);
+        }
+        let (_, _, splits, _) = sys.op_counts();
+        assert!(splits > 0, "growth must split clusters");
+        let max = sys.params().max_cluster_size();
+        for c in sys.clusters() {
+            assert!(
+                c.size() <= max,
+                "cluster {} oversize: {} > {max}",
+                c.id(),
+                c.size()
+            );
+        }
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn sustained_leaves_trigger_merges_and_keep_population() {
+        let mut sys = system(220, 8);
+        for _ in 0..120 {
+            let node = sys.node_ids()[0];
+            sys.leave(node).unwrap();
+        }
+        let (_, _, _, merges) = sys.op_counts();
+        assert!(merges > 0, "shrinkage must merge clusters");
+        assert_eq!(sys.population(), 100);
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn split_halves_roughly_evenly() {
+        let mut sys = system(100, 9);
+        let c = sys.cluster_ids()[0];
+        // Inflate the cluster artificially to force a clean split test.
+        let donors: Vec<NodeId> = sys
+            .node_ids()
+            .into_iter()
+            .filter(|&n| sys.node_cluster(n).unwrap() != c)
+            .take(25)
+            .collect();
+        for d in donors {
+            sys.move_node(d, c);
+        }
+        let size = sys.cluster(c).unwrap().size();
+        let clusters_before = sys.cluster_count();
+        sys.split(c);
+        assert_eq!(sys.cluster_count(), clusters_before + 1);
+        let new_id = *sys.cluster_ids().last().unwrap();
+        let s1 = sys.cluster(c).unwrap().size();
+        let s2 = sys.cluster(new_id).unwrap().size();
+        assert_eq!(s1 + s2, size);
+        assert!(s1.abs_diff(s2) <= 1, "uneven split: {s1} vs {s2}");
+        assert!(sys.overlay().degree(new_id) > 0, "new cluster is wired in");
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn merge_dissolves_victim_and_rejoins_members() {
+        let mut sys = system(200, 10);
+        let c = sys.cluster_ids()[0];
+        let population = sys.population();
+        let clusters_before = sys.cluster_count();
+        sys.merge(c);
+        // One cluster gone (victim), population preserved (rejoins are
+        // internal moves, not departures).
+        assert_eq!(sys.cluster_count(), clusters_before - 1);
+        assert_eq!(sys.population(), population);
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn merge_victim_members_land_in_c() {
+        let mut sys = system(200, 11);
+        let c = sys.cluster_ids()[0];
+        let before_members: BTreeSet<NodeId> = sys.cluster(c).unwrap().members().collect();
+        sys.merge(c);
+        let after_members: BTreeSet<NodeId> = sys.cluster(c).unwrap().members().collect();
+        // Original members were sent off to re-join; the overlap should
+        // be small (re-joins may land back in c by chance).
+        let kept = before_members.intersection(&after_members).count();
+        assert!(
+            kept * 2 < before_members.len().max(1),
+            "most originals should have re-joined elsewhere (kept {kept})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge the last cluster")]
+    fn merge_last_cluster_panics() {
+        let mut sys = system(20, 12);
+        assert_eq!(sys.cluster_count(), 1);
+        let c = sys.cluster_ids()[0];
+        sys.merge(c);
+    }
+
+    #[test]
+    fn operation_ledger_kinds_are_populated() {
+        let mut sys = system(150, 13);
+        sys.join(true);
+        let node = sys.node_ids()[0];
+        sys.leave(node).unwrap();
+        let l = sys.ledger();
+        for kind in [
+            CostKind::Join,
+            CostKind::Leave,
+            CostKind::Exchange,
+            CostKind::RandCl,
+            CostKind::RandNum,
+        ] {
+            assert!(l.stats(kind).count > 0, "{kind} never recorded");
+        }
+    }
+
+    #[test]
+    fn time_steps_advance_per_external_op() {
+        let mut sys = system(150, 14);
+        assert_eq!(sys.time_step(), 0);
+        sys.join(true);
+        assert_eq!(sys.time_step(), 1);
+        let node = sys.node_ids()[0];
+        sys.leave(node).unwrap();
+        assert_eq!(sys.time_step(), 2);
+    }
+}

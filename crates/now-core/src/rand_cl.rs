@@ -1,0 +1,294 @@
+//! `randCl` — size-biased cluster selection by continuous-time random
+//! walk on the overlay.
+//!
+//! Per the paper's §3.1 footnote, a *biased CTRW* from cluster `Cᵢ` is a
+//! sequence of CTRWs: at each hop the current cluster collaboratively
+//! draws (via `randNum`) the next neighbor and the exponential holding
+//! time; when the walk's duration expires at cluster `C`, it is accepted
+//! with probability `|C| / max_C'|C'|`, otherwise a fresh CTRW starts
+//! from there. The CTRW's uniform stationary law over vertices times the
+//! size-biased acceptance yields the target distribution `(|C|/n)` —
+//! i.e. a uniformly random *node*'s cluster.
+//!
+//! Byzantine influence: each hop's collective choices run through
+//! [`crate::NowSystem::rand_num_in`], so a cluster with ≥ 1/3 Byzantine
+//! members lets the adversary steer the hop (and [`crate::Malice`] may
+//! redirect it outright). Every hop is also a quorum-validated
+//! cluster-to-cluster message, accounted as `|C|·|C'|` message units.
+
+use crate::system::NowSystem;
+use now_net::{ClusterId, CostKind};
+
+/// Diagnostics of one `randCl` invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkTrace {
+    /// Total hops across all component CTRWs.
+    pub hops: u64,
+    /// Number of rejected endpoints (walk restarts).
+    pub restarts: u64,
+    /// Hops that passed through a `randNum`-compromised cluster.
+    pub compromised_hops: u64,
+}
+
+impl NowSystem {
+    /// Runs `randCl` starting from cluster `start`; returns the selected
+    /// cluster and the walk diagnostics. Costs are recorded under
+    /// [`CostKind::RandCl`] (inclusive of the per-hop `randNum`s).
+    ///
+    /// # Panics
+    /// Panics if `start` is not a live cluster.
+    pub fn rand_cl_from(&mut self, start: ClusterId) -> (ClusterId, WalkTrace) {
+        assert!(
+            self.clusters.contains_key(&start),
+            "rand_cl_from: unknown cluster {start}"
+        );
+        self.ledger.begin(CostKind::RandCl);
+        let mut trace = WalkTrace {
+            hops: 0,
+            restarts: 0,
+            compromised_hops: 0,
+        };
+        let m = self.overlay.vertex_count();
+        if m <= 1 {
+            self.ledger.end();
+            return (start, trace);
+        }
+
+        let duration = self.params.ctrw_duration(m);
+        let mut current = start;
+        // Resolution for fixed-point randomness drawn via randNum.
+        const RES: u64 = 1 << 24;
+
+        // Hard per-invocation hop cap: compromised clusters can rush
+        // their holding times to ~0 (see `Malice`), so a Byzantine-dense
+        // region could otherwise bounce a walk indefinitely without
+        // consuming walk-time. Honest walks use ~log²m hops; the cap is
+        // far above that and only binds under heavy compromise.
+        let hop_cap = 2_000 + 200 * (m as u64);
+        for _restart in 0..=self.params.max_walk_restarts() {
+            let mut remaining = duration;
+            // One CTRW.
+            loop {
+                if trace.hops >= hop_cap {
+                    self.ledger.end();
+                    return (current, trace);
+                }
+                let degree = self.overlay.degree(current);
+                if degree == 0 {
+                    break; // isolated vertex absorbs the walk
+                }
+                // Collaborative holding time: Exp(degree), derived from a
+                // randNum draw (compromised clusters control it).
+                let u = self.rand_num_in(current, RES, crate::malice::RandNumPurpose::WalkHoldingTime);
+                let unit = (u as f64 + 1.0) / (RES as f64 + 1.0);
+                let hold = -unit.ln() / degree as f64;
+                if hold >= remaining {
+                    break; // duration expires while sitting at `current`
+                }
+                remaining -= hold;
+                // Collaborative neighbor choice.
+                let idx = self.rand_num_in(
+                    current,
+                    degree as u64,
+                    crate::malice::RandNumPurpose::WalkNeighborChoice,
+                ) as usize;
+                let neighbors = self.overlay.neighbors(current);
+                let mut next = neighbors[idx.min(neighbors.len() - 1)];
+                if !self.cluster_ref(current).rand_num_secure() {
+                    trace.compromised_hops += 1;
+                    if let Some(forced) = self.malice.walk_hop(&neighbors, &mut self.rng) {
+                        if neighbors.contains(&forced) {
+                            next = forced;
+                        }
+                    }
+                }
+                // Quorum-validated hand-off message C → C'.
+                let from_size = self.cluster_ref(current).size() as u64;
+                let to_size = self.cluster_ref(next).size() as u64;
+                self.ledger.add_messages(from_size * to_size);
+                self.ledger.add_rounds(1);
+                trace.hops += 1;
+                current = next;
+            }
+            // Size-biased acceptance at the endpoint.
+            let size = self.cluster_ref(current).size();
+            let p_accept = self.params.acceptance_probability(size);
+            let draw = self.rand_num_in(current, RES, crate::malice::RandNumPurpose::WalkAcceptance);
+            if (draw as f64 + 0.5) / RES as f64 <= p_accept {
+                self.ledger.end();
+                return (current, trace);
+            }
+            trace.restarts += 1;
+        }
+        // Restart cap exhausted (never in the invariant regime; see
+        // NowParams::max_walk_restarts) — accept the current endpoint.
+        self.ledger.end();
+        (current, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::NowParams;
+    use std::collections::BTreeMap;
+
+    fn system(n0: usize, seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        NowSystem::init_fast(params, n0, 0.2, seed)
+    }
+
+    #[test]
+    fn returns_live_cluster() {
+        let mut sys = system(200, 1);
+        let start = sys.cluster_ids()[0];
+        for _ in 0..20 {
+            let (c, _) = sys.rand_cl_from(start);
+            assert!(sys.cluster(c).is_some());
+        }
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn single_cluster_short_circuits() {
+        let mut sys = system(20, 2); // one cluster
+        assert_eq!(sys.cluster_count(), 1);
+        let only = sys.cluster_ids()[0];
+        let (c, trace) = sys.rand_cl_from(only);
+        assert_eq!(c, only);
+        assert_eq!(trace.hops, 0);
+    }
+
+    #[test]
+    fn walk_costs_are_recorded() {
+        let mut sys = system(200, 3);
+        let start = sys.cluster_ids()[0];
+        let before = sys.ledger().stats(CostKind::RandCl);
+        let (_, trace) = sys.rand_cl_from(start);
+        let after = sys.ledger().stats(CostKind::RandCl);
+        assert_eq!(after.count - before.count, 1);
+        assert!(trace.hops > 0, "multi-cluster walk should hop");
+        assert!(after.total_messages > before.total_messages);
+        // Rounds at least one per hop.
+        assert!(after.total_rounds - before.total_rounds >= trace.hops);
+    }
+
+    #[test]
+    fn walk_hop_count_tracks_log_squared() {
+        let mut sys = system(400, 4);
+        let start = sys.cluster_ids()[0];
+        let m = sys.overlay().vertex_count();
+        let log_m = ((m + 2) as f64).log2();
+        let mut hops = 0u64;
+        let mut restarts = 0u64;
+        let trials = 30;
+        for _ in 0..trials {
+            let (_, t) = sys.rand_cl_from(start);
+            hops += t.hops;
+            restarts += t.restarts;
+        }
+        let mean_hops = hops as f64 / trials as f64;
+        // Expected hops per accepted walk ≈ (1+restarts) · log²m; allow
+        // a wide band.
+        let per_walk = mean_hops / (1.0 + restarts as f64 / trials as f64);
+        assert!(
+            per_walk > 0.2 * log_m * log_m && per_walk < 5.0 * log_m * log_m,
+            "hops/walk {per_walk} vs log²m {}",
+            log_m * log_m
+        );
+    }
+
+    /// The distribution headline: endpoint frequencies match cluster
+    /// sizes, i.e. `randCl` samples a uniformly random *node*'s cluster.
+    #[test]
+    fn endpoint_distribution_is_size_biased() {
+        let mut sys = system(300, 5);
+        // Make sizes unequal: move a chunk of members from one cluster
+        // to another (bypassing ops; this is a distribution test).
+        let ids = sys.cluster_ids();
+        let (big, small) = (ids[0], ids[1]);
+        for _ in 0..8 {
+            let node = sys.cluster(small).unwrap().member_at(0);
+            sys.move_node(node, big);
+        }
+        sys.check_consistency().unwrap();
+
+        let start = ids[2 % ids.len()];
+        let trials = 4000;
+        let mut counts: BTreeMap<now_net::ClusterId, u64> = BTreeMap::new();
+        for _ in 0..trials {
+            let (c, _) = sys.rand_cl_from(start);
+            *counts.entry(c).or_default() += 1;
+        }
+        let n = sys.population() as f64;
+        let mut tv = 0.0;
+        for id in sys.cluster_ids() {
+            let expect = sys.cluster(id).unwrap().size() as f64 / n;
+            let got = *counts.get(&id).unwrap_or(&0) as f64 / trials as f64;
+            tv += (expect - got).abs();
+        }
+        tv /= 2.0;
+        assert!(tv < 0.08, "TV distance from size-biased law: {tv}");
+        // The enlarged cluster must be hit noticeably more often than
+        // the shrunken one.
+        let big_hits = *counts.get(&big).unwrap_or(&0);
+        let small_hits = *counts.get(&small).unwrap_or(&0);
+        assert!(
+            big_hits > small_hits,
+            "size bias absent: big {big_hits} vs small {small_hits}"
+        );
+    }
+
+    #[test]
+    fn compromised_hops_are_flagged() {
+        let mut sys = system(200, 6);
+        // Corrupt one cluster past 1/3 by brute registry surgery:
+        // detach honest members until the fraction crosses.
+        let victim = sys.cluster_ids()[0];
+        let mut moved = 0;
+        while sys.cluster(victim).unwrap().rand_num_secure() {
+            let honest_member = sys
+                .cluster(victim)
+                .unwrap()
+                .member_vec()
+                .into_iter()
+                .find(|&m| sys.is_honest(m).unwrap())
+                .expect("has honest members");
+            let other = sys.cluster_ids()[1];
+            sys.move_node(honest_member, other);
+            moved += 1;
+            assert!(moved < 100, "runaway");
+        }
+        sys.check_consistency().unwrap();
+        // Many walks from the compromised cluster: its own hops count as
+        // compromised.
+        let mut compromised = 0u64;
+        for _ in 0..20 {
+            let (_, t) = sys.rand_cl_from(victim);
+            compromised += t.compromised_hops;
+        }
+        assert!(compromised > 0, "walks through a compromised cluster must be flagged");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown cluster")]
+    fn unknown_start_panics() {
+        let mut sys = system(100, 7);
+        let ghost = now_net::ClusterId::from_raw(99_999);
+        let _ = sys.rand_cl_from(ghost);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed: u64| {
+            let mut sys = system(250, seed);
+            let start = sys.cluster_ids()[0];
+            let picks: Vec<u64> = (0..10)
+                .map(|_| sys.rand_cl_from(start).0.raw())
+                .collect();
+            picks
+        };
+        assert_eq!(run(8), run(8));
+        assert_ne!(run(8), run(9), "different seeds should differ");
+    }
+}

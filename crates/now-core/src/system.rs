@@ -1,0 +1,621 @@
+//! [`NowSystem`] — the live NOW deployment.
+
+use crate::audit::SystemAudit;
+use crate::cluster::Cluster;
+use crate::error::NowError;
+use crate::malice::{Malice, NoMalice};
+use crate::params::NowParams;
+use now_graph::sample::shuffle;
+use now_net::{ClusterId, CostKind, DetRng, IdGen, Ledger, NodeId};
+use now_over::Overlay;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeRecord {
+    pub honest: bool,
+    pub cluster: ClusterId,
+}
+
+/// The live system: node registry, cluster partition, OVER overlay,
+/// message ledger, and deterministic randomness.
+///
+/// All maintenance operations are methods (`join`, `leave`, and the
+/// internally triggered `split`/`merge`/`exchange`); every operation's
+/// exact message/round cost lands in the [`Ledger`] under its
+/// [`CostKind`].
+pub struct NowSystem {
+    pub(crate) params: NowParams,
+    pub(crate) ids: IdGen,
+    pub(crate) nodes: BTreeMap<NodeId, NodeRecord>,
+    pub(crate) clusters: BTreeMap<ClusterId, Cluster>,
+    pub(crate) overlay: Overlay,
+    pub(crate) ledger: Ledger,
+    pub(crate) rng: DetRng,
+    pub(crate) malice: Box<dyn Malice>,
+    pub(crate) time_step: u64,
+    pub(crate) join_count: u64,
+    pub(crate) leave_count: u64,
+    pub(crate) split_count: u64,
+    pub(crate) merge_count: u64,
+}
+
+impl fmt::Debug for NowSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NowSystem")
+            .field("population", &self.nodes.len())
+            .field("clusters", &self.clusters.len())
+            .field("time_step", &self.time_step)
+            .field("joins", &self.join_count)
+            .field("leaves", &self.leave_count)
+            .field("splits", &self.split_count)
+            .field("merges", &self.merge_count)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NowSystem {
+    /// Bootstraps a system of `n0` nodes, a fraction `tau` of which the
+    /// adversary corrupts (chosen uniformly — the adversary may also be
+    /// given the choice explicitly via [`NowSystem::init_with_corruption`]).
+    ///
+    /// This is the fast (L1) initialization: it produces the *outcome*
+    /// of the paper's initialization phase — a uniformly random
+    /// partition into clusters of target size plus a fresh random
+    /// overlay — and accounts the phase's costs with the same structure
+    /// the genuinely executed path (`crate::init`) exhibits:
+    /// discovery ≈ `n·e` message units over `diameter` rounds,
+    /// clusterization ≈ committee `randNum` + assignment broadcast.
+    ///
+    /// # Panics
+    /// Panics if `n0 == 0` or `tau ∉ [0, 1)`.
+    pub fn init_fast(params: NowParams, n0: usize, tau: f64, seed: u64) -> Self {
+        assert!(n0 > 0, "initial population must be positive");
+        assert!((0.0..1.0).contains(&tau), "tau must lie in [0,1)");
+        let mut rng = DetRng::new(seed);
+        let byz_total = (tau * n0 as f64).floor() as usize;
+        let mut corrupt = vec![false; n0];
+        // Uniformly random corrupted subset.
+        let picks = now_graph::sample::sample_distinct(n0, byz_total, &mut rng);
+        for i in picks {
+            corrupt[i] = true;
+        }
+        Self::init_with_corruption(params, &corrupt, seed.wrapping_add(1))
+    }
+
+    /// Bootstraps with an explicit corruption vector (`corrupt[i]` is
+    /// the adversary's choice for the `i`-th initial node) — the paper
+    /// lets the adversary pick its τ-fraction at time zero.
+    ///
+    /// # Panics
+    /// Panics if `corrupt` is empty.
+    pub fn init_with_corruption(params: NowParams, corrupt: &[bool], seed: u64) -> Self {
+        let n0 = corrupt.len();
+        assert!(n0 > 0, "initial population must be positive");
+        let mut rng = DetRng::new(seed);
+        let mut ids = IdGen::new();
+        let node_ids: Vec<NodeId> = (0..n0).map(|_| ids.node()).collect();
+
+        // Random permutation, then contiguous blocks — the paper's
+        // representative-cluster procedure's outcome.
+        let mut order: Vec<usize> = (0..n0).collect();
+        shuffle(&mut order, &mut rng);
+
+        let target = params.target_cluster_size();
+        let cluster_count = (n0 / target).max(1);
+        let mut clusters: BTreeMap<ClusterId, Cluster> = BTreeMap::new();
+        let mut nodes: BTreeMap<NodeId, NodeRecord> = BTreeMap::new();
+        let mut cluster_ids = Vec::with_capacity(cluster_count);
+        for _ in 0..cluster_count {
+            let cid = ids.cluster();
+            clusters.insert(cid, Cluster::new(cid));
+            cluster_ids.push(cid);
+        }
+        for (pos, &idx) in order.iter().enumerate() {
+            let cid = cluster_ids[pos % cluster_count];
+            let node = node_ids[idx];
+            let honest = !corrupt[idx];
+            clusters.get_mut(&cid).expect("fresh cluster").insert(node, honest);
+            nodes.insert(node, NodeRecord { honest, cluster: cid });
+        }
+
+        let overlay = Overlay::init_random(&cluster_ids, params.over(), &mut rng);
+
+        // Cost accounting for the initialization phase (structure
+        // mirrors the L0 path in `crate::init`; see DESIGN.md §5 X-F1).
+        let mut ledger = Ledger::new();
+        let n = n0 as u64;
+        let log_n = ((n0.max(2)) as f64).log2().ceil() as u64;
+        let bootstrap_edges = n * log_n / 2;
+        ledger.begin(CostKind::Discovery);
+        ledger.add_messages(n * bootstrap_edges);
+        ledger.add_rounds(log_n + 1);
+        ledger.end();
+        let c = target as u64;
+        ledger.begin(CostKind::Clusterization);
+        ledger.add_messages(2 * c * (c - 1).max(1) + c * n + c * c * c);
+        ledger.add_rounds(2 + c / 2);
+        ledger.end();
+
+        NowSystem {
+            params,
+            ids,
+            nodes,
+            clusters,
+            overlay,
+            ledger,
+            rng,
+            malice: Box::new(NoMalice),
+            time_step: 0,
+            join_count: 0,
+            leave_count: 0,
+            split_count: 0,
+            merge_count: 0,
+        }
+    }
+
+    /// Replaces the in-protocol adversary hook (see [`Malice`]).
+    pub fn set_malice(&mut self, malice: Box<dyn Malice>) {
+        self.malice = malice;
+    }
+
+    /// Static parameters.
+    pub fn params(&self) -> NowParams {
+        self.params
+    }
+
+    /// Completed time steps (one per external join/leave, or one per
+    /// batch — see [`NowSystem::step_parallel`]).
+    pub fn time_step(&self) -> u64 {
+        self.time_step
+    }
+
+    /// Advances the discrete time variable by one step (batched
+    /// operations bump it once for the whole batch).
+    pub(crate) fn advance_time_step(&mut self) {
+        self.time_step += 1;
+    }
+
+    /// Current population `n`.
+    pub fn population(&self) -> u64 {
+        self.nodes.len() as u64
+    }
+
+    /// Number of Byzantine nodes currently in the network.
+    pub fn byz_population(&self) -> u64 {
+        self.nodes.values().filter(|r| !r.honest).count() as u64
+    }
+
+    /// Number of clusters `#C`.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// A cluster by id.
+    pub fn cluster(&self, id: ClusterId) -> Option<&Cluster> {
+        self.clusters.get(&id)
+    }
+
+    /// Iterates clusters in id order.
+    pub fn clusters(&self) -> impl Iterator<Item = &Cluster> {
+        self.clusters.values()
+    }
+
+    /// Live cluster ids in id order.
+    pub fn cluster_ids(&self) -> Vec<ClusterId> {
+        self.clusters.keys().copied().collect()
+    }
+
+    /// The overlay Ĝᴿ.
+    pub fn overlay(&self) -> &Overlay {
+        &self.overlay
+    }
+
+    /// The cost ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Mutable ledger access (experiments reset records between phases).
+    pub fn ledger_mut(&mut self) -> &mut Ledger {
+        &mut self.ledger
+    }
+
+    /// The cluster a node currently belongs to.
+    ///
+    /// # Errors
+    /// [`NowError::UnknownNode`] if the node is not in the network.
+    pub fn node_cluster(&self, node: NodeId) -> Result<ClusterId, NowError> {
+        self.nodes
+            .get(&node)
+            .map(|r| r.cluster)
+            .ok_or(NowError::UnknownNode { node })
+    }
+
+    /// Ground-truth honesty of a live node (simulator's view).
+    ///
+    /// # Errors
+    /// [`NowError::UnknownNode`] if the node is not in the network.
+    pub fn is_honest(&self, node: NodeId) -> Result<bool, NowError> {
+        self.nodes
+            .get(&node)
+            .map(|r| r.honest)
+            .ok_or(NowError::UnknownNode { node })
+    }
+
+    /// All node ids currently in the network, in id order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Ids of the Byzantine nodes currently in the network (the
+    /// full-information adversary knows these; experiments use this to
+    /// drive targeted churn).
+    pub fn byz_node_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|(_, r)| !r.honest)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Number of operations of each kind performed so far:
+    /// `(joins, leaves, splits, merges)`.
+    pub fn op_counts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.join_count,
+            self.leave_count,
+            self.split_count,
+            self.merge_count,
+        )
+    }
+
+    /// A uniformly random live cluster — the cluster a joining node
+    /// "gets in contact with" when the caller has no preference.
+    pub fn contact_cluster(&mut self) -> ClusterId {
+        let idx = self.rng.gen_range(0..self.clusters.len());
+        *self.clusters.keys().nth(idx).expect("non-empty system")
+    }
+
+    /// Measures the system against the paper's invariants (cheap; O(#C)).
+    pub fn audit(&self) -> SystemAudit {
+        SystemAudit::measure(self)
+    }
+
+    /// Measures the overlay against Properties 1–2 (spectral; costlier).
+    pub fn overlay_audit(&self) -> now_over::OverlayAudit {
+        self.overlay.audit()
+    }
+
+    // ------------------------------------------------------------------
+    // Internal bookkeeping shared by the operation modules.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn cluster_ref(&self, id: ClusterId) -> &Cluster {
+        self.clusters.get(&id).expect("cluster must exist")
+    }
+
+    pub(crate) fn cluster_mut(&mut self, id: ClusterId) -> &mut Cluster {
+        self.clusters.get_mut(&id).expect("cluster must exist")
+    }
+
+    /// Moves `node` between clusters, keeping registry and caches in
+    /// sync.
+    pub(crate) fn move_node(&mut self, node: NodeId, to: ClusterId) {
+        let record = *self.nodes.get(&node).expect("node must be live");
+        if record.cluster == to {
+            return;
+        }
+        self.cluster_mut(record.cluster).remove(node, record.honest);
+        self.cluster_mut(to).insert(node, record.honest);
+        self.nodes.get_mut(&node).expect("checked").cluster = to;
+    }
+
+    /// Inserts a (new or re-joining) node into a cluster.
+    pub(crate) fn attach_node(&mut self, node: NodeId, honest: bool, cluster: ClusterId) {
+        self.cluster_mut(cluster).insert(node, honest);
+        self.nodes.insert(node, NodeRecord { honest, cluster });
+    }
+
+    /// Removes a node from the network; returns its honesty flag.
+    pub(crate) fn detach_node(&mut self, node: NodeId) -> Result<bool, NowError> {
+        let record = self
+            .nodes
+            .remove(&node)
+            .ok_or(NowError::UnknownNode { node })?;
+        self.cluster_mut(record.cluster).remove(node, record.honest);
+        Ok(record.honest)
+    }
+
+    /// `randNum` within cluster `c` over `0..range`: ideal functionality
+    /// with the paper's cost (`2·|C|·(|C|−1)` messages, 2 rounds), with
+    /// [`Malice`] steering the output when the cluster is compromised.
+    /// `purpose` tells a strategic adversary what the draw decides.
+    pub(crate) fn rand_num_in(
+        &mut self,
+        c: ClusterId,
+        range: u64,
+        purpose: crate::malice::RandNumPurpose,
+    ) -> u64 {
+        let range = range.max(1);
+        let mode = self.params.security();
+        let cluster = self.cluster_ref(c);
+        let size = cluster.size() as u64;
+        let secure = cluster.rand_num_secure_in(mode);
+        self.ledger.begin(CostKind::RandNum);
+        self.ledger.add_messages(2 * size * size.saturating_sub(1));
+        self.ledger.add_rounds(2);
+        self.ledger.end();
+        if secure {
+            self.rng.gen_range(0..range)
+        } else {
+            let ctx = crate::malice::RandNumContext {
+                cluster: c,
+                purpose,
+            };
+            self.malice.rand_num(range, ctx, &mut self.rng)
+        }
+    }
+
+    /// Accounts the cost of cluster `c` announcing its new composition
+    /// to every member of every neighboring cluster (the view-update
+    /// step of exchange/split/merge): `Σ_{D ∈ N(C)} |C|·|D|` messages in
+    /// one round.
+    pub(crate) fn account_neighbor_notification(&mut self, c: ClusterId) {
+        let size = self.cluster_ref(c).size() as u64;
+        let mut msgs = 0u64;
+        for nbr in self.overlay.neighbors(c) {
+            if let Some(cl) = self.clusters.get(&nbr) {
+                msgs += size * cl.size() as u64;
+            }
+        }
+        self.ledger.add_messages(msgs);
+        self.ledger.add_rounds(1);
+    }
+
+    /// **Experiment-only registry surgery**: teleports a node into
+    /// `to`, bypassing the protocol. Experiments use this to *construct*
+    /// adversarially polluted configurations (e.g. Lemma 1's "cluster at
+    /// 70% Byzantine") whose recovery the protocol is then measured on.
+    /// Never called by protocol code.
+    ///
+    /// # Errors
+    /// [`NowError::UnknownNode`] / [`NowError::UnknownCluster`] if either
+    /// side does not exist.
+    pub fn force_move(&mut self, node: NodeId, to: ClusterId) -> Result<(), NowError> {
+        if !self.nodes.contains_key(&node) {
+            return Err(NowError::UnknownNode { node });
+        }
+        if !self.clusters.contains_key(&to) {
+            return Err(NowError::UnknownCluster { cluster: to });
+        }
+        self.move_node(node, to);
+        Ok(())
+    }
+
+    /// Public entry point to the cluster-local `randNum` primitive
+    /// (ideal functionality; see [`crate::Malice`] for the compromised
+    /// path). Used by applications — e.g. the sampling service draws a
+    /// uniform member index with it.
+    ///
+    /// # Panics
+    /// Panics if `cluster` is not live.
+    pub fn rand_num(&mut self, cluster: ClusterId, range: u64) -> u64 {
+        assert!(
+            self.clusters.contains_key(&cluster),
+            "rand_num: unknown cluster {cluster}"
+        );
+        self.rand_num_in(cluster, range, crate::malice::RandNumPurpose::Generic)
+    }
+
+    /// Deep consistency check used by tests after every operation:
+    /// registry ↔ clusters ↔ overlay all agree, caches are exact, and
+    /// the ledger is span-balanced.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for (&node, record) in &self.nodes {
+            let Some(cluster) = self.clusters.get(&record.cluster) else {
+                return Err(format!("{node} points at dead cluster {}", record.cluster));
+            };
+            if !cluster.contains(node) {
+                return Err(format!("{node} missing from its cluster {}", record.cluster));
+            }
+        }
+        let mut seen = 0usize;
+        for (&cid, cluster) in &self.clusters {
+            if cluster.id() != cid {
+                return Err(format!("cluster id mismatch at {cid}"));
+            }
+            let mut byz = 0usize;
+            for m in cluster.members() {
+                let Some(rec) = self.nodes.get(&m) else {
+                    return Err(format!("{m} in cluster {cid} but not in registry"));
+                };
+                if rec.cluster != cid {
+                    return Err(format!("{m} registry points elsewhere than {cid}"));
+                }
+                if !rec.honest {
+                    byz += 1;
+                }
+                seen += 1;
+            }
+            if byz != cluster.byz_count() {
+                return Err(format!(
+                    "byz cache drift in {cid}: cached {}, actual {byz}",
+                    cluster.byz_count()
+                ));
+            }
+            if !self.overlay.contains(cid) {
+                return Err(format!("cluster {cid} missing from overlay"));
+            }
+        }
+        if seen != self.nodes.len() {
+            return Err(format!(
+                "membership drift: {seen} memberships vs {} registry entries",
+                self.nodes.len()
+            ));
+        }
+        if self.overlay.vertex_count() != self.clusters.len() {
+            return Err(format!(
+                "overlay has {} vertices but {} clusters exist",
+                self.overlay.vertex_count(),
+                self.clusters.len()
+            ));
+        }
+        if !self.ledger.is_balanced() {
+            return Err("ledger has dangling spans".to_string());
+        }
+        self.overlay.check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_system(seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        NowSystem::init_fast(params, 80, 0.2, seed)
+    }
+
+    #[test]
+    fn init_fast_produces_consistent_system() {
+        let sys = small_system(1);
+        sys.check_consistency().unwrap();
+        assert_eq!(sys.population(), 80);
+        assert_eq!(sys.byz_population(), 16);
+        // target size 20 → 4 clusters of 20.
+        assert_eq!(sys.cluster_count(), 4);
+        for c in sys.clusters() {
+            assert_eq!(c.size(), 20);
+        }
+    }
+
+    #[test]
+    fn init_accounts_discovery_and_clusterization() {
+        let sys = small_system(2);
+        let d = sys.ledger().stats(CostKind::Discovery);
+        let c = sys.ledger().stats(CostKind::Clusterization);
+        assert_eq!(d.count, 1);
+        assert!(d.total_messages > 0);
+        assert_eq!(c.count, 1);
+        assert!(c.total_messages > 0);
+    }
+
+    #[test]
+    fn init_with_explicit_corruption_respects_choice() {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        let mut corrupt = vec![false; 60];
+        for flag in corrupt.iter_mut().take(10) {
+            *flag = true;
+        }
+        let sys = NowSystem::init_with_corruption(params, &corrupt, 3);
+        assert_eq!(sys.byz_population(), 10);
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let a = small_system(7);
+        let b = small_system(7);
+        assert_eq!(a.node_ids(), b.node_ids());
+        assert_eq!(a.cluster_ids(), b.cluster_ids());
+        for id in a.cluster_ids() {
+            assert_eq!(
+                a.cluster(id).unwrap().member_vec(),
+                b.cluster(id).unwrap().member_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_spread_not_concentrated() {
+        // Random partition ⇒ no cluster should be byz-majority at init
+        // for τ = 0.2 at these sizes (deterministic given the seed).
+        let sys = small_system(4);
+        for c in sys.clusters() {
+            assert!(
+                c.byz_fraction() < 0.5,
+                "cluster {} starts at {}",
+                c.id(),
+                c.byz_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn move_node_keeps_caches_exact() {
+        let mut sys = small_system(5);
+        let ids = sys.cluster_ids();
+        let (a, b) = (ids[0], ids[1]);
+        let node = sys.cluster(a).unwrap().member_at(0);
+        sys.move_node(node, b);
+        assert_eq!(sys.node_cluster(node).unwrap(), b);
+        sys.check_consistency().unwrap();
+        // Moving to the same cluster is a no-op.
+        sys.move_node(node, b);
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn detach_then_attach_roundtrip() {
+        let mut sys = small_system(6);
+        let node = sys.node_ids()[0];
+        let home = sys.node_cluster(node).unwrap();
+        let honest = sys.is_honest(node).unwrap();
+        assert_eq!(sys.detach_node(node).unwrap(), honest);
+        assert!(matches!(
+            sys.node_cluster(node),
+            Err(NowError::UnknownNode { .. })
+        ));
+        sys.attach_node(node, honest, home);
+        assert_eq!(sys.node_cluster(node).unwrap(), home);
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn rand_num_in_is_in_range_and_accounted() {
+        let mut sys = small_system(8);
+        let c = sys.cluster_ids()[0];
+        let before = sys.ledger().stats(CostKind::RandNum);
+        for _ in 0..32 {
+            let v = sys.rand_num_in(c, 17, crate::malice::RandNumPurpose::Generic);
+            assert!(v < 17);
+        }
+        let after = sys.ledger().stats(CostKind::RandNum);
+        assert_eq!(after.count - before.count, 32);
+        let size = sys.cluster(c).unwrap().size() as u64;
+        assert_eq!(after.max_messages, 2 * size * (size - 1));
+    }
+
+    #[test]
+    fn contact_cluster_is_live() {
+        let mut sys = small_system(9);
+        for _ in 0..10 {
+            let c = sys.contact_cluster();
+            assert!(sys.cluster(c).is_some());
+        }
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let sys = small_system(10);
+        let ghost = NodeId::from_raw(10_000);
+        assert!(matches!(
+            sys.node_cluster(ghost),
+            Err(NowError::UnknownNode { .. })
+        ));
+        assert!(matches!(
+            sys.is_honest(ghost),
+            Err(NowError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn debug_output_is_informative() {
+        let sys = small_system(11);
+        let dbg = format!("{sys:?}");
+        assert!(dbg.contains("population"));
+        assert!(dbg.contains("clusters"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Mixing-time estimation and graph export.
+//!
+//! The paper's `randCl` cost hinges on how fast the CTRW mixes on the
+//! overlay — its "walks of length O(log²n)" is a worst-case budget.
+//! These utilities measure the actual mixing profile (empirical TV
+//! distance vs walk duration, spectral relaxation time) so experiment
+//! X-RC can place the operating point, and export overlays to GraphViz
+//! for inspection.
+
+use crate::graph::Graph;
+use crate::spectral::{algebraic_connectivity, SpectralOptions};
+use crate::walks::{endpoint_distribution, total_variation, uniform_distribution};
+use rand::Rng;
+use std::fmt::Write as _;
+
+/// One point of a mixing profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixingPoint {
+    /// CTRW duration.
+    pub duration: f64,
+    /// Empirical total-variation distance from uniform.
+    pub tv: f64,
+}
+
+/// Empirical mixing profile: TV distance from uniform after CTRWs of
+/// each duration in `durations`, from the worst of `starts` (the
+/// profile takes the max over start vertices, matching the worst-case
+/// definition of mixing time).
+pub fn mixing_profile<R: Rng>(
+    g: &Graph,
+    starts: &[usize],
+    durations: &[f64],
+    trials: usize,
+    rng: &mut R,
+) -> Vec<MixingPoint> {
+    let target = uniform_distribution(g.vertex_count());
+    durations
+        .iter()
+        .map(|&duration| {
+            let mut worst = 0.0f64;
+            for &s in starts {
+                let emp = endpoint_distribution(g, s, duration, trials, rng);
+                worst = worst.max(total_variation(&emp, &target));
+            }
+            MixingPoint { duration, tv: worst }
+        })
+        .collect()
+}
+
+/// Spectral relaxation time of the CTRW: `1/λ₂` of the combinatorial
+/// Laplacian (per-edge rate 1). TV from uniform decays like
+/// `√n · e^{−λ₂ t}`, so duration `≈ relaxation · ln(n/ε²)/2` suffices
+/// for TV ≤ ε. Returns `f64::INFINITY` for disconnected graphs.
+pub fn relaxation_time(g: &Graph) -> f64 {
+    let l2 = algebraic_connectivity(g, SpectralOptions::default());
+    if l2 <= 1e-12 {
+        f64::INFINITY
+    } else {
+        1.0 / l2
+    }
+}
+
+/// Duration sufficient for TV ≤ `eps` by the spectral bound (see
+/// [`relaxation_time`]); `f64::INFINITY` if disconnected.
+pub fn sufficient_duration(g: &Graph, eps: f64) -> f64 {
+    let n = g.vertex_count().max(2) as f64;
+    let relax = relaxation_time(g);
+    if !relax.is_finite() {
+        return f64::INFINITY;
+    }
+    relax * ((n.sqrt() / eps.max(1e-9)).ln()).max(0.0)
+}
+
+/// Renders the graph in GraphViz DOT format (undirected), with optional
+/// per-vertex labels.
+pub fn to_dot(g: &Graph, labels: Option<&[String]>) -> String {
+    let mut out = String::from("graph overlay {\n  node [shape=circle];\n");
+    for v in 0..g.vertex_count() {
+        let label = labels
+            .and_then(|l| l.get(v))
+            .cloned()
+            .unwrap_or_else(|| v.to_string());
+        let _ = writeln!(out, "  v{v} [label=\"{label}\"];");
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  v{u} -- v{v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use now_net::DetRng;
+
+    #[test]
+    fn profile_is_monotone_decreasing_on_expander() {
+        let mut rng = DetRng::new(1);
+        let g = gen::erdos_renyi(40, 0.25, &mut rng);
+        let profile = mixing_profile(&g, &[0, 7], &[0.1, 1.0, 8.0], 4000, &mut rng);
+        assert_eq!(profile.len(), 3);
+        assert!(
+            profile[0].tv > profile[2].tv,
+            "short walks should be further from uniform: {profile:?}"
+        );
+        assert!(profile[2].tv < 0.1, "long walks must mix: {profile:?}");
+    }
+
+    #[test]
+    fn relaxation_time_matches_known_graphs() {
+        // K_n: λ₂ = n → relaxation 1/n.
+        let g = gen::complete(8);
+        assert!((relaxation_time(&g) - 1.0 / 8.0).abs() < 1e-6);
+        // Disconnected: infinite.
+        let mut h = Graph::new(4);
+        h.add_edge(0, 1);
+        assert!(relaxation_time(&h).is_infinite());
+    }
+
+    #[test]
+    fn sufficient_duration_actually_suffices() {
+        let mut rng = DetRng::new(2);
+        let g = gen::erdos_renyi(30, 0.3, &mut rng);
+        let t = sufficient_duration(&g, 0.05);
+        assert!(t.is_finite());
+        let profile = mixing_profile(&g, &[0], &[t], 20_000, &mut rng);
+        // Empirical TV ≤ eps + sampling noise.
+        let noise = (30.0f64 / (2.0 * std::f64::consts::PI * 20_000.0)).sqrt();
+        assert!(
+            profile[0].tv <= 0.05 + 3.0 * noise,
+            "TV {} at spectral duration {t}",
+            profile[0].tv
+        );
+    }
+
+    #[test]
+    fn dot_export_shape() {
+        let g = gen::path(3);
+        let dot = to_dot(&g, None);
+        assert!(dot.starts_with("graph overlay {"));
+        assert!(dot.contains("v0 -- v1;"));
+        assert!(dot.contains("v1 -- v2;"));
+        assert!(dot.ends_with("}\n"));
+        let labeled = to_dot(&g, Some(&["a".into(), "b".into(), "c".into()]));
+        assert!(labeled.contains("label=\"b\""));
+    }
+}

@@ -1,0 +1,241 @@
+//! Event-driven asynchronous network.
+//!
+//! The paper assumes synchrony and lists removing that assumption as
+//! future work (§6: *"We currently seek schemes to alleviate the need
+//! of the assumption of synchronous nodes."*). This module provides the
+//! substrate for that extension: a network with **no rounds** — every
+//! message is delivered at an adversarially chosen (but bounded, hence
+//! eventual) virtual time, and protocols react to single deliveries
+//! instead of round barriers.
+//!
+//! The delay bound `max_delay` is a simulation horizon, not a protocol
+//! assumption: the asynchronous protocols built on this net
+//! (`now_agreement::ben_or`) never read the clock; they are safe under
+//! any scheduling and live under eventual delivery, which the bound
+//! guarantees in finite simulated time.
+//!
+//! As with [`crate::Bus`], the true sender is stamped on every envelope
+//! (identities are unforgeable) and dead ports neither send nor receive.
+
+use crate::bus::Envelope;
+use crate::rng::DetRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Asynchronous network over `n` ports with bounded adversarial delays.
+///
+/// # Example
+/// ```
+/// use now_net::{AsyncNet, DetRng};
+/// let mut rng = DetRng::new(1);
+/// let mut net: AsyncNet<u32> = AsyncNet::new(2, 10);
+/// net.send(0, 1, 7, &mut rng);
+/// let (time, env) = net.pop().expect("one message in flight");
+/// assert!(time >= 1 && time <= 10);
+/// assert_eq!((env.from, env.to, env.payload), (0, 1, 7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsyncNet<M> {
+    queue: BTreeMap<(u64, u64), Envelope<M>>,
+    now: u64,
+    seq: u64,
+    max_delay: u64,
+    alive: Vec<bool>,
+    messages_sent: u64,
+    delivered: u64,
+}
+
+impl<M: Clone> AsyncNet<M> {
+    /// Creates an asynchronous net with `n` live ports and delays drawn
+    /// from `1..=max_delay`.
+    ///
+    /// # Panics
+    /// Panics if `max_delay == 0`.
+    pub fn new(n: usize, max_delay: u64) -> Self {
+        assert!(max_delay > 0, "delay bound must be positive");
+        AsyncNet {
+            queue: BTreeMap::new(),
+            now: 0,
+            seq: 0,
+            max_delay,
+            alive: vec![true; n],
+            messages_sent: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Current virtual time (the timestamp of the last delivery).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Total messages accepted so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Marks a port dead (its in-flight and future traffic is dropped)
+    /// or alive again.
+    pub fn set_alive(&mut self, port: usize, alive: bool) {
+        if let Some(slot) = self.alive.get_mut(port) {
+            *slot = alive;
+        }
+    }
+
+    /// Queues a message with a uniformly random delay in
+    /// `1..=max_delay`. Traffic from or to dead/unknown ports is
+    /// silently dropped (as on [`crate::Bus`]).
+    pub fn send(&mut self, from: usize, to: usize, payload: M, rng: &mut DetRng) {
+        let delay = rng.gen_range(1..=self.max_delay);
+        self.send_with_delay(from, to, payload, delay);
+    }
+
+    /// Queues a message with an explicit delay — the hook for an
+    /// adversarial scheduler (clamped to `1..=max_delay`: delivery is
+    /// eventual).
+    pub fn send_with_delay(&mut self, from: usize, to: usize, payload: M, delay: u64) {
+        if from >= self.alive.len() || to >= self.alive.len() {
+            return;
+        }
+        if !self.alive[from] || !self.alive[to] {
+            return;
+        }
+        let delay = delay.clamp(1, self.max_delay);
+        self.messages_sent += 1;
+        self.seq += 1;
+        self.queue
+            .insert((self.now + delay, self.seq), Envelope { from, to, payload });
+    }
+
+    /// Sends to every other live port with independent random delays.
+    pub fn broadcast(&mut self, from: usize, payload: M, rng: &mut DetRng) {
+        for to in 0..self.alive.len() {
+            if to != from {
+                self.send(from, to, payload.clone(), rng);
+            }
+        }
+    }
+
+    /// Delivers the earliest in-flight message, advancing virtual time
+    /// to its timestamp. Returns `None` when nothing is in flight.
+    /// Messages addressed to ports that died after sending are dropped
+    /// (the pop proceeds to the next message).
+    pub fn pop(&mut self) -> Option<(u64, Envelope<M>)> {
+        while let Some((&key, _)) = self.queue.iter().next() {
+            let env = self.queue.remove(&key).expect("key just observed");
+            self.now = key.0;
+            if self.alive.get(env.to).copied().unwrap_or(false) {
+                self.delivered += 1;
+                return Some((key.0, env));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_order_is_by_virtual_time() {
+        let mut net: AsyncNet<u8> = AsyncNet::new(3, 100);
+        net.send_with_delay(0, 1, 10, 50);
+        net.send_with_delay(0, 2, 20, 5);
+        net.send_with_delay(1, 2, 30, 20);
+        let times: Vec<(u64, u8)> = std::iter::from_fn(|| net.pop())
+            .map(|(t, e)| (t, e.payload))
+            .collect();
+        assert_eq!(times, vec![(5, 20), (20, 30), (50, 10)]);
+    }
+
+    #[test]
+    fn time_only_advances() {
+        let mut net: AsyncNet<u8> = AsyncNet::new(2, 10);
+        let mut rng = DetRng::new(1);
+        for _ in 0..20 {
+            net.send(0, 1, 0, &mut rng);
+        }
+        let mut last = 0;
+        while let Some((t, _)) = net.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+        assert_eq!(net.delivered(), 20);
+    }
+
+    #[test]
+    fn delays_respect_the_bound() {
+        let mut net: AsyncNet<u8> = AsyncNet::new(2, 7);
+        let mut rng = DetRng::new(2);
+        for _ in 0..50 {
+            net.send(0, 1, 0, &mut rng);
+        }
+        while let Some((t, _)) = net.pop() {
+            assert!(t <= 7, "all sent at time 0 with max_delay 7");
+        }
+    }
+
+    #[test]
+    fn explicit_delay_is_clamped() {
+        let mut net: AsyncNet<u8> = AsyncNet::new(2, 5);
+        net.send_with_delay(0, 1, 1, 0); // clamped up to 1
+        net.send_with_delay(0, 1, 2, 999); // clamped down to 5
+        let (t1, _) = net.pop().unwrap();
+        let (t2, _) = net.pop().unwrap();
+        assert_eq!(t1, 1);
+        assert_eq!(t2, 5);
+    }
+
+    #[test]
+    fn dead_ports_drop_traffic() {
+        let mut net: AsyncNet<u8> = AsyncNet::new(3, 10);
+        net.set_alive(1, false);
+        net.send_with_delay(1, 0, 1, 1); // dead sender
+        net.send_with_delay(0, 1, 2, 1); // dead recipient
+        assert_eq!(net.messages_sent(), 0);
+        assert!(net.pop().is_none());
+        // Dying *after* send also drops at delivery.
+        net.send_with_delay(0, 2, 3, 1);
+        net.set_alive(2, false);
+        assert!(net.pop().is_none());
+    }
+
+    #[test]
+    fn sender_is_stamped() {
+        let mut net: AsyncNet<&'static str> = AsyncNet::new(2, 3);
+        net.send_with_delay(1, 0, "pretending to be 0", 1);
+        let (_, env) = net.pop().unwrap();
+        assert_eq!(env.from, 1);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_live() {
+        let mut net: AsyncNet<u8> = AsyncNet::new(4, 10);
+        let mut rng = DetRng::new(3);
+        net.set_alive(3, false);
+        net.broadcast(0, 9, &mut rng);
+        assert_eq!(net.messages_sent(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay bound")]
+    fn zero_delay_bound_rejected() {
+        let _: AsyncNet<u8> = AsyncNet::new(2, 0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Synchronous round-based message bus.
+//!
+//! Models the paper's network: messages sent in round `r` over private
+//! channels are delivered at the start of round `r+1`; a time step is
+//! composed of several such rounds. Protocol state machines in
+//! `now-agreement` and the initialization phase of `now-core` run on this
+//! bus (fidelity level L0).
+//!
+//! Ports are dense `usize` indices local to one protocol execution; the
+//! caller maps ports to global [`crate::NodeId`]s. The bus stamps every
+//! envelope with the true sender port, so a Byzantine node may *say*
+//! anything but cannot *impersonate* anyone — matching the paper's
+//! unforgeable-identity assumption.
+
+use crate::error::NetError;
+
+/// A message in flight or delivered, stamped with its true sender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// True sender port (stamped by the bus, not claimable).
+    pub from: usize,
+    /// Destination port.
+    pub to: usize,
+    /// Protocol payload.
+    pub payload: M,
+}
+
+/// Synchronous message bus over `n` ports.
+///
+/// # Example
+/// ```
+/// use now_net::Bus;
+/// let mut bus: Bus<u32> = Bus::new(2);
+/// bus.send(0, 1, 7);
+/// assert!(bus.recv(1).is_empty()); // not delivered until step()
+/// bus.step();
+/// assert_eq!(bus.recv(1), vec![(0, 7)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bus<M> {
+    inboxes: Vec<Vec<(usize, M)>>,
+    pending: Vec<Envelope<M>>,
+    alive: Vec<bool>,
+    round: u64,
+    messages_sent: u64,
+}
+
+impl<M: Clone> Bus<M> {
+    /// Creates a bus with `n` live ports and no messages in flight.
+    pub fn new(n: usize) -> Self {
+        Bus {
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            pending: Vec::new(),
+            alive: vec![true; n],
+            round: 0,
+            messages_sent: 0,
+        }
+    }
+
+    /// Number of ports (live or dead).
+    pub fn ports(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// Current round number (increments on every [`Bus::step`]).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Total messages accepted for delivery so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Whether `port` is alive (dead ports neither send nor receive —
+    /// this models the paper's leave/crash detection: a silent neighbor).
+    pub fn is_alive(&self, port: usize) -> bool {
+        self.alive.get(port).copied().unwrap_or(false)
+    }
+
+    /// Marks a port dead (left/crashed) or alive again (rejoined slot).
+    ///
+    /// # Errors
+    /// Returns [`NetError::UnknownPort`] if `port` is out of range.
+    pub fn set_alive(&mut self, port: usize, alive: bool) -> Result<(), NetError> {
+        let slot = self
+            .alive
+            .get_mut(port)
+            .ok_or(NetError::UnknownPort { port })?;
+        *slot = alive;
+        if !alive {
+            self.inboxes[port].clear();
+        }
+        Ok(())
+    }
+
+    /// Queues a message for delivery at the next [`Bus::step`].
+    ///
+    /// Silently drops traffic from or to dead ports (a crashed node's
+    /// in-flight messages are lost; sending to a departed neighbor is a
+    /// no-op, which is how the sender *detects* the departure at the
+    /// protocol layer). Out-of-range ports are also dropped; protocols
+    /// iterate over their known participant set, so this models stale
+    /// views rather than programming errors.
+    pub fn send(&mut self, from: usize, to: usize, payload: M) {
+        if from >= self.alive.len() || to >= self.alive.len() {
+            return;
+        }
+        if !self.alive[from] || !self.alive[to] {
+            return;
+        }
+        self.messages_sent += 1;
+        self.pending.push(Envelope { from, to, payload });
+    }
+
+    /// Sends `payload` from `from` to every other live port.
+    pub fn broadcast(&mut self, from: usize, payload: M) {
+        for to in 0..self.alive.len() {
+            if to != from {
+                self.send(from, to, payload.clone());
+            }
+        }
+    }
+
+    /// Sends `payload` from `from` to each port in `targets`.
+    pub fn multicast(&mut self, from: usize, targets: &[usize], payload: M) {
+        for &to in targets {
+            if to != from {
+                self.send(from, to, payload.clone());
+            }
+        }
+    }
+
+    /// Advances one communication round: all queued messages become
+    /// available to their recipients.
+    pub fn step(&mut self) {
+        self.round += 1;
+        for env in self.pending.drain(..) {
+            if env.to < self.alive.len() && self.alive[env.to] {
+                self.inboxes[env.to].push((env.from, env.payload));
+            }
+        }
+    }
+
+    /// Drains and returns the inbox of `port` as `(sender, payload)`
+    /// pairs, in arrival order. Returns an empty vector for dead or
+    /// unknown ports.
+    pub fn recv(&mut self, port: usize) -> Vec<(usize, M)> {
+        match self.inboxes.get_mut(port) {
+            Some(inbox) => std::mem::take(inbox),
+            None => Vec::new(),
+        }
+    }
+
+    /// Peeks at the inbox of `port` without draining it.
+    pub fn peek(&self, port: usize) -> &[(usize, M)] {
+        self.inboxes.get(port).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of messages currently queued for delivery at next step.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Indices of all live ports.
+    pub fn live_ports(&self) -> Vec<usize> {
+        (0..self.alive.len()).filter(|&p| self.alive[p]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_is_delayed_one_round() {
+        let mut bus: Bus<u8> = Bus::new(3);
+        bus.send(0, 2, 9);
+        assert_eq!(bus.in_flight(), 1);
+        assert!(bus.recv(2).is_empty());
+        bus.step();
+        assert_eq!(bus.recv(2), vec![(0, 9)]);
+        assert!(bus.recv(2).is_empty(), "recv drains");
+    }
+
+    #[test]
+    fn sender_identity_is_stamped() {
+        let mut bus: Bus<&'static str> = Bus::new(2);
+        // Even if the payload *claims* to be from someone else, the
+        // envelope records the true sender.
+        bus.send(1, 0, "i am node 0, honest!");
+        bus.step();
+        let got = bus.recv(0);
+        assert_eq!(got[0].0, 1);
+    }
+
+    #[test]
+    fn dead_ports_neither_send_nor_receive() {
+        let mut bus: Bus<u8> = Bus::new(3);
+        bus.set_alive(1, false).unwrap();
+        bus.send(1, 0, 1); // dropped: dead sender
+        bus.send(0, 1, 2); // dropped: dead recipient
+        bus.step();
+        assert!(bus.recv(0).is_empty());
+        assert!(bus.recv(1).is_empty());
+        assert_eq!(bus.messages_sent(), 0);
+    }
+
+    #[test]
+    fn killing_port_clears_its_inbox_and_inflight_is_dropped() {
+        let mut bus: Bus<u8> = Bus::new(2);
+        bus.send(0, 1, 5);
+        bus.step();
+        // Message delivered; now node 1 dies before reading.
+        bus.set_alive(1, false).unwrap();
+        assert!(bus.recv(1).is_empty());
+        // In-flight to a node that dies mid-round is dropped at delivery.
+        bus.set_alive(1, true).unwrap();
+        bus.send(0, 1, 6);
+        bus.set_alive(1, false).unwrap();
+        bus.step();
+        bus.set_alive(1, true).unwrap();
+        assert!(bus.recv(1).is_empty());
+    }
+
+    #[test]
+    fn broadcast_reaches_all_live_ports() {
+        let mut bus: Bus<u8> = Bus::new(4);
+        bus.set_alive(3, false).unwrap();
+        bus.broadcast(0, 7);
+        bus.step();
+        assert_eq!(bus.recv(1), vec![(0, 7)]);
+        assert_eq!(bus.recv(2), vec![(0, 7)]);
+        assert!(bus.recv(3).is_empty());
+        assert!(bus.recv(0).is_empty(), "no self-delivery");
+        assert_eq!(bus.messages_sent(), 2);
+    }
+
+    #[test]
+    fn multicast_hits_targets_only() {
+        let mut bus: Bus<u8> = Bus::new(4);
+        bus.multicast(0, &[1, 3], 1);
+        bus.step();
+        assert_eq!(bus.recv(1).len(), 1);
+        assert!(bus.recv(2).is_empty());
+        assert_eq!(bus.recv(3).len(), 1);
+    }
+
+    #[test]
+    fn round_counter_advances() {
+        let mut bus: Bus<u8> = Bus::new(1);
+        assert_eq!(bus.round(), 0);
+        bus.step();
+        bus.step();
+        assert_eq!(bus.round(), 2);
+    }
+
+    #[test]
+    fn out_of_range_ports_are_dropped_not_panicking() {
+        let mut bus: Bus<u8> = Bus::new(2);
+        bus.send(0, 99, 1);
+        bus.send(99, 0, 1);
+        bus.step();
+        assert!(bus.recv(0).is_empty());
+        assert_eq!(bus.messages_sent(), 0);
+    }
+
+    #[test]
+    fn set_alive_unknown_port_errors() {
+        let mut bus: Bus<u8> = Bus::new(1);
+        assert!(matches!(
+            bus.set_alive(5, false),
+            Err(NetError::UnknownPort { port: 5 })
+        ));
+    }
+
+    #[test]
+    fn live_ports_lists_alive_only() {
+        let mut bus: Bus<u8> = Bus::new(3);
+        bus.set_alive(1, false).unwrap();
+        assert_eq!(bus.live_ports(), vec![0, 2]);
+    }
+
+    #[test]
+    fn peek_does_not_drain() {
+        let mut bus: Bus<u8> = Bus::new(2);
+        bus.send(0, 1, 3);
+        bus.step();
+        assert_eq!(bus.peek(1).len(), 1);
+        assert_eq!(bus.recv(1).len(), 1);
+    }
+
+    #[test]
+    fn messages_preserve_arrival_order() {
+        let mut bus: Bus<u8> = Bus::new(3);
+        bus.send(0, 2, 1);
+        bus.send(1, 2, 2);
+        bus.send(0, 2, 3);
+        bus.step();
+        let payloads: Vec<u8> = bus.recv(2).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(payloads, vec![1, 2, 3]);
+    }
+}

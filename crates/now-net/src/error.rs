@@ -1,0 +1,43 @@
+//! Error types for the network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the network substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A port index outside the bus's range was addressed by an operation
+    /// that requires an existing port (e.g. liveness control).
+    UnknownPort {
+        /// The offending port index.
+        port: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownPort { port } => write!(f, "unknown bus port {port}"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = NetError::UnknownPort { port: 3 };
+        assert_eq!(e.to_string(), "unknown bus port 3");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetError>();
+    }
+}

@@ -1,0 +1,440 @@
+//! Exact message/round accounting.
+//!
+//! The paper's complexity claims are about *numbers of messages* (of
+//! identical size) and *communication rounds*. The [`Ledger`] records both
+//! with nested operation spans: when `exchange` calls `randCl`, which in
+//! turn runs one `randNum` per hop, each message is attributed to every
+//! open span, so `exchange`'s recorded cost includes its sub-protocols —
+//! exactly how the paper states "exchange costs O(log⁶N)" (inclusive of
+//! the `randCl` invocations inside it).
+
+use std::fmt;
+
+/// Category of protocol activity a cost is attributed to.
+///
+/// One variant per primitive/operation named in the paper, plus
+/// application-level categories for the §6 claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CostKind {
+    /// Intra-cluster distributed random number generation (`randNum`).
+    RandNum,
+    /// Biased continuous-time random walk cluster selection (`randCl`).
+    RandCl,
+    /// The node-shuffling primitive (`exchange`).
+    Exchange,
+    /// NOW `join` operation (Algorithm 1).
+    Join,
+    /// NOW `leave` operation (Algorithm 2).
+    Leave,
+    /// NOW `split` operation.
+    Split,
+    /// NOW `merge` operation.
+    Merge,
+    /// A batch of join/leave operations executed within one time step
+    /// (the paper's footnote: "the analysis can be generalized to
+    /// several parallel join and leave operations"). The span's rounds
+    /// are the *serial* sum; the parallel (max-over-ops) round count is
+    /// reported by the batch API itself.
+    Batch,
+    /// Initialization: network discovery flooding.
+    Discovery,
+    /// Initialization: agreement + random partition into clusters.
+    Clusterization,
+    /// OVER overlay maintenance (`Add`/`Remove`, edge regulation).
+    Overlay,
+    /// Byzantine agreement / broadcast substrate runs.
+    Agreement,
+    /// Application: overlay broadcast (§6).
+    Broadcast,
+    /// Application: uniform sampling (§6).
+    Sampling,
+    /// Application: aggregation (§6).
+    Aggregation,
+    /// Anything else (tests, ad-hoc harness activity).
+    Other,
+}
+
+impl CostKind {
+    /// All variants, for iteration in reports.
+    pub const ALL: [CostKind; 16] = [
+        CostKind::RandNum,
+        CostKind::RandCl,
+        CostKind::Exchange,
+        CostKind::Join,
+        CostKind::Leave,
+        CostKind::Split,
+        CostKind::Merge,
+        CostKind::Batch,
+        CostKind::Discovery,
+        CostKind::Clusterization,
+        CostKind::Overlay,
+        CostKind::Agreement,
+        CostKind::Broadcast,
+        CostKind::Sampling,
+        CostKind::Aggregation,
+        CostKind::Other,
+    ];
+
+    /// Stable short name used in CSV headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostKind::RandNum => "rand_num",
+            CostKind::RandCl => "rand_cl",
+            CostKind::Exchange => "exchange",
+            CostKind::Join => "join",
+            CostKind::Leave => "leave",
+            CostKind::Split => "split",
+            CostKind::Merge => "merge",
+            CostKind::Batch => "batch",
+            CostKind::Discovery => "discovery",
+            CostKind::Clusterization => "clusterization",
+            CostKind::Overlay => "overlay",
+            CostKind::Agreement => "agreement",
+            CostKind::Broadcast => "broadcast",
+            CostKind::Sampling => "sampling",
+            CostKind::Aggregation => "aggregation",
+            CostKind::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for CostKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A message/round cost pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cost {
+    /// Number of (identical-size) messages exchanged.
+    pub messages: u64,
+    /// Number of sequential communication rounds.
+    pub rounds: u64,
+}
+
+impl Cost {
+    /// Zero cost.
+    pub const ZERO: Cost = Cost {
+        messages: 0,
+        rounds: 0,
+    };
+
+    /// Component-wise sum.
+    pub fn plus(self, other: Cost) -> Cost {
+        Cost {
+            messages: self.messages + other.messages,
+            rounds: self.rounds + other.rounds,
+        }
+    }
+}
+
+impl std::ops::Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        self.plus(rhs)
+    }
+}
+
+impl std::ops::AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = self.plus(rhs);
+    }
+}
+
+/// A completed top-level or nested operation with its inclusive cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// What ran.
+    pub kind: CostKind,
+    /// Inclusive cost (sub-operations counted in).
+    pub cost: Cost,
+    /// Nesting depth at which the span ran (0 = top level).
+    pub depth: usize,
+}
+
+/// Aggregate statistics for one [`CostKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostStats {
+    /// Number of completed spans of this kind.
+    pub count: u64,
+    /// Sum of inclusive message costs.
+    pub total_messages: u64,
+    /// Sum of inclusive round costs.
+    pub total_rounds: u64,
+    /// Maximum inclusive message cost of a single span.
+    pub max_messages: u64,
+    /// Maximum inclusive round cost of a single span.
+    pub max_rounds: u64,
+}
+
+impl CostStats {
+    /// Mean messages per span (0 if none recorded).
+    pub fn mean_messages(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_messages as f64 / self.count as f64
+        }
+    }
+
+    /// Mean rounds per span (0 if none recorded).
+    pub fn mean_rounds(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_rounds as f64 / self.count as f64
+        }
+    }
+
+    fn absorb(&mut self, cost: Cost) {
+        self.count += 1;
+        self.total_messages += cost.messages;
+        self.total_rounds += cost.rounds;
+        self.max_messages = self.max_messages.max(cost.messages);
+        self.max_rounds = self.max_rounds.max(cost.rounds);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Span {
+    kind: CostKind,
+    cost: Cost,
+}
+
+/// Nested-span message/round accountant.
+///
+/// Costs added while a span is open are attributed to *every* open span
+/// (inclusive accounting) and to the global totals once.
+///
+/// # Example
+/// ```
+/// use now_net::{Ledger, CostKind};
+/// let mut l = Ledger::new();
+/// l.begin(CostKind::Exchange);
+/// l.begin(CostKind::RandCl);
+/// l.add_messages(10);
+/// l.add_rounds(2);
+/// let inner = l.end();          // randCl cost
+/// l.add_messages(5);
+/// let outer = l.end();          // exchange cost includes randCl
+/// assert_eq!(inner.messages, 10);
+/// assert_eq!(outer.messages, 15);
+/// assert_eq!(l.total().messages, 15);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    stack: Vec<Span>,
+    total: Cost,
+    stats: std::collections::BTreeMap<CostKind, CostStats>,
+    records: Vec<OpRecord>,
+    keep_records: bool,
+}
+
+impl Ledger {
+    /// Creates an empty ledger that keeps aggregate stats only.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Creates a ledger that additionally retains every [`OpRecord`]
+    /// (used by experiments that need per-operation distributions).
+    pub fn recording() -> Self {
+        Ledger {
+            keep_records: true,
+            ..Ledger::default()
+        }
+    }
+
+    /// Opens a new span of the given kind (may nest).
+    pub fn begin(&mut self, kind: CostKind) {
+        self.stack.push(Span {
+            kind,
+            cost: Cost::ZERO,
+        });
+    }
+
+    /// Closes the innermost span, folds its stats, and returns its
+    /// inclusive cost.
+    ///
+    /// # Panics
+    /// Panics if no span is open (an unbalanced `begin`/`end` is a
+    /// programming error in protocol code).
+    pub fn end(&mut self) -> Cost {
+        let span = self
+            .stack
+            .pop()
+            .expect("Ledger::end called with no open span");
+        self.stats.entry(span.kind).or_default().absorb(span.cost);
+        if self.keep_records {
+            self.records.push(OpRecord {
+                kind: span.kind,
+                cost: span.cost,
+                depth: self.stack.len(),
+            });
+        }
+        span.cost
+    }
+
+    /// Adds `n` messages to the global total and every open span.
+    pub fn add_messages(&mut self, n: u64) {
+        self.total.messages += n;
+        for span in &mut self.stack {
+            span.cost.messages += n;
+        }
+    }
+
+    /// Adds `n` sequential rounds to the global total and every open span.
+    pub fn add_rounds(&mut self, n: u64) {
+        self.total.rounds += n;
+        for span in &mut self.stack {
+            span.cost.rounds += n;
+        }
+    }
+
+    /// Convenience: `add_messages` + `add_rounds` in one call.
+    pub fn add(&mut self, cost: Cost) {
+        self.add_messages(cost.messages);
+        self.add_rounds(cost.rounds);
+    }
+
+    /// Global total across all activity.
+    pub fn total(&self) -> Cost {
+        self.total
+    }
+
+    /// Aggregate statistics for one kind (zero stats if never seen).
+    pub fn stats(&self, kind: CostKind) -> CostStats {
+        self.stats.get(&kind).copied().unwrap_or_default()
+    }
+
+    /// All retained per-operation records (empty unless constructed with
+    /// [`Ledger::recording`]).
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Discards retained records (aggregates are kept).
+    pub fn clear_records(&mut self) {
+        self.records.clear();
+    }
+
+    /// Number of currently open spans.
+    pub fn open_spans(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// True if no span is currently open (useful as a sanity assertion
+    /// between time steps).
+    pub fn is_balanced(&self) -> bool {
+        self.stack.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_accumulate_inclusively() {
+        let mut l = Ledger::new();
+        l.begin(CostKind::Join);
+        l.add_messages(1);
+        l.begin(CostKind::RandCl);
+        l.add_messages(2);
+        l.add_rounds(1);
+        let inner = l.end();
+        l.add_messages(4);
+        let outer = l.end();
+        assert_eq!(inner, Cost { messages: 2, rounds: 1 });
+        assert_eq!(outer, Cost { messages: 7, rounds: 1 });
+        assert_eq!(l.total(), Cost { messages: 7, rounds: 1 });
+    }
+
+    #[test]
+    fn stats_track_count_mean_max() {
+        let mut l = Ledger::new();
+        for msgs in [10u64, 20, 30] {
+            l.begin(CostKind::Exchange);
+            l.add_messages(msgs);
+            l.add_rounds(2);
+            l.end();
+        }
+        let s = l.stats(CostKind::Exchange);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_messages, 60);
+        assert_eq!(s.max_messages, 30);
+        assert!((s.mean_messages() - 20.0).abs() < 1e-12);
+        assert_eq!(s.total_rounds, 6);
+        assert_eq!(s.max_rounds, 2);
+    }
+
+    #[test]
+    fn unseen_kind_has_zero_stats() {
+        let l = Ledger::new();
+        let s = l.stats(CostKind::Merge);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_messages(), 0.0);
+    }
+
+    #[test]
+    fn recording_ledger_keeps_records_with_depth() {
+        let mut l = Ledger::recording();
+        l.begin(CostKind::Join);
+        l.begin(CostKind::RandCl);
+        l.add_messages(3);
+        l.end();
+        l.end();
+        let recs = l.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].kind, CostKind::RandCl);
+        assert_eq!(recs[0].depth, 1);
+        assert_eq!(recs[1].kind, CostKind::Join);
+        assert_eq!(recs[1].depth, 0);
+        assert_eq!(recs[1].cost.messages, 3);
+    }
+
+    #[test]
+    fn non_recording_ledger_keeps_no_records() {
+        let mut l = Ledger::new();
+        l.begin(CostKind::Other);
+        l.end();
+        assert!(l.records().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no open span")]
+    fn unbalanced_end_panics() {
+        let mut l = Ledger::new();
+        let _ = l.end();
+    }
+
+    #[test]
+    fn balance_check() {
+        let mut l = Ledger::new();
+        assert!(l.is_balanced());
+        l.begin(CostKind::Other);
+        assert!(!l.is_balanced());
+        assert_eq!(l.open_spans(), 1);
+        l.end();
+        assert!(l.is_balanced());
+    }
+
+    #[test]
+    fn cost_arithmetic() {
+        let a = Cost { messages: 1, rounds: 2 };
+        let b = Cost { messages: 3, rounds: 4 };
+        assert_eq!(a + b, Cost { messages: 4, rounds: 6 });
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        assert_eq!(Cost::ZERO + a, a);
+    }
+
+    #[test]
+    fn kind_names_are_stable_and_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<&str> = CostKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), CostKind::ALL.len());
+    }
+}

@@ -1,0 +1,463 @@
+//! The overlay graph structure and its Add/Remove maintenance.
+
+use crate::audit::OverlayAudit;
+use crate::params::OverParams;
+use now_net::ClusterId;
+use now_graph::Graph;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The cluster overlay Ĝᴿ: an undirected graph keyed by [`ClusterId`],
+/// with structural enforcement of the degree cap and floor-repair on
+/// removals.
+///
+/// Neighbor selection for maintenance comes in two flavors:
+/// * `*_uniform` methods sample uniformly from the live vertices — the
+///   overlay-local stand-in used by overlay-only experiments and tests;
+/// * `*_with` methods accept caller-chosen candidates — `now-core`
+///   passes clusters drawn by `randCl` (size-biased walks), which is the
+///   protocol-faithful path.
+#[derive(Debug, Clone)]
+pub struct Overlay {
+    adj: BTreeMap<ClusterId, BTreeSet<ClusterId>>,
+    params: OverParams,
+    edges: usize,
+}
+
+impl Overlay {
+    /// Creates an empty overlay.
+    pub fn new(params: OverParams) -> Self {
+        Overlay {
+            adj: BTreeMap::new(),
+            params,
+            edges: 0,
+        }
+    }
+
+    /// Bootstraps the overlay on `ids` as a degree-normalized
+    /// Erdős–Rényi graph (each pair linked with
+    /// [`OverParams::init_edge_probability`]), then tops every vertex up
+    /// to the degree floor so no vertex starts isolated.
+    pub fn init_random<R: Rng>(ids: &[ClusterId], params: OverParams, rng: &mut R) -> Self {
+        let mut overlay = Overlay::new(params);
+        for &id in ids {
+            overlay.insert_vertex(id);
+        }
+        let p = params.init_edge_probability(ids.len());
+        if p > 0.0 {
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    if rng.gen_bool(p) {
+                        overlay.link(a, b);
+                    }
+                }
+            }
+        }
+        // Top up sparse vertices (tiny overlays and unlucky draws).
+        let vertices: Vec<ClusterId> = overlay.vertices().collect();
+        for v in vertices {
+            overlay.repair_floor(v, rng);
+        }
+        overlay
+    }
+
+    /// Static parameters.
+    pub fn params(&self) -> OverParams {
+        self.params
+    }
+
+    /// Number of vertices (clusters).
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of overlay edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Whether `id` is a live overlay vertex.
+    pub fn contains(&self, id: ClusterId) -> bool {
+        self.adj.contains_key(&id)
+    }
+
+    /// Iterator over live vertices in id order.
+    pub fn vertices(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Degree of `id` (0 if absent).
+    pub fn degree(&self, id: ClusterId) -> usize {
+        self.adj.get(&id).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Neighbors of `id` in id order (empty if absent).
+    pub fn neighbors(&self, id: ClusterId) -> Vec<ClusterId> {
+        self.adj
+            .get(&id)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether the overlay has the edge `{a, b}`.
+    pub fn has_edge(&self, a: ClusterId, b: ClusterId) -> bool {
+        self.adj.get(&a).is_some_and(|s| s.contains(&b))
+    }
+
+    /// Inserts an isolated vertex (no-op if present).
+    pub fn insert_vertex(&mut self, id: ClusterId) {
+        self.adj.entry(id).or_default();
+    }
+
+    /// Links `a`–`b` if both exist, are distinct, unlinked, and **both
+    /// below the degree cap**. Returns whether the edge was created.
+    pub fn link(&mut self, a: ClusterId, b: ClusterId) -> bool {
+        if a == b || !self.contains(a) || !self.contains(b) || self.has_edge(a, b) {
+            return false;
+        }
+        let cap = self.params.degree_cap();
+        if self.degree(a) >= cap || self.degree(b) >= cap {
+            return false;
+        }
+        self.adj.get_mut(&a).expect("checked").insert(b);
+        self.adj.get_mut(&b).expect("checked").insert(a);
+        self.edges += 1;
+        true
+    }
+
+    /// Removes the edge `{a, b}`; returns whether it existed.
+    pub fn unlink(&mut self, a: ClusterId, b: ClusterId) -> bool {
+        let Some(sa) = self.adj.get_mut(&a) else {
+            return false;
+        };
+        if !sa.remove(&b) {
+            return false;
+        }
+        self.adj.get_mut(&b).expect("symmetric adjacency").remove(&a);
+        self.edges -= 1;
+        true
+    }
+
+    /// OVER `Add` with caller-chosen neighbor candidates (in preference
+    /// order, normally produced by `randCl`). Links until the target
+    /// degree is reached or candidates run out; returns the neighbors
+    /// actually linked.
+    pub fn add_with_candidates(
+        &mut self,
+        id: ClusterId,
+        candidates: &[ClusterId],
+    ) -> Vec<ClusterId> {
+        self.insert_vertex(id);
+        let want = self.params.target_degree();
+        let mut linked = Vec::new();
+        for &c in candidates {
+            if linked.len() >= want {
+                break;
+            }
+            if self.link(id, c) {
+                linked.push(c);
+            }
+        }
+        linked
+    }
+
+    /// OVER `Add` with uniform sampling over existing vertices.
+    pub fn add_uniform<R: Rng>(&mut self, id: ClusterId, rng: &mut R) -> Vec<ClusterId> {
+        let pool: Vec<ClusterId> = self.vertices().filter(|&v| v != id).collect();
+        self.insert_vertex(id);
+        let want = self.params.target_degree().min(pool.len());
+        let mut linked = Vec::new();
+        let mut candidates = pool;
+        // Partial Fisher–Yates over the candidate pool.
+        let mut i = 0;
+        while linked.len() < want && i < candidates.len() {
+            let j = rng.gen_range(i..candidates.len());
+            candidates.swap(i, j);
+            if self.link(id, candidates[i]) {
+                linked.push(candidates[i]);
+            }
+            i += 1;
+        }
+        linked
+    }
+
+    /// OVER `Remove`: deletes `id` and its edges, then repairs every
+    /// former neighbor that fell below the degree floor by linking it to
+    /// fresh uniform vertices. Returns the former neighbors.
+    pub fn remove<R: Rng>(&mut self, id: ClusterId, rng: &mut R) -> Vec<ClusterId> {
+        let Some(nbrs) = self.adj.remove(&id) else {
+            return Vec::new();
+        };
+        self.edges -= nbrs.len();
+        for n in &nbrs {
+            self.adj.get_mut(n).expect("symmetric adjacency").remove(&id);
+        }
+        let former: Vec<ClusterId> = nbrs.into_iter().collect();
+        for &n in &former {
+            self.repair_floor(n, rng);
+        }
+        former
+    }
+
+    /// Tops `id` up to the degree floor with uniform random links (to
+    /// vertices below the cap). Returns how many edges were added.
+    pub fn repair_floor<R: Rng>(&mut self, id: ClusterId, rng: &mut R) -> usize {
+        if !self.contains(id) {
+            return 0;
+        }
+        let floor = self.params.degree_floor().min(self.vertex_count().saturating_sub(1));
+        let mut added = 0;
+        let mut pool: Vec<ClusterId> = self
+            .vertices()
+            .filter(|&v| v != id && !self.has_edge(id, v))
+            .collect();
+        let mut i = 0;
+        while self.degree(id) < floor && i < pool.len() {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+            if self.link(id, pool[i]) {
+                added += 1;
+            }
+            i += 1;
+        }
+        added
+    }
+
+    /// Exports a dense snapshot for analysis: the graph plus the
+    /// id-order index mapping (`index[i]` is the cluster at dense
+    /// vertex `i`).
+    pub fn to_dense(&self) -> (Graph, Vec<ClusterId>) {
+        let index: Vec<ClusterId> = self.vertices().collect();
+        let pos: BTreeMap<ClusterId, usize> =
+            index.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let mut g = Graph::new(index.len());
+        for (&v, nbrs) in &self.adj {
+            for &w in nbrs {
+                if v < w {
+                    g.add_edge(pos[&v], pos[&w]);
+                }
+            }
+        }
+        (g, index)
+    }
+
+    /// Measures the overlay against Properties 1–2 (see
+    /// [`OverlayAudit`]).
+    pub fn audit(&self) -> OverlayAudit {
+        OverlayAudit::measure(self)
+    }
+
+    /// Structural invariant check used by tests and debug assertions:
+    /// symmetry, no self-loops, consistent edge count, degree cap.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut count = 0usize;
+        for (&v, nbrs) in &self.adj {
+            if nbrs.contains(&v) {
+                return Err(format!("self-loop at {v}"));
+            }
+            if nbrs.len() > self.params.degree_cap() {
+                return Err(format!(
+                    "degree cap violated at {v}: {} > {}",
+                    nbrs.len(),
+                    self.params.degree_cap()
+                ));
+            }
+            for &w in nbrs {
+                if !self.adj.get(&w).is_some_and(|s| s.contains(&v)) {
+                    return Err(format!("asymmetric edge {v}–{w}"));
+                }
+                count += 1;
+            }
+        }
+        if count != 2 * self.edges {
+            return Err(format!(
+                "edge count drift: counted {count}, cached {}",
+                2 * self.edges
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_net::DetRng;
+    use proptest::prelude::*;
+
+    fn ids(n: u64) -> Vec<ClusterId> {
+        (0..n).map(ClusterId::from_raw).collect()
+    }
+
+    fn params() -> OverParams {
+        OverParams::for_capacity(1 << 12) // target degree 16 (12^1.1≈15.4)
+    }
+
+    #[test]
+    fn init_links_to_target_degree_on_average() {
+        let mut rng = DetRng::new(1);
+        let overlay = Overlay::init_random(&ids(200), params(), &mut rng);
+        overlay.check_invariants().unwrap();
+        let mean = 2.0 * overlay.edge_count() as f64 / overlay.vertex_count() as f64;
+        let target = params().target_degree() as f64;
+        assert!(
+            (mean - target).abs() < 0.25 * target,
+            "mean degree {mean}, target {target}"
+        );
+    }
+
+    #[test]
+    fn init_leaves_no_vertex_below_floor() {
+        let mut rng = DetRng::new(2);
+        let overlay = Overlay::init_random(&ids(100), params(), &mut rng);
+        let floor = params().degree_floor();
+        for v in overlay.vertices() {
+            assert!(
+                overlay.degree(v) >= floor.min(overlay.vertex_count() - 1),
+                "vertex {v} below floor: {}",
+                overlay.degree(v)
+            );
+        }
+    }
+
+    #[test]
+    fn add_uniform_reaches_target_degree() {
+        let mut rng = DetRng::new(3);
+        let mut overlay = Overlay::init_random(&ids(100), params(), &mut rng);
+        let newcomer = ClusterId::from_raw(999);
+        let linked = overlay.add_uniform(newcomer, &mut rng);
+        assert_eq!(linked.len(), params().target_degree());
+        assert_eq!(overlay.degree(newcomer), params().target_degree());
+        overlay.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn add_with_candidates_respects_preference_order() {
+        let mut rng = DetRng::new(4);
+        let mut overlay = Overlay::init_random(&ids(50), params(), &mut rng);
+        let newcomer = ClusterId::from_raw(999);
+        let candidates: Vec<ClusterId> = ids(50);
+        let linked = overlay.add_with_candidates(newcomer, &candidates);
+        assert_eq!(linked.len(), params().target_degree());
+        assert_eq!(linked, candidates[..linked.len()].to_vec());
+    }
+
+    #[test]
+    fn add_into_tiny_overlay_links_everyone() {
+        let mut rng = DetRng::new(5);
+        let mut overlay = Overlay::new(params());
+        overlay.insert_vertex(ClusterId::from_raw(0));
+        overlay.insert_vertex(ClusterId::from_raw(1));
+        let linked = overlay.add_uniform(ClusterId::from_raw(2), &mut rng);
+        assert_eq!(linked.len(), 2, "only 2 candidates exist");
+        overlay.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn link_refuses_cap_violation() {
+        let small = OverParams::new(16, 0.1, 2); // cap = 2·⌈4^1.1⌉ = 2·5 = 10
+        let cap = small.degree_cap();
+        let mut overlay = Overlay::new(small);
+        let hub = ClusterId::from_raw(0);
+        overlay.insert_vertex(hub);
+        for i in 1..=(cap as u64 + 5) {
+            overlay.insert_vertex(ClusterId::from_raw(i));
+        }
+        let mut linked = 0;
+        for i in 1..=(cap as u64 + 5) {
+            if overlay.link(hub, ClusterId::from_raw(i)) {
+                linked += 1;
+            }
+        }
+        assert_eq!(linked, cap);
+        assert_eq!(overlay.degree(hub), cap);
+        overlay.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn link_rejects_degenerate_cases() {
+        let mut overlay = Overlay::new(params());
+        let a = ClusterId::from_raw(0);
+        let b = ClusterId::from_raw(1);
+        overlay.insert_vertex(a);
+        assert!(!overlay.link(a, a), "self-loop");
+        assert!(!overlay.link(a, b), "absent endpoint");
+        overlay.insert_vertex(b);
+        assert!(overlay.link(a, b));
+        assert!(!overlay.link(a, b), "duplicate edge");
+    }
+
+    #[test]
+    fn remove_repairs_orphaned_neighbors() {
+        let mut rng = DetRng::new(6);
+        let mut overlay = Overlay::init_random(&ids(60), params(), &mut rng);
+        let victim = ClusterId::from_raw(7);
+        let former = overlay.remove(victim, &mut rng);
+        assert!(!overlay.contains(victim));
+        assert!(!former.is_empty());
+        let floor = params().degree_floor();
+        for v in overlay.vertices() {
+            assert!(
+                overlay.degree(v) >= floor.min(overlay.vertex_count() - 1),
+                "{v} left below floor after repair"
+            );
+        }
+        overlay.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_absent_vertex_is_noop() {
+        let mut rng = DetRng::new(7);
+        let mut overlay = Overlay::new(params());
+        assert!(overlay.remove(ClusterId::from_raw(9), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn dense_snapshot_matches_overlay() {
+        let mut rng = DetRng::new(8);
+        let overlay = Overlay::init_random(&ids(40), params(), &mut rng);
+        let (g, index) = overlay.to_dense();
+        assert_eq!(g.vertex_count(), overlay.vertex_count());
+        assert_eq!(g.edge_count(), overlay.edge_count());
+        for (i, &ci) in index.iter().enumerate() {
+            assert_eq!(g.degree(i), overlay.degree(ci));
+        }
+    }
+
+    #[test]
+    fn unlink_roundtrip() {
+        let mut overlay = Overlay::new(params());
+        let a = ClusterId::from_raw(0);
+        let b = ClusterId::from_raw(1);
+        overlay.insert_vertex(a);
+        overlay.insert_vertex(b);
+        overlay.link(a, b);
+        assert!(overlay.unlink(a, b));
+        assert!(!overlay.unlink(a, b));
+        assert_eq!(overlay.edge_count(), 0);
+        overlay.check_invariants().unwrap();
+    }
+
+    proptest! {
+        /// Invariants survive arbitrary interleaved add/remove scripts.
+        #[test]
+        fn invariants_under_churn_script(script in proptest::collection::vec((any::<bool>(), 0u64..40), 1..120), seed in any::<u64>()) {
+            let mut rng = DetRng::new(seed);
+            let mut overlay = Overlay::init_random(&ids(20), params(), &mut rng);
+            let mut next_id = 1000u64;
+            for (is_add, target) in script {
+                if is_add {
+                    overlay.add_uniform(ClusterId::from_raw(next_id), &mut rng);
+                    next_id += 1;
+                } else if overlay.vertex_count() > 3 {
+                    // Remove an arbitrary live vertex.
+                    let live: Vec<ClusterId> = overlay.vertices().collect();
+                    let victim = live[(target as usize) % live.len()];
+                    overlay.remove(victim, &mut rng);
+                }
+                prop_assert!(overlay.check_invariants().is_ok(),
+                             "{:?}", overlay.check_invariants());
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Batched churn: several parallel joins/leaves per time step.
+//!
+//! The paper's footnote generalizes the one-operation-per-step model to
+//! "several parallel join and leave operations". This module drives
+//! [`now_core::NowSystem::step_parallel`] with batch-producing churn
+//! schedules and reports the round-complexity advantage of the parallel
+//! execution (messages are identical; rounds shrink from the batch sum
+//! to the batch maximum).
+
+use crate::metrics::TimeSeries;
+use crate::runner::{Violation, ViolationKind};
+use now_adversary::CorruptionBudget;
+use now_core::{NowSystem, SystemAudit};
+use now_net::{DetRng, NodeId};
+use rand::Rng;
+
+/// A churn schedule that emits one *batch* of operations per time step.
+pub trait BatchDriver {
+    /// Decides this step's batch: corruption flags for the arrivals and
+    /// the departing nodes.
+    fn decide_batch(&mut self, sys: &NowSystem, rng: &mut DetRng) -> (Vec<bool>, Vec<NodeId>);
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Random batched churn: each step performs `Binomial(width, p_join)`
+/// joins and the remainder as leaves of distinct uniformly random nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRandomChurn {
+    /// Operations per step.
+    pub width: usize,
+    /// Probability each of the `width` slots is a join.
+    pub p_join: f64,
+    /// Corruption budget for arrivals.
+    pub budget: CorruptionBudget,
+}
+
+impl BatchRandomChurn {
+    /// Balanced batched churn of the given width at corruption fraction
+    /// `tau`.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn balanced(width: usize, tau: f64) -> Self {
+        assert!(width > 0, "batch width must be positive");
+        BatchRandomChurn {
+            width,
+            p_join: 0.5,
+            budget: CorruptionBudget::new(tau),
+        }
+    }
+}
+
+impl BatchDriver for BatchRandomChurn {
+    fn decide_batch(&mut self, sys: &NowSystem, rng: &mut DetRng) -> (Vec<bool>, Vec<NodeId>) {
+        let mut joins = Vec::new();
+        let mut n_leaves = 0usize;
+        for _ in 0..self.width {
+            if rng.gen_bool(self.p_join.clamp(0.0, 1.0)) {
+                joins.push(!self.budget.can_corrupt_arrival(sys));
+            } else {
+                n_leaves += 1;
+            }
+        }
+        let nodes = sys.node_ids();
+        let n_leaves = n_leaves.min(nodes.len());
+        let picks = now_graph::sample::sample_distinct(nodes.len(), n_leaves, rng);
+        let leaves = picks.into_iter().map(|i| nodes[i]).collect();
+        (joins, leaves)
+    }
+
+    fn name(&self) -> &'static str {
+        "batch-random-churn"
+    }
+}
+
+/// Report of one batched run ([`run_batched`]).
+#[derive(Debug, Clone)]
+pub struct BatchRunReport {
+    /// Driver name.
+    pub driver: String,
+    /// Time steps executed (each may contain many operations).
+    pub steps: u64,
+    /// Total joins admitted.
+    pub joins: u64,
+    /// Total leaves completed.
+    pub leaves: u64,
+    /// Departures rejected (floor / unknown).
+    pub rejected: u64,
+    /// Sum over steps of the serial round cost.
+    pub rounds_serial: u64,
+    /// Sum over steps of the parallel (max-per-batch) round cost.
+    pub rounds_parallel: u64,
+    /// Population over time.
+    pub population: TimeSeries,
+    /// Worst per-cluster Byzantine fraction over time.
+    pub worst_byz_fraction: TimeSeries,
+    /// All invariant violations observed.
+    pub violations: Vec<Violation>,
+    /// Audit at the final step.
+    pub final_audit: SystemAudit,
+}
+
+impl BatchRunReport {
+    /// Round-complexity speedup of parallel over serial execution.
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.rounds_parallel == 0 {
+            1.0
+        } else {
+            self.rounds_serial as f64 / self.rounds_parallel as f64
+        }
+    }
+
+    /// True if no invariant violation was observed.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations binding for the given mode (see
+    /// [`ViolationKind::binds_in`]).
+    pub fn binding_violations(&self, mode: now_core::SecurityMode) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.kind.binds_in(mode))
+            .count()
+    }
+}
+
+fn record_violations(audit: &SystemAudit, out: &mut Vec<Violation>) {
+    let step = audit.time_step;
+    if audit.clusters_not_two_thirds_honest > 0 {
+        out.push(Violation {
+            step,
+            kind: ViolationKind::NotTwoThirdsHonest,
+            cluster: audit.worst_cluster,
+        });
+    }
+    if audit.clusters_not_majority_honest > 0 {
+        out.push(Violation {
+            step,
+            kind: ViolationKind::NotMajorityHonest,
+            cluster: audit.worst_cluster,
+        });
+    }
+    if audit.clusters_rand_num_compromised > 0 {
+        out.push(Violation {
+            step,
+            kind: ViolationKind::RandNumCompromised,
+            cluster: audit.worst_cluster,
+        });
+    }
+    if audit.clusters_forgeable > 0 {
+        out.push(Violation {
+            step,
+            kind: ViolationKind::Forgeable,
+            cluster: audit.worst_cluster,
+        });
+    }
+    if !audit.size_bounds_ok {
+        out.push(Violation {
+            step,
+            kind: ViolationKind::SizeBounds,
+            cluster: None,
+        });
+    }
+}
+
+/// Runs `steps` batched time steps of `driver`-produced churn, auditing
+/// after every step.
+pub fn run_batched(
+    sys: &mut NowSystem,
+    driver: &mut dyn BatchDriver,
+    steps: u64,
+    seed: u64,
+) -> BatchRunReport {
+    let mut rng = DetRng::new(seed);
+    let mut report = BatchRunReport {
+        driver: driver.name().to_string(),
+        steps: 0,
+        joins: 0,
+        leaves: 0,
+        rejected: 0,
+        rounds_serial: 0,
+        rounds_parallel: 0,
+        population: TimeSeries::new("population"),
+        worst_byz_fraction: TimeSeries::new("worst_byz_fraction"),
+        violations: Vec::new(),
+        final_audit: sys.audit(),
+    };
+    for _ in 0..steps {
+        let (joins, leaves) = driver.decide_batch(sys, &mut rng);
+        let batch = sys.step_parallel(&joins, &leaves);
+        report.steps += 1;
+        report.joins += batch.joined.len() as u64;
+        report.leaves += batch.left.len() as u64;
+        report.rejected += batch.rejected.len() as u64;
+        report.rounds_serial += batch.cost.rounds;
+        report.rounds_parallel += batch.rounds_parallel;
+
+        let audit = sys.audit();
+        report.population.push(audit.time_step, audit.population as f64);
+        report
+            .worst_byz_fraction
+            .push(audit.time_step, audit.worst_byz_fraction);
+        record_violations(&audit, &mut report.violations);
+    }
+    report.final_audit = sys.audit();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_core::NowParams;
+
+    fn system(n0: usize, tau: f64, seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        NowSystem::init_fast(params, n0, tau, seed)
+    }
+
+    #[test]
+    fn batched_run_executes_many_ops_per_step() {
+        let mut sys = system(200, 0.1, 1);
+        let mut driver = BatchRandomChurn::balanced(6, 0.1);
+        let report = run_batched(&mut sys, &mut driver, 20, 2);
+        assert_eq!(report.steps, 20);
+        assert!(report.joins + report.leaves > 60, "width 6 × 20 steps");
+        assert_eq!(sys.time_step(), 20, "one time step per batch");
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn parallel_rounds_beat_serial() {
+        let mut sys = system(250, 0.1, 3);
+        let mut driver = BatchRandomChurn::balanced(8, 0.1);
+        let report = run_batched(&mut sys, &mut driver, 15, 4);
+        assert!(
+            report.parallel_speedup() > 1.5,
+            "8-wide batches should save rounds: ×{:.2}",
+            report.parallel_speedup()
+        );
+        assert!(report.rounds_parallel < report.rounds_serial);
+    }
+
+    #[test]
+    fn batched_churn_keeps_invariants_at_low_tau() {
+        let params = NowParams::new(1 << 10, 4, 1.5, 0.30, 0.05).unwrap();
+        let mut sys = NowSystem::init_fast(params, 240, 0.1, 5);
+        let mut driver = BatchRandomChurn::balanced(4, 0.1);
+        let report = run_batched(&mut sys, &mut driver, 40, 6);
+        assert!(
+            report.clean(),
+            "violations under batching: {:?}",
+            report.violations
+        );
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn batched_runs_are_deterministic() {
+        let go = || {
+            let mut sys = system(200, 0.1, 7);
+            let mut driver = BatchRandomChurn::balanced(5, 0.1);
+            let r = run_batched(&mut sys, &mut driver, 25, 8);
+            (r.joins, r.leaves, r.rounds_parallel, sys.population())
+        };
+        assert_eq!(go(), go());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch width")]
+    fn zero_width_rejected() {
+        let _ = BatchRandomChurn::balanced(0, 0.1);
+    }
+}

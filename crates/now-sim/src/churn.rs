@@ -1,0 +1,226 @@
+//! Environmental churn schedules.
+//!
+//! The paper's headline is tolerance of **polynomial size variation**:
+//! the population may roam anywhere in `[√N, N]`. These drivers produce
+//! exactly that motion; they implement [`Adversary`] so the runner
+//! treats environmental churn and attacks uniformly (arrivals are still
+//! corrupted up to the adversary's budget — churn and corruption
+//! coexist in the model).
+
+use now_adversary::{Action, Adversary, CorruptionBudget};
+use now_core::NowSystem;
+use now_net::DetRng;
+use rand::Rng;
+
+/// Joins until the population reaches `target`, then idles.
+#[derive(Debug, Clone, Copy)]
+pub struct GrowthPhase {
+    /// Population to reach.
+    pub target: u64,
+    /// Corruption budget for arrivals.
+    pub budget: CorruptionBudget,
+}
+
+impl GrowthPhase {
+    /// Grow to `target` with corruption fraction `tau`.
+    pub fn new(target: u64, tau: f64) -> Self {
+        GrowthPhase {
+            target,
+            budget: CorruptionBudget::new(tau),
+        }
+    }
+}
+
+impl Adversary for GrowthPhase {
+    fn decide(&mut self, sys: &NowSystem, _rng: &mut DetRng) -> Action {
+        if sys.population() >= self.target {
+            Action::Idle
+        } else {
+            Action::Join {
+                honest: !self.budget.can_corrupt_arrival(sys),
+                contact: None,
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "growth-phase"
+    }
+}
+
+/// Uniformly random nodes leave until the population drops to `target`,
+/// then idles.
+#[derive(Debug, Clone, Copy)]
+pub struct ShrinkPhase {
+    /// Population to reach.
+    pub target: u64,
+}
+
+impl ShrinkPhase {
+    /// Shrink to `target`.
+    pub fn new(target: u64) -> Self {
+        ShrinkPhase { target }
+    }
+}
+
+impl Adversary for ShrinkPhase {
+    fn decide(&mut self, sys: &NowSystem, rng: &mut DetRng) -> Action {
+        if sys.population() <= self.target {
+            Action::Idle
+        } else {
+            let nodes = sys.node_ids();
+            Action::Leave {
+                node: nodes[rng.gen_range(0..nodes.len())],
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "shrink-phase"
+    }
+}
+
+/// The polynomial-variation driver: grow to `high`, shrink to `low`,
+/// repeat — e.g. `low = √N`, `high` close to `N`. Every arrival is
+/// corrupted while the budget allows, so the adversary's share tracks
+/// its bound through both phases.
+#[derive(Debug, Clone, Copy)]
+pub struct Sawtooth {
+    /// Lower turning point.
+    pub low: u64,
+    /// Upper turning point.
+    pub high: u64,
+    /// Corruption budget.
+    pub budget: CorruptionBudget,
+    growing: bool,
+}
+
+impl Sawtooth {
+    /// Oscillates in `[low, high]` with corruption fraction `tau`,
+    /// starting in the growth phase.
+    ///
+    /// # Panics
+    /// Panics if `low >= high`.
+    pub fn new(low: u64, high: u64, tau: f64) -> Self {
+        assert!(low < high, "sawtooth needs low < high, got [{low}, {high}]");
+        Sawtooth {
+            low,
+            high,
+            budget: CorruptionBudget::new(tau),
+            growing: true,
+        }
+    }
+
+    /// Whether the driver is currently in its growth phase.
+    pub fn is_growing(&self) -> bool {
+        self.growing
+    }
+}
+
+impl Adversary for Sawtooth {
+    fn decide(&mut self, sys: &NowSystem, rng: &mut DetRng) -> Action {
+        let pop = sys.population();
+        if self.growing && pop >= self.high {
+            self.growing = false;
+        } else if !self.growing && pop <= self.low {
+            self.growing = true;
+        }
+        if self.growing {
+            Action::Join {
+                honest: !self.budget.can_corrupt_arrival(sys),
+                contact: None,
+            }
+        } else {
+            let nodes = sys.node_ids();
+            Action::Leave {
+                node: nodes[rng.gen_range(0..nodes.len())],
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sawtooth"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, RunConfig};
+    use now_core::NowParams;
+
+    fn system(n0: usize, tau: f64, seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        NowSystem::init_fast(params, n0, tau, seed)
+    }
+
+    #[test]
+    fn growth_reaches_target_then_idles() {
+        let mut sys = system(60, 0.1, 1);
+        let mut adv = GrowthPhase::new(100, 0.1);
+        let report = run(&mut sys, &mut adv, RunConfig::for_steps(60));
+        assert_eq!(sys.population(), 100);
+        assert_eq!(report.joins, 40);
+        assert_eq!(report.idles, 20);
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn growth_corrupts_within_budget() {
+        let mut sys = system(60, 0.0, 2);
+        let mut adv = GrowthPhase::new(120, 0.2);
+        run(&mut sys, &mut adv, RunConfig::for_steps(60));
+        let frac = sys.byz_population() as f64 / sys.population() as f64;
+        assert!(frac > 0.1 && frac <= 0.2, "byz fraction {frac}");
+    }
+
+    #[test]
+    fn shrink_reaches_target() {
+        let mut sys = system(150, 0.1, 3);
+        let mut adv = ShrinkPhase::new(100);
+        let report = run(&mut sys, &mut adv, RunConfig::for_steps(80));
+        assert_eq!(sys.population(), 100);
+        assert_eq!(report.leaves, 50);
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn sawtooth_oscillates() {
+        let mut sys = system(60, 0.1, 4);
+        let mut adv = Sawtooth::new(50, 90, 0.1);
+        let report = run(
+            &mut sys,
+            &mut adv,
+            RunConfig {
+                steps: 300,
+                audit_every: 1,
+                seed: 5,
+            },
+        );
+        let pops: Vec<f64> = report.population.points().iter().map(|&(_, v)| v).collect();
+        let max = pops.iter().cloned().fold(0.0f64, f64::max);
+        let min = pops.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max >= 90.0, "never reached high: {max}");
+        assert!(min <= 52.0, "never came back down: {min}");
+        // Must have turned around at least twice.
+        let mut turns = 0;
+        let mut dir = 0i8;
+        for w in pops.windows(2) {
+            let d = (w[1] - w[0]).signum() as i8;
+            if d != 0 && d != dir {
+                if dir != 0 {
+                    turns += 1;
+                }
+                dir = d;
+            }
+        }
+        assert!(turns >= 2, "only {turns} turns");
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "low < high")]
+    fn sawtooth_rejects_bad_band() {
+        let _ = Sawtooth::new(100, 100, 0.1);
+    }
+}

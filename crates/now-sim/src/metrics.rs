@@ -1,0 +1,262 @@
+//! Time series, summaries, and CSV output.
+
+use std::fmt::Write as _;
+
+/// A named series of `(time_step, value)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    /// Series name (CSV column header).
+    pub name: String,
+    points: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point (time steps should be non-decreasing).
+    pub fn push(&mut self, step: u64, value: f64) {
+        self.points.push((step, value));
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Summary statistics over the values.
+    pub fn summary(&self) -> Summary {
+        Summary::of(self.points.iter().map(|&(_, v)| v))
+    }
+
+    /// The value at the largest time step (None if empty).
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+}
+
+/// Min/max/mean/count over a value stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of values.
+    pub count: usize,
+    /// Minimum (0 when empty).
+    pub min: f64,
+    /// Maximum (0 when empty).
+    pub max: f64,
+    /// Mean (0 when empty).
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Computes a summary from an iterator of values.
+    pub fn of(values: impl Iterator<Item = f64>) -> Self {
+        let mut count = 0usize;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for v in values {
+            count += 1;
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        if count == 0 {
+            Summary {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+            }
+        } else {
+            Summary {
+                count,
+                min,
+                max,
+                mean: sum / count as f64,
+            }
+        }
+    }
+}
+
+/// Quantile of a sample (linear interpolation on the sorted values).
+/// Returns 0 for an empty sample; `q` is clamped to `[0, 1]`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A rectangular table with a header row, rendered as CSV.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CsvTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        CsvTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (quotes cells containing separators).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV to a file.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_summary() {
+        let mut s = TimeSeries::new("x");
+        for (i, v) in [1.0, 3.0, 2.0].into_iter().enumerate() {
+            s.push(i as u64, v);
+        }
+        let sum = s.summary();
+        assert_eq!(sum.count, 3);
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 3.0);
+        assert!((sum.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.last(), Some(2.0));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let s = TimeSeries::new("empty");
+        assert!(s.is_empty());
+        assert_eq!(s.summary().count, 0);
+        assert_eq!(s.last(), None);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        assert_eq!(quantile(&v, 2.0), 4.0, "clamped");
+    }
+
+    #[test]
+    fn csv_renders_and_escapes() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.row(["1", "plain"]);
+        t.row(["2", "with,comma"]);
+        t.row(["3", "with\"quote"]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"with\"\"quote\""));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn csv_rejects_ragged_rows() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_writes_to_disk() {
+        let mut t = CsvTable::new(["x"]);
+        t.row(["1"]);
+        let dir = std::env::temp_dir().join("now_sim_test_csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, "x\n1\n");
+    }
+}

@@ -1,0 +1,130 @@
+//! Attack-resilience integration tests: the §3.3 comparison and the
+//! forced-leave (DoS) countermeasure, across `now-core`,
+//! `now-adversary`, and `now-sim`.
+
+use now_bft::adversary::{Action, Adversary, ForcedLeaveAttack, JoinLeaveAttack};
+use now_bft::core::{NowParams, NowSystem};
+use now_bft::net::DetRng;
+use now_bft::sim::baselines::no_shuffle_params;
+
+fn params() -> NowParams {
+    NowParams::new(1 << 10, 3, 2.0, 0.15, 0.05).unwrap()
+}
+
+/// Drives `adv` for `steps`, returning the peak Byzantine fraction seen
+/// at the adversary's (possibly retargeted) aim cluster.
+fn drive(sys: &mut NowSystem, adv: &mut JoinLeaveAttack, steps: u64, seed: u64) -> f64 {
+    let mut rng = DetRng::new(seed);
+    let mut peak = 0.0f64;
+    for _ in 0..steps {
+        match adv.decide(sys, &mut rng) {
+            Action::Join { honest, contact } => {
+                match contact {
+                    Some(c) if sys.cluster(c).is_some() => sys.join_via(c, honest),
+                    _ => sys.join(honest),
+                };
+            }
+            Action::Leave { node } => {
+                let _ = sys.leave(node);
+            }
+            Action::Idle => {}
+        }
+        if let Some(c) = sys.cluster(adv.target) {
+            peak = peak.max(c.byz_fraction());
+        }
+    }
+    peak
+}
+
+#[test]
+fn shuffling_beats_the_join_leave_attack() {
+    let steps = 400;
+    let tau = 0.15;
+
+    let mut baseline = NowSystem::init_fast(no_shuffle_params(params()), 300, tau, 21);
+    let target_b = baseline.cluster_ids()[0];
+    let mut adv_b = JoinLeaveAttack::new(target_b, tau);
+    let peak_baseline = drive(&mut baseline, &mut adv_b, steps, 22);
+
+    let mut now = NowSystem::init_fast(params(), 300, tau, 21);
+    let target_n = now.cluster_ids()[0];
+    let mut adv_n = JoinLeaveAttack::new(target_n, tau);
+    let peak_now = drive(&mut now, &mut adv_n, steps, 22);
+
+    // The baseline's target accumulates monotonically; NOW's is reset by
+    // every exchange. The gap is the paper's §3.3 argument.
+    assert!(
+        peak_baseline > peak_now + 0.05,
+        "baseline peak {peak_baseline:.3} not clearly worse than NOW {peak_now:.3}"
+    );
+    assert!(
+        peak_now < 1.0 / 3.0,
+        "NOW lost a cluster to the paper-model attack: {peak_now:.3}"
+    );
+    baseline.check_consistency().unwrap();
+    now.check_consistency().unwrap();
+}
+
+#[test]
+fn forced_leaves_do_not_concentrate_byzantines() {
+    // The DoS adversary evicts honest members of one cluster; NOW's
+    // leave-triggered exchanges must keep the cluster's composition near
+    // the global rate.
+    let tau = 0.15;
+    let mut sys = NowSystem::init_fast(params(), 300, tau, 23);
+    let target = sys.cluster_ids()[1];
+    let mut adv = ForcedLeaveAttack::new(target, tau);
+    let mut rng = DetRng::new(24);
+    let mut peak = 0.0f64;
+    for _ in 0..200 {
+        match adv.decide(&sys, &mut rng) {
+            Action::Join { honest, contact } => {
+                match contact {
+                    Some(c) if sys.cluster(c).is_some() => sys.join_via(c, honest),
+                    _ => sys.join(honest),
+                };
+            }
+            Action::Leave { node } => {
+                let _ = sys.leave(node);
+            }
+            Action::Idle => {}
+        }
+        if let Some(c) = sys.cluster(adv.target) {
+            peak = peak.max(c.byz_fraction());
+        }
+    }
+    assert!(
+        peak < 0.45,
+        "forced leaves concentrated byzantines to {peak:.3}"
+    );
+    sys.check_consistency().unwrap();
+}
+
+#[test]
+fn no_shuffle_ablation_is_strictly_cheaper_but_weaker() {
+    // The ablation trade-off in one test: disabling exchange removes
+    // most of the join cost and most of the protection.
+    let tau = 0.15;
+    let steps = 300;
+
+    let mut cheap = NowSystem::init_fast(no_shuffle_params(params()), 300, tau, 25);
+    let t1 = cheap.cluster_ids()[0];
+    let mut adv1 = JoinLeaveAttack::new(t1, tau);
+    let peak_cheap = drive(&mut cheap, &mut adv1, steps, 26);
+    let cost_cheap = cheap.ledger().total().messages;
+
+    let mut full = NowSystem::init_fast(params(), 300, tau, 25);
+    let t2 = full.cluster_ids()[0];
+    let mut adv2 = JoinLeaveAttack::new(t2, tau);
+    let peak_full = drive(&mut full, &mut adv2, steps, 26);
+    let cost_full = full.ledger().total().messages;
+
+    assert!(
+        cost_cheap * 10 < cost_full,
+        "shuffling is the dominant cost: {cost_cheap} vs {cost_full}"
+    );
+    assert!(
+        peak_cheap > peak_full,
+        "protection gap missing: {peak_cheap:.3} vs {peak_full:.3}"
+    );
+}

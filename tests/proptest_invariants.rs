@@ -1,0 +1,114 @@
+//! Property-based end-to-end invariants: arbitrary operation scripts
+//! must never break the partition, the registry, the overlay, or the
+//! ledger.
+
+use now_bft::core::{NowParams, NowSystem};
+use proptest::prelude::*;
+
+fn params() -> NowParams {
+    NowParams::new(1 << 10, 2, 1.5, 0.25, 0.05).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any interleaving of joins (honest or Byzantine, arbitrary contact
+    /// choice) and leaves (arbitrary victim) preserves full structural
+    /// consistency and exact population accounting.
+    #[test]
+    fn arbitrary_churn_scripts_stay_consistent(
+        seed in any::<u64>(),
+        script in proptest::collection::vec((any::<bool>(), any::<bool>(), any::<u16>()), 1..40),
+    ) {
+        let mut sys = NowSystem::init_fast(params(), 120, 0.15, seed);
+        let mut expected_pop = 120i64;
+        let mut expected_byz = sys.byz_population() as i64;
+        for (is_join, honest, pick) in script {
+            if is_join {
+                let ids = sys.cluster_ids();
+                let contact = ids[pick as usize % ids.len()];
+                sys.join_via(contact, honest);
+                expected_pop += 1;
+                if !honest {
+                    expected_byz += 1;
+                }
+            } else {
+                let nodes = sys.node_ids();
+                let victim = nodes[pick as usize % nodes.len()];
+                let was_honest = sys.is_honest(victim).unwrap();
+                if sys.leave(victim).is_ok() {
+                    expected_pop -= 1;
+                    if !was_honest {
+                        expected_byz -= 1;
+                    }
+                }
+            }
+            prop_assert!(sys.check_consistency().is_ok(),
+                         "{:?}", sys.check_consistency());
+        }
+        prop_assert_eq!(sys.population() as i64, expected_pop);
+        prop_assert_eq!(sys.byz_population() as i64, expected_byz);
+    }
+
+    /// Cluster sizes stay within the split/merge band after every
+    /// operation (single remaining cluster exempt from the lower bound).
+    #[test]
+    fn size_band_holds_under_random_churn(seed in any::<u64>()) {
+        let mut sys = NowSystem::init_fast(params(), 150, 0.1, seed);
+        let lo = sys.params().min_cluster_size();
+        let hi = sys.params().max_cluster_size();
+        for i in 0..30u64 {
+            if i % 3 == 0 {
+                let nodes = sys.node_ids();
+                let victim = nodes[(seed as usize + i as usize) % nodes.len()];
+                let _ = sys.leave(victim);
+            } else {
+                sys.join(i % 5 == 0);
+            }
+            for c in sys.clusters() {
+                prop_assert!(c.size() <= hi, "cluster over band: {}", c.size());
+                if sys.cluster_count() > 1 {
+                    prop_assert!(c.size() >= lo, "cluster under band: {}", c.size());
+                }
+            }
+        }
+    }
+
+    /// The exchange primitive is a permutation of the population: sizes
+    /// and the node multiset are preserved no matter which cluster is
+    /// shuffled, with or without cascade.
+    #[test]
+    fn exchange_is_population_permutation(seed in any::<u64>(), cascade in any::<bool>(), idx in 0usize..8) {
+        let mut sys = NowSystem::init_fast(params(), 160, 0.2, seed);
+        let ids = sys.cluster_ids();
+        let c = ids[idx % ids.len()];
+        let before: std::collections::BTreeSet<_> = sys.node_ids().into_iter().collect();
+        let byz_before = sys.byz_population();
+        sys.exchange_all(c, cascade);
+        let after: std::collections::BTreeSet<_> = sys.node_ids().into_iter().collect();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(sys.byz_population(), byz_before);
+        prop_assert!(sys.check_consistency().is_ok());
+    }
+
+    /// Ledger totals are monotone non-decreasing across operations and
+    /// spans always balance at operation boundaries.
+    #[test]
+    fn ledger_monotone_and_balanced(seed in any::<u64>()) {
+        let mut sys = NowSystem::init_fast(params(), 130, 0.1, seed);
+        let mut last = sys.ledger().total();
+        for i in 0..15u64 {
+            if i % 2 == 0 {
+                sys.join(false);
+            } else {
+                let nodes = sys.node_ids();
+                let _ = sys.leave(nodes[i as usize % nodes.len()]);
+            }
+            let now = sys.ledger().total();
+            prop_assert!(now.messages >= last.messages);
+            prop_assert!(now.rounds >= last.rounds);
+            prop_assert!(sys.ledger().is_balanced());
+            last = now;
+        }
+    }
+}

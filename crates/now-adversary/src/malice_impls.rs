@@ -55,9 +55,7 @@ impl Malice for TargetedMalice {
             RandNumPurpose::WalkNeighborChoice => 0,
             // Member indices are refined by `exchange_victim`; split
             // seeds and generic draws get an extremal fixed choice.
-            RandNumPurpose::MemberIndex
-            | RandNumPurpose::SplitSeed
-            | RandNumPurpose::Generic => {
+            RandNumPurpose::MemberIndex | RandNumPurpose::SplitSeed | RandNumPurpose::Generic => {
                 // Deterministic but not constant: mixing in one RNG draw
                 // keeps repeated split seeds from being identical, which
                 // would make "random" partitions degenerate.
@@ -83,11 +81,7 @@ impl Malice for TargetedMalice {
         }
     }
 
-    fn exchange_victim(
-        &mut self,
-        members: &[(NodeId, bool)],
-        _rng: &mut DetRng,
-    ) -> Option<NodeId> {
+    fn exchange_victim(&mut self, members: &[(NodeId, bool)], _rng: &mut DetRng) -> Option<NodeId> {
         // Give away an honest member; keep Byzantine ones concentrated.
         members
             .iter()
@@ -175,9 +169,15 @@ mod tests {
             (NodeId::from_raw(1), true),
             (NodeId::from_raw(2), false),
         ];
-        assert_eq!(m.exchange_victim(&members, &mut rng), Some(NodeId::from_raw(1)));
+        assert_eq!(
+            m.exchange_victim(&members, &mut rng),
+            Some(NodeId::from_raw(1))
+        );
         let all_byz = vec![(NodeId::from_raw(5), false)];
-        assert_eq!(m.exchange_victim(&all_byz, &mut rng), Some(NodeId::from_raw(5)));
+        assert_eq!(
+            m.exchange_victim(&all_byz, &mut rng),
+            Some(NodeId::from_raw(5))
+        );
         assert_eq!(m.exchange_victim(&[], &mut rng), None);
     }
 }

@@ -239,16 +239,11 @@ mod tests {
         let mut rng = DetRng::new(4);
         let mut pattern = Vec::new();
         for _ in 0..12 {
-            pattern.push(matches!(
-                adv.decide(&sys, &mut rng),
-                Action::Join { .. }
-            ));
+            pattern.push(matches!(adv.decide(&sys, &mut rng), Action::Join { .. }));
         }
         assert_eq!(
             pattern,
-            vec![
-                true, true, true, false, false, false, true, true, true, false, false, false
-            ]
+            vec![true, true, true, false, false, false, true, true, true, false, false, false]
         );
     }
 

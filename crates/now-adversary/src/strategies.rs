@@ -139,10 +139,11 @@ impl Adversary for JoinLeaveAttack {
         }
         if self.leave_next {
             // Withdraw a Byzantine node outside the target, if any.
-            let candidate = sys
-                .byz_node_ids()
-                .into_iter()
-                .find(|&b| sys.node_cluster(b).map(|c| c != self.target).unwrap_or(false));
+            let candidate = sys.byz_node_ids().into_iter().find(|&b| {
+                sys.node_cluster(b)
+                    .map(|c| c != self.target)
+                    .unwrap_or(false)
+            });
             if let Some(node) = candidate {
                 self.leave_next = false;
                 return Action::Leave { node };

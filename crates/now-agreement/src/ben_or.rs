@@ -152,7 +152,15 @@ fn byz_volley(
                 (v, prop)
             }
         };
-        net.send(p, to, Msg::Report { phase, value: report_v }, rng);
+        net.send(
+            p,
+            to,
+            Msg::Report {
+                phase,
+                value: report_v,
+            },
+            rng,
+        );
         net.send(
             p,
             to,
@@ -609,8 +617,7 @@ mod tests {
         for seed in 100..120u64 {
             let common = go_common(10, &inputs, &[3], 1, ByzPlan::Equivocate(0, 1), seed);
             assert!(common.all_decided, "seed {seed}");
-            worst_common =
-                worst_common.max(*common.decision_phases.values().max().unwrap());
+            worst_common = worst_common.max(*common.decision_phases.values().max().unwrap());
         }
         assert!(
             worst_common <= 8,

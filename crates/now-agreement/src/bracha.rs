@@ -248,8 +248,7 @@ mod tests {
         // consistency property. (Some may deliver nothing.)
         for seed in 0..20u64 {
             let r = run(7, 0, 0, &[0, 3], 2, ByzPlan::Equivocate(10, 20), seed);
-            let delivered: BTreeSet<u64> =
-                r.decisions.values().flatten().copied().collect();
+            let delivered: BTreeSet<u64> = r.decisions.values().flatten().copied().collect();
             assert!(
                 delivered.len() <= 1,
                 "seed {seed}: two values delivered: {delivered:?}"

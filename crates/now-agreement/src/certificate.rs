@@ -67,9 +67,7 @@ impl QuorumCertificate {
     ) -> Result<Self, CertificateError> {
         let mut signatures = BTreeMap::new();
         for (member, sig) in endorsements {
-            if members.contains(member)
-                && oracle.verify(member.raw() as usize, message, *sig)
-            {
+            if members.contains(member) && oracle.verify(member.raw() as usize, message, *sig) {
                 signatures.entry(*member).or_insert(*sig);
             }
         }
@@ -80,7 +78,10 @@ impl QuorumCertificate {
                 need,
             });
         }
-        Ok(QuorumCertificate { message, signatures })
+        Ok(QuorumCertificate {
+            message,
+            signatures,
+        })
     }
 
     /// Verifies the certificate against a member set and the oracle:

@@ -17,8 +17,8 @@
 //! Hashes are 64-bit (`std::hash::DefaultHasher` with fixed keys), which
 //! is ample for simulation-scale collision resistance.
 
-use std::collections::HashSet;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
 /// A 64-bit commitment digest.
@@ -40,12 +40,7 @@ pub fn commit_value(value: u64, nonce: u64, committer: usize) -> Commitment {
 }
 
 /// Checks that `(value, nonce)` opens `commitment` for `committer`.
-pub fn verify_commitment(
-    commitment: Commitment,
-    value: u64,
-    nonce: u64,
-    committer: usize,
-) -> bool {
+pub fn verify_commitment(commitment: Commitment, value: u64, nonce: u64, committer: usize) -> bool {
     commit_value(value, nonce, committer) == commitment
 }
 
@@ -136,7 +131,10 @@ mod tests {
         let sig = oracle.sign(2, 100);
         assert!(oracle.verify(2, 100, sig));
         // A forged handle with the right fields but never issued:
-        let forged = Signature { signer: 5, digest: 100 };
+        let forged = Signature {
+            signer: 5,
+            digest: 100,
+        };
         assert!(!oracle.verify(5, 100, forged));
         // The real sig does not verify for another message or signer.
         assert!(!oracle.verify(2, 101, sig));

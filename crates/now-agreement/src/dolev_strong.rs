@@ -90,7 +90,13 @@ pub fn run_dolev_strong<R: Rng>(
             ByzPlan::Silent => {}
             ByzPlan::ConstantValue(v) => {
                 let sig = oracle.sign(sender, v);
-                bus.broadcast(sender, Chain { value: v, sigs: vec![sig] });
+                bus.broadcast(
+                    sender,
+                    Chain {
+                        value: v,
+                        sigs: vec![sig],
+                    },
+                );
             }
             ByzPlan::Equivocate(a, b) => {
                 let sig_a = oracle.sign(sender, a);
@@ -100,9 +106,15 @@ pub fn run_dolev_strong<R: Rng>(
                         continue;
                     }
                     let chain = if to % 2 == 0 {
-                        Chain { value: a, sigs: vec![sig_a] }
+                        Chain {
+                            value: a,
+                            sigs: vec![sig_a],
+                        }
                     } else {
-                        Chain { value: b, sigs: vec![sig_b] }
+                        Chain {
+                            value: b,
+                            sigs: vec![sig_b],
+                        }
                     };
                     bus.send(sender, to, chain);
                 }
@@ -114,13 +126,26 @@ pub fn run_dolev_strong<R: Rng>(
                     }
                     let v: u64 = rng.gen();
                     let sig = oracle.sign(sender, v);
-                    bus.send(sender, to, Chain { value: v, sigs: vec![sig] });
+                    bus.send(
+                        sender,
+                        to,
+                        Chain {
+                            value: v,
+                            sigs: vec![sig],
+                        },
+                    );
                 }
             }
         }
     } else {
         let sig = oracle.sign(sender, value);
-        bus.broadcast(sender, Chain { value, sigs: vec![sig] });
+        bus.broadcast(
+            sender,
+            Chain {
+                value,
+                sigs: vec![sig],
+            },
+        );
         extracted[sender].push(value);
     }
 
@@ -138,7 +163,13 @@ pub fn run_dolev_strong<R: Rng>(
                 if matches!(plan, ByzPlan::Random) {
                     let v: u64 = rng.gen();
                     let own = oracle.sign(p, v);
-                    outgoing.push((p, Chain { value: v, sigs: vec![own] }));
+                    outgoing.push((
+                        p,
+                        Chain {
+                            value: v,
+                            sigs: vec![own],
+                        },
+                    ));
                 }
                 continue;
             }

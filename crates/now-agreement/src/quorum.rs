@@ -93,10 +93,7 @@ mod tests {
     #[test]
     fn honest_majority_accepted() {
         let members = member_set(&[0, 1, 2, 3, 4]);
-        let votes: Vec<(NodeId, u32)> = ids(&[0, 1, 2])
-            .into_iter()
-            .map(|id| (id, 7u32))
-            .collect();
+        let votes: Vec<(NodeId, u32)> = ids(&[0, 1, 2]).into_iter().map(|id| (id, 7u32)).collect();
         assert_eq!(
             accept_cluster_message(&votes, &members),
             QuorumDecision::Accepted(7)

@@ -156,14 +156,20 @@ fn run_parallel_bracha_phase<R: Rng>(
                             continue;
                         }
                         let forged = match item {
-                            Item::Commit(_) => {
-                                Item::Commit(if to % 2 == 0 { a } else { b })
-                            }
+                            Item::Commit(_) => Item::Commit(if to % 2 == 0 { a } else { b }),
                             Item::Reveal(_, nonce) => {
                                 Item::Reveal(if to % 2 == 0 { a } else { b }, nonce)
                             }
                         };
-                        bus.send(src, to, Msg { kind: Kind::Init, src, item: forged });
+                        bus.send(
+                            src,
+                            to,
+                            Msg {
+                                kind: Kind::Init,
+                                src,
+                                item: forged,
+                            },
+                        );
                     }
                 }
                 _ => {
@@ -172,7 +178,15 @@ fn run_parallel_bracha_phase<R: Rng>(
                     // the plan at the caller).
                     for to in 0..n {
                         if to != src {
-                            bus.send(src, to, Msg { kind: Kind::Init, src, item });
+                            bus.send(
+                                src,
+                                to,
+                                Msg {
+                                    kind: Kind::Init,
+                                    src,
+                                    item,
+                                },
+                            );
                         }
                     }
                 }
@@ -180,7 +194,15 @@ fn run_parallel_bracha_phase<R: Rng>(
         } else {
             for to in 0..n {
                 if to != src {
-                    bus.send(src, to, Msg { kind: Kind::Init, src, item });
+                    bus.send(
+                        src,
+                        to,
+                        Msg {
+                            kind: Kind::Init,
+                            src,
+                            item,
+                        },
+                    );
                 }
             }
             // Self-echo.
@@ -189,7 +211,15 @@ fn run_parallel_bracha_phase<R: Rng>(
             state[src].echo_counts.entry(key).or_default().insert(src);
             for to in 0..n {
                 if to != src {
-                    bus.send(src, to, Msg { kind: Kind::Echo, src, item });
+                    bus.send(
+                        src,
+                        to,
+                        Msg {
+                            kind: Kind::Echo,
+                            src,
+                            item,
+                        },
+                    );
                 }
             }
         }
@@ -207,7 +237,15 @@ fn run_parallel_bracha_phase<R: Rng>(
                     let item = Item::Commit(rng.gen());
                     for to in 0..n {
                         if to != p {
-                            bus.send(p, to, Msg { kind: Kind::Echo, src, item });
+                            bus.send(
+                                p,
+                                to,
+                                Msg {
+                                    kind: Kind::Echo,
+                                    src,
+                                    item,
+                                },
+                            );
                         }
                     }
                 }
@@ -217,10 +255,18 @@ fn run_parallel_bracha_phase<R: Rng>(
                 let key = (msg.src, msg.item);
                 match msg.kind {
                     Kind::Init => {
-                        if from == msg.src && !state[p].echoed.contains(&(msg.src, msg.item.phase())) {
+                        if from == msg.src
+                            && !state[p].echoed.contains(&(msg.src, msg.item.phase()))
+                        {
                             state[p].echoed.insert((msg.src, msg.item.phase()));
                             state[p].echo_counts.entry(key).or_default().insert(p);
-                            outgoing.push((p, Msg { kind: Kind::Echo, ..msg }));
+                            outgoing.push((
+                                p,
+                                Msg {
+                                    kind: Kind::Echo,
+                                    ..msg
+                                },
+                            ));
                         }
                     }
                     Kind::Echo => {
@@ -254,7 +300,14 @@ fn run_parallel_bracha_phase<R: Rng>(
                         .entry((src, item))
                         .or_default()
                         .insert(p);
-                    outgoing.push((p, Msg { kind: Kind::Ready, src, item }));
+                    outgoing.push((
+                        p,
+                        Msg {
+                            kind: Kind::Ready,
+                            src,
+                            item,
+                        },
+                    ));
                 }
             }
             let mut to_deliver: Vec<(usize, Item)> = Vec::new();
@@ -415,9 +468,16 @@ mod tests {
         // result: honest contributions randomize the sum. Across seeds
         // the outputs must not all equal the constant.
         let outputs: BTreeSet<u64> = (0..12u64)
-            .map(|seed| *run(7, 97, &[1], ByzPlan::ConstantValue(42), seed).unanimous().unwrap())
+            .map(|seed| {
+                *run(7, 97, &[1], ByzPlan::ConstantValue(42), seed)
+                    .unanimous()
+                    .unwrap()
+            })
             .collect();
-        assert!(outputs.len() > 4, "outputs suspiciously concentrated: {outputs:?}");
+        assert!(
+            outputs.len() > 4,
+            "outputs suspiciously concentrated: {outputs:?}"
+        );
     }
 
     #[test]
@@ -435,8 +495,14 @@ mod tests {
             let v = *run(5, 8, &[], ByzPlan::Silent, seed).unanimous().unwrap();
             counts[v as usize] += 1;
         }
-        assert!(counts.iter().all(|&c| c >= 1), "never-hit bucket: {counts:?}");
-        assert!(counts.iter().all(|&c| c <= 20), "dominant bucket: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c >= 1),
+            "never-hit bucket: {counts:?}"
+        );
+        assert!(
+            counts.iter().all(|&c| c <= 20),
+            "dominant bucket: {counts:?}"
+        );
     }
 
     #[test]
@@ -469,7 +535,10 @@ mod tests {
     fn security_threshold_is_one_third() {
         assert!(RandNumSecurity::from_counts(6, 19).is_secure());
         assert!(!RandNumSecurity::from_counts(7, 19).is_secure(), "3·7 > 19");
-        assert!(!RandNumSecurity::from_counts(7, 21).is_secure(), "3·7 = 21 boundary");
+        assert!(
+            !RandNumSecurity::from_counts(7, 21).is_secure(),
+            "3·7 = 21 boundary"
+        );
         assert!(RandNumSecurity::from_counts(0, 1).is_secure());
     }
 

@@ -38,10 +38,7 @@ use std::collections::{BTreeMap, BTreeSet};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Msg {
     Commit(Commitment),
-    Reveal {
-        value: u64,
-        nonce: u64,
-    },
+    Reveal { value: u64, nonce: u64 },
 }
 
 /// Outcome of one asynchronous `randNum` run.
@@ -133,7 +130,10 @@ pub fn rand_num_async(
     while let Some((_, env)) = net.pop() {
         match env.payload {
             Msg::Commit(c) => commitment[env.to][env.from] = Some(c),
-            Msg::Reveal { value: v, nonce: no } => {
+            Msg::Reveal {
+                value: v,
+                nonce: no,
+            } => {
                 pending.push((env.to, env.from, v, no));
             }
         }
@@ -274,9 +274,17 @@ mod tests {
         // Uniformity smoke test: distinct seeds give distinct outputs
         // (a constant output would mean the adversary or a bug pinned it).
         let outputs: BTreeSet<u64> = (10..20u64)
-            .map(|seed| go(10, &[2], ByzPlan::ConstantValue(0), seed).unanimous().unwrap())
+            .map(|seed| {
+                go(10, &[2], ByzPlan::ConstantValue(0), seed)
+                    .unanimous()
+                    .unwrap()
+            })
             .collect();
-        assert!(outputs.len() >= 8, "only {} distinct outputs", outputs.len());
+        assert!(
+            outputs.len() >= 8,
+            "only {} distinct outputs",
+            outputs.len()
+        );
     }
 
     #[test]

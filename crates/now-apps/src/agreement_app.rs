@@ -4,7 +4,7 @@
 //! process (full-network Byzantine agreement, `Ω(n²)` per decision),
 //! NOW reduces them to `#C` reliable super-nodes. A system-wide decision
 //! then costs one intra-cluster agreement (the leader cluster, which is
-//! > 2/3 honest whp, acts as the "single highly available process")
+//! more than 2/3 honest whp, acts as the "single highly available process")
 //! plus one overlay broadcast — `Õ(n)` in total.
 
 use crate::broadcast::broadcast;

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use now_agreement::{
-    run_ben_or, run_bracha, run_dolev_strong, run_phase_king, rand_num_commit_reveal, ByzPlan,
+    rand_num_commit_reveal, run_ben_or, run_bracha, run_dolev_strong, run_phase_king, ByzPlan,
 };
 use now_net::{DetRng, Ledger};
 use std::collections::BTreeSet;
@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_phase_king(c: &mut Criterion) {
     let mut group = c.benchmark_group("agreement/phase_king");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     for n in [9usize, 17, 33] {
         let inputs: Vec<u64> = (0..n as u64).map(|i| i % 3).collect();
         let byz: BTreeSet<usize> = (0..(n - 1) / 4).collect();
@@ -20,7 +22,14 @@ fn bench_phase_king(c: &mut Criterion) {
             b.iter(|| {
                 let mut ledger = Ledger::new();
                 let mut rng = DetRng::new(1);
-                run_phase_king(&inputs, &byz, f, ByzPlan::Equivocate(0, 1), &mut ledger, &mut rng)
+                run_phase_king(
+                    &inputs,
+                    &byz,
+                    f,
+                    ByzPlan::Equivocate(0, 1),
+                    &mut ledger,
+                    &mut rng,
+                )
             })
         });
     }
@@ -29,7 +38,9 @@ fn bench_phase_king(c: &mut Criterion) {
 
 fn bench_bracha(c: &mut Criterion) {
     let mut group = c.benchmark_group("agreement/bracha");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     for n in [10usize, 22, 46] {
         let byz: BTreeSet<usize> = (1..=(n - 1) / 3).collect();
         let f = (n - 1) / 3;
@@ -46,7 +57,9 @@ fn bench_bracha(c: &mut Criterion) {
 
 fn bench_dolev_strong(c: &mut Criterion) {
     let mut group = c.benchmark_group("agreement/dolev_strong");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     for n in [8usize, 16, 32] {
         let byz: BTreeSet<usize> = (1..n / 2).collect(); // beyond n/3!
         let f = n / 2;
@@ -54,7 +67,16 @@ fn bench_dolev_strong(c: &mut Criterion) {
             b.iter(|| {
                 let mut ledger = Ledger::new();
                 let mut rng = DetRng::new(3);
-                run_dolev_strong(n, 0, 9, &byz, f, ByzPlan::Equivocate(1, 2), &mut ledger, &mut rng)
+                run_dolev_strong(
+                    n,
+                    0,
+                    9,
+                    &byz,
+                    f,
+                    ByzPlan::Equivocate(1, 2),
+                    &mut ledger,
+                    &mut rng,
+                )
             })
         });
     }
@@ -63,7 +85,9 @@ fn bench_dolev_strong(c: &mut Criterion) {
 
 fn bench_rand_num(c: &mut Criterion) {
     let mut group = c.benchmark_group("agreement/rand_num_commit_reveal");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [7usize, 13, 25] {
         let byz: BTreeSet<usize> = (0..(n - 1) / 3).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -79,7 +103,9 @@ fn bench_rand_num(c: &mut Criterion) {
 
 fn bench_ben_or(c: &mut Criterion) {
     let mut group = c.benchmark_group("agreement/ben_or_async");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for n in [6usize, 11, 21] {
         let inputs: Vec<u64> = (0..n as u64).map(|i| i % 2).collect();
         let f = (n - 1) / 5;

@@ -13,22 +13,24 @@ fn system(clusters: usize, seed: u64) -> NowSystem {
 
 fn bench_broadcast(c: &mut Criterion) {
     let mut group = c.benchmark_group("apps/broadcast");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for clusters in [8usize, 32] {
         let mut sys = system(clusters, 1);
         let origin = sys.cluster_ids()[0];
-        group.bench_with_input(
-            BenchmarkId::from_parameter(clusters),
-            &clusters,
-            |b, _| b.iter(|| broadcast(&mut sys, origin)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(clusters), &clusters, |b, _| {
+            b.iter(|| broadcast(&mut sys, origin))
+        });
     }
     group.finish();
 }
 
 fn bench_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("apps/sampling");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     let mut sys = system(16, 2);
     let origin = sys.cluster_ids()[0];
     group.bench_function("sample_node", |b| b.iter(|| sample_node(&mut sys, origin)));
@@ -37,7 +39,9 @@ fn bench_sampling(c: &mut Criterion) {
 
 fn bench_aggregate(c: &mut Criterion) {
     let mut group = c.benchmark_group("apps/aggregate");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     let mut sys = system(16, 3);
     let root = sys.cluster_ids()[0];
     group.bench_function("count", |b| b.iter(|| aggregate_count(&mut sys, root)));
@@ -46,7 +50,9 @@ fn bench_aggregate(c: &mut Criterion) {
 
 fn bench_churn_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("theorem3/churn_step");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("join_then_leave", |b| {
         b.iter_batched(
             || system(12, 4),

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_lambda2(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph/lambda2");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [64usize, 256, 1024] {
         let mut rng = DetRng::new(1);
         let g = gen::erdos_renyi(n, (16.0 / n as f64).min(0.5), &mut rng);
@@ -24,7 +26,9 @@ fn bench_lambda2(c: &mut Criterion) {
 
 fn bench_exact_isoperimetric(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph/exact_isoperimetric");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [12usize, 16, 20] {
         let mut rng = DetRng::new(2);
         let g = gen::ring_with_chords(n, n / 2, &mut rng);
@@ -37,7 +41,9 @@ fn bench_exact_isoperimetric(c: &mut Criterion) {
 
 fn bench_sweep_cut(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph/sweep_cut");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let mut rng = DetRng::new(3);
     let g = gen::erdos_renyi(256, 0.08, &mut rng);
     group.bench_function("n=256", |b| {
@@ -48,7 +54,9 @@ fn bench_sweep_cut(c: &mut Criterion) {
 
 fn bench_ctrw(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph/ctrw");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     let mut seed_rng = DetRng::new(4);
     let g = gen::erdos_renyi(128, 0.12, &mut seed_rng);
     for duration in [1.0f64, 4.0, 16.0] {

@@ -15,7 +15,9 @@ fn base_system(shuffle: bool, cascade: bool) -> NowSystem {
 
 fn bench_join(c: &mut Criterion) {
     let mut group = c.benchmark_group("ops/join");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("shuffle_on", |b| {
         b.iter_batched(
             || base_system(true, true),
@@ -41,7 +43,9 @@ fn bench_join(c: &mut Criterion) {
 
 fn bench_leave(c: &mut Criterion) {
     let mut group = c.benchmark_group("ops/leave");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("cascade_on", |b| {
         b.iter_batched(
             || base_system(true, true),
@@ -69,7 +73,9 @@ fn bench_leave(c: &mut Criterion) {
 
 fn bench_split_merge(c: &mut Criterion) {
     let mut group = c.benchmark_group("ops/split_merge");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("split", |b| {
         b.iter_batched(
             || {
@@ -116,7 +122,9 @@ fn bench_batch(c: &mut Criterion) {
     // width (same total work as serial; the savings are in protocol
     // *rounds*, which X-BATCH measures).
     let mut group = c.benchmark_group("ops/step_parallel");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for width in [2usize, 8] {
         group.bench_function(format!("width_{width}"), |b| {
             b.iter_batched(
@@ -138,5 +146,11 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_join, bench_leave, bench_split_merge, bench_batch);
+criterion_group!(
+    benches,
+    bench_join,
+    bench_leave,
+    bench_split_merge,
+    bench_batch
+);
 criterion_main!(benches);

@@ -16,7 +16,9 @@ fn fresh_overlay(m: u64, seed: u64) -> (Overlay, DetRng) {
 
 fn bench_add_remove(c: &mut Criterion) {
     let mut group = c.benchmark_group("overlay/maintenance");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("add_uniform", |b| {
         b.iter_batched(
             || fresh_overlay(64, 1),
@@ -42,7 +44,9 @@ fn bench_add_remove(c: &mut Criterion) {
 
 fn bench_audit(c: &mut Criterion) {
     let mut group = c.benchmark_group("overlay/audit");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for m in [32u64, 128, 512] {
         let (overlay, _) = fresh_overlay(m, 3);
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
@@ -57,7 +61,9 @@ fn bench_cycles(c: &mut Criterion) {
     // be O(r) per operation — far below OVER's degree-repair work.
     use now_over::CyclesOverlay;
     let mut group = c.benchmark_group("overlay/cycles");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     let fresh = |seed: u64| {
         let ids: Vec<ClusterId> = (0..64).map(ClusterId::from_raw).collect();
         let mut rng = DetRng::new(seed);

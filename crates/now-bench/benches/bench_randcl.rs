@@ -7,7 +7,9 @@ use std::time::Duration;
 
 fn bench_randcl_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("randcl/clusters");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for clusters in [8usize, 16, 32] {
         let params = NowParams::new(1 << 12, 2, 1.5, 0.30, 0.05).unwrap();
         let n0 = clusters * params.target_cluster_size();
@@ -22,7 +24,9 @@ fn bench_randcl_scaling(c: &mut Criterion) {
 
 fn bench_randcl_walk_factor(c: &mut Criterion) {
     let mut group = c.benchmark_group("randcl/walk_factor");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for factor in [0.5f64, 1.0, 2.0] {
         let params = NowParams::new(1 << 12, 2, 1.5, 0.30, 0.05)
             .unwrap()

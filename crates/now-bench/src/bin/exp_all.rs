@@ -48,7 +48,10 @@ fn main() {
         }
     }
     if failures.is_empty() {
-        println!("\nall {} experiments completed; CSVs in results/", EXPERIMENTS.len());
+        println!(
+            "\nall {} experiments completed; CSVs in results/",
+            EXPERIMENTS.len()
+        );
     } else {
         eprintln!("\nfailed experiments: {failures:?}");
         std::process::exit(1);

@@ -1,17 +1,29 @@
 //! X-A1 — §6: broadcast `Õ(n)` with clustering vs `O(n²)` without.
 
-use now_bench::{build_system, results_dir, slope};
 use now_apps::broadcast;
+use now_bench::{build_system, results_dir, slope};
 use now_sim::baselines::naive_broadcast_cost;
 use now_sim::{CsvTable, MdTable};
 
 fn main() {
     println!("# X-A1: broadcast complexity (§6)\n");
     let mut md = MdTable::new([
-        "n", "clusters", "clustered_msgs", "naive_msgs", "speedup", "rounds", "complete",
+        "n",
+        "clusters",
+        "clustered_msgs",
+        "naive_msgs",
+        "speedup",
+        "rounds",
+        "complete",
     ]);
     let mut csv = CsvTable::new([
-        "n", "clusters", "clustered_msgs", "naive_msgs", "speedup", "rounds", "complete",
+        "n",
+        "clusters",
+        "clustered_msgs",
+        "naive_msgs",
+        "speedup",
+        "rounds",
+        "complete",
     ]);
     let mut ns: Vec<f64> = Vec::new();
     let mut costs: Vec<f64> = Vec::new();
@@ -48,6 +60,7 @@ fn main() {
     println!("{}", md.render());
     println!("fitted cost exponent: clustered_msgs ≈ n^{exponent:.2} (naive is n^2.00)");
     println!("expectation: exponent ≈ 1 (Õ(n)); speedup grows with n; delivery complete.");
-    csv.write_csv(&results_dir().join("x_a1_broadcast.csv")).unwrap();
+    csv.write_csv(&results_dir().join("x_a1_broadcast.csv"))
+        .unwrap();
     println!("wrote results/x_a1_broadcast.csv");
 }

@@ -1,7 +1,7 @@
 //! X-A2 — §6: uniform sampling at `polylog(n)` messages per sample.
 
-use now_bench::{build_system, results_dir, slope};
 use now_apps::sample_node;
+use now_bench::{build_system, results_dir, slope};
 use now_sim::baselines::naive_sampling_cost;
 use now_sim::{CsvTable, MdTable};
 use std::collections::BTreeMap;
@@ -10,10 +10,20 @@ fn main() {
     println!("# X-A2: sampling complexity and uniformity (§6)\n");
     let trials = 400u64;
     let mut md = MdTable::new([
-        "n", "mean_msgs/sample", "naive_flood", "mean_rounds", "TV_to_uniform", "noise_floor",
+        "n",
+        "mean_msgs/sample",
+        "naive_flood",
+        "mean_rounds",
+        "TV_to_uniform",
+        "noise_floor",
     ]);
     let mut csv = CsvTable::new([
-        "n", "mean_msgs", "naive_flood", "mean_rounds", "tv_uniform", "noise_floor",
+        "n",
+        "mean_msgs",
+        "naive_flood",
+        "mean_rounds",
+        "tv_uniform",
+        "noise_floor",
     ]);
     let mut ns = Vec::new();
     let mut costs = Vec::new();
@@ -68,6 +78,7 @@ fn main() {
     println!("overlay-degree saturation, not n itself); TV tracking the noise_floor column");
     println!("is the uniformity verdict — an ideal sampler cannot do better at this trial");
     println!("count.");
-    csv.write_csv(&results_dir().join("x_a2_sampling.csv")).unwrap();
+    csv.write_csv(&results_dir().join("x_a2_sampling.csv"))
+        .unwrap();
     println!("wrote results/x_a2_sampling.csv");
 }

@@ -113,6 +113,7 @@ fn main() {
     println!("that makes randCl's cost O(log⁵N) either way: cheaper hops × more of");
     println!("them. r = 1 is the control: a single cycle's λ₂ vanishes and walks do");
     println!("not mix at any affordable duration.");
-    csv.write_csv(&results_dir().join("x_alt_overlay.csv")).unwrap();
+    csv.write_csv(&results_dir().join("x_alt_overlay.csv"))
+        .unwrap();
     println!("wrote results/x_alt_overlay.csv");
 }

@@ -27,9 +27,21 @@ fn main() {
     // ---- Part A: scaling in n under attack ----
     println!("## A. scaling at the resilience bound (split inputs, equivocator)\n");
     let mut md = MdTable::new([
-        "n", "f", "runs_decided/20", "mean_phases", "max_phases", "mean_msgs",
+        "n",
+        "f",
+        "runs_decided/20",
+        "mean_phases",
+        "max_phases",
+        "mean_msgs",
     ]);
-    let mut csv = CsvTable::new(["n", "f", "decided", "mean_phases", "max_phases", "mean_msgs"]);
+    let mut csv = CsvTable::new([
+        "n",
+        "f",
+        "decided",
+        "mean_phases",
+        "max_phases",
+        "mean_msgs",
+    ]);
     for &n in &[6usize, 11, 16, 21, 31] {
         let f = (n - 1) / 5;
         let byz: BTreeSet<usize> = (1..=f).collect();
@@ -55,7 +67,12 @@ fn main() {
             if report.all_decided {
                 decided += 1;
             }
-            let worst = report.decision_phases.values().max().copied().unwrap_or(400);
+            let worst = report
+                .decision_phases
+                .values()
+                .max()
+                .copied()
+                .unwrap_or(400);
             phase_sum += worst;
             phase_max = phase_max.max(worst);
             msg_sum += report.result.messages;
@@ -81,11 +98,17 @@ fn main() {
     println!("expectation: every run decides (termination w.p. 1 under randomized");
     println!("scheduling); phases stay O(1)-ish in n for the random scheduler while");
     println!("messages grow ≈ n² per phase.\n");
-    csv.write_csv(&results_dir().join("x_async_scaling.csv")).unwrap();
+    csv.write_csv(&results_dir().join("x_async_scaling.csv"))
+        .unwrap();
 
     // ---- Part B: delay-bound robustness ----
     println!("## B. delay-bound robustness (n = 11, f = 2, equivocator)\n");
-    let mut md_b = MdTable::new(["max_delay", "decided/20", "mean_phases", "mean_virtual_time"]);
+    let mut md_b = MdTable::new([
+        "max_delay",
+        "decided/20",
+        "mean_phases",
+        "mean_virtual_time",
+    ]);
     let mut csv_b = CsvTable::new(["max_delay", "decided", "mean_phases", "mean_virtual_time"]);
     let n = 11usize;
     let f = 2usize;
@@ -112,7 +135,12 @@ fn main() {
             if report.all_decided {
                 decided += 1;
             }
-            phase_sum += report.decision_phases.values().max().copied().unwrap_or(400);
+            phase_sum += report
+                .decision_phases
+                .values()
+                .max()
+                .copied()
+                .unwrap_or(400);
             vt_sum += report.virtual_time;
         }
         md_b.row([
@@ -134,7 +162,9 @@ fn main() {
     println!("linearly with it. This is the property that lets the NOW maintenance layer");
     println!("swap its synchronous randNum transport for an asynchronous one without");
     println!("touching the drift analysis — the direction §6 points at.\n");
-    csv_b.write_csv(&results_dir().join("x_async_delay.csv")).unwrap();
+    csv_b
+        .write_csv(&results_dir().join("x_async_delay.csv"))
+        .unwrap();
 
     // ---- Part C: local vs common coin ----
     println!("## C. coin comparison (split inputs, equivocator, 30 runs/cell)\n");
@@ -165,7 +195,14 @@ fn main() {
                     &mut rng,
                 );
                 assert!(report.all_decided, "{label} n={n} run {run} stalled");
-                phases.push(report.decision_phases.values().max().copied().unwrap_or(400));
+                phases.push(
+                    report
+                        .decision_phases
+                        .values()
+                        .max()
+                        .copied()
+                        .unwrap_or(400),
+                );
             }
             phases.sort_unstable();
             let mean = phases.iter().sum::<u64>() as f64 / phases.len() as f64;
@@ -193,15 +230,29 @@ fn main() {
     println!("while local coins need several phases with a heavy tail that grows with n —");
     println!("a split of private flips only heals when enough of them coincide. This is");
     println!("the measured version of the Ben-Or → Rabin upgrade an async-NOW would take.\n");
-    csv_c.write_csv(&results_dir().join("x_async_coins.csv")).unwrap();
+    csv_c
+        .write_csv(&results_dir().join("x_async_coins.csv"))
+        .unwrap();
 
     // ---- Part D: the substitution carried through — async randNum ----
     println!("## D. randNum rebuilt for asynchrony (commit-reveal + common subset)\n");
     let mut md_d = MdTable::new([
-        "n", "f", "sync_msgs", "async_msgs", "ratio", "included", "agreed_runs/10",
+        "n",
+        "f",
+        "sync_msgs",
+        "async_msgs",
+        "ratio",
+        "included",
+        "agreed_runs/10",
     ]);
     let mut csv_d = CsvTable::new([
-        "n", "f", "sync_msgs", "async_msgs", "ratio", "mean_included", "agreed_runs",
+        "n",
+        "f",
+        "sync_msgs",
+        "async_msgs",
+        "ratio",
+        "mean_included",
+        "agreed_runs",
     ]);
     for &(n, f) in &[(6usize, 1usize), (11, 2), (16, 3)] {
         let byz: BTreeSet<usize> = (1..=f).collect();
@@ -257,6 +308,8 @@ fn main() {
     println!("synchronous commit-reveal — the n inclusion instances each cost ~n² like");
     println!("the broadcast they replace. The included-set size stays ≥ n − f (every");
     println!("honest contribution survives), which is what keeps the output uniform.");
-    csv_d.write_csv(&results_dir().join("x_async_randnum.csv")).unwrap();
+    csv_d
+        .write_csv(&results_dir().join("x_async_randnum.csv"))
+        .unwrap();
     println!("wrote results/x_async_{{scaling,delay,coins,randnum}}.csv");
 }

@@ -18,10 +18,24 @@ use std::collections::BTreeSet;
 fn main() {
     println!("# X-F1: initialization phase (Figure 1)\n");
     let mut md = MdTable::new([
-        "n", "e", "disc_msgs", "2*n*e", "ratio", "disc_rounds", "diameter", "clus_msgs",
+        "n",
+        "e",
+        "disc_msgs",
+        "2*n*e",
+        "ratio",
+        "disc_rounds",
+        "diameter",
+        "clus_msgs",
     ]);
     let mut csv = CsvTable::new([
-        "n", "e", "disc_msgs", "two_n_e", "ratio", "disc_rounds", "diameter", "clus_msgs",
+        "n",
+        "e",
+        "disc_msgs",
+        "two_n_e",
+        "ratio",
+        "disc_rounds",
+        "diameter",
+        "clus_msgs",
     ]);
 
     for (i, n) in [64usize, 128, 256, 512].into_iter().enumerate() {
@@ -34,13 +48,7 @@ fn main() {
         let out = discover(&g, &byz, &mut ledger);
         assert!(out.complete, "discovery must complete at this density");
         let params = NowParams::for_capacity(1 << 10).unwrap();
-        let _cl = clusterize(
-            n,
-            &byz,
-            params.target_cluster_size(),
-            &mut ledger,
-            &mut rng,
-        );
+        let _cl = clusterize(n, &byz, params.target_cluster_size(), &mut ledger, &mut rng);
         let clus = ledger.stats(CostKind::Clusterization);
         let e = g.edge_count() as u64;
         let envelope = 2 * n as u64 * e; // each id crosses each edge at most once per direction

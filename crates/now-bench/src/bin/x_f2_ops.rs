@@ -21,12 +21,24 @@ fn main() {
         CostKind::RandCl,
     ];
     let mut md = MdTable::new([
-        "N", "logN", "cluster", "join_msgs", "join_rounds", "leave_msgs", "exchange_msgs",
+        "N",
+        "logN",
+        "cluster",
+        "join_msgs",
+        "join_rounds",
+        "leave_msgs",
+        "exchange_msgs",
         "randcl_msgs",
     ]);
     let mut csv = CsvTable::new([
-        "capacity", "log_n", "cluster_size", "join_msgs", "join_rounds", "leave_msgs",
-        "exchange_msgs", "randcl_msgs",
+        "capacity",
+        "log_n",
+        "cluster_size",
+        "join_msgs",
+        "join_rounds",
+        "leave_msgs",
+        "exchange_msgs",
+        "randcl_msgs",
     ]);
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
 
@@ -57,7 +69,11 @@ fn main() {
             let after = sys.ledger().stats(kind);
             let count = after.count - baseline[j].count;
             let msgs = after.total_messages - baseline[j].total_messages;
-            let mean = if count > 0 { msgs as f64 / count as f64 } else { 0.0 };
+            let mean = if count > 0 {
+                msgs as f64 / count as f64
+            } else {
+                0.0
+            };
             series[j].push(mean);
             row.push(format!("{mean:.0}"));
             if kind == CostKind::Join {

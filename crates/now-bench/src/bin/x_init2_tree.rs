@@ -74,13 +74,17 @@ fn main() {
         ]);
     }
     let xs: Vec<f64> = ns.iter().map(|&n| n.ln()).collect();
-    let flood_exp = slope(&xs, &flood_costs.iter().map(|&c| c.ln()).collect::<Vec<_>>());
+    let flood_exp = slope(
+        &xs,
+        &flood_costs.iter().map(|&c| c.ln()).collect::<Vec<_>>(),
+    );
     let tree_exp = slope(&xs, &tree_costs.iter().map(|&c| c.ln()).collect::<Vec<_>>());
     println!("{}", md.render());
     println!("fitted exponents: flooding n^{flood_exp:.2}, trees n^{tree_exp:.2}");
     println!("expectation: flooding ≈ n^2 (n·e with e = Θ(n·log n) gives exponent ≥ 2);");
     println!("trees ≈ n^1 plus log factors — the o(n²) candidate.\n");
-    csv.write_csv(&results_dir().join("x_init2_cost.csv")).unwrap();
+    csv.write_csv(&results_dir().join("x_init2_cost.csv"))
+        .unwrap();
 
     // ---- Part B: completeness vs redundancy ----
     println!("## B. completeness under suppression (n = 256)\n");

@@ -8,8 +8,8 @@
 //!   crossings (beyond the paper's analysis — the sticky-threshold
 //!   effect; capture times should grow rapidly with k).
 
-use now_bench::results_dir;
 use now_adversary::{Action, Adversary, JoinLeaveAttack, TargetedMalice};
+use now_bench::results_dir;
 use now_core::{NowParams, NowSystem};
 use now_net::DetRng;
 use now_sim::{baselines::no_shuffle_params, CsvTable, MdTable};
@@ -107,6 +107,7 @@ fn main() {
     println!("finding of the reproduction, beyond the paper's per-step analysis: the 1/3");
     println!("threshold is sticky, and suppressing intra-step excursions needs the full");
     println!("asymptotic margin, not just per-snapshot Chernoff tails (see EXPERIMENTS.md).");
-    csv.write_csv(&results_dir().join("x_jla_attack.csv")).unwrap();
+    csv.write_csv(&results_dir().join("x_jla_attack.csv"))
+        .unwrap();
     println!("wrote results/x_jla_attack.csv");
 }

@@ -15,10 +15,20 @@ fn main() {
     let eps = 0.5; // tail threshold τ(1+ε) = 0.30
     let trials = 150;
     let mut md = MdTable::new([
-        "k", "cluster", "mean_after", "max_after", "tail_P(p>τ(1+ε))", "chernoff_bound",
+        "k",
+        "cluster",
+        "mean_after",
+        "max_after",
+        "tail_P(p>τ(1+ε))",
+        "chernoff_bound",
     ]);
     let mut csv = CsvTable::new([
-        "k", "cluster_size", "mean_after", "max_after", "empirical_tail", "chernoff_bound",
+        "k",
+        "cluster_size",
+        "mean_after",
+        "max_after",
+        "empirical_tail",
+        "chernoff_bound",
     ]);
 
     for k in [2usize, 4, 6, 8] {
@@ -86,6 +96,7 @@ fn main() {
     println!("is then retained; Lemma 1 idealizes this away and it vanishes as n grows.");
     println!("The tail probability decays with k (the Chernoff column is the paper's bound;");
     println!("empirical values sit below it).");
-    csv.write_csv(&results_dir().join("x_l1_exchange.csv")).unwrap();
+    csv.write_csv(&results_dir().join("x_l1_exchange.csv"))
+        .unwrap();
     println!("wrote results/x_l1_exchange.csv");
 }

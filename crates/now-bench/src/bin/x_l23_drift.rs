@@ -6,9 +6,9 @@
 //! `O(logN)` exchanges. We track one cluster's Byzantine fraction over
 //! a long churn run and measure band behavior per k.
 
+use now_adversary::{Action, Adversary, RandomChurn};
 use now_bench::{build_system, results_dir};
 use now_net::DetRng;
-use now_adversary::{Action, Adversary, RandomChurn};
 use now_sim::{CsvTable, MdTable};
 
 fn main() {
@@ -21,11 +21,21 @@ fn main() {
     println!("bands: τ = {tau}, τ(1+ε/2) = {low:.3}, τ(1+ε) = {high:.3}\n");
 
     let mut md = MdTable::new([
-        "k", "cluster", "mean_frac", "peak_frac", "excursions>τ(1+ε/2)", "mean_recovery_steps",
+        "k",
+        "cluster",
+        "mean_frac",
+        "peak_frac",
+        "excursions>τ(1+ε/2)",
+        "mean_recovery_steps",
         "steps>τ(1+ε)",
     ]);
     let mut csv = CsvTable::new([
-        "k", "cluster_size", "mean_frac", "peak_frac", "excursions", "mean_recovery_steps",
+        "k",
+        "cluster_size",
+        "mean_frac",
+        "peak_frac",
+        "excursions",
+        "mean_recovery_steps",
         "steps_above_high",
     ]);
 
@@ -106,6 +116,7 @@ fn main() {
     println!("{}", md.render());
     println!("expectation (Lemma 3): excursions above τ(1+ε/2) recover within O(logN) steps;");
     println!("expectation (Lemma 2): time spent above τ(1+ε) shrinks rapidly with k.");
-    csv.write_csv(&results_dir().join("x_l23_drift.csv")).unwrap();
+    csv.write_csv(&results_dir().join("x_l23_drift.csv"))
+        .unwrap();
     println!("wrote results/x_l23_drift.csv");
 }

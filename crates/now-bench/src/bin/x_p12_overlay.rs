@@ -30,12 +30,26 @@ fn main() {
     let mut next_id = 1000u64;
 
     let mut md = MdTable::new([
-        "step", "m", "max_deg", "cap_ok", "connected", "lambda2", "cheeger_low", "sweep_up",
+        "step",
+        "m",
+        "max_deg",
+        "cap_ok",
+        "connected",
+        "lambda2",
+        "cheeger_low",
+        "sweep_up",
         "bound_holds(spectral)",
     ]);
     let mut csv = CsvTable::new([
-        "step", "m", "max_degree", "cap_ok", "connected", "lambda2", "cheeger_lower",
-        "sweep_upper", "exact",
+        "step",
+        "m",
+        "max_degree",
+        "cap_ok",
+        "connected",
+        "lambda2",
+        "cheeger_lower",
+        "sweep_upper",
+        "exact",
     ]);
 
     let total_steps = 1200usize;
@@ -108,12 +122,16 @@ fn main() {
         small_params.expansion_bound()
     );
     if let Some(exact) = audit.exact_isoperimetric {
-        assert!(audit.cheeger_lower <= exact + 1e-6, "Cheeger sandwich broken");
+        assert!(
+            audit.cheeger_lower <= exact + 1e-6,
+            "Cheeger sandwich broken"
+        );
         assert!(audit.sweep_upper >= exact - 1e-9, "sweep sandwich broken");
         println!("sandwich cheeger ≤ exact ≤ sweep verified.");
     }
 
-    csv.write_csv(&results_dir().join("x_p12_overlay.csv")).unwrap();
+    csv.write_csv(&results_dir().join("x_p12_overlay.csv"))
+        .unwrap();
     println!("\nexpectation: cap_ok true throughout (Property 2, enforced structurally +");
     println!("audited), overlay stays connected with λ₂ bounded away from 0 (Property 1's");
     println!("substance); absolute expansion tracks the degree scale log^{{1+α}}N.");

@@ -29,11 +29,21 @@ fn main() {
 
     let plateaus: Vec<u64> = vec![start, 300, 700, 1400, 2800, 1400, 700, 300, start];
     let mut md = MdTable::new([
-        "n", "clusters", "mean_join_msgs", "msgs/log²m", "worst_frac", "band_ok",
+        "n",
+        "clusters",
+        "mean_join_msgs",
+        "msgs/log²m",
+        "worst_frac",
+        "band_ok",
         "static-#C size (prior work)",
     ]);
     let mut csv = CsvTable::new([
-        "n", "clusters", "mean_join_msgs", "msgs_per_log2m", "worst_frac", "band_ok",
+        "n",
+        "clusters",
+        "mean_join_msgs",
+        "msgs_per_log2m",
+        "worst_frac",
+        "band_ok",
         "static_cluster_size",
     ]);
 
@@ -104,6 +114,7 @@ fn main() {
     println!("overlay-degree saturation (msgs/log²m flattens), i.e. polylog — while the");
     println!("static-#C column shows prior work's cluster size growing linearly in n, the");
     println!("blow-up NOW's dynamic cluster count avoids.");
-    csv.write_csv(&results_dir().join("x_poly_growth.csv")).unwrap();
+    csv.write_csv(&results_dir().join("x_poly_growth.csv"))
+        .unwrap();
     println!("wrote results/x_poly_growth.csv");
 }

@@ -22,10 +22,21 @@ fn main() {
     let steps = 500u64;
     let tau = 0.20;
     let mut md = MdTable::new([
-        "attack", "shuffle", "splits", "merges", "peak_frac", "not_2/3_steps", "forgeable_steps",
+        "attack",
+        "shuffle",
+        "splits",
+        "merges",
+        "peak_frac",
+        "not_2/3_steps",
+        "forgeable_steps",
     ]);
     let mut csv = CsvTable::new([
-        "attack", "shuffle", "splits", "merges", "peak_frac", "not_two_thirds_steps",
+        "attack",
+        "shuffle",
+        "splits",
+        "merges",
+        "peak_frac",
+        "not_two_thirds_steps",
         "forgeable_steps",
     ]);
 
@@ -82,6 +93,7 @@ fn main() {
     println!("while leave-bearing rows (control, merge-forcing) drift *worse* than with");
     println!("shuffling, the §3.3 motivation. And no-shuffle is exactly the configuration");
     println!("the join-leave attacker captures outright (X-JLA, X-ABL-EX).");
-    csv.write_csv(&results_dir().join("x_pressure.csv")).unwrap();
+    csv.write_csv(&results_dir().join("x_pressure.csv"))
+        .unwrap();
     println!("wrote results/x_pressure.csv");
 }

@@ -25,7 +25,12 @@ fn main() {
     let steps = 600u64;
     let capacity = 1u64 << 12;
     let mut md = MdTable::new([
-        "tau", "k", "plain_fail_rate", "majority_fail_rate", "peak_frac", "forgeable_steps",
+        "tau",
+        "k",
+        "plain_fail_rate",
+        "majority_fail_rate",
+        "peak_frac",
+        "forgeable_steps",
     ]);
     let mut csv = CsvTable::new([
         "tau",
@@ -52,8 +57,7 @@ fn main() {
                     seed: 77,
                 },
             );
-            let plain_rate =
-                report.count(ViolationKind::NotTwoThirdsHonest) as f64 / steps as f64;
+            let plain_rate = report.count(ViolationKind::NotTwoThirdsHonest) as f64 / steps as f64;
             let majority_rate =
                 report.count(ViolationKind::NotMajorityHonest) as f64 / steps as f64;
             let forgeable = report.count(ViolationKind::Forgeable);

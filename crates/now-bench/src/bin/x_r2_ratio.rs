@@ -7,8 +7,8 @@
 //! Dolev–Strong substrate, which tolerates any `f`; the system-level
 //! simulation keeps the paper's information-theoretic `τ < 1/3` regime).
 
-use now_bench::{results_dir, standard_params};
 use now_adversary::RandomChurn;
+use now_bench::{results_dir, standard_params};
 use now_core::NowSystem;
 use now_sim::{run, CsvTable, MdTable, RunConfig};
 
@@ -17,10 +17,22 @@ fn main() {
     let steps = 1000u64;
     let k = 8usize;
     let mut md = MdTable::new([
-        "r", "tau=1/r-ε", "bound 1/r", "peak_frac", "steps_over_bound", "over_rate", "holds_95",
+        "r",
+        "tau=1/r-ε",
+        "bound 1/r",
+        "peak_frac",
+        "steps_over_bound",
+        "over_rate",
+        "holds_95",
     ]);
     let mut csv = CsvTable::new([
-        "r", "tau", "bound", "peak_frac", "steps_over_bound", "over_rate", "holds_95",
+        "r",
+        "tau",
+        "bound",
+        "peak_frac",
+        "steps_over_bound",
+        "over_rate",
+        "holds_95",
     ]);
 
     for r in [3u32, 4, 5] {
@@ -74,6 +86,7 @@ fn main() {
     println!("asymptotic: r = 3 puts the bound at 1/3 itself, the protocol's thinnest");
     println!("margin, and needs cluster sizes beyond laptop scale for strict containment");
     println!("(cross-check the k-sweep in X-T3: violations fall exponentially in k).");
-    csv.write_csv(&results_dir().join("x_r2_ratio.csv")).unwrap();
+    csv.write_csv(&results_dir().join("x_r2_ratio.csv"))
+        .unwrap();
     println!("wrote results/x_r2_ratio.csv");
 }

@@ -17,11 +17,20 @@ fn main() {
     println!("# X-RC: randCl distribution and cost (§3.1)\n");
     let trials = 3000;
     let mut md = MdTable::new([
-        "walk_factor", "TV_to_size_biased", "mean_msgs", "mean_rounds", "mean_hops",
+        "walk_factor",
+        "TV_to_size_biased",
+        "mean_msgs",
+        "mean_rounds",
+        "mean_hops",
         "mean_restarts",
     ]);
     let mut csv = CsvTable::new([
-        "walk_factor", "tv_distance", "mean_msgs", "mean_rounds", "mean_hops", "mean_restarts",
+        "walk_factor",
+        "tv_distance",
+        "mean_msgs",
+        "mean_rounds",
+        "mean_hops",
+        "mean_restarts",
     ]);
 
     for &factor in &[0.25f64, 0.5, 1.0, 2.0, 4.0] {
@@ -57,8 +66,7 @@ fn main() {
             tv += (expect - got).abs();
         }
         tv /= 2.0;
-        let mean_msgs =
-            (after_rc.total_messages - before_rc.total_messages) as f64 / trials as f64;
+        let mean_msgs = (after_rc.total_messages - before_rc.total_messages) as f64 / trials as f64;
         let mean_rounds = (after_rc.total_rounds - before_rc.total_rounds) as f64 / trials as f64;
         md.row([
             format!("{factor:.2}"),
@@ -89,6 +97,7 @@ fn main() {
     println!("≈ 0.03 even for the shortest walks (the OVER overlay mixes in O(1) relaxation");
     println!("times), while cost grows ~linearly in the factor — so the paper's walk length");
     println!("is conservative here; the default factor 1.0 sits inside its cost envelope.");
-    csv.write_csv(&results_dir().join("x_rc_randcl.csv")).unwrap();
+    csv.write_csv(&results_dir().join("x_rc_randcl.csv"))
+        .unwrap();
     println!("wrote results/x_rc_randcl.csv");
 }

@@ -8,20 +8,34 @@
 //! exponentially in k. This sweep measures exactly that surface —
 //! the laptop-scale shape of the theorem.
 
-use now_bench::{build_system, results_dir};
 use now_adversary::RandomChurn;
+use now_bench::{build_system, results_dir};
 use now_sim::{run, CsvTable, MdTable, RunConfig, ViolationKind};
 
 fn main() {
     println!("# X-T3: long-run cluster honesty (Theorem 3)\n");
     let steps = 1500u64;
     let mut md = MdTable::new([
-        "tau", "k", "cluster", "steps", "peak_frac", "steps_not_2/3", "steps_randnum_comp",
-        "steps_forgeable", "size_violations",
+        "tau",
+        "k",
+        "cluster",
+        "steps",
+        "peak_frac",
+        "steps_not_2/3",
+        "steps_randnum_comp",
+        "steps_forgeable",
+        "size_violations",
     ]);
     let mut csv = CsvTable::new([
-        "tau", "k", "cluster_size", "steps", "peak_frac", "not_two_thirds", "randnum_comp",
-        "forgeable", "size_violations",
+        "tau",
+        "k",
+        "cluster_size",
+        "steps",
+        "peak_frac",
+        "not_two_thirds",
+        "randnum_comp",
+        "forgeable",
+        "size_violations",
     ]);
 
     for &tau in &[0.10f64, 0.15, 0.20] {
@@ -68,6 +82,7 @@ fn main() {
     println!("expectation: violation steps → 0 as k grows at fixed τ (exponentially, per");
     println!("Lemma 1's Chernoff bound), and rise as τ → 1/3 at fixed k. Forgeable (1/2)");
     println!("violations are rarer than 1/3 crossings at every point of the sweep.");
-    csv.write_csv(&results_dir().join("x_t3_longrun.csv")).unwrap();
+    csv.write_csv(&results_dir().join("x_t3_longrun.csv"))
+        .unwrap();
     println!("wrote results/x_t3_longrun.csv");
 }

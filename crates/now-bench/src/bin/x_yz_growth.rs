@@ -23,12 +23,28 @@ fn main() {
     let k = 3usize;
     let tau = 0.10;
     let mut md = MdTable::new([
-        "N", "y", "z", "floor", "ceiling", "peak_n", "join_msgs@peak", "worst_frac",
-        "band_ok", "violations",
+        "N",
+        "y",
+        "z",
+        "floor",
+        "ceiling",
+        "peak_n",
+        "join_msgs@peak",
+        "worst_frac",
+        "band_ok",
+        "violations",
     ]);
     let mut csv = CsvTable::new([
-        "N", "y", "z", "floor", "ceiling", "peak_n", "join_msgs_at_peak", "worst_frac",
-        "band_ok", "violations",
+        "N",
+        "y",
+        "z",
+        "floor",
+        "ceiling",
+        "peak_n",
+        "join_msgs_at_peak",
+        "worst_frac",
+        "band_ok",
+        "violations",
     ]);
 
     // Wider bands run at smaller N so total work stays laptop-scale;
@@ -137,6 +153,7 @@ fn main() {
     println!("tracks log of the *population* (compare rows at the same N), not its absolute");
     println!("size — the polylog claim across the widened band; band_ok holds and binding");
     println!("violations stay at the τ = 0.10 noise floor in every configuration.");
-    csv.write_csv(&results_dir().join("x_yz_growth.csv")).unwrap();
+    csv.write_csv(&results_dir().join("x_yz_growth.csv"))
+        .unwrap();
     println!("wrote results/x_yz_growth.csv");
 }

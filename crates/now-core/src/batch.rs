@@ -150,10 +150,7 @@ mod tests {
         let report = sys.step_parallel(&[], &[victim, victim]);
         assert_eq!(report.left, vec![victim]);
         assert_eq!(report.rejected.len(), 1);
-        assert!(matches!(
-            report.rejected[0].1,
-            NowError::UnknownNode { .. }
-        ));
+        assert!(matches!(report.rejected[0].1, NowError::UnknownNode { .. }));
         sys.check_consistency().unwrap();
     }
 

@@ -82,7 +82,7 @@ impl Cluster {
     /// forged message, so forgery needs a Byzantine strict majority in
     /// both modes.
     pub fn forgeable(&self) -> bool {
-        !self.members.is_empty() && self.byz_count >= self.members.len() / 2 + 1
+        !self.members.is_empty() && self.byz_count > self.members.len() / 2
     }
 
     /// The paper's headline invariant: strictly more than two thirds of
@@ -241,9 +241,15 @@ mod tests {
             c.insert(nid(i), false);
         }
         assert!(!c.rand_num_secure_in(SecurityMode::Plain), "4 ≥ 10/3");
-        assert!(c.rand_num_secure_in(SecurityMode::Authenticated), "4 < 10/2");
+        assert!(
+            c.rand_num_secure_in(SecurityMode::Authenticated),
+            "4 < 10/2"
+        );
         assert!(!c.invariant_holds_in(SecurityMode::Plain), "6/10 ≤ 2/3");
-        assert!(c.invariant_holds_in(SecurityMode::Authenticated), "6/10 > 1/2");
+        assert!(
+            c.invariant_holds_in(SecurityMode::Authenticated),
+            "6/10 > 1/2"
+        );
         // 5 of 10: even the authenticated invariant fails.
         c.remove(nid(0), true);
         c.insert(nid(10), false);
@@ -257,7 +263,10 @@ mod tests {
         for i in 0..9 {
             c.insert(nid(i), i >= 2);
         }
-        assert_eq!(c.rand_num_secure(), c.rand_num_secure_in(SecurityMode::Plain));
+        assert_eq!(
+            c.rand_num_secure(),
+            c.rand_num_secure_in(SecurityMode::Plain)
+        );
         assert_eq!(
             c.two_thirds_honest(),
             c.invariant_holds_in(SecurityMode::Plain)

@@ -257,10 +257,7 @@ mod tests {
         sys.exchange_all(c, false);
         let after: BTreeSet<NodeId> = sys.cluster(c).unwrap().members().collect();
         let replaced = before.difference(&after).count();
-        assert!(
-            replaced <= 3,
-            "cap 3 but {replaced} members were exchanged"
-        );
+        assert!(replaced <= 3, "cap 3 but {replaced} members were exchanged");
         sys.check_consistency().unwrap();
     }
 

@@ -68,17 +68,17 @@ pub fn discover(bootstrap: &Graph, byz: &BTreeSet<usize>, ledger: &mut Ledger) -
     loop {
         // Send phase: honest nodes relay everything new.
         let mut sent_any = false;
-        for p in 0..n {
-            if byz.contains(&p) || fresh[p].is_empty() {
+        for (p, fresh_p) in fresh.iter_mut().enumerate() {
+            if byz.contains(&p) || fresh_p.is_empty() {
                 continue;
             }
-            let packet: Vec<u64> = fresh[p].iter().map(|&id| id as u64).collect();
+            let packet: Vec<u64> = fresh_p.iter().map(|&id| id as u64).collect();
             for nb in bootstrap.neighbors(p) {
                 units += packet.len() as u64;
                 bus.send(p, nb, packet.clone());
                 sent_any = true;
             }
-            fresh[p].clear();
+            fresh_p.clear();
         }
         if !sent_any {
             break;
@@ -240,7 +240,8 @@ pub fn init_discovered(
     let outcome = clusterize(n, &byz, params.target_cluster_size(), &mut ledger, &mut rng);
 
     // Build the system from the measured assignment.
-    let mut sys = NowSystem::init_with_corruption(params, corrupt, seed.wrapping_mul(31).wrapping_add(7));
+    let mut sys =
+        NowSystem::init_with_corruption(params, corrupt, seed.wrapping_mul(31).wrapping_add(7));
     // Replace the fast path's synthetic partition with the measured one:
     // rebuild memberships according to `outcome.assignment`.
     let node_ids = sys.node_ids();

@@ -322,7 +322,13 @@ mod tests {
     fn honest_tree_discovery_is_complete() {
         let g = er_bootstrap(60, 1);
         let mut ledger = Ledger::new();
-        let out = tree_discover(&g, &BTreeSet::new(), &[0, 7, 13], &mut ledger, &mut DetRng::new(11));
+        let out = tree_discover(
+            &g,
+            &BTreeSet::new(),
+            &[0, 7, 13],
+            &mut ledger,
+            &mut DetRng::new(11),
+        );
         assert!(out.complete);
         assert_eq!(out.accepted.len(), 60);
         for report in &out.per_tree {
@@ -336,7 +342,13 @@ mod tests {
         // tree — far below the n²/4 of a flooding lower bound.
         let g = er_bootstrap(200, 2);
         let mut ledger = Ledger::new();
-        let out = tree_discover(&g, &BTreeSet::new(), &[0, 1, 2], &mut ledger, &mut DetRng::new(12));
+        let out = tree_discover(
+            &g,
+            &BTreeSet::new(),
+            &[0, 1, 2],
+            &mut ledger,
+            &mut DetRng::new(12),
+        );
         assert!(out.complete);
         let n = 200u64;
         assert!(
@@ -358,7 +370,13 @@ mod tests {
         let mut l1 = Ledger::new();
         let single = tree_discover(&g, &byz, &[0], &mut l1, &mut DetRng::new(13));
         let mut l9 = Ledger::new();
-        let nine = tree_discover(&g, &byz, &[0, 1, 2, 3, 4, 6, 7, 8, 9], &mut l9, &mut DetRng::new(14));
+        let nine = tree_discover(
+            &g,
+            &byz,
+            &[0, 1, 2, 3, 4, 6, 7, 8, 9],
+            &mut l9,
+            &mut DetRng::new(14),
+        );
         assert!(
             nine.accepted.len() >= single.accepted.len(),
             "redundancy must not hurt: {} vs {}",
@@ -406,8 +424,7 @@ mod tests {
         let corrupt: Vec<bool> = (0..80).map(|i| i % 10 == 0).collect();
         let sys = (0..4)
             .find_map(|attempt| {
-                init_tree_discovered(params, &g, &corrupt, 9 + 4 * attempt, 6 + attempt as u64)
-                    .ok()
+                init_tree_discovered(params, &g, &corrupt, 9 + 4 * attempt, 6 + attempt as u64).ok()
             })
             .expect("some retry with more trees completes");
         sys.check_consistency().unwrap();
@@ -437,8 +454,8 @@ mod tests {
     fn init_tree_rejects_bad_inputs() {
         let params = NowParams::for_capacity(1 << 10).unwrap();
         let g = er_bootstrap(10, 9);
-        assert!(init_tree_discovered(params, &g, &vec![false; 5], 3, 1).is_err());
-        assert!(init_tree_discovered(params, &g, &vec![false; 10], 0, 1).is_err());
+        assert!(init_tree_discovered(params, &g, &[false; 5], 3, 1).is_err());
+        assert!(init_tree_discovered(params, &g, &[false; 10], 0, 1).is_err());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //!   experiments.
 //! * [`Malice`] — the hook through which an adversary exploits
 //!   *compromised* clusters (≥ 1/3 Byzantine ⇒ `randNum` steerable;
-//!   > 1/2 ⇒ message forgery). In the Theorem-3 regime these hooks stay
+//!   more than 1/2 ⇒ message forgery). In the Theorem-3 regime these hooks stay
 //!   dormant because no cluster ever crosses the thresholds — which is
 //!   exactly what the audits verify.
 //!

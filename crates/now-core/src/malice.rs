@@ -66,11 +66,7 @@ pub trait Malice {
     /// Which member a compromised cluster surrenders in an exchange
     /// (`None` = honest uniform choice). `members` come with the
     /// adversary's ground-truth knowledge of honesty.
-    fn exchange_victim(
-        &mut self,
-        members: &[(NodeId, bool)],
-        rng: &mut DetRng,
-    ) -> Option<NodeId>;
+    fn exchange_victim(&mut self, members: &[(NodeId, bool)], rng: &mut DetRng) -> Option<NodeId>;
 }
 
 /// Neutral adversary: compromised clusters behave like honest ones with

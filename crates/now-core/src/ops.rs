@@ -379,7 +379,10 @@ mod tests {
         assert!(sys.try_join(true).is_ok());
         assert!(matches!(
             sys.try_join(true),
-            Err(NowError::PopulationCeiling { population: 16, ceiling: 16 })
+            Err(NowError::PopulationCeiling {
+                population: 16,
+                ceiling: 16
+            })
         ));
         // The unchecked join still admits (environment assumption, not
         // protocol enforcement).

@@ -188,9 +188,7 @@ impl NowParams {
         }
         if tau * (1.0 + epsilon) >= bound {
             return match security {
-                SecurityMode::Plain => {
-                    fail("tau(1+epsilon) must stay below 1/3 (Lemma 1 regime)")
-                }
+                SecurityMode::Plain => fail("tau(1+epsilon) must stay below 1/3 (Lemma 1 regime)"),
                 SecurityMode::Authenticated => {
                     fail("tau(1+epsilon) must stay below 1/2 (Remark 1 regime)")
                 }
@@ -406,7 +404,7 @@ mod tests {
         assert!(p.target_cluster_size() < p.max_cluster_size());
         // A split of a just-oversized cluster must land both halves
         // above the merge bound: (max+1)/2 ≥ min requires l > √2.
-        assert!((p.max_cluster_size() + 1) / 2 >= p.min_cluster_size());
+        assert!(p.max_cluster_size().div_ceil(2) >= p.min_cluster_size());
     }
 
     #[test]
@@ -421,11 +419,20 @@ mod tests {
 
     #[test]
     fn rejects_bad_parameters() {
-        assert!(NowParams::new(8, 2, 1.5, 0.2, 0.1).is_err(), "tiny capacity");
+        assert!(
+            NowParams::new(8, 2, 1.5, 0.2, 0.1).is_err(),
+            "tiny capacity"
+        );
         assert!(NowParams::new(1 << 10, 0, 1.5, 0.2, 0.1).is_err(), "zero k");
         assert!(NowParams::new(1 << 10, 2, 1.2, 0.2, 0.1).is_err(), "l ≤ √2");
-        assert!(NowParams::new(1 << 10, 2, 1.5, 0.34, 0.1).is_err(), "tau ≥ 1/3");
-        assert!(NowParams::new(1 << 10, 2, 1.5, 0.2, 0.0).is_err(), "epsilon 0");
+        assert!(
+            NowParams::new(1 << 10, 2, 1.5, 0.34, 0.1).is_err(),
+            "tau ≥ 1/3"
+        );
+        assert!(
+            NowParams::new(1 << 10, 2, 1.5, 0.2, 0.0).is_err(),
+            "epsilon 0"
+        );
         assert!(
             NowParams::new(1 << 10, 2, 1.5, 0.32, 0.2).is_err(),
             "tau(1+eps) ≥ 1/3"
@@ -536,7 +543,10 @@ mod tests {
             p.with_population_exponents(2.0, 7.0).is_err(),
             "2^70 overflows u64"
         );
-        assert!(p.with_population_exponents(1.0, 1.0).is_ok(), "y = z = 1 allowed");
+        assert!(
+            p.with_population_exponents(1.0, 1.0).is_ok(),
+            "y = z = 1 allowed"
+        );
     }
 
     // ----- Exchange cap ablation -----

@@ -79,7 +79,8 @@ impl NowSystem {
                 }
                 // Collaborative holding time: Exp(degree), derived from a
                 // randNum draw (compromised clusters control it).
-                let u = self.rand_num_in(current, RES, crate::malice::RandNumPurpose::WalkHoldingTime);
+                let u =
+                    self.rand_num_in(current, RES, crate::malice::RandNumPurpose::WalkHoldingTime);
                 let unit = (u as f64 + 1.0) / (RES as f64 + 1.0);
                 let hold = -unit.ln() / degree as f64;
                 if hold >= remaining {
@@ -113,7 +114,8 @@ impl NowSystem {
             // Size-biased acceptance at the endpoint.
             let size = self.cluster_ref(current).size();
             let p_accept = self.params.acceptance_probability(size);
-            let draw = self.rand_num_in(current, RES, crate::malice::RandNumPurpose::WalkAcceptance);
+            let draw =
+                self.rand_num_in(current, RES, crate::malice::RandNumPurpose::WalkAcceptance);
             if (draw as f64 + 0.5) / RES as f64 <= p_accept {
                 self.ledger.end();
                 return (current, trace);
@@ -267,7 +269,10 @@ mod tests {
             let (_, t) = sys.rand_cl_from(victim);
             compromised += t.compromised_hops;
         }
-        assert!(compromised > 0, "walks through a compromised cluster must be flagged");
+        assert!(
+            compromised > 0,
+            "walks through a compromised cluster must be flagged"
+        );
     }
 
     #[test]
@@ -283,9 +288,7 @@ mod tests {
         let run = |seed: u64| {
             let mut sys = system(250, seed);
             let start = sys.cluster_ids()[0];
-            let picks: Vec<u64> = (0..10)
-                .map(|_| sys.rand_cl_from(start).0.raw())
-                .collect();
+            let picks: Vec<u64> = (0..10).map(|_| sys.rand_cl_from(start).0.raw()).collect();
             picks
         };
         assert_eq!(run(8), run(8));

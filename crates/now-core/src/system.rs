@@ -116,8 +116,17 @@ impl NowSystem {
             let cid = cluster_ids[pos % cluster_count];
             let node = node_ids[idx];
             let honest = !corrupt[idx];
-            clusters.get_mut(&cid).expect("fresh cluster").insert(node, honest);
-            nodes.insert(node, NodeRecord { honest, cluster: cid });
+            clusters
+                .get_mut(&cid)
+                .expect("fresh cluster")
+                .insert(node, honest);
+            nodes.insert(
+                node,
+                NodeRecord {
+                    honest,
+                    cluster: cid,
+                },
+            );
         }
 
         let overlay = Overlay::init_random(&cluster_ids, params.over(), &mut rng);
@@ -418,7 +427,10 @@ impl NowSystem {
                 return Err(format!("{node} points at dead cluster {}", record.cluster));
             };
             if !cluster.contains(node) {
-                return Err(format!("{node} missing from its cluster {}", record.cluster));
+                return Err(format!(
+                    "{node} missing from its cluster {}",
+                    record.cluster
+                ));
             }
         }
         let mut seen = 0usize;

@@ -80,8 +80,11 @@ impl NowSystem {
     /// Panics if `node` is not in the network.
     pub fn node_view(&self, node: NodeId) -> NodeView {
         let cluster = self.node_cluster(node).expect("node must be live");
-        let own_members: BTreeSet<NodeId> =
-            self.cluster(cluster).expect("live cluster").members().collect();
+        let own_members: BTreeSet<NodeId> = self
+            .cluster(cluster)
+            .expect("live cluster")
+            .members()
+            .collect();
         let mut neighbor_members = BTreeMap::new();
         for nbr in self.overlay().neighbors(cluster) {
             if let Some(c) = self.cluster(nbr) {
@@ -139,11 +142,8 @@ impl NowSystem {
                 if let Some(dc) = self.cluster(d) {
                     if let Some(member) = dc.members().next() {
                         let view = self.node_view(member);
-                        let known_of_c = view
-                            .neighbor_members
-                            .get(&c)
-                            .map(|s| s.len())
-                            .unwrap_or(0);
+                        let known_of_c =
+                            view.neighbor_members.get(&c).map(|s| s.len()).unwrap_or(0);
                         if known_of_c != c_size {
                             violations.push(format!(
                                 "{member} of {d} knows {known_of_c}/{c_size} of neighbor {c}"
@@ -205,10 +205,8 @@ mod tests {
         let expected: BTreeSet<NodeId> = sys.cluster(home).unwrap().members().collect();
         assert_eq!(view.own_members, expected);
         // Neighbor map matches the overlay exactly (parsimony).
-        let overlay_nbrs: BTreeSet<ClusterId> =
-            sys.overlay().neighbors(home).into_iter().collect();
-        let view_nbrs: BTreeSet<ClusterId> =
-            view.neighbor_members.keys().copied().collect();
+        let overlay_nbrs: BTreeSet<ClusterId> = sys.overlay().neighbors(home).into_iter().collect();
+        let view_nbrs: BTreeSet<ClusterId> = view.neighbor_members.keys().copied().collect();
         assert_eq!(view_nbrs, overlay_nbrs);
     }
 

@@ -16,7 +16,10 @@ use rand::Rng;
 /// # Panics
 /// Panics if `p` is not within `[0, 1]`.
 pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "edge probability {p} not in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability {p} not in [0,1]"
+    );
     let mut g = Graph::new(n);
     if p == 0.0 {
         return g;
@@ -115,7 +118,7 @@ pub fn near_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
         let mut stubs: Vec<usize> = Vec::new();
         for v in 0..n {
             let deficit = d.saturating_sub(g.degree(v));
-            stubs.extend(std::iter::repeat_n(v, deficit));
+            stubs.extend(std::iter::repeat(v).take(deficit));
         }
         if stubs.len() < 2 {
             break;

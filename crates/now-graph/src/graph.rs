@@ -109,8 +109,7 @@ impl Graph {
     /// # Panics
     /// Panics if `v` is out of range or `i >= degree(v)`.
     pub fn neighbor_at(&self, v: usize, i: usize) -> usize {
-        *self
-            .adj[v]
+        *self.adj[v]
             .iter()
             .nth(i)
             .expect("neighbor index out of range")

@@ -42,7 +42,10 @@ pub fn mixing_profile<R: Rng>(
                 let emp = endpoint_distribution(g, s, duration, trials, rng);
                 worst = worst.max(total_variation(&emp, &target));
             }
-            MixingPoint { duration, tv: worst }
+            MixingPoint {
+                duration,
+                tv: worst,
+            }
         })
         .collect()
 }

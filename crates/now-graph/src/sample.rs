@@ -40,7 +40,9 @@ impl WeightedAlias {
             return None;
         }
         let sum: f64 = weights.iter().sum();
-        if !(sum > 0.0) || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        if sum.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+            || weights.iter().any(|w| !w.is_finite() || *w < 0.0)
+        {
             return None;
         }
         let scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / sum).collect();
@@ -100,7 +102,10 @@ impl WeightedAlias {
 /// the same conditions as [`WeightedAlias::new`].
 pub fn sample_weighted_linear<R: Rng>(weights: &[f64], rng: &mut R) -> Option<usize> {
     let sum: f64 = weights.iter().sum();
-    if weights.is_empty() || !(sum > 0.0) || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+    if weights.is_empty()
+        || sum.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+        || weights.iter().any(|w| !w.is_finite() || *w < 0.0)
+    {
         return None;
     }
     let mut t = rng.gen_range(0.0..sum);

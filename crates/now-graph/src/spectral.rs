@@ -50,7 +50,9 @@ fn laplacian_apply(g: &Graph, x: &[f64], y: &mut [f64]) {
 fn start_vector(n: usize) -> Vec<f64> {
     (0..n)
         .map(|i| {
-            let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+            let h = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(31);
             (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         })
         .collect()
@@ -159,10 +161,7 @@ mod tests {
         for n in [4usize, 8, 16] {
             let expect = 2.0 * (1.0 - (2.0 * std::f64::consts::PI / n as f64).cos());
             let l2 = lambda2(&gen::ring(n));
-            assert!(
-                (l2 - expect).abs() < 1e-6,
-                "C_{n}: got {l2}, want {expect}"
-            );
+            assert!((l2 - expect).abs() < 1e-6, "C_{n}: got {l2}, want {expect}");
         }
     }
 
@@ -171,10 +170,7 @@ mod tests {
         for n in [3usize, 6, 10] {
             let expect = 2.0 * (1.0 - (std::f64::consts::PI / n as f64).cos());
             let l2 = lambda2(&gen::path(n));
-            assert!(
-                (l2 - expect).abs() < 1e-6,
-                "P_{n}: got {l2}, want {expect}"
-            );
+            assert!((l2 - expect).abs() < 1e-6, "P_{n}: got {l2}, want {expect}");
         }
     }
 
@@ -233,11 +229,11 @@ mod tests {
         g.add_edge(4, 5);
         let f = fiedler_vector(&g, SpectralOptions::default());
         let left_sign = f[0].signum();
-        for u in 0..5 {
-            assert_eq!(f[u].signum(), left_sign, "clique A coherent");
+        for x in &f[..5] {
+            assert_eq!(x.signum(), left_sign, "clique A coherent");
         }
-        for u in 5..10 {
-            assert_eq!(f[u].signum(), -left_sign, "clique B opposite");
+        for x in &f[5..10] {
+            assert_eq!(x.signum(), -left_sign, "clique B opposite");
         }
     }
 

@@ -53,12 +53,7 @@ pub fn discrete_walk<R: Rng>(g: &Graph, start: usize, steps: usize, rng: &mut R)
 ///
 /// # Panics
 /// Panics if `start` is out of range or `duration` is negative/NaN.
-pub fn ctrw_endpoint<R: Rng>(
-    g: &Graph,
-    start: usize,
-    duration: f64,
-    rng: &mut R,
-) -> CtrwHop {
+pub fn ctrw_endpoint<R: Rng>(g: &Graph, start: usize, duration: f64, rng: &mut R) -> CtrwHop {
     assert!(start < g.vertex_count(), "start vertex out of range");
     assert!(duration >= 0.0, "duration must be non-negative");
     let mut v = start;
@@ -239,7 +234,10 @@ mod tests {
 
         let uniform = uniform_distribution(n);
         let degree_law = discrete_stationary(&g);
-        assert!(total_variation(&uniform, &degree_law) > 0.1, "fixture must be irregular");
+        assert!(
+            total_variation(&uniform, &degree_law) > 0.1,
+            "fixture must be irregular"
+        );
 
         // CTRW: long enough to mix.
         let emp_ctrw = endpoint_distribution(&g, 0, 40.0, trials, &mut rng);

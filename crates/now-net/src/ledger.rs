@@ -346,9 +346,27 @@ mod tests {
         let inner = l.end();
         l.add_messages(4);
         let outer = l.end();
-        assert_eq!(inner, Cost { messages: 2, rounds: 1 });
-        assert_eq!(outer, Cost { messages: 7, rounds: 1 });
-        assert_eq!(l.total(), Cost { messages: 7, rounds: 1 });
+        assert_eq!(
+            inner,
+            Cost {
+                messages: 2,
+                rounds: 1
+            }
+        );
+        assert_eq!(
+            outer,
+            Cost {
+                messages: 7,
+                rounds: 1
+            }
+        );
+        assert_eq!(
+            l.total(),
+            Cost {
+                messages: 7,
+                rounds: 1
+            }
+        );
     }
 
     #[test]
@@ -422,9 +440,21 @@ mod tests {
 
     #[test]
     fn cost_arithmetic() {
-        let a = Cost { messages: 1, rounds: 2 };
-        let b = Cost { messages: 3, rounds: 4 };
-        assert_eq!(a + b, Cost { messages: 4, rounds: 6 });
+        let a = Cost {
+            messages: 1,
+            rounds: 2,
+        };
+        let b = Cost {
+            messages: 3,
+            rounds: 4,
+        };
+        assert_eq!(
+            a + b,
+            Cost {
+                messages: 4,
+                rounds: 6
+            }
+        );
         let mut c = a;
         c += b;
         assert_eq!(c, a + b);

@@ -1,12 +1,12 @@
 //! Measuring the overlay against Properties 1–2.
 
 use crate::overlay::Overlay;
+use now_graph::expansion::EXACT_LIMIT;
+use now_graph::traversal::is_connected;
 use now_graph::{
     algebraic_connectivity, cheeger_lower_bound, exact_isoperimetric, sweep_cut_upper_bound,
     SpectralOptions,
 };
-use now_graph::expansion::EXACT_LIMIT;
-use now_graph::traversal::is_connected;
 
 /// A snapshot of the overlay's health, phrased in the paper's terms.
 ///

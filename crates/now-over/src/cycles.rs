@@ -111,11 +111,7 @@ impl CyclesOverlay {
 
     /// Number of edges of the union graph.
     pub fn edge_count(&self) -> usize {
-        self.order
-            .iter()
-            .map(|&v| self.degree(v))
-            .sum::<usize>()
-            / 2
+        self.order.iter().map(|&v| self.degree(v)).sum::<usize>() / 2
     }
 
     /// Splices `id` into every cycle at an independent uniformly random
@@ -124,12 +120,7 @@ impl CyclesOverlay {
         if !self.order.insert(id) {
             return;
         }
-        let live: Vec<ClusterId> = self
-            .order
-            .iter()
-            .copied()
-            .filter(|&v| v != id)
-            .collect();
+        let live: Vec<ClusterId> = self.order.iter().copied().filter(|&v| v != id).collect();
         for c in 0..self.cycle_count() {
             if live.is_empty() {
                 self.succ[c].insert(id, id);
@@ -290,7 +281,11 @@ mod tests {
         for r in [1usize, 2, 4] {
             let overlay = CyclesOverlay::init(&ids(60), r, &mut rng);
             for v in overlay.vertices() {
-                assert!(overlay.degree(v) <= 2 * r, "degree {} > 2r", overlay.degree(v));
+                assert!(
+                    overlay.degree(v) <= 2 * r,
+                    "degree {} > 2r",
+                    overlay.degree(v)
+                );
             }
         }
     }
@@ -368,7 +363,11 @@ mod tests {
         let mut rng = DetRng::new(7);
         let mut overlay = CyclesOverlay::init(&ids(1), 2, &mut rng);
         overlay.check_invariants().unwrap();
-        assert_eq!(overlay.degree(ClusterId::from_raw(0)), 0, "self-loops hidden");
+        assert_eq!(
+            overlay.degree(ClusterId::from_raw(0)),
+            0,
+            "self-loops hidden"
+        );
         overlay.insert(ClusterId::from_raw(1), &mut rng);
         overlay.check_invariants().unwrap();
         assert_eq!(overlay.degree(ClusterId::from_raw(0)), 1);

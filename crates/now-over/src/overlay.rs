@@ -2,8 +2,8 @@
 
 use crate::audit::OverlayAudit;
 use crate::params::OverParams;
-use now_net::ClusterId;
 use now_graph::Graph;
+use now_net::ClusterId;
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -133,7 +133,10 @@ impl Overlay {
         if !sa.remove(&b) {
             return false;
         }
-        self.adj.get_mut(&b).expect("symmetric adjacency").remove(&a);
+        self.adj
+            .get_mut(&b)
+            .expect("symmetric adjacency")
+            .remove(&a);
         self.edges -= 1;
         true
     }
@@ -190,7 +193,10 @@ impl Overlay {
         };
         self.edges -= nbrs.len();
         for n in &nbrs {
-            self.adj.get_mut(n).expect("symmetric adjacency").remove(&id);
+            self.adj
+                .get_mut(n)
+                .expect("symmetric adjacency")
+                .remove(&id);
         }
         let former: Vec<ClusterId> = nbrs.into_iter().collect();
         for &n in &former {
@@ -205,7 +211,10 @@ impl Overlay {
         if !self.contains(id) {
             return 0;
         }
-        let floor = self.params.degree_floor().min(self.vertex_count().saturating_sub(1));
+        let floor = self
+            .params
+            .degree_floor()
+            .min(self.vertex_count().saturating_sub(1));
         let mut added = 0;
         let mut pool: Vec<ClusterId> = self
             .vertices()

@@ -199,7 +199,9 @@ pub fn run_batched(
         report.rounds_parallel += batch.rounds_parallel;
 
         let audit = sys.audit();
-        report.population.push(audit.time_step, audit.population as f64);
+        report
+            .population
+            .push(audit.time_step, audit.population as f64);
         report
             .worst_byz_fraction
             .push(audit.time_step, audit.worst_byz_fraction);

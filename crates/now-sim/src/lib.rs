@@ -34,5 +34,5 @@ pub use batch_run::{run_batched, BatchDriver, BatchRandomChurn, BatchRunReport};
 pub use churn::{GrowthPhase, Sawtooth, ShrinkPhase};
 pub use metrics::{CsvTable, Summary, TimeSeries};
 pub use report::MdTable;
-pub use scenario::{ChurnStyle, Scenario};
 pub use runner::{run, RunConfig, RunReport, Violation, ViolationKind};
+pub use scenario::{ChurnStyle, Scenario};

@@ -214,7 +214,9 @@ pub fn run(sys: &mut NowSystem, adversary: &mut dyn Adversary, config: RunConfig
             report
                 .worst_byz_fraction
                 .push(audit.time_step, audit.worst_byz_fraction);
-            report.population.push(audit.time_step, audit.population as f64);
+            report
+                .population
+                .push(audit.time_step, audit.population as f64);
             report
                 .cluster_count
                 .push(audit.time_step, audit.cluster_count as f64);

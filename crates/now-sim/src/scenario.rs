@@ -195,9 +195,7 @@ impl Scenario {
         };
         let report = match self.churn {
             ChurnStyle::Quiet => run(&mut sys, &mut Quiet, config),
-            ChurnStyle::Balanced => {
-                run(&mut sys, &mut RandomChurn::balanced(self.tau), config)
-            }
+            ChurnStyle::Balanced => run(&mut sys, &mut RandomChurn::balanced(self.tau), config),
             ChurnStyle::Sawtooth { low, high } => {
                 run(&mut sys, &mut Sawtooth::new(low, high, self.tau), config)
             }

@@ -23,9 +23,15 @@ fn main() {
     let mut ledger = Ledger::new();
     let mut rng = DetRng::new(1);
     let report = run_ben_or(
-        n, &inputs, &byz, f,
+        n,
+        &inputs,
+        &byz,
+        f,
         ByzPlan::ConstantValue(0), // the adversary pushes the other value
-        20, 400, &mut ledger, &mut rng,
+        20,
+        400,
+        &mut ledger,
+        &mut rng,
     );
     let decision = report.result.unanimous().copied().expect("agreement");
     println!("unanimous inputs (all 1), adversary pushes 0:");
@@ -43,9 +49,15 @@ fn main() {
     let mut ledger = Ledger::new();
     let mut rng = DetRng::new(2);
     let report = run_ben_or(
-        n, &inputs, &byz, f,
+        n,
+        &inputs,
+        &byz,
+        f,
         ByzPlan::Equivocate(0, 1),
-        20, 400, &mut ledger, &mut rng,
+        20,
+        400,
+        &mut ledger,
+        &mut rng,
     );
     let decision = report.result.unanimous().copied().expect("agreement");
     println!("split inputs (alternating), equivocating adversary:");
@@ -62,9 +74,15 @@ fn main() {
         let mut ledger = Ledger::new();
         let mut rng = DetRng::new(3);
         let report = run_ben_or(
-            n, &inputs, &byz, f,
+            n,
+            &inputs,
+            &byz,
+            f,
             ByzPlan::Equivocate(0, 1),
-            max_delay, 400, &mut ledger, &mut rng,
+            max_delay,
+            400,
+            &mut ledger,
+            &mut rng,
         );
         assert!(report.all_decided);
         println!(

@@ -74,9 +74,9 @@ fn attack_run(label: &str, params: NowParams, steps: u64, hardened: bool) {
     }
     match captured_at {
         Some(step) => println!("  CAPTURED: adversary reached 1/2 of the target at step {step}"),
-        None => println!(
-            "  never captured (target peaked at {peak:.3}, honest majority throughout)"
-        ),
+        None => {
+            println!("  never captured (target peaked at {peak:.3}, honest majority throughout)")
+        }
     }
     sys.check_consistency().expect("consistent");
 }

@@ -60,8 +60,7 @@ fn main() {
     println!(
         "worst byz fraction over whole run: {:.3} (1/3 threshold crossings: {})",
         report.peak_byz_fraction,
-        report
-            .count(now_bft::sim::ViolationKind::RandNumCompromised)
+        report.count(now_bft::sim::ViolationKind::RandNumCompromised)
     );
     println!(
         "cluster size stayed in [{}, {}]: {}",
@@ -72,7 +71,12 @@ fn main() {
 
     // Per-op cost: polylog(N), independent of where n currently sits.
     println!("\nper-operation mean message costs over the run:");
-    for kind in [CostKind::Join, CostKind::Leave, CostKind::Split, CostKind::Merge] {
+    for kind in [
+        CostKind::Join,
+        CostKind::Leave,
+        CostKind::Split,
+        CostKind::Merge,
+    ] {
         let s = sys.ledger().stats(kind);
         if s.count > 0 {
             let log_n = params.log_n();

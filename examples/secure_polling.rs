@@ -34,7 +34,11 @@ fn main() {
         let root = sys.cluster_ids()[0];
         let report = poll(&mut sys, root, intent, true);
         let n = report.yes + report.no;
-        println!("poll #{round}: {} ballots over {} clusters", n, sys.cluster_count());
+        println!(
+            "poll #{round}: {} ballots over {} clusters",
+            n,
+            sys.cluster_count()
+        );
         println!(
             "  counted  : yes {:>4}  no {:>4}  ({:.1}% yes)",
             report.yes,

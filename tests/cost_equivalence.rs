@@ -54,8 +54,14 @@ fn rand_num_l0_and_l1_agree_on_security_semantics() {
     let byz: BTreeSet<usize> = [0, 1, 2].into_iter().collect(); // 3 < 10/3? 9 < 10 ✓
     let mut ledger = Ledger::new();
     let mut rng = DetRng::new(99);
-    let result =
-        rand_num_commit_reveal(c, 1000, &byz, ByzPlan::Equivocate(5, 6), &mut ledger, &mut rng);
+    let result = rand_num_commit_reveal(
+        c,
+        1000,
+        &byz,
+        ByzPlan::Equivocate(5, 6),
+        &mut ledger,
+        &mut rng,
+    );
     assert!(
         result.unanimous().is_some(),
         "L0 agreement below threshold: {:?}",

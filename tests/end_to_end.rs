@@ -23,7 +23,12 @@ fn fast_init_churn_audit_cycle() {
     assert!(audit.size_bounds_ok);
     assert!(audit.population > 100);
     // Ledger saw every operation family.
-    for kind in [CostKind::Join, CostKind::Leave, CostKind::Exchange, CostKind::RandCl] {
+    for kind in [
+        CostKind::Join,
+        CostKind::Leave,
+        CostKind::Exchange,
+        CostKind::RandCl,
+    ] {
         assert!(sys.ledger().stats(kind).count > 0, "{kind} missing");
     }
 }
@@ -120,7 +125,11 @@ fn overlay_stays_healthy_through_system_churn() {
     let overlay = sys.overlay_audit();
     assert!(overlay.connected, "overlay disconnected by churn");
     assert!(overlay.degree_bound_holds, "Property 2 violated");
-    assert!(overlay.lambda2 > 0.5, "expansion collapsed: {}", overlay.lambda2);
+    assert!(
+        overlay.lambda2 > 0.5,
+        "expansion collapsed: {}",
+        overlay.lambda2
+    );
     assert_eq!(overlay.vertex_count, sys.cluster_count());
 }
 

@@ -55,11 +55,7 @@ fn certificates_work_over_live_cluster_membership() {
         assert!(cert.verify(&members, &oracle));
         // The certificate is bound to this cluster's membership: it must
         // not verify against a different cluster of similar size.
-        let other = sys
-            .cluster_ids()
-            .into_iter()
-            .find(|&c| c != cid)
-            .unwrap();
+        let other = sys.cluster_ids().into_iter().find(|&c| c != cid).unwrap();
         let other_members: BTreeSet<_> = sys.cluster(other).unwrap().members().collect();
         assert!(!cert.verify(&other_members, &oracle));
     }
@@ -133,9 +129,16 @@ fn oscillation_attack_cannot_break_the_band() {
             Action::Idle => {}
         }
         let audit = sys.audit();
-        assert!(audit.size_bounds_ok, "band broken at step {}", sys.time_step());
+        assert!(
+            audit.size_bounds_ok,
+            "band broken at step {}",
+            sys.time_step()
+        );
     }
     sys.check_consistency().unwrap();
     let (_, _, splits, merges) = sys.op_counts();
-    assert!(splits + merges > 0, "the whipsaw should cause structural ops");
+    assert!(
+        splits + merges > 0,
+        "the whipsaw should cause structural ops"
+    );
 }

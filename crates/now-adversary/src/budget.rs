@@ -28,8 +28,19 @@ impl CorruptionBudget {
     /// Whether corrupting one more arrival keeps the adversary within
     /// budget (evaluated against the population *after* the arrival).
     pub fn can_corrupt_arrival(&self, sys: &NowSystem) -> bool {
-        let pop_after = sys.population() as f64 + 1.0;
-        let byz_after = sys.byz_population() as f64 + 1.0;
+        self.can_corrupt_at(sys.population(), sys.byz_population())
+    }
+
+    /// The projected-counts variant of [`CorruptionBudget::can_corrupt_arrival`]:
+    /// whether one more corrupt arrival fits given `population` /
+    /// `byz_population` as they will stand when the arrival lands.
+    /// Batch drivers decide a whole batch before the system moves, so
+    /// they must project the counts forward per slot instead of
+    /// re-reading a stale system (otherwise a width-`w` batch could
+    /// overshoot the τ budget by up to `w − 1` corrupt arrivals).
+    pub fn can_corrupt_at(&self, population: u64, byz_population: u64) -> bool {
+        let pop_after = population as f64 + 1.0;
+        let byz_after = byz_population as f64 + 1.0;
         byz_after / pop_after <= self.tau
     }
 

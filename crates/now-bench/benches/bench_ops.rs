@@ -118,14 +118,15 @@ fn bench_split_merge(c: &mut Criterion) {
 
 fn bench_batch(c: &mut Criterion) {
     // The §2-footnote batch path: one time step absorbing `w`
-    // operations. Wall-clock should scale roughly linearly with the
-    // width (same total work as serial; the savings are in protocol
+    // operations through the conflict-free wave scheduler. Wall-clock
+    // should scale roughly linearly with the width (same total work as
+    // serial plus the footprint planning; the savings are in protocol
     // *rounds*, which X-BATCH measures).
     let mut group = c.benchmark_group("ops/step_parallel");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(3));
-    for width in [2usize, 8] {
+    for width in [2usize, 8, 16] {
         group.bench_function(format!("width_{width}"), |b| {
             b.iter_batched(
                 || {
@@ -136,13 +137,31 @@ fn bench_batch(c: &mut Criterion) {
                 },
                 |(mut sys, leavers)| {
                     let joins = vec![true; width - leavers.len()];
-                    sys.step_parallel(&joins, &leavers);
-                    sys
+                    let report = sys.step_parallel(&joins, &leavers);
+                    (sys, report.wave_count())
                 },
                 BatchSize::LargeInput,
             )
         });
     }
+    // Sparse-overlay variant: many clusters relative to the overlay
+    // degree, so the scheduler actually coalesces operations into wide
+    // waves (the regime the X-BATCH experiment sweeps).
+    group.bench_function("width_8_sparse_overlay", |b| {
+        b.iter_batched(
+            || {
+                let params = NowParams::for_capacity(16).unwrap();
+                let sys = NowSystem::init_fast(params, 48 * params.target_cluster_size(), 0.1, 9);
+                let leavers: Vec<now_net::NodeId> = sys.node_ids().into_iter().take(4).collect();
+                (sys, leavers)
+            },
+            |(mut sys, leavers)| {
+                let report = sys.step_parallel(&[true, true, true, true], &leavers);
+                (sys, report.wave_count())
+            },
+            BatchSize::LargeInput,
+        )
+    });
     group.finish();
 }
 

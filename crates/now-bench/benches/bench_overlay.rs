@@ -93,5 +93,35 @@ fn bench_cycles(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_add_remove, bench_audit, bench_cycles);
+fn bench_footprints(c: &mut Criterion) {
+    // Planning cost of the batch wave scheduler: one footprint per
+    // operation (vertex + neighbor list). Must stay O(degree) per op,
+    // independent of the overlay size.
+    use now_core::{NowParams, NowSystem};
+    let mut group = c.benchmark_group("overlay/footprints");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
+    for clusters in [16usize, 64, 256] {
+        let params = NowParams::for_capacity(16).unwrap();
+        let sys = NowSystem::init_fast(params, clusters * params.target_cluster_size(), 0.1, 4);
+        let ids = sys.cluster_ids();
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(clusters), &clusters, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % ids.len();
+                sys.op_footprint(ids[i]).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_add_remove,
+    bench_audit,
+    bench_cycles,
+    bench_footprints
+);
 criterion_main!(benches);

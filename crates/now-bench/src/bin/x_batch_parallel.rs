@@ -1,53 +1,47 @@
-//! X-BATCH — the parallel-operations footnote.
+//! X-BATCH — the parallel-operations footnote, scheduled.
 //!
 //! The paper proves its claims for one join/leave per time step and
 //! notes (§2, footnote): *"the analysis can be generalized to several
-//! parallel join and leave operations."* We sweep the batch width `w`
-//! and measure:
+//! parallel join and leave operations."* `step_parallel` realizes the
+//! generalization as a conflict-free wave schedule over cluster
+//! footprints. We sweep the batch width `w` and measure:
 //!
 //! * per-operation message cost (should be flat — parallelism does not
-//!   change traffic),
-//! * round complexity per time step: serial sum vs parallel max (the
-//!   speedup should approach the width for large batches, bounded by
-//!   the slowest operation), and
+//!   change traffic; message costs are schedule-invariant),
+//! * round complexity per time step: serial sum vs the scheduled
+//!   per-wave maxima, plus the wave counts the schedule actually
+//!   produced, and
 //! * the invariants under batched churn (Theorem 3's conclusion should
 //!   be width-insensitive at fixed τ and k).
+//!
+//! `--smoke` runs a reduced sweep for CI: small N, fixed seeds, and the
+//! same JSON report — two runs of the same seed must produce
+//! byte-identical output (the CI `batch-smoke` job diffs them).
 
 use now_bench::results_dir;
 use now_core::{NowParams, NowSystem};
 use now_sim::{run_batched, BatchRandomChurn, CsvTable, MdTable};
+use std::fmt::Write as _;
 
-fn main() {
-    println!("# X-BATCH: parallel join/leave batches (§2 footnote)\n");
-    let capacity = 1u64 << 12;
-    let k = 4usize;
-    let total_ops = 480u64; // constant work; steps = total_ops / width
-    let mut md = MdTable::new([
-        "width",
-        "steps",
-        "ops",
-        "msgs_per_op",
-        "rounds_serial",
-        "rounds_parallel",
-        "speedup",
-        "binding_violations",
-    ]);
-    let mut csv = CsvTable::new([
-        "width",
-        "steps",
-        "ops",
-        "msgs_per_op",
-        "rounds_serial",
-        "rounds_parallel",
-        "speedup",
-        "binding_violations",
-    ]);
+struct Row {
+    width: usize,
+    steps: u64,
+    ops: u64,
+    msgs_per_op: f64,
+    rounds_serial: u64,
+    rounds_parallel: u64,
+    waves: u64,
+    max_wave_width: usize,
+    speedup: f64,
+    binding_violations: usize,
+}
 
-    for &width in &[1usize, 2, 4, 8, 16] {
-        let params = NowParams::new(capacity, k, 1.5, 0.30, 0.05).unwrap();
-        let n0 = 12 * params.target_cluster_size();
+fn sweep(widths: &[usize], total_ops: u64, clusters: usize, capacity: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &width in widths {
+        let params = NowParams::for_capacity(capacity).unwrap();
+        let n0 = clusters * params.target_cluster_size();
         let mut sys = NowSystem::init_fast(params, n0, 0.10, 4200 + width as u64);
-        sys.ledger_mut(); // ledger present; batch spans land under Batch
         let mut driver = BatchRandomChurn::balanced(width, 0.10);
         let steps = total_ops / width as u64;
         let report = run_batched(&mut sys, &mut driver, steps, 11 + width as u64);
@@ -58,37 +52,118 @@ fn main() {
         } else {
             batch_stats.total_messages as f64 / ops as f64
         };
-        let binding = report.binding_violations(now_core::SecurityMode::Plain);
+        rows.push(Row {
+            width,
+            steps,
+            ops,
+            msgs_per_op,
+            rounds_serial: report.rounds_serial,
+            rounds_parallel: report.rounds_parallel,
+            waves: report.waves,
+            max_wave_width: report.max_wave_width,
+            speedup: report.parallel_speedup(),
+            binding_violations: report.binding_violations(now_core::SecurityMode::Plain),
+        });
+        sys.check_consistency().unwrap();
+    }
+    rows
+}
+
+fn to_json(rows: &[Row], smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"x_batch_parallel\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"width\": {}, \"steps\": {}, \"ops\": {}, \
+             \"msgs_per_op\": {:.3}, \"rounds_serial\": {}, \
+             \"rounds_parallel\": {}, \"waves\": {}, \
+             \"max_wave_width\": {}, \"speedup\": {:.4}, \
+             \"binding_violations\": {}}}{comma}",
+            r.width,
+            r.steps,
+            r.ops,
+            r.msgs_per_op,
+            r.rounds_serial,
+            r.rounds_parallel,
+            r.waves,
+            r.max_wave_width,
+            r.speedup,
+            r.binding_violations,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!("# X-BATCH: parallel join/leave batches (§2 footnote)\n");
+    // A capacity-16 parameterization keeps the overlay degree (5) well
+    // below the cluster count, so batches contain genuinely disjoint
+    // footprints; the smoke sweep shrinks everything for CI.
+    let rows = if smoke {
+        sweep(&[1, 4, 8], 60, 32, 16)
+    } else {
+        sweep(&[1, 2, 4, 8, 16], 480, 64, 16)
+    };
+
+    let headers = [
+        "width",
+        "steps",
+        "ops",
+        "msgs_per_op",
+        "rounds_serial",
+        "rounds_parallel",
+        "waves",
+        "max_wave_width",
+        "speedup",
+        "binding_violations",
+    ];
+    let mut md = MdTable::new(headers);
+    let mut csv = CsvTable::new(headers);
+    for r in &rows {
         md.row([
-            width.to_string(),
-            steps.to_string(),
-            ops.to_string(),
-            format!("{msgs_per_op:.0}"),
-            report.rounds_serial.to_string(),
-            report.rounds_parallel.to_string(),
-            format!("{:.2}", report.parallel_speedup()),
-            binding.to_string(),
+            r.width.to_string(),
+            r.steps.to_string(),
+            r.ops.to_string(),
+            format!("{:.0}", r.msgs_per_op),
+            r.rounds_serial.to_string(),
+            r.rounds_parallel.to_string(),
+            r.waves.to_string(),
+            r.max_wave_width.to_string(),
+            format!("{:.2}", r.speedup),
+            r.binding_violations.to_string(),
         ]);
         csv.row([
-            width.to_string(),
-            steps.to_string(),
-            ops.to_string(),
-            format!("{msgs_per_op:.3}"),
-            report.rounds_serial.to_string(),
-            report.rounds_parallel.to_string(),
-            format!("{:.4}", report.parallel_speedup()),
-            binding.to_string(),
+            r.width.to_string(),
+            r.steps.to_string(),
+            r.ops.to_string(),
+            format!("{:.3}", r.msgs_per_op),
+            r.rounds_serial.to_string(),
+            r.rounds_parallel.to_string(),
+            r.waves.to_string(),
+            r.max_wave_width.to_string(),
+            format!("{:.4}", r.speedup),
+            r.binding_violations.to_string(),
         ]);
-        sys.check_consistency().unwrap();
     }
 
     println!("{}", md.render());
-    println!("expectation: msgs_per_op stays flat across widths (parallelism saves time, not");
-    println!("traffic); the round speedup grows with width but sub-linearly (the max over w");
-    println!("iid operation costs grows, and leave-cascades make some ops much longer than");
-    println!("the median); binding violations stay comparable to the width-1 baseline — the");
-    println!("footnote's claim that the analysis survives batching.");
+    println!("expectation: msgs_per_op stays flat across widths (message costs are");
+    println!("schedule-invariant); waves grow sub-linearly in width — footprint conflicts");
+    println!("serialize some operations, so the speedup is the ratio of serial rounds to the");
+    println!("per-wave maxima rather than the ideal ×width; binding violations *per audited");
+    println!("step* stay comparable to the width-1 baseline (absolute counts scale with the");
+    println!("step count) — the footnote's claim that the analysis survives batching. (At");
+    println!("this toy capacity clusters hold ~8 nodes, so τ = 0.1 trips thresholds often;");
+    println!("that is the k-dependence of Lemma 1, not a scheduler artifact.)");
     csv.write_csv(&results_dir().join("x_batch_parallel.csv"))
         .unwrap();
-    println!("wrote results/x_batch_parallel.csv");
+    let json_path = results_dir().join("x_batch_parallel.json");
+    std::fs::write(&json_path, to_json(&rows, smoke)).unwrap();
+    println!("wrote results/x_batch_parallel.csv and results/x_batch_parallel.json");
 }

@@ -38,13 +38,13 @@ impl NowSystem {
     /// Panics if `c` is not a live cluster.
     pub fn exchange_all(&mut self, c: ClusterId, cascade: bool) -> BTreeSet<ClusterId> {
         assert!(
-            self.clusters.contains_key(&c),
+            self.registry.contains_cluster(c),
             "exchange_all: unknown cluster {c}"
         );
         let receivers = self.exchange_single(c);
         if cascade {
             for &partner in &receivers {
-                if self.clusters.contains_key(&partner) {
+                if self.registry.contains_cluster(partner) {
                     self.exchange_single(partner);
                 }
             }

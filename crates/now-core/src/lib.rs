@@ -57,15 +57,17 @@ mod malice;
 mod ops;
 mod params;
 mod rand_cl;
+mod registry;
 mod system;
 mod views;
 
 pub use audit::SystemAudit;
-pub use batch::BatchReport;
+pub use batch::{BatchReport, WaveStats};
 pub use cluster::Cluster;
 pub use error::NowError;
 pub use malice::{Malice, NoMalice, RandNumContext, RandNumPurpose};
 pub use params::{NowParams, SecurityMode};
 pub use rand_cl::WalkTrace;
+pub use registry::{ClusterStats, NodeRecord, Registry};
 pub use system::NowSystem;
 pub use views::{NodeView, ViewAudit};

@@ -78,7 +78,7 @@ impl NowSystem {
     /// Shared join path for fresh arrivals and merge re-joins.
     fn admit(&mut self, node: NodeId, honest: bool, contact: ClusterId) {
         assert!(
-            self.clusters.contains_key(&contact),
+            self.registry.contains_cluster(contact),
             "join: unknown contact cluster {contact}"
         );
         self.ledger.begin(CostKind::Join);
@@ -169,7 +169,10 @@ impl NowSystem {
     /// # Panics
     /// Panics if `c` is not a live cluster.
     pub fn split(&mut self, c: ClusterId) {
-        assert!(self.clusters.contains_key(&c), "split: unknown cluster {c}");
+        assert!(
+            self.registry.contains_cluster(c),
+            "split: unknown cluster {c}"
+        );
         self.ledger.begin(CostKind::Split);
         self.split_count += 1;
 
@@ -186,8 +189,7 @@ impl NowSystem {
         // New cluster enters the overlay with randCl-sampled neighbor
         // candidates (OVER Add).
         let new_id = self.ids.cluster();
-        self.clusters
-            .insert(new_id, crate::cluster::Cluster::new(new_id));
+        self.registry.create_cluster(new_id);
         self.ledger.begin(CostKind::Overlay);
         let want = self.params.over().target_degree() + 4;
         let mut candidates = Vec::with_capacity(want);
@@ -228,7 +230,10 @@ impl NowSystem {
     /// # Panics
     /// Panics if `c` is not a live cluster or is the only cluster.
     pub fn merge(&mut self, c: ClusterId) {
-        assert!(self.clusters.contains_key(&c), "merge: unknown cluster {c}");
+        assert!(
+            self.registry.contains_cluster(c),
+            "merge: unknown cluster {c}"
+        );
         assert!(self.cluster_count() > 1, "cannot merge the last cluster");
         self.ledger.begin(CostKind::Merge);
         self.merge_count += 1;
@@ -265,8 +270,8 @@ impl NowSystem {
         let victim_size = absorbed.len() as u64;
         let mut teardown_msgs = 0u64;
         for nbr in self.overlay.neighbors(victim) {
-            if let Some(cl) = self.clusters.get(&nbr) {
-                teardown_msgs += victim_size * cl.size() as u64;
+            if let Some(stats) = self.registry.cluster_stats(nbr) {
+                teardown_msgs += victim_size * stats.size as u64;
             }
         }
         self.ledger.add_messages(teardown_msgs);
@@ -280,7 +285,9 @@ impl NowSystem {
         for (node, _) in &rejoiners {
             self.detach_node(*node).expect("rejoiner is live");
         }
-        self.clusters.remove(&victim);
+        self.registry
+            .remove_cluster(victim)
+            .expect("victim is live");
         self.account_neighbor_notification(c);
 
         // Re-joins through the ordinary join path (contact chosen

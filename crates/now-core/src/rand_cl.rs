@@ -18,6 +18,7 @@
 
 use crate::system::NowSystem;
 use now_net::{ClusterId, CostKind};
+use std::collections::BTreeMap;
 
 /// Diagnostics of one `randCl` invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,16 +31,92 @@ pub struct WalkTrace {
     pub compromised_hops: u64,
 }
 
+/// Per-cluster facts a walk re-reads on every visit, cached for the
+/// duration of one `randCl` invocation (membership and overlay are
+/// immutable while a walk runs, so the cache never goes stale).
+///
+/// Without this, every hop re-derived the overlay degree, re-allocated
+/// the neighbor list, and re-fetched cluster size and `randNum`-security
+/// from the registry — the dominant wall-clock cost of the biased CTRW
+/// that every join performs (`bench_randcl` measures the win).
+struct VertexFacts {
+    degree: usize,
+    size: u64,
+    /// Plain-model `randNum` security (< 1/3 Byzantine): gates the
+    /// [`crate::Malice`] hop-forcing hook.
+    secure_plain: bool,
+    /// Security under the deployment's [`crate::SecurityMode`]: gates
+    /// the collective draws themselves.
+    secure_mode: bool,
+    neighbors: Vec<ClusterId>,
+}
+
+/// Looks up (or computes once) the walk-relevant facts of `c`.
+fn facts<'a>(
+    cache: &'a mut BTreeMap<ClusterId, VertexFacts>,
+    sys: &NowSystem,
+    c: ClusterId,
+) -> &'a VertexFacts {
+    cache.entry(c).or_insert_with(|| {
+        let cluster = sys.cluster(c).expect("walk visits live clusters");
+        VertexFacts {
+            degree: sys.overlay().degree(c),
+            size: cluster.size() as u64,
+            secure_plain: cluster.rand_num_secure(),
+            secure_mode: cluster.rand_num_secure_in(sys.params().security()),
+            neighbors: sys.overlay().neighbors(c),
+        }
+    })
+}
+
 impl NowSystem {
+    /// One collective draw of a walk step against pre-fetched cluster
+    /// facts: ledger spans and randomness stream are *identical* to
+    /// [`NowSystem::rand_num_in`] — this only skips the per-call
+    /// registry lookups the walk loop already has cached.
+    fn rand_num_prefetched(
+        &mut self,
+        c: ClusterId,
+        range: u64,
+        size: u64,
+        secure: bool,
+        purpose: crate::malice::RandNumPurpose,
+    ) -> u64 {
+        use rand::Rng as _;
+        let range = range.max(1);
+        self.ledger.begin(CostKind::RandNum);
+        self.ledger.add_messages(2 * size * size.saturating_sub(1));
+        self.ledger.add_rounds(2);
+        self.ledger.end();
+        if secure {
+            self.rng.gen_range(0..range)
+        } else {
+            let ctx = crate::malice::RandNumContext {
+                cluster: c,
+                purpose,
+            };
+            self.malice.rand_num(range, ctx, &mut self.rng)
+        }
+    }
+
     /// Runs `randCl` starting from cluster `start`; returns the selected
     /// cluster and the walk diagnostics. Costs are recorded under
     /// [`CostKind::RandCl`] (inclusive of the per-hop `randNum`s).
+    ///
+    /// Hot path: every join performs this walk, so the per-cluster facts
+    /// a hop needs (overlay degree, neighbor list, cluster size,
+    /// `randNum` security) are cached across the walk's steps in a
+    /// [`VertexFacts`] table instead of being re-derived per hop, and
+    /// the two collective draws of a hop (Exp-holding-time and neighbor
+    /// choice) are issued back-to-back against one cached record. The
+    /// randomness stream and ledger accounting are bit-identical to the
+    /// naive per-hop derivation.
     ///
     /// # Panics
     /// Panics if `start` is not a live cluster.
     pub fn rand_cl_from(&mut self, start: ClusterId) -> (ClusterId, WalkTrace) {
         assert!(
-            self.clusters.contains_key(&start),
+            self.registry.contains_cluster(start),
             "rand_cl_from: unknown cluster {start}"
         );
         self.ledger.begin(CostKind::RandCl);
@@ -58,6 +135,9 @@ impl NowSystem {
         let mut current = start;
         // Resolution for fixed-point randomness drawn via randNum.
         const RES: u64 = 1 << 24;
+        // Nothing mutates membership or overlay while a walk runs, so
+        // the facts cache stays valid across hops *and* restarts.
+        let mut cache: BTreeMap<ClusterId, VertexFacts> = BTreeMap::new();
 
         // Hard per-invocation hop cap: compromised clusters can rush
         // their holding times to ~0 (see `Malice`), so a Byzantine-dense
@@ -73,14 +153,21 @@ impl NowSystem {
                     self.ledger.end();
                     return (current, trace);
                 }
-                let degree = self.overlay.degree(current);
+                let cur = facts(&mut cache, self, current);
+                let (degree, size, secure_plain, secure_mode) =
+                    (cur.degree, cur.size, cur.secure_plain, cur.secure_mode);
                 if degree == 0 {
                     break; // isolated vertex absorbs the walk
                 }
                 // Collaborative holding time: Exp(degree), derived from a
                 // randNum draw (compromised clusters control it).
-                let u =
-                    self.rand_num_in(current, RES, crate::malice::RandNumPurpose::WalkHoldingTime);
+                let u = self.rand_num_prefetched(
+                    current,
+                    RES,
+                    size,
+                    secure_mode,
+                    crate::malice::RandNumPurpose::WalkHoldingTime,
+                );
                 let unit = (u as f64 + 1.0) / (RES as f64 + 1.0);
                 let hold = -unit.ln() / degree as f64;
                 if hold >= remaining {
@@ -88,34 +175,41 @@ impl NowSystem {
                 }
                 remaining -= hold;
                 // Collaborative neighbor choice.
-                let idx = self.rand_num_in(
+                let idx = self.rand_num_prefetched(
                     current,
                     degree as u64,
+                    size,
+                    secure_mode,
                     crate::malice::RandNumPurpose::WalkNeighborChoice,
                 ) as usize;
-                let neighbors = self.overlay.neighbors(current);
-                let mut next = neighbors[idx.min(neighbors.len() - 1)];
-                if !self.cluster_ref(current).rand_num_secure() {
+                let cur = facts(&mut cache, self, current);
+                let mut next = cur.neighbors[idx.min(cur.neighbors.len() - 1)];
+                if !secure_plain {
                     trace.compromised_hops += 1;
-                    if let Some(forced) = self.malice.walk_hop(&neighbors, &mut self.rng) {
-                        if neighbors.contains(&forced) {
+                    if let Some(forced) = self.malice.walk_hop(&cur.neighbors, &mut self.rng) {
+                        if cur.neighbors.contains(&forced) {
                             next = forced;
                         }
                     }
                 }
                 // Quorum-validated hand-off message C → C'.
-                let from_size = self.cluster_ref(current).size() as u64;
-                let to_size = self.cluster_ref(next).size() as u64;
-                self.ledger.add_messages(from_size * to_size);
+                let to_size = facts(&mut cache, self, next).size;
+                self.ledger.add_messages(size * to_size);
                 self.ledger.add_rounds(1);
                 trace.hops += 1;
                 current = next;
             }
             // Size-biased acceptance at the endpoint.
-            let size = self.cluster_ref(current).size();
-            let p_accept = self.params.acceptance_probability(size);
-            let draw =
-                self.rand_num_in(current, RES, crate::malice::RandNumPurpose::WalkAcceptance);
+            let cur = facts(&mut cache, self, current);
+            let (size, secure_mode) = (cur.size, cur.secure_mode);
+            let p_accept = self.params.acceptance_probability(size as usize);
+            let draw = self.rand_num_prefetched(
+                current,
+                RES,
+                size,
+                secure_mode,
+                crate::malice::RandNumPurpose::WalkAcceptance,
+            );
             if (draw as f64 + 0.5) / RES as f64 <= p_accept {
                 self.ledger.end();
                 return (current, trace);
@@ -200,11 +294,11 @@ mod tests {
         );
     }
 
-    /// The distribution headline: endpoint frequencies match cluster
-    /// sizes, i.e. `randCl` samples a uniformly random *node*'s cluster.
-    #[test]
-    fn endpoint_distribution_is_size_biased() {
-        let mut sys = system(300, 5);
+    /// Measures the TV distance between `randCl`'s endpoint frequencies
+    /// and the size-biased law on one seeded system, plus the hit counts
+    /// of the artificially enlarged/shrunken clusters.
+    fn endpoint_tv_for_seed(seed: u64, trials: u64) -> (f64, u64, u64) {
+        let mut sys = system(300, seed);
         // Make sizes unequal: move a chunk of members from one cluster
         // to another (bypassing ops; this is a distribution test).
         let ids = sys.cluster_ids();
@@ -216,7 +310,6 @@ mod tests {
         sys.check_consistency().unwrap();
 
         let start = ids[2 % ids.len()];
-        let trials = 4000;
         let mut counts: BTreeMap<now_net::ClusterId, u64> = BTreeMap::new();
         for _ in 0..trials {
             let (c, _) = sys.rand_cl_from(start);
@@ -230,14 +323,48 @@ mod tests {
             tv += (expect - got).abs();
         }
         tv /= 2.0;
-        assert!(tv < 0.08, "TV distance from size-biased law: {tv}");
-        // The enlarged cluster must be hit noticeably more often than
-        // the shrunken one.
         let big_hits = *counts.get(&big).unwrap_or(&0);
         let small_hits = *counts.get(&small).unwrap_or(&0);
+        (tv, big_hits, small_hits)
+    }
+
+    /// The distribution headline: endpoint frequencies match cluster
+    /// sizes, i.e. `randCl` samples a uniformly random *node*'s cluster.
+    ///
+    /// Asserted over a small seed *ensemble* rather than one pinned
+    /// seed (see ROADMAP "statistical-test robustness"): the median TV
+    /// distance must be comfortably small and even the worst seed must
+    /// stay within the sampling-noise band, so a change to the vendored
+    /// RNG stream cannot silently invalidate the test.
+    #[test]
+    fn endpoint_distribution_is_size_biased() {
+        let mut tvs = Vec::new();
+        let mut bias_ok = 0usize;
+        let seeds = [5u64, 6, 7, 8, 9];
+        for &seed in &seeds {
+            let (tv, big_hits, small_hits) = endpoint_tv_for_seed(seed, 1200);
+            tvs.push(tv);
+            // The enlarged cluster should out-hit the shrunken one.
+            if big_hits > small_hits {
+                bias_ok += 1;
+            }
+        }
+        tvs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = tvs[tvs.len() / 2];
+        let worst = *tvs.last().unwrap();
         assert!(
-            big_hits > small_hits,
-            "size bias absent: big {big_hits} vs small {small_hits}"
+            median < 0.08,
+            "median TV distance from size-biased law: {median} (ensemble {tvs:?})"
+        );
+        assert!(
+            worst < 0.14,
+            "worst-seed TV distance: {worst} (ensemble {tvs:?})"
+        );
+        assert!(
+            bias_ok >= seeds.len() - 1,
+            "size bias absent on {}/{} seeds",
+            seeds.len() - bias_ok,
+            seeds.len()
         );
     }
 

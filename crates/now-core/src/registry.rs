@@ -1,0 +1,608 @@
+//! Sharded membership registry.
+//!
+//! The membership state of a NOW deployment used to live in two
+//! monolithic `BTreeMap`s inside [`crate::NowSystem`] — one global
+//! node → record map and one cluster map. Both become contention points
+//! for populations ≥ 10⁶ (every operation funnels through the same
+//! tree), so this module replaces them with a [`Registry`] that
+//! distributes the state over fixed shard arrays:
+//!
+//! * **cluster shards** — the membership store proper, sharded by
+//!   [`ClusterId`]: each shard holds the [`Cluster`] objects (member
+//!   sets plus cached Byzantine counts) whose id hashes to it. Two
+//!   operations whose cluster footprints are disjoint (see
+//!   [`crate::BatchReport`]) touch disjoint shard entries, which is what
+//!   makes the conflict-free parallel waves of
+//!   [`crate::NowSystem::step_parallel`] meaningful as a deployment
+//!   model.
+//! * **node shards** — the node index, sharded by [`NodeId`]: resolves
+//!   `node → (honesty, home cluster)` without walking the cluster
+//!   partition.
+//! * **exact aggregates** — a global population counter, a global
+//!   Byzantine counter, and a sorted cluster-id cache, all maintained
+//!   incrementally, so `population()` / `byz_population()` /
+//!   `cluster_ids()` are O(1)-ish instead of O(n) scans.
+//!
+//! Per-cluster size and honest-member counts are O(1) after locating the
+//! cluster's shard entry ([`Registry::cluster_stats`]) because
+//! [`Cluster`] caches its Byzantine count.
+//!
+//! Every mutation goes through the registry ([`Registry::attach`],
+//! [`Registry::detach`], [`Registry::move_to`]), which keeps the node
+//! index, the member sets, and the aggregate counters in lockstep;
+//! [`Registry::check_invariants`] re-derives all of them from scratch
+//! and is run by `NowSystem::check_consistency` after every operation in
+//! the test suites, so the sharding is *exact*, not approximate.
+
+use crate::cluster::Cluster;
+use now_net::{ClusterId, NodeId};
+use std::collections::BTreeMap;
+
+/// Number of node-index shards (power of two; ids are sequential, so a
+/// modulo spreads them uniformly).
+const NODE_SHARDS: usize = 64;
+/// Number of cluster-store shards.
+const CLUSTER_SHARDS: usize = 16;
+
+/// One node's registry entry: the simulator's ground-truth honesty flag
+/// and the cluster the node currently belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRecord {
+    /// Ground-truth honesty (the protocol itself never reads this except
+    /// through the ideal-functionality thresholds of [`crate::Malice`]).
+    pub honest: bool,
+    /// Home cluster.
+    pub cluster: ClusterId,
+}
+
+/// O(1) per-cluster aggregate: member count and honest-member count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClusterStats {
+    /// Total members.
+    pub size: usize,
+    /// Honest members.
+    pub honest: usize,
+}
+
+impl ClusterStats {
+    /// Byzantine members.
+    pub fn byz(&self) -> usize {
+        self.size - self.honest
+    }
+}
+
+/// The sharded membership store (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Registry {
+    node_shards: Vec<BTreeMap<NodeId, NodeRecord>>,
+    cluster_shards: Vec<BTreeMap<ClusterId, Cluster>>,
+    /// All live cluster ids, sorted ascending (kept exact on
+    /// insert/remove; O(#C) memmove there buys O(1) random access and
+    /// allocation-free iteration everywhere else).
+    sorted_clusters: Vec<ClusterId>,
+    population: u64,
+    byz_population: u64,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// K-way merge of already-sorted id streams (one per shard) into one
+/// ascending vector.
+fn merge_sorted<I>(streams: Vec<I>, capacity: usize) -> Vec<NodeId>
+where
+    I: Iterator<Item = NodeId>,
+{
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut iters: Vec<std::iter::Peekable<I>> =
+        streams.into_iter().map(Iterator::peekable).collect();
+    let mut heap: BinaryHeap<Reverse<(NodeId, usize)>> = iters
+        .iter_mut()
+        .enumerate()
+        .filter_map(|(i, it)| it.peek().map(|&id| Reverse((id, i))))
+        .collect();
+    let mut out = Vec::with_capacity(capacity);
+    while let Some(Reverse((id, i))) = heap.pop() {
+        out.push(id);
+        iters[i].next();
+        if let Some(&next) = iters[i].peek() {
+            heap.push(Reverse((next, i)));
+        }
+    }
+    out
+}
+
+impl Registry {
+    /// An empty registry with the default shard counts.
+    pub fn new() -> Self {
+        Registry {
+            node_shards: (0..NODE_SHARDS).map(|_| BTreeMap::new()).collect(),
+            cluster_shards: (0..CLUSTER_SHARDS).map(|_| BTreeMap::new()).collect(),
+            sorted_clusters: Vec::new(),
+            population: 0,
+            byz_population: 0,
+        }
+    }
+
+    #[inline]
+    fn node_shard_of(node: NodeId) -> usize {
+        (node.raw() % NODE_SHARDS as u64) as usize
+    }
+
+    #[inline]
+    fn cluster_shard_of(cluster: ClusterId) -> usize {
+        (cluster.raw() % CLUSTER_SHARDS as u64) as usize
+    }
+
+    // ------------------------------------------------------------------
+    // Aggregates.
+    // ------------------------------------------------------------------
+
+    /// Current population (exact counter, O(1)).
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// Current Byzantine population (exact counter, O(1)).
+    pub fn byz_population(&self) -> u64 {
+        self.byz_population
+    }
+
+    /// Whether no node is registered.
+    pub fn is_empty(&self) -> bool {
+        self.population == 0
+    }
+
+    /// Number of node-index shards (for scaling diagnostics).
+    pub fn node_shard_count(&self) -> usize {
+        self.node_shards.len()
+    }
+
+    /// Number of cluster-store shards.
+    pub fn cluster_shard_count(&self) -> usize {
+        self.cluster_shards.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Node index.
+    // ------------------------------------------------------------------
+
+    /// The record of a live node.
+    pub fn get(&self, node: NodeId) -> Option<NodeRecord> {
+        self.node_shards[Self::node_shard_of(node)]
+            .get(&node)
+            .copied()
+    }
+
+    /// Whether the node is registered.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.node_shards[Self::node_shard_of(node)].contains_key(&node)
+    }
+
+    /// All node ids, ascending: a k-way merge of the shards' already
+    /// sorted key streams (O(n log S) for S shards — cheaper than
+    /// re-sorting, and this sits on the per-step churn-driver path).
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        merge_sorted(
+            self.node_shards.iter().map(|s| s.keys().copied()).collect(),
+            self.population as usize,
+        )
+    }
+
+    /// Ids of the Byzantine nodes, ascending (same k-way merge).
+    pub fn byz_node_ids(&self) -> Vec<NodeId> {
+        merge_sorted(
+            self.node_shards
+                .iter()
+                .map(|s| s.iter().filter(|(_, r)| !r.honest).map(|(&id, _)| id))
+                .collect(),
+            self.byz_population as usize,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Cluster store.
+    // ------------------------------------------------------------------
+
+    /// Creates an empty cluster.
+    ///
+    /// # Panics
+    /// Panics if the id is already live.
+    pub fn create_cluster(&mut self, id: ClusterId) {
+        let prev = self.cluster_shards[Self::cluster_shard_of(id)].insert(id, Cluster::new(id));
+        assert!(prev.is_none(), "cluster {id} created twice");
+        let pos = self
+            .sorted_clusters
+            .binary_search(&id)
+            .expect_err("id absent from sorted cache");
+        self.sorted_clusters.insert(pos, id);
+    }
+
+    /// Removes a cluster from the store.
+    ///
+    /// # Panics
+    /// Panics if the cluster still has members (detach or move them
+    /// first) — removing a populated cluster would corrupt the counters.
+    pub fn remove_cluster(&mut self, id: ClusterId) -> Option<Cluster> {
+        let removed = self.cluster_shards[Self::cluster_shard_of(id)].remove(&id)?;
+        assert!(
+            removed.is_empty(),
+            "cluster {id} removed while holding {} members",
+            removed.size()
+        );
+        let pos = self
+            .sorted_clusters
+            .binary_search(&id)
+            .expect("id present in sorted cache");
+        self.sorted_clusters.remove(pos);
+        Some(removed)
+    }
+
+    /// A cluster by id.
+    pub fn cluster(&self, id: ClusterId) -> Option<&Cluster> {
+        self.cluster_shards[Self::cluster_shard_of(id)].get(&id)
+    }
+
+    /// Whether the cluster is live.
+    pub fn contains_cluster(&self, id: ClusterId) -> bool {
+        self.cluster_shards[Self::cluster_shard_of(id)].contains_key(&id)
+    }
+
+    /// Number of live clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.sorted_clusters.len()
+    }
+
+    /// Live cluster ids, ascending (cached; no allocation on the
+    /// registry's side beyond the slice view).
+    pub fn cluster_ids(&self) -> &[ClusterId] {
+        &self.sorted_clusters
+    }
+
+    /// The `idx`-th live cluster id in ascending order (O(1); used by
+    /// uniform contact-cluster draws).
+    ///
+    /// # Panics
+    /// Panics if `idx ≥ cluster_count()`.
+    pub fn cluster_id_at(&self, idx: usize) -> ClusterId {
+        self.sorted_clusters[idx]
+    }
+
+    /// Iterates clusters in ascending id order.
+    pub fn clusters(&self) -> impl Iterator<Item = &Cluster> {
+        self.sorted_clusters
+            .iter()
+            .map(move |id| self.cluster(*id).expect("cached id is live"))
+    }
+
+    /// Per-cluster size / honest-count aggregate, O(1) after the shard
+    /// lookup ([`Cluster`] caches its Byzantine count).
+    pub fn cluster_stats(&self, id: ClusterId) -> Option<ClusterStats> {
+        self.cluster(id).map(|c| ClusterStats {
+            size: c.size(),
+            honest: c.honest_count(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Membership mutations (the only writers of the aggregates).
+    // ------------------------------------------------------------------
+
+    /// Registers `node` as a member of `cluster`.
+    ///
+    /// # Panics
+    /// Panics if the node is already registered or the cluster is not
+    /// live.
+    pub fn attach(&mut self, node: NodeId, honest: bool, cluster: ClusterId) {
+        let shard = Self::cluster_shard_of(cluster);
+        let c = self.cluster_shards[shard]
+            .get_mut(&cluster)
+            .unwrap_or_else(|| panic!("attach into dead cluster {cluster}"));
+        assert!(c.insert(node, honest), "{node} already in {cluster}");
+        let prev = self.node_shards[Self::node_shard_of(node)]
+            .insert(node, NodeRecord { honest, cluster });
+        assert!(prev.is_none(), "{node} attached twice");
+        self.population += 1;
+        if !honest {
+            self.byz_population += 1;
+        }
+    }
+
+    /// Unregisters `node`; returns its final record.
+    pub fn detach(&mut self, node: NodeId) -> Option<NodeRecord> {
+        let record = self.node_shards[Self::node_shard_of(node)].remove(&node)?;
+        let shard = Self::cluster_shard_of(record.cluster);
+        let c = self.cluster_shards[shard]
+            .get_mut(&record.cluster)
+            .expect("record points at a live cluster");
+        assert!(c.remove(node, record.honest), "member set drifted");
+        self.population -= 1;
+        if !record.honest {
+            self.byz_population -= 1;
+        }
+        Some(record)
+    }
+
+    /// Moves `node` to cluster `to` (no-op if already there); returns
+    /// the previous home, or `None` if the node is unknown.
+    ///
+    /// # Panics
+    /// Panics if `to` is not a live cluster.
+    pub fn move_to(&mut self, node: NodeId, to: ClusterId) -> Option<ClusterId> {
+        let node_shard = Self::node_shard_of(node);
+        let record = *self.node_shards[node_shard].get(&node)?;
+        if record.cluster == to {
+            return Some(record.cluster);
+        }
+        let from_shard = Self::cluster_shard_of(record.cluster);
+        let from = self.cluster_shards[from_shard]
+            .get_mut(&record.cluster)
+            .expect("record points at a live cluster");
+        assert!(from.remove(node, record.honest), "member set drifted");
+        let to_shard = Self::cluster_shard_of(to);
+        let dest = self.cluster_shards[to_shard]
+            .get_mut(&to)
+            .unwrap_or_else(|| panic!("move into dead cluster {to}"));
+        assert!(dest.insert(node, record.honest), "{node} already in {to}");
+        self.node_shards[node_shard]
+            .get_mut(&node)
+            .expect("checked above")
+            .cluster = to;
+        Some(record.cluster)
+    }
+
+    // ------------------------------------------------------------------
+    // Exactness.
+    // ------------------------------------------------------------------
+
+    /// Re-derives every aggregate and cross-checks shard routing, the
+    /// node index, the member sets, the cached Byzantine counts, the
+    /// sorted cluster cache, and the global counters. O(n + #C).
+    ///
+    /// # Errors
+    /// A human-readable description of the first inconsistency found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // Node index: routing + record targets.
+        let mut seen_nodes = 0u64;
+        let mut seen_byz = 0u64;
+        for (i, shard) in self.node_shards.iter().enumerate() {
+            for (&node, record) in shard {
+                if Self::node_shard_of(node) != i {
+                    return Err(format!("{node} routed to wrong node shard {i}"));
+                }
+                let Some(cluster) = self.cluster(record.cluster) else {
+                    return Err(format!("{node} points at dead cluster {}", record.cluster));
+                };
+                if !cluster.contains(node) {
+                    return Err(format!(
+                        "{node} missing from its cluster {}",
+                        record.cluster
+                    ));
+                }
+                seen_nodes += 1;
+                if !record.honest {
+                    seen_byz += 1;
+                }
+            }
+        }
+        if seen_nodes != self.population {
+            return Err(format!(
+                "population counter drift: counted {seen_nodes}, cached {}",
+                self.population
+            ));
+        }
+        if seen_byz != self.byz_population {
+            return Err(format!(
+                "byz counter drift: counted {seen_byz}, cached {}",
+                self.byz_population
+            ));
+        }
+
+        // Cluster store: routing + member sets + byz caches.
+        let mut memberships = 0u64;
+        let mut cluster_total = 0usize;
+        for (i, shard) in self.cluster_shards.iter().enumerate() {
+            for (&cid, cluster) in shard {
+                if Self::cluster_shard_of(cid) != i {
+                    return Err(format!("cluster {cid} routed to wrong shard {i}"));
+                }
+                if cluster.id() != cid {
+                    return Err(format!("cluster id mismatch at {cid}"));
+                }
+                if self.sorted_clusters.binary_search(&cid).is_err() {
+                    return Err(format!("cluster {cid} missing from sorted cache"));
+                }
+                let mut byz = 0usize;
+                for m in cluster.members() {
+                    let Some(rec) = self.get(m) else {
+                        return Err(format!("{m} in cluster {cid} but not in node index"));
+                    };
+                    if rec.cluster != cid {
+                        return Err(format!("{m} node index points elsewhere than {cid}"));
+                    }
+                    if !rec.honest {
+                        byz += 1;
+                    }
+                    memberships += 1;
+                }
+                if byz != cluster.byz_count() {
+                    return Err(format!(
+                        "byz cache drift in {cid}: cached {}, actual {byz}",
+                        cluster.byz_count()
+                    ));
+                }
+                cluster_total += 1;
+            }
+        }
+        if memberships != self.population {
+            return Err(format!(
+                "membership drift: {memberships} memberships vs {} index entries",
+                self.population
+            ));
+        }
+        if cluster_total != self.sorted_clusters.len() {
+            return Err(format!(
+                "sorted cache size drift: {} cached vs {cluster_total} stored",
+                self.sorted_clusters.len()
+            ));
+        }
+        if self.sorted_clusters.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("sorted cluster cache out of order".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nid(raw: u64) -> NodeId {
+        NodeId::from_raw(raw)
+    }
+
+    fn cid(raw: u64) -> ClusterId {
+        ClusterId::from_raw(raw)
+    }
+
+    fn registry_with(clusters: u64, nodes_per: u64) -> Registry {
+        let mut reg = Registry::new();
+        for c in 0..clusters {
+            reg.create_cluster(cid(c));
+        }
+        let mut n = 0u64;
+        for c in 0..clusters {
+            for i in 0..nodes_per {
+                reg.attach(nid(n), i % 3 != 0, cid(c));
+                n += 1;
+            }
+        }
+        reg
+    }
+
+    #[test]
+    fn counters_are_exact() {
+        let reg = registry_with(5, 9);
+        assert_eq!(reg.population(), 45);
+        assert_eq!(reg.byz_population(), 15); // every third arrival
+        assert_eq!(reg.cluster_count(), 5);
+        reg.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn node_ids_are_sorted_across_shards() {
+        let reg = registry_with(3, 50);
+        let ids = reg.node_ids();
+        assert_eq!(ids.len(), 150);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        let byz = reg.byz_node_ids();
+        assert!(byz.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(byz.len(), 51);
+    }
+
+    #[test]
+    fn attach_detach_roundtrip() {
+        let mut reg = registry_with(2, 4);
+        let rec = reg.detach(nid(0)).unwrap();
+        assert_eq!(rec.cluster, cid(0));
+        assert!(!rec.honest);
+        assert_eq!(reg.population(), 7);
+        assert_eq!(reg.byz_population(), 3); // two per cluster, one detached
+        assert!(reg.detach(nid(0)).is_none(), "double detach is None");
+        reg.attach(nid(0), rec.honest, cid(1));
+        assert_eq!(reg.get(nid(0)).unwrap().cluster, cid(1));
+        reg.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn move_updates_both_sides() {
+        let mut reg = registry_with(3, 5);
+        assert_eq!(reg.move_to(nid(1), cid(2)), Some(cid(0)));
+        assert_eq!(reg.get(nid(1)).unwrap().cluster, cid(2));
+        assert!(reg.cluster(cid(2)).unwrap().contains(nid(1)));
+        assert!(!reg.cluster(cid(0)).unwrap().contains(nid(1)));
+        // Self-move is a no-op.
+        assert_eq!(reg.move_to(nid(1), cid(2)), Some(cid(2)));
+        // Unknown node.
+        assert_eq!(reg.move_to(nid(999), cid(0)), None);
+        reg.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cluster_stats_track_mutations() {
+        let mut reg = registry_with(2, 6);
+        let s0 = reg.cluster_stats(cid(0)).unwrap();
+        assert_eq!(s0.size, 6);
+        assert_eq!(s0.byz(), 2);
+        reg.move_to(nid(0), cid(1)).unwrap();
+        assert_eq!(reg.cluster_stats(cid(0)).unwrap().size, 5);
+        assert_eq!(reg.cluster_stats(cid(1)).unwrap().size, 7);
+        assert!(reg.cluster_stats(cid(42)).is_none());
+    }
+
+    #[test]
+    fn sorted_cluster_cache_is_maintained() {
+        let mut reg = Registry::new();
+        for raw in [5u64, 1, 9, 3] {
+            reg.create_cluster(cid(raw));
+        }
+        assert_eq!(reg.cluster_ids(), &[cid(1), cid(3), cid(5), cid(9)]);
+        assert_eq!(reg.cluster_id_at(2), cid(5));
+        reg.remove_cluster(cid(5)).unwrap();
+        assert_eq!(reg.cluster_ids(), &[cid(1), cid(3), cid(9)]);
+        assert!(reg.remove_cluster(cid(5)).is_none());
+        let order: Vec<ClusterId> = reg.clusters().map(|c| c.id()).collect();
+        assert_eq!(order, vec![cid(1), cid(3), cid(9)]);
+        reg.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "created twice")]
+    fn duplicate_cluster_rejected() {
+        let mut reg = Registry::new();
+        reg.create_cluster(cid(1));
+        reg.create_cluster(cid(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "holding")]
+    fn removing_populated_cluster_panics() {
+        let mut reg = registry_with(1, 3);
+        reg.remove_cluster(cid(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "attached twice")]
+    fn duplicate_attach_rejected() {
+        let mut reg = registry_with(2, 1);
+        reg.attach(nid(0), true, cid(1));
+    }
+
+    #[test]
+    fn shards_spread_load() {
+        let reg = registry_with(32, 40); // 1280 nodes
+        assert_eq!(reg.node_shard_count(), 64);
+        assert_eq!(reg.cluster_shard_count(), 16);
+        // Sequential ids must not pile onto one shard.
+        let counts: Vec<usize> = (0..reg.node_shard_count())
+            .map(|i| {
+                reg.node_ids()
+                    .iter()
+                    .filter(|n| (n.raw() % 64) as usize == i)
+                    .count()
+            })
+            .collect();
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn invariant_check_is_exhaustive_on_empty() {
+        let reg = Registry::new();
+        assert!(reg.is_empty());
+        reg.check_invariants().unwrap();
+    }
+}

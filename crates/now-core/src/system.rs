@@ -5,21 +5,15 @@ use crate::cluster::Cluster;
 use crate::error::NowError;
 use crate::malice::{Malice, NoMalice};
 use crate::params::NowParams;
+use crate::registry::Registry;
 use now_graph::sample::shuffle;
 use now_net::{ClusterId, CostKind, DetRng, IdGen, Ledger, NodeId};
 use now_over::Overlay;
 use rand::Rng;
-use std::collections::BTreeMap;
 use std::fmt;
 
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct NodeRecord {
-    pub honest: bool,
-    pub cluster: ClusterId,
-}
-
-/// The live system: node registry, cluster partition, OVER overlay,
-/// message ledger, and deterministic randomness.
+/// The live system: sharded membership registry ([`Registry`]), OVER
+/// overlay, message ledger, and deterministic randomness.
 ///
 /// All maintenance operations are methods (`join`, `leave`, and the
 /// internally triggered `split`/`merge`/`exchange`); every operation's
@@ -28,8 +22,7 @@ pub(crate) struct NodeRecord {
 pub struct NowSystem {
     pub(crate) params: NowParams,
     pub(crate) ids: IdGen,
-    pub(crate) nodes: BTreeMap<NodeId, NodeRecord>,
-    pub(crate) clusters: BTreeMap<ClusterId, Cluster>,
+    pub(crate) registry: Registry,
     pub(crate) overlay: Overlay,
     pub(crate) ledger: Ledger,
     pub(crate) rng: DetRng,
@@ -44,8 +37,8 @@ pub struct NowSystem {
 impl fmt::Debug for NowSystem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("NowSystem")
-            .field("population", &self.nodes.len())
-            .field("clusters", &self.clusters.len())
+            .field("population", &self.registry.population())
+            .field("clusters", &self.registry.cluster_count())
             .field("time_step", &self.time_step)
             .field("joins", &self.join_count)
             .field("leaves", &self.leave_count)
@@ -104,29 +97,16 @@ impl NowSystem {
 
         let target = params.target_cluster_size();
         let cluster_count = (n0 / target).max(1);
-        let mut clusters: BTreeMap<ClusterId, Cluster> = BTreeMap::new();
-        let mut nodes: BTreeMap<NodeId, NodeRecord> = BTreeMap::new();
+        let mut registry = Registry::new();
         let mut cluster_ids = Vec::with_capacity(cluster_count);
         for _ in 0..cluster_count {
             let cid = ids.cluster();
-            clusters.insert(cid, Cluster::new(cid));
+            registry.create_cluster(cid);
             cluster_ids.push(cid);
         }
         for (pos, &idx) in order.iter().enumerate() {
             let cid = cluster_ids[pos % cluster_count];
-            let node = node_ids[idx];
-            let honest = !corrupt[idx];
-            clusters
-                .get_mut(&cid)
-                .expect("fresh cluster")
-                .insert(node, honest);
-            nodes.insert(
-                node,
-                NodeRecord {
-                    honest,
-                    cluster: cid,
-                },
-            );
+            registry.attach(node_ids[idx], !corrupt[idx], cid);
         }
 
         let overlay = Overlay::init_random(&cluster_ids, params.over(), &mut rng);
@@ -150,8 +130,7 @@ impl NowSystem {
         NowSystem {
             params,
             ids,
-            nodes,
-            clusters,
+            registry,
             overlay,
             ledger,
             rng,
@@ -186,34 +165,40 @@ impl NowSystem {
         self.time_step += 1;
     }
 
-    /// Current population `n`.
+    /// Current population `n` (O(1): the registry keeps an exact
+    /// counter).
     pub fn population(&self) -> u64 {
-        self.nodes.len() as u64
+        self.registry.population()
     }
 
-    /// Number of Byzantine nodes currently in the network.
+    /// Number of Byzantine nodes currently in the network (O(1)).
     pub fn byz_population(&self) -> u64 {
-        self.nodes.values().filter(|r| !r.honest).count() as u64
+        self.registry.byz_population()
+    }
+
+    /// The sharded membership registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Number of clusters `#C`.
     pub fn cluster_count(&self) -> usize {
-        self.clusters.len()
+        self.registry.cluster_count()
     }
 
     /// A cluster by id.
     pub fn cluster(&self, id: ClusterId) -> Option<&Cluster> {
-        self.clusters.get(&id)
+        self.registry.cluster(id)
     }
 
     /// Iterates clusters in id order.
     pub fn clusters(&self) -> impl Iterator<Item = &Cluster> {
-        self.clusters.values()
+        self.registry.clusters()
     }
 
     /// Live cluster ids in id order.
     pub fn cluster_ids(&self) -> Vec<ClusterId> {
-        self.clusters.keys().copied().collect()
+        self.registry.cluster_ids().to_vec()
     }
 
     /// The overlay Ĝᴿ.
@@ -236,8 +221,8 @@ impl NowSystem {
     /// # Errors
     /// [`NowError::UnknownNode`] if the node is not in the network.
     pub fn node_cluster(&self, node: NodeId) -> Result<ClusterId, NowError> {
-        self.nodes
-            .get(&node)
+        self.registry
+            .get(node)
             .map(|r| r.cluster)
             .ok_or(NowError::UnknownNode { node })
     }
@@ -247,26 +232,22 @@ impl NowSystem {
     /// # Errors
     /// [`NowError::UnknownNode`] if the node is not in the network.
     pub fn is_honest(&self, node: NodeId) -> Result<bool, NowError> {
-        self.nodes
-            .get(&node)
+        self.registry
+            .get(node)
             .map(|r| r.honest)
             .ok_or(NowError::UnknownNode { node })
     }
 
     /// All node ids currently in the network, in id order.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        self.nodes.keys().copied().collect()
+        self.registry.node_ids()
     }
 
     /// Ids of the Byzantine nodes currently in the network (the
     /// full-information adversary knows these; experiments use this to
     /// drive targeted churn).
     pub fn byz_node_ids(&self) -> Vec<NodeId> {
-        self.nodes
-            .iter()
-            .filter(|(_, r)| !r.honest)
-            .map(|(&id, _)| id)
-            .collect()
+        self.registry.byz_node_ids()
     }
 
     /// Number of operations of each kind performed so far:
@@ -283,8 +264,8 @@ impl NowSystem {
     /// A uniformly random live cluster — the cluster a joining node
     /// "gets in contact with" when the caller has no preference.
     pub fn contact_cluster(&mut self) -> ClusterId {
-        let idx = self.rng.gen_range(0..self.clusters.len());
-        *self.clusters.keys().nth(idx).expect("non-empty system")
+        let idx = self.rng.gen_range(0..self.registry.cluster_count());
+        self.registry.cluster_id_at(idx)
     }
 
     /// Measures the system against the paper's invariants (cheap; O(#C)).
@@ -302,39 +283,26 @@ impl NowSystem {
     // ------------------------------------------------------------------
 
     pub(crate) fn cluster_ref(&self, id: ClusterId) -> &Cluster {
-        self.clusters.get(&id).expect("cluster must exist")
+        self.registry.cluster(id).expect("cluster must exist")
     }
 
-    pub(crate) fn cluster_mut(&mut self, id: ClusterId) -> &mut Cluster {
-        self.clusters.get_mut(&id).expect("cluster must exist")
-    }
-
-    /// Moves `node` between clusters, keeping registry and caches in
-    /// sync.
+    /// Moves `node` between clusters, keeping the registry's index,
+    /// member sets, and counters in sync.
     pub(crate) fn move_node(&mut self, node: NodeId, to: ClusterId) {
-        let record = *self.nodes.get(&node).expect("node must be live");
-        if record.cluster == to {
-            return;
-        }
-        self.cluster_mut(record.cluster).remove(node, record.honest);
-        self.cluster_mut(to).insert(node, record.honest);
-        self.nodes.get_mut(&node).expect("checked").cluster = to;
+        self.registry.move_to(node, to).expect("node must be live");
     }
 
     /// Inserts a (new or re-joining) node into a cluster.
     pub(crate) fn attach_node(&mut self, node: NodeId, honest: bool, cluster: ClusterId) {
-        self.cluster_mut(cluster).insert(node, honest);
-        self.nodes.insert(node, NodeRecord { honest, cluster });
+        self.registry.attach(node, honest, cluster);
     }
 
     /// Removes a node from the network; returns its honesty flag.
     pub(crate) fn detach_node(&mut self, node: NodeId) -> Result<bool, NowError> {
-        let record = self
-            .nodes
-            .remove(&node)
-            .ok_or(NowError::UnknownNode { node })?;
-        self.cluster_mut(record.cluster).remove(node, record.honest);
-        Ok(record.honest)
+        self.registry
+            .detach(node)
+            .map(|r| r.honest)
+            .ok_or(NowError::UnknownNode { node })
     }
 
     /// `randNum` within cluster `c` over `0..range`: ideal functionality
@@ -375,8 +343,8 @@ impl NowSystem {
         let size = self.cluster_ref(c).size() as u64;
         let mut msgs = 0u64;
         for nbr in self.overlay.neighbors(c) {
-            if let Some(cl) = self.clusters.get(&nbr) {
-                msgs += size * cl.size() as u64;
+            if let Some(stats) = self.registry.cluster_stats(nbr) {
+                msgs += size * stats.size as u64;
             }
         }
         self.ledger.add_messages(msgs);
@@ -393,10 +361,10 @@ impl NowSystem {
     /// [`NowError::UnknownNode`] / [`NowError::UnknownCluster`] if either
     /// side does not exist.
     pub fn force_move(&mut self, node: NodeId, to: ClusterId) -> Result<(), NowError> {
-        if !self.nodes.contains_key(&node) {
+        if !self.registry.contains(node) {
             return Err(NowError::UnknownNode { node });
         }
-        if !self.clusters.contains_key(&to) {
+        if !self.registry.contains_cluster(to) {
             return Err(NowError::UnknownCluster { cluster: to });
         }
         self.move_node(node, to);
@@ -412,66 +380,27 @@ impl NowSystem {
     /// Panics if `cluster` is not live.
     pub fn rand_num(&mut self, cluster: ClusterId, range: u64) -> u64 {
         assert!(
-            self.clusters.contains_key(&cluster),
+            self.registry.contains_cluster(cluster),
             "rand_num: unknown cluster {cluster}"
         );
         self.rand_num_in(cluster, range, crate::malice::RandNumPurpose::Generic)
     }
 
     /// Deep consistency check used by tests after every operation:
-    /// registry ↔ clusters ↔ overlay all agree, caches are exact, and
-    /// the ledger is span-balanced.
+    /// registry shards ↔ clusters ↔ overlay all agree, caches and
+    /// counters are exact, and the ledger is span-balanced.
     pub fn check_consistency(&self) -> Result<(), String> {
-        for (&node, record) in &self.nodes {
-            let Some(cluster) = self.clusters.get(&record.cluster) else {
-                return Err(format!("{node} points at dead cluster {}", record.cluster));
-            };
-            if !cluster.contains(node) {
-                return Err(format!(
-                    "{node} missing from its cluster {}",
-                    record.cluster
-                ));
-            }
-        }
-        let mut seen = 0usize;
-        for (&cid, cluster) in &self.clusters {
-            if cluster.id() != cid {
-                return Err(format!("cluster id mismatch at {cid}"));
-            }
-            let mut byz = 0usize;
-            for m in cluster.members() {
-                let Some(rec) = self.nodes.get(&m) else {
-                    return Err(format!("{m} in cluster {cid} but not in registry"));
-                };
-                if rec.cluster != cid {
-                    return Err(format!("{m} registry points elsewhere than {cid}"));
-                }
-                if !rec.honest {
-                    byz += 1;
-                }
-                seen += 1;
-            }
-            if byz != cluster.byz_count() {
-                return Err(format!(
-                    "byz cache drift in {cid}: cached {}, actual {byz}",
-                    cluster.byz_count()
-                ));
-            }
+        self.registry.check_invariants()?;
+        for &cid in self.registry.cluster_ids() {
             if !self.overlay.contains(cid) {
                 return Err(format!("cluster {cid} missing from overlay"));
             }
         }
-        if seen != self.nodes.len() {
-            return Err(format!(
-                "membership drift: {seen} memberships vs {} registry entries",
-                self.nodes.len()
-            ));
-        }
-        if self.overlay.vertex_count() != self.clusters.len() {
+        if self.overlay.vertex_count() != self.registry.cluster_count() {
             return Err(format!(
                 "overlay has {} vertices but {} clusters exist",
                 self.overlay.vertex_count(),
-                self.clusters.len()
+                self.registry.cluster_count()
             ));
         }
         if !self.ledger.is_balanced() {

@@ -2,13 +2,15 @@
 //!
 //! The paper's footnote generalizes the one-operation-per-step model to
 //! "several parallel join and leave operations". This module drives
-//! [`now_core::NowSystem::step_parallel`] with batch-producing churn
-//! schedules and reports the round-complexity advantage of the parallel
-//! execution (messages are identical; rounds shrink from the batch sum
-//! to the batch maximum).
+//! [`now_core::NowSystem::step_parallel`] — which schedules each batch
+//! into conflict-free waves by cluster-footprint disjointness — with
+//! batch-producing churn schedules, and reports the round-complexity
+//! advantage of the scheduled execution (messages are identical; rounds
+//! shrink from the batch sum to the per-wave maxima) together with the
+//! wave-level metrics of the schedule.
 
 use crate::metrics::TimeSeries;
-use crate::runner::{Violation, ViolationKind};
+use crate::runner::{record_violations, Violation};
 use now_adversary::CorruptionBudget;
 use now_core::{NowSystem, SystemAudit};
 use now_net::{DetRng, NodeId};
@@ -56,9 +58,19 @@ impl BatchDriver for BatchRandomChurn {
     fn decide_batch(&mut self, sys: &NowSystem, rng: &mut DetRng) -> (Vec<bool>, Vec<NodeId>) {
         let mut joins = Vec::new();
         let mut n_leaves = 0usize;
+        // Project the counts forward per slot: the whole batch is
+        // decided before the system moves, so re-reading `sys` would let
+        // every slot see the pre-batch ratio and overshoot τ.
+        let mut pop = sys.population();
+        let mut byz = sys.byz_population();
         for _ in 0..self.width {
             if rng.gen_bool(self.p_join.clamp(0.0, 1.0)) {
-                joins.push(!self.budget.can_corrupt_arrival(sys));
+                let corrupt = self.budget.can_corrupt_at(pop, byz);
+                joins.push(!corrupt);
+                pop += 1;
+                if corrupt {
+                    byz += 1;
+                }
             } else {
                 n_leaves += 1;
             }
@@ -90,8 +102,17 @@ pub struct BatchRunReport {
     pub rejected: u64,
     /// Sum over steps of the serial round cost.
     pub rounds_serial: u64,
-    /// Sum over steps of the parallel (max-per-batch) round cost.
+    /// Sum over steps of the scheduled parallel round cost (per-step
+    /// sum of per-wave round maxima).
     pub rounds_parallel: u64,
+    /// Total conflict-free waves scheduled across all steps.
+    pub waves: u64,
+    /// Width of the widest wave observed (number of operations running
+    /// concurrently).
+    pub max_wave_width: usize,
+    /// Waves per step over time (1 point per step; lower = more
+    /// parallelism for a fixed batch width).
+    pub waves_per_step: TimeSeries,
     /// Population over time.
     pub population: TimeSeries,
     /// Worst per-cluster Byzantine fraction over time.
@@ -103,12 +124,26 @@ pub struct BatchRunReport {
 }
 
 impl BatchRunReport {
-    /// Round-complexity speedup of parallel over serial execution.
+    /// Round-complexity speedup of the scheduled parallel execution
+    /// over serial execution. Degenerate runs are reported honestly: a
+    /// run with serial rounds but no scheduled parallel rounds (e.g.
+    /// every operation rejected) reports the serial count rather than
+    /// pretending parity; 1.0 only when both sides are zero.
     pub fn parallel_speedup(&self) -> f64 {
-        if self.rounds_parallel == 0 {
-            1.0
+        match (self.rounds_serial, self.rounds_parallel) {
+            (0, 0) => 1.0,
+            (serial, 0) => serial as f64,
+            (serial, parallel) => serial as f64 / parallel as f64,
+        }
+    }
+
+    /// Mean number of conflict-free waves a step's batch was scheduled
+    /// into (0 for an empty run).
+    pub fn mean_waves_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
         } else {
-            self.rounds_serial as f64 / self.rounds_parallel as f64
+            self.waves as f64 / self.steps as f64
         }
     }
 
@@ -124,45 +159,6 @@ impl BatchRunReport {
             .iter()
             .filter(|v| v.kind.binds_in(mode))
             .count()
-    }
-}
-
-fn record_violations(audit: &SystemAudit, out: &mut Vec<Violation>) {
-    let step = audit.time_step;
-    if audit.clusters_not_two_thirds_honest > 0 {
-        out.push(Violation {
-            step,
-            kind: ViolationKind::NotTwoThirdsHonest,
-            cluster: audit.worst_cluster,
-        });
-    }
-    if audit.clusters_not_majority_honest > 0 {
-        out.push(Violation {
-            step,
-            kind: ViolationKind::NotMajorityHonest,
-            cluster: audit.worst_cluster,
-        });
-    }
-    if audit.clusters_rand_num_compromised > 0 {
-        out.push(Violation {
-            step,
-            kind: ViolationKind::RandNumCompromised,
-            cluster: audit.worst_cluster,
-        });
-    }
-    if audit.clusters_forgeable > 0 {
-        out.push(Violation {
-            step,
-            kind: ViolationKind::Forgeable,
-            cluster: audit.worst_cluster,
-        });
-    }
-    if !audit.size_bounds_ok {
-        out.push(Violation {
-            step,
-            kind: ViolationKind::SizeBounds,
-            cluster: None,
-        });
     }
 }
 
@@ -183,6 +179,9 @@ pub fn run_batched(
         rejected: 0,
         rounds_serial: 0,
         rounds_parallel: 0,
+        waves: 0,
+        max_wave_width: 0,
+        waves_per_step: TimeSeries::new("waves_per_step"),
         population: TimeSeries::new("population"),
         worst_byz_fraction: TimeSeries::new("worst_byz_fraction"),
         violations: Vec::new(),
@@ -197,8 +196,13 @@ pub fn run_batched(
         report.rejected += batch.rejected.len() as u64;
         report.rounds_serial += batch.cost.rounds;
         report.rounds_parallel += batch.rounds_parallel;
+        report.waves += batch.wave_count() as u64;
+        report.max_wave_width = report.max_wave_width.max(batch.max_wave_width());
 
         let audit = sys.audit();
+        report
+            .waves_per_step
+            .push(audit.time_step, batch.wave_count() as f64);
         report
             .population
             .push(audit.time_step, audit.population as f64);
@@ -232,17 +236,34 @@ mod tests {
         sys.check_consistency().unwrap();
     }
 
+    /// A system whose overlay is sparse relative to its cluster count
+    /// (capacity 16 ⇒ overlay target degree 5, 64 clusters), so batches
+    /// of random operations contain genuinely disjoint footprints.
+    fn sparse_system(seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(16).unwrap();
+        NowSystem::init_fast(params, 64 * params.target_cluster_size(), 0.1, seed)
+    }
+
     #[test]
-    fn parallel_rounds_beat_serial() {
-        let mut sys = system(250, 0.1, 3);
+    fn parallel_rounds_beat_serial_on_sparse_overlays() {
+        let mut sys = sparse_system(3);
         let mut driver = BatchRandomChurn::balanced(8, 0.1);
-        let report = run_batched(&mut sys, &mut driver, 15, 4);
+        let report = run_batched(&mut sys, &mut driver, 10, 4);
         assert!(
-            report.parallel_speedup() > 1.5,
-            "8-wide batches should save rounds: ×{:.2}",
-            report.parallel_speedup()
+            report.parallel_speedup() > 1.2,
+            "8-wide batches on a 64-cluster sparse overlay should save \
+             rounds: ×{:.2} ({} waves over {} steps)",
+            report.parallel_speedup(),
+            report.waves,
+            report.steps
         );
         assert!(report.rounds_parallel < report.rounds_serial);
+        // The schedule found real concurrency: strictly fewer waves than
+        // operations, and some wave ran ≥ 2 ops side by side.
+        assert!(report.waves < report.joins + report.leaves);
+        assert!(report.max_wave_width >= 2);
+        assert!(report.mean_waves_per_step() >= 1.0);
+        assert_eq!(report.waves_per_step.len() as u64, report.steps);
     }
 
     #[test]
@@ -257,6 +278,29 @@ mod tests {
             report.violations
         );
         sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn batch_corruption_respects_projected_budget() {
+        // Regression: a pure-join batch decided against a stale system
+        // must not overshoot τ by width − 1 corrupt arrivals.
+        let params = now_core::NowParams::for_capacity(1 << 10).unwrap();
+        let sys = NowSystem::init_fast(params, 100, 0.10, 11); // 10 byz
+        let tau = 0.11;
+        let mut driver = BatchRandomChurn {
+            width: 8,
+            p_join: 1.0,
+            budget: CorruptionBudget::new(tau),
+        };
+        let mut rng = DetRng::new(1);
+        let (joins, leaves) = driver.decide_batch(&sys, &mut rng);
+        assert!(leaves.is_empty());
+        assert_eq!(joins.len(), 8);
+        let corrupted = joins.iter().filter(|&&honest| !honest).count() as u64;
+        // Largest j with (10 + j) / (100 + j) ≤ 0.11 is j = 1.
+        assert_eq!(corrupted, 1, "projected budget admits exactly one");
+        let frac = (sys.byz_population() + corrupted) as f64 / (sys.population() + 8) as f64;
+        assert!(frac <= tau, "batch overshot τ: {frac}");
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! corrupted up to the adversary's budget — churn and corruption
 //! coexist in the model).
 
+use crate::batch_run::BatchDriver;
 use now_adversary::{Action, Adversary, CorruptionBudget};
 use now_core::NowSystem;
-use now_net::DetRng;
+use now_net::{DetRng, NodeId};
 use rand::Rng;
 
 /// Joins until the population reaches `target`, then idles.
@@ -143,9 +144,90 @@ impl Adversary for Sawtooth {
     }
 }
 
+/// The batched polynomial-variation driver: like [`Sawtooth`], but
+/// emitting a whole batch of `width` operations per time step, so the
+/// population swings between the turning points while every step
+/// exercises the conflict-free wave scheduler of
+/// [`now_core::NowSystem::step_parallel`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSawtooth {
+    /// Lower turning point.
+    pub low: u64,
+    /// Upper turning point.
+    pub high: u64,
+    /// Operations per step.
+    pub width: usize,
+    /// Corruption budget for arrivals.
+    pub budget: CorruptionBudget,
+    growing: bool,
+}
+
+impl BatchSawtooth {
+    /// Oscillates in `[low, high]` with `width` operations per batch and
+    /// corruption fraction `tau`, starting in the growth phase.
+    ///
+    /// # Panics
+    /// Panics if `low >= high` or `width == 0`.
+    pub fn new(low: u64, high: u64, width: usize, tau: f64) -> Self {
+        assert!(low < high, "sawtooth needs low < high, got [{low}, {high}]");
+        assert!(width > 0, "batch width must be positive");
+        BatchSawtooth {
+            low,
+            high,
+            width,
+            budget: CorruptionBudget::new(tau),
+            growing: true,
+        }
+    }
+
+    /// Whether the driver is currently in its growth phase.
+    pub fn is_growing(&self) -> bool {
+        self.growing
+    }
+}
+
+impl BatchDriver for BatchSawtooth {
+    fn decide_batch(&mut self, sys: &NowSystem, rng: &mut DetRng) -> (Vec<bool>, Vec<NodeId>) {
+        let pop = sys.population();
+        if self.growing && pop >= self.high {
+            self.growing = false;
+        } else if !self.growing && pop <= self.low {
+            self.growing = true;
+        }
+        if self.growing {
+            // Project counts forward per slot (see BatchRandomChurn):
+            // deciding all `width` arrivals against the pre-batch ratio
+            // would overshoot τ by up to width − 1 corrupt arrivals.
+            let mut population = sys.population();
+            let mut byz = sys.byz_population();
+            let joins = (0..self.width)
+                .map(|_| {
+                    let corrupt = self.budget.can_corrupt_at(population, byz);
+                    population += 1;
+                    if corrupt {
+                        byz += 1;
+                    }
+                    !corrupt
+                })
+                .collect();
+            (joins, Vec::new())
+        } else {
+            let nodes = sys.node_ids();
+            let n_leaves = self.width.min(nodes.len());
+            let picks = now_graph::sample::sample_distinct(nodes.len(), n_leaves, rng);
+            (Vec::new(), picks.into_iter().map(|i| nodes[i]).collect())
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "batch-sawtooth"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch_run::run_batched;
     use crate::runner::{run, RunConfig};
     use now_core::NowParams;
 
@@ -222,5 +304,25 @@ mod tests {
     #[should_panic(expected = "low < high")]
     fn sawtooth_rejects_bad_band() {
         let _ = Sawtooth::new(100, 100, 0.1);
+    }
+
+    #[test]
+    fn batch_sawtooth_oscillates_in_batches() {
+        let mut sys = system(80, 0.1, 6);
+        let mut driver = BatchSawtooth::new(60, 140, 5, 0.1);
+        assert!(driver.is_growing());
+        let report = run_batched(&mut sys, &mut driver, 60, 7);
+        assert_eq!(report.steps, 60);
+        let pops = report.population.summary();
+        assert!(pops.max >= 140.0, "never reached high: {}", pops.max);
+        assert!(pops.min <= 65.0, "never came back down: {}", pops.min);
+        assert!(report.waves > 0, "the scheduler ran");
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "batch width")]
+    fn batch_sawtooth_rejects_zero_width() {
+        let _ = BatchSawtooth::new(10, 20, 0, 0.1);
     }
 }

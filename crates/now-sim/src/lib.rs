@@ -31,7 +31,7 @@ pub mod runner;
 pub mod scenario;
 
 pub use batch_run::{run_batched, BatchDriver, BatchRandomChurn, BatchRunReport};
-pub use churn::{GrowthPhase, Sawtooth, ShrinkPhase};
+pub use churn::{BatchSawtooth, GrowthPhase, Sawtooth, ShrinkPhase};
 pub use metrics::{CsvTable, Summary, TimeSeries};
 pub use report::MdTable;
 pub use runner::{run, RunConfig, RunReport, Violation, ViolationKind};

@@ -125,7 +125,9 @@ impl RunReport {
     }
 }
 
-fn record_violations(audit: &SystemAudit, out: &mut Vec<Violation>) {
+/// Translates one audit snapshot into violation records (shared by the
+/// serial and batched runners).
+pub(crate) fn record_violations(audit: &SystemAudit, out: &mut Vec<Violation>) {
     let step = audit.time_step;
     if audit.clusters_not_two_thirds_honest > 0 {
         out.push(Violation {

@@ -6,7 +6,8 @@
 //! final system for inspection. Every experiment binary and several
 //! integration tests are expressible as one `Scenario` call.
 
-use crate::churn::Sawtooth;
+use crate::batch_run::{run_batched, BatchDriver, BatchRandomChurn, BatchRunReport};
+use crate::churn::{BatchSawtooth, Sawtooth};
 use crate::runner::{run, RunConfig, RunReport};
 use now_adversary::{
     Adversary, BurstChurn, ForcedLeaveAttack, JoinLeaveAttack, MergeForcing, Quiet, RandomChurn,
@@ -170,11 +171,9 @@ impl Scenario {
         self
     }
 
-    /// Builds the system, runs the churn, returns report + system.
-    ///
-    /// # Errors
-    /// Propagates [`NowError::BadParams`] for invalid parameters.
-    pub fn run(self) -> Result<(RunReport, NowSystem), NowError> {
+    /// Builds the scenario's system (shared by the serial and batched
+    /// run paths, so parameter plumbing cannot diverge between them).
+    fn build_system(&self) -> Result<NowSystem, NowError> {
         let params = if self.authenticated {
             NowParams::new_authenticated(self.capacity, self.k, self.l, self.tau, self.epsilon)?
         } else {
@@ -187,7 +186,15 @@ impl Scenario {
         } else {
             10 * params.target_cluster_size()
         };
-        let mut sys = NowSystem::init_fast(params, n0, self.tau, self.seed);
+        Ok(NowSystem::init_fast(params, n0, self.tau, self.seed))
+    }
+
+    /// Builds the system, runs the churn, returns report + system.
+    ///
+    /// # Errors
+    /// Propagates [`NowError::BadParams`] for invalid parameters.
+    pub fn run(self) -> Result<(RunReport, NowSystem), NowError> {
+        let mut sys = self.build_system()?;
         let config = RunConfig {
             steps: self.steps,
             audit_every: self.audit_every,
@@ -225,6 +232,63 @@ impl Scenario {
             }
         };
         Ok((report, sys))
+    }
+}
+
+impl Scenario {
+    /// Builds the system and runs the churn in **batched** mode: each of
+    /// the `steps` time steps executes a whole batch of `width`
+    /// operations through the conflict-free wave scheduler
+    /// ([`now_core::NowSystem::step_parallel`]).
+    ///
+    /// Supported churn styles map to batch drivers: `Balanced` →
+    /// [`BatchRandomChurn`], `Sawtooth` → [`BatchSawtooth`], `Quiet` →
+    /// empty batches. Adversarial styles have no batched counterpart
+    /// yet.
+    ///
+    /// # Errors
+    /// [`NowError::BadParams`] for invalid parameters, a zero `width`,
+    /// or a churn style without a batched driver.
+    pub fn run_batched(self, width: usize) -> Result<(BatchRunReport, NowSystem), NowError> {
+        if width == 0 {
+            return Err(NowError::BadParams {
+                reason: "batch width must be positive".to_string(),
+            });
+        }
+        let mut sys = self.build_system()?;
+        let seed = self.seed.wrapping_add(1);
+        let mut driver: Box<dyn BatchDriver> = match self.churn {
+            ChurnStyle::Quiet => Box::new(QuietBatches),
+            ChurnStyle::Balanced => Box::new(BatchRandomChurn::balanced(width, self.tau)),
+            ChurnStyle::Sawtooth { low, high } => {
+                Box::new(BatchSawtooth::new(low, high, width, self.tau))
+            }
+            other => {
+                return Err(NowError::BadParams {
+                    reason: format!("churn style {other:?} has no batched driver"),
+                })
+            }
+        };
+        let report = run_batched(&mut sys, driver.as_mut(), self.steps, seed);
+        Ok((report, sys))
+    }
+}
+
+/// The batched analogue of [`now_adversary::Quiet`]: every step is an
+/// empty batch.
+struct QuietBatches;
+
+impl BatchDriver for QuietBatches {
+    fn decide_batch(
+        &mut self,
+        _sys: &NowSystem,
+        _rng: &mut now_net::DetRng,
+    ) -> (Vec<bool>, Vec<now_net::NodeId>) {
+        (Vec::new(), Vec::new())
+    }
+
+    fn name(&self) -> &'static str {
+        "quiet-batches"
     }
 }
 
@@ -377,6 +441,51 @@ mod tests {
             "majority target should be far rarer: {majority} vs {two_thirds}"
         );
         sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn batched_scenario_runs_the_wave_scheduler() {
+        let (report, sys) = Scenario::new(1 << 10)
+            .tau(0.1)
+            .initial_population(160)
+            .steps(12)
+            .seed(5)
+            .run_batched(4)
+            .unwrap();
+        assert_eq!(report.steps, 12);
+        assert!(report.joins + report.leaves > 30, "4-wide × 12 steps");
+        assert!(report.waves > 0);
+        assert_eq!(sys.time_step(), 12, "one step per batch");
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn batched_scenario_quiet_and_sawtooth() {
+        let (quiet, sys) = Scenario::new(1 << 10)
+            .churn(ChurnStyle::Quiet)
+            .initial_population(100)
+            .steps(5)
+            .run_batched(3)
+            .unwrap();
+        assert_eq!(quiet.joins + quiet.leaves, 0);
+        assert_eq!(sys.population(), 100);
+        let (saw, _) = Scenario::new(1 << 10)
+            .initial_population(80)
+            .churn(ChurnStyle::Sawtooth { low: 60, high: 120 })
+            .steps(40)
+            .run_batched(4)
+            .unwrap();
+        assert!(saw.population.summary().max >= 115.0);
+    }
+
+    #[test]
+    fn batched_scenario_rejects_bad_configs() {
+        assert!(Scenario::new(1 << 10).steps(1).run_batched(0).is_err());
+        assert!(Scenario::new(1 << 10)
+            .churn(ChurnStyle::JoinLeaveAttack)
+            .steps(1)
+            .run_batched(2)
+            .is_err());
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //!
 //! "The analysis can be generalized to several parallel join and leave
 //! operations." One call to `step_parallel` executes a whole batch as a
-//! single time step; messages match the serial execution, but the round
-//! complexity of the step is the *maximum* over the batch instead of
-//! the sum.
+//! single time step: the batch is scheduled into conflict-free waves by
+//! cluster-footprint disjointness, messages match the serial execution
+//! exactly, and the round complexity of the step is the sum of per-wave
+//! maxima instead of the serial sum.
 //!
 //! Run with: `cargo run --release --example batch_churn`
 
@@ -12,37 +13,47 @@ use now_bft::core::{NowParams, NowSystem};
 use now_bft::sim::{run_batched, BatchRandomChurn};
 
 fn main() {
-    let params = NowParams::new(1 << 12, 4, 1.5, 0.15, 0.05).expect("valid parameters");
+    // Cluster count ≫ overlay degree is what gives the scheduler room:
+    // capacity 16 ⇒ overlay target degree 5, and we run 64 clusters.
+    let params = NowParams::for_capacity(16).expect("valid parameters");
+    let n0 = 64 * params.target_cluster_size();
 
-    println!("batch width sweep (400 operations each, τ = 0.15):\n");
+    println!("batch width sweep (400 operations each, τ = 0.1, 64 clusters):\n");
     println!(
-        "{:>6} {:>7} {:>14} {:>16} {:>9}",
-        "width", "steps", "rounds serial", "rounds parallel", "speedup"
+        "{:>6} {:>7} {:>14} {:>16} {:>7} {:>10} {:>9}",
+        "width", "steps", "rounds serial", "rounds parallel", "waves", "max width", "speedup"
     );
     for width in [1usize, 4, 8, 16] {
-        let mut sys = NowSystem::init_fast(params, 600, 0.15, 99);
-        let mut driver = BatchRandomChurn::balanced(width, 0.15);
+        let mut sys = NowSystem::init_fast(params, n0, 0.1, 99);
+        let mut driver = BatchRandomChurn::balanced(width, 0.1);
         let steps = 400 / width as u64;
         let report = run_batched(&mut sys, &mut driver, steps, 7 + width as u64);
         println!(
-            "{:>6} {:>7} {:>14} {:>16} {:>8.1}x",
+            "{:>6} {:>7} {:>14} {:>16} {:>7} {:>10} {:>8.1}x",
             width,
             report.steps,
             report.rounds_serial,
             report.rounds_parallel,
+            report.waves,
+            report.max_wave_width,
             report.parallel_speedup()
         );
         sys.check_consistency().expect("system is consistent");
     }
 
     // And the invariants don't care about the batching:
-    let mut sys = NowSystem::init_fast(params, 600, 0.15, 100);
-    let mut driver = BatchRandomChurn::balanced(8, 0.15);
+    let mut sys = NowSystem::init_fast(params, n0, 0.1, 100);
+    let mut driver = BatchRandomChurn::balanced(8, 0.1);
     let report = run_batched(&mut sys, &mut driver, 50, 11);
     let audit = &report.final_audit;
     println!(
-        "\nafter 50 batched steps ({} joins, {} leaves in parallel batches of 8):",
+        "\nafter 50 batched steps ({} joins, {} leaves in parallel batches of 8,",
         report.joins, report.leaves
+    );
+    println!(
+        "  scheduled into {} conflict-free waves, ≈{:.1} per step):",
+        report.waves,
+        report.mean_waves_per_step()
     );
     println!(
         "  population {}, clusters {}, worst byzantine fraction {:.3}",

@@ -30,7 +30,31 @@ fn batched_and_serial_runs_preserve_the_same_invariants() {
         "batching must not break Theorem 3 at τ = 0.1, k = 4: {:?}",
         report.violations
     );
-    assert!(report.parallel_speedup() > 1.5);
+    // Six clusters, overlay degree ≥ 5: every footprint overlaps, so the
+    // scheduler mostly serializes here — but never does worse than
+    // serial, and its schedule covers every admitted operation.
+    assert!(report.parallel_speedup() >= 1.0);
+    assert!(report.rounds_parallel <= report.rounds_serial);
+    assert!(report.waves >= report.steps);
+    sys.check_consistency().unwrap();
+}
+
+#[test]
+fn sparse_overlays_unlock_wave_parallelism() {
+    // The scheduling payoff of the §2 footnote needs cluster count ≫
+    // overlay degree: capacity 16 gives target degree 5, and 64
+    // clusters leave room for disjoint footprints.
+    let params = NowParams::for_capacity(16).unwrap();
+    let mut sys = NowSystem::init_fast(params, 64 * params.target_cluster_size(), 0.1, 73);
+    let mut driver = BatchRandomChurn::balanced(8, 0.1);
+    let report = run_batched(&mut sys, &mut driver, 10, 74);
+    assert!(
+        report.parallel_speedup() > 1.2,
+        "sparse overlay should coalesce waves: ×{:.2}",
+        report.parallel_speedup()
+    );
+    assert!(report.max_wave_width >= 2, "some wave ran ops concurrently");
+    assert!(report.waves < report.joins + report.leaves);
     sys.check_consistency().unwrap();
 }
 

@@ -45,7 +45,65 @@ proptest! {
         prop_assert_eq!(report.left.len() + report.rejected.len(), leaves.len());
         prop_assert_eq!(report.joined.len(), joins.len());
         prop_assert!(report.rounds_parallel <= report.cost.rounds);
+        // The wave schedule covers exactly the admitted operations and
+        // partitions the batch's serial cost.
+        prop_assert_eq!(
+            report.waves.iter().map(|w| w.ops).sum::<usize>(),
+            report.left.len() + report.joined.len()
+        );
+        prop_assert_eq!(
+            report.waves.iter().map(|w| w.rounds_total).sum::<u64>(),
+            report.cost.rounds
+        );
+        prop_assert_eq!(
+            report.rounds_parallel,
+            report.waves.iter().map(|w| w.rounds_max).sum::<u64>()
+        );
         prop_assert!(sys.check_consistency().is_ok());
+    }
+
+    /// Schedule invariance: for any batch, the conflict-free wave
+    /// scheduler and a plain serial replay of the same operations (same
+    /// seed) agree on the final population, the admitted node ids, and
+    /// the total message cost — parallel scheduling saves rounds, never
+    /// changes outcomes.
+    #[test]
+    fn wave_scheduler_matches_serial_execution(
+        seed in any::<u64>(),
+        joins in proptest::collection::vec(any::<bool>(), 0..10),
+        leave_picks in proptest::collection::vec(any::<u16>(), 0..10),
+    ) {
+        let mut batched = NowSystem::init_fast(params(), 140, 0.2, seed);
+        let mut serial = NowSystem::init_fast(params(), 140, 0.2, seed);
+        let nodes = batched.node_ids();
+        let leaves: Vec<_> = leave_picks
+            .iter()
+            .map(|&p| nodes[p as usize % nodes.len()])
+            .collect();
+
+        let report = batched.step_parallel(&joins, &leaves);
+        let mut serial_joined = Vec::new();
+        let mut serial_left = 0usize;
+        for &n in &leaves {
+            if serial.leave(n).is_ok() {
+                serial_left += 1;
+            }
+        }
+        for &honest in &joins {
+            serial_joined.push(serial.join(honest));
+        }
+
+        prop_assert_eq!(batched.population(), serial.population());
+        prop_assert_eq!(batched.byz_population(), serial.byz_population());
+        prop_assert_eq!(report.left.len(), serial_left);
+        prop_assert_eq!(report.joined, serial_joined);
+        prop_assert_eq!(batched.node_ids(), serial.node_ids());
+        prop_assert_eq!(
+            batched.ledger().total().messages,
+            serial.ledger().total().messages
+        );
+        prop_assert!(batched.check_consistency().is_ok());
+        prop_assert!(serial.check_consistency().is_ok());
     }
 
     /// Any exchange cap (including 0-equivalent and over-size caps)

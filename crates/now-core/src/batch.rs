@@ -89,6 +89,10 @@ pub struct BatchReport {
     pub rounds_parallel: u64,
     /// The conflict-free wave schedule, in execution order.
     pub waves: Vec<WaveStats>,
+    /// Wall-clock nanoseconds the batch took to execute on this host.
+    /// The only field that legitimately varies between bit-identical
+    /// runs — determinism tests and report diffs must ignore it.
+    pub wall_nanos: u64,
 }
 
 impl BatchReport {
@@ -97,9 +101,25 @@ impl BatchReport {
         self.waves.len()
     }
 
-    /// Width of the widest wave (1 means the batch fully serialized).
+    /// Width of the widest wave: 1 means the batch fully serialized
+    /// (every scheduled operation ran in its own wave), ≥ 2 means some
+    /// operations ran concurrently, and 0 means the schedule is empty —
+    /// nothing was scheduled, so no degree of serialization exists to
+    /// report.
     pub fn max_wave_width(&self) -> usize {
         self.waves.iter().map(|w| w.ops).max().unwrap_or(0)
+    }
+
+    /// Total round *slack* in the schedule: the sum over waves of
+    /// `rounds_total − rounds_max`, i.e. the serial rounds the wave
+    /// structure saves. Zero iff the batch fully serialized (or was
+    /// empty); equal to `cost.rounds − rounds_parallel` whenever all
+    /// batch rounds were accounted through scheduled operations.
+    pub fn wave_slack_rounds(&self) -> u64 {
+        self.waves
+            .iter()
+            .map(|w| w.rounds_total - w.rounds_max)
+            .sum()
     }
 
     /// Rounds saved by executing the batch wave-parallel rather than
@@ -193,6 +213,7 @@ impl NowSystem {
     /// report carries the wave schedule and the derived parallel round
     /// count alongside.
     pub fn step_parallel(&mut self, join_honesty: &[bool], leaves: &[NodeId]) -> BatchReport {
+        let start = std::time::Instant::now();
         self.ledger_mut().begin(CostKind::Batch);
         let mut joined = Vec::with_capacity(join_honesty.len());
         let mut left = Vec::with_capacity(leaves.len());
@@ -243,6 +264,7 @@ impl NowSystem {
             cost,
             rounds_parallel,
             waves,
+            wall_nanos: start.elapsed().as_nanos() as u64,
         }
     }
 }
@@ -465,6 +487,7 @@ mod tests {
             },
             rounds_parallel: 0,
             waves: vec![],
+            wall_nanos: 0,
         };
         assert_eq!(report.parallel_speedup(), 7.0);
         let balanced = BatchReport {
@@ -475,6 +498,46 @@ mod tests {
             ..report
         };
         assert_eq!(balanced.parallel_speedup(), 1.0);
+    }
+
+    /// Regression for the `max_wave_width` doc/value mismatch: an empty
+    /// schedule reports width 0 ("nothing scheduled"), distinct from
+    /// width 1 ("fully serialized").
+    #[test]
+    fn max_wave_width_distinguishes_empty_from_serialized() {
+        let mut empty = system(100, 20);
+        let report = empty.step_parallel(&[], &[]);
+        assert_eq!(report.max_wave_width(), 0, "empty schedule");
+        assert_eq!(report.wave_slack_rounds(), 0);
+
+        // A fully serialized batch on a dense overlay reports width 1.
+        let mut dense = system(200, 21);
+        let leavers: Vec<NodeId> = dense.node_ids().into_iter().take(2).collect();
+        let serialized = dense.step_parallel(&[], &leavers);
+        assert_eq!(serialized.max_wave_width(), 1, "fully serialized");
+        assert_eq!(
+            serialized.wave_slack_rounds(),
+            0,
+            "width-1 waves have no serial-vs-max slack"
+        );
+    }
+
+    #[test]
+    fn wave_slack_accounts_saved_rounds() {
+        let mut sys = sparse_system(22);
+        let homes = disjoint_footprint_clusters(&sys, 3);
+        let leavers: Vec<NodeId> = homes
+            .iter()
+            .map(|&c| sys.cluster(c).unwrap().member_at(0))
+            .collect();
+        let report = sys.step_parallel(&[], &leavers);
+        assert_eq!(report.wave_count(), 1);
+        assert_eq!(
+            report.wave_slack_rounds(),
+            report.cost.rounds - report.rounds_parallel,
+            "all rounds flow through scheduled ops, so slack = serial − parallel"
+        );
+        assert!(report.wave_slack_rounds() > 0);
     }
 
     #[test]

@@ -60,6 +60,7 @@ mod rand_cl;
 mod registry;
 mod system;
 mod views;
+mod wave_exec;
 
 pub use audit::SystemAudit;
 pub use batch::{BatchReport, WaveStats};
@@ -68,6 +69,6 @@ pub use error::NowError;
 pub use malice::{Malice, NoMalice, RandNumContext, RandNumPurpose};
 pub use params::{NowParams, SecurityMode};
 pub use rand_cl::WalkTrace;
-pub use registry::{ClusterStats, NodeRecord, Registry};
+pub use registry::{ClusterStats, FootprintHandle, NodeRecord, Registry, WaveShards};
 pub use system::NowSystem;
 pub use views::{NodeView, ViewAudit};

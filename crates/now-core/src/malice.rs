@@ -67,6 +67,21 @@ pub trait Malice {
     /// (`None` = honest uniform choice). `members` come with the
     /// adversary's ground-truth knowledge of honesty.
     fn exchange_victim(&mut self, members: &[(NodeId, bool)], rng: &mut DetRng) -> Option<NodeId>;
+
+    /// Whether this adversary is behaviorally identical to [`NoMalice`]
+    /// (uniform `rand_num`, no hop forcing, no victim forcing).
+    ///
+    /// The threaded wave executor plans a wave's operations on worker
+    /// threads only when this returns `true`: a strategic adversary is
+    /// a single *stateful* oracle whose hook-call order is part of the
+    /// protocol semantics, so its batches are planned sequentially in
+    /// canonical order instead (same results at every thread count,
+    /// just no planning concurrency). Defaults to `false`; only
+    /// implementations that are genuinely stateless and neutral should
+    /// override it.
+    fn is_neutral(&self) -> bool {
+        false
+    }
 }
 
 /// Neutral adversary: compromised clusters behave like honest ones with
@@ -90,6 +105,10 @@ impl Malice for NoMalice {
         _rng: &mut DetRng,
     ) -> Option<NodeId> {
         None
+    }
+
+    fn is_neutral(&self) -> bool {
+        true
     }
 }
 

@@ -36,7 +36,9 @@
 
 use crate::cluster::Cluster;
 use now_net::{ClusterId, NodeId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Mutex;
 
 /// Number of node-index shards (power of two; ids are sequential, so a
 /// modulo spreads them uniformly).
@@ -455,6 +457,288 @@ impl Registry {
         }
         Ok(())
     }
+
+    // ------------------------------------------------------------------
+    // Wave-scoped shard access.
+    // ------------------------------------------------------------------
+
+    /// Splits the registry into per-shard-locked slices for the
+    /// duration of one conflict-free wave (see [`WaveShards`]).
+    ///
+    /// While the facade is alive the registry itself is mutably
+    /// borrowed, so the aggregate counters and the sorted cluster cache
+    /// are frozen; mutations made through the shards accumulate
+    /// population/Byzantine *deltas* which the caller folds back with
+    /// [`Registry::apply_wave_deltas`] once the facade is dropped.
+    /// Cluster creation/removal is deliberately not offered — wave
+    /// execution defers split/merge maintenance to its canonical serial
+    /// phase.
+    pub fn wave_shards(&mut self) -> WaveShards<'_> {
+        WaveShards {
+            clusters: self.cluster_shards.iter_mut().map(Mutex::new).collect(),
+            nodes: self.node_shards.iter_mut().map(Mutex::new).collect(),
+            pop_delta: AtomicI64::new(0),
+            byz_delta: AtomicI64::new(0),
+        }
+    }
+
+    /// Folds the population/Byzantine deltas of a completed wave (from
+    /// [`WaveShards::deltas`]) back into the exact aggregate counters.
+    ///
+    /// # Panics
+    /// Panics if a delta would drive a counter negative — that would
+    /// mean the wave detached nodes that never existed.
+    pub fn apply_wave_deltas(&mut self, pop_delta: i64, byz_delta: i64) {
+        self.population = self
+            .population
+            .checked_add_signed(pop_delta)
+            .expect("population counter underflow");
+        self.byz_population = self
+            .byz_population
+            .checked_add_signed(byz_delta)
+            .expect("byz counter underflow");
+    }
+}
+
+/// Per-shard-lock facade over the registry for one conflict-free wave.
+///
+/// Obtained from [`Registry::wave_shards`]. Each cluster shard and each
+/// node-index shard sits behind its own [`Mutex`], so mutations of
+/// *different* clusters proceed without contention even when their ids
+/// (or their members' ids) hash to the same shard. The concurrency
+/// contract is the wave contract itself: every node is touched by at
+/// most one handle, and every cluster entry is mutated by at most one
+/// handle — pairwise footprint-disjointness gives exactly that, which
+/// is what makes the final shard contents independent of thread
+/// interleaving (`BTreeMap` contents are a function of the surviving
+/// key set, not of insertion order).
+///
+/// [`WaveShards::handle`] scopes a mutator to one operation's cluster
+/// footprint and `debug_assert`s that it never escapes it; the
+/// unconfined `*_any` methods exist for the executor's canonical serial
+/// phase, where exchange relocations legitimately land outside every
+/// footprint.
+pub struct WaveShards<'a> {
+    clusters: Vec<Mutex<&'a mut BTreeMap<ClusterId, Cluster>>>,
+    nodes: Vec<Mutex<&'a mut BTreeMap<NodeId, NodeRecord>>>,
+    pop_delta: AtomicI64,
+    byz_delta: AtomicI64,
+}
+
+impl<'a> WaveShards<'a> {
+    /// A mutator confined (by debug assertions) to `footprint`.
+    pub fn handle(&self, footprint: &[ClusterId]) -> FootprintHandle<'_, 'a> {
+        FootprintHandle {
+            shards: self,
+            footprint: footprint.iter().copied().collect(),
+        }
+    }
+
+    /// The record of a live node (locks one node shard briefly).
+    pub fn node_record(&self, node: NodeId) -> Option<NodeRecord> {
+        self.nodes[Registry::node_shard_of(node)]
+            .lock()
+            .expect("node shard poisoned")
+            .get(&node)
+            .copied()
+    }
+
+    /// Whether the cluster is live.
+    pub fn contains_cluster(&self, cluster: ClusterId) -> bool {
+        self.clusters[Registry::cluster_shard_of(cluster)]
+            .lock()
+            .expect("cluster shard poisoned")
+            .contains_key(&cluster)
+    }
+
+    /// Per-cluster aggregate, as [`Registry::cluster_stats`].
+    pub fn cluster_stats(&self, cluster: ClusterId) -> Option<ClusterStats> {
+        self.clusters[Registry::cluster_shard_of(cluster)]
+            .lock()
+            .expect("cluster shard poisoned")
+            .get(&cluster)
+            .map(|c| ClusterStats {
+                size: c.size(),
+                honest: c.honest_count(),
+            })
+    }
+
+    /// Unconfined attach (canonical serial phase only; see the type
+    /// docs). Same invariant maintenance as [`Registry::attach`].
+    ///
+    /// # Panics
+    /// Panics if the node is already registered or the cluster is dead.
+    pub fn attach_any(&self, node: NodeId, honest: bool, cluster: ClusterId) {
+        let mut node_shard = self.nodes[Registry::node_shard_of(node)]
+            .lock()
+            .expect("node shard poisoned");
+        let mut cluster_shard = self.clusters[Registry::cluster_shard_of(cluster)]
+            .lock()
+            .expect("cluster shard poisoned");
+        let c = cluster_shard
+            .get_mut(&cluster)
+            .unwrap_or_else(|| panic!("attach into dead cluster {cluster}"));
+        assert!(c.insert(node, honest), "{node} already in {cluster}");
+        let prev = node_shard.insert(node, NodeRecord { honest, cluster });
+        assert!(prev.is_none(), "{node} attached twice");
+        self.pop_delta.fetch_add(1, Ordering::Relaxed);
+        if !honest {
+            self.byz_delta.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Unconfined detach; returns the node's final record, or `None` if
+    /// it was not registered.
+    pub fn detach_any(&self, node: NodeId) -> Option<NodeRecord> {
+        let mut node_shard = self.nodes[Registry::node_shard_of(node)]
+            .lock()
+            .expect("node shard poisoned");
+        let record = node_shard.remove(&node)?;
+        let mut cluster_shard = self.clusters[Registry::cluster_shard_of(record.cluster)]
+            .lock()
+            .expect("cluster shard poisoned");
+        let c = cluster_shard
+            .get_mut(&record.cluster)
+            .expect("record points at a live cluster");
+        assert!(c.remove(node, record.honest), "member set drifted");
+        self.pop_delta.fetch_add(-1, Ordering::Relaxed);
+        if !record.honest {
+            self.byz_delta.fetch_add(-1, Ordering::Relaxed);
+        }
+        Some(record)
+    }
+
+    /// Unconfined move (no-op if already there); returns the previous
+    /// home, or `None` if the node is unknown.
+    ///
+    /// # Panics
+    /// Panics if `to` is not a live cluster.
+    pub fn move_any(&self, node: NodeId, to: ClusterId) -> Option<ClusterId> {
+        let mut node_shard = self.nodes[Registry::node_shard_of(node)]
+            .lock()
+            .expect("node shard poisoned");
+        let record = *node_shard.get(&node)?;
+        if record.cluster == to {
+            return Some(record.cluster);
+        }
+        // Cluster shard locks in ascending index order (one lock when
+        // both clusters share a shard) — the node-shard-then-cluster
+        // category order plus this makes the facade deadlock-free.
+        let from_idx = Registry::cluster_shard_of(record.cluster);
+        let to_idx = Registry::cluster_shard_of(to);
+        let (mut first, mut second) = if from_idx == to_idx {
+            (
+                self.clusters[from_idx]
+                    .lock()
+                    .expect("cluster shard poisoned"),
+                None,
+            )
+        } else {
+            let (lo, hi) = (from_idx.min(to_idx), from_idx.max(to_idx));
+            (
+                self.clusters[lo].lock().expect("cluster shard poisoned"),
+                Some(self.clusters[hi].lock().expect("cluster shard poisoned")),
+            )
+        };
+        {
+            let from_map: &mut BTreeMap<ClusterId, Cluster> = if from_idx <= to_idx {
+                &mut first
+            } else {
+                second.as_mut().expect("distinct shards")
+            };
+            let from = from_map
+                .get_mut(&record.cluster)
+                .expect("record points at a live cluster");
+            assert!(from.remove(node, record.honest), "member set drifted");
+        }
+        {
+            let to_map: &mut BTreeMap<ClusterId, Cluster> =
+                if from_idx == to_idx || to_idx < from_idx {
+                    &mut first
+                } else {
+                    second.as_mut().expect("distinct shards")
+                };
+            let dest = to_map
+                .get_mut(&to)
+                .unwrap_or_else(|| panic!("move into dead cluster {to}"));
+            assert!(dest.insert(node, record.honest), "{node} already in {to}");
+        }
+        node_shard.get_mut(&node).expect("checked above").cluster = to;
+        Some(record.cluster)
+    }
+
+    /// Net `(population, byzantine)` deltas accumulated so far; fold
+    /// them back with [`Registry::apply_wave_deltas`] after dropping the
+    /// facade.
+    pub fn deltas(&self) -> (i64, i64) {
+        (
+            self.pop_delta.load(Ordering::Relaxed),
+            self.byz_delta.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A [`WaveShards`] mutator confined to one operation's cluster
+/// footprint.
+///
+/// Every access `debug_assert`s that the touched cluster lies inside
+/// the footprint the handle was created with — the executable form of
+/// the wave contract ("a handle never escapes its footprint"). Release
+/// builds keep only the per-shard locking.
+pub struct FootprintHandle<'w, 'a> {
+    shards: &'w WaveShards<'a>,
+    footprint: BTreeSet<ClusterId>,
+}
+
+impl FootprintHandle<'_, '_> {
+    /// Whether `cluster` lies inside this handle's footprint.
+    pub fn covers(&self, cluster: ClusterId) -> bool {
+        self.footprint.contains(&cluster)
+    }
+
+    /// Attach into a footprint cluster.
+    pub fn attach(&mut self, node: NodeId, honest: bool, cluster: ClusterId) {
+        debug_assert!(
+            self.covers(cluster),
+            "handle escaped its footprint: attach into {cluster}"
+        );
+        self.shards.attach_any(node, honest, cluster);
+    }
+
+    /// Detach a node whose home lies inside the footprint.
+    pub fn detach(&mut self, node: NodeId) -> Option<NodeRecord> {
+        debug_assert!(
+            self.shards
+                .node_record(node)
+                .map_or(true, |r| self.covers(r.cluster)),
+            "handle escaped its footprint: detach of {node}"
+        );
+        self.shards.detach_any(node)
+    }
+
+    /// Move a node between two footprint clusters.
+    pub fn move_within(&mut self, node: NodeId, to: ClusterId) -> Option<ClusterId> {
+        debug_assert!(
+            self.covers(to),
+            "handle escaped its footprint: move into {to}"
+        );
+        debug_assert!(
+            self.shards
+                .node_record(node)
+                .map_or(true, |r| self.covers(r.cluster)),
+            "handle escaped its footprint: move of {node}"
+        );
+        self.shards.move_any(node, to)
+    }
+
+    /// Footprint-confined aggregate read.
+    pub fn cluster_stats(&self, cluster: ClusterId) -> Option<ClusterStats> {
+        debug_assert!(
+            self.covers(cluster),
+            "handle escaped its footprint: stats of {cluster}"
+        );
+        self.shards.cluster_stats(cluster)
+    }
 }
 
 #[cfg(test)]
@@ -603,6 +887,116 @@ mod tests {
     fn invariant_check_is_exhaustive_on_empty() {
         let reg = Registry::new();
         assert!(reg.is_empty());
+        reg.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn wave_shards_mutations_match_direct_registry_calls() {
+        let mut direct = registry_with(4, 6);
+        let mut sharded = registry_with(4, 6);
+
+        direct.detach(nid(0)).unwrap();
+        direct.attach(nid(100), false, cid(2));
+        direct.move_to(nid(5), cid(3)).unwrap();
+
+        {
+            let shards = sharded.wave_shards();
+            let mut h = shards.handle(&[cid(0), cid(2), cid(3)]);
+            assert!(h.covers(cid(0)) && !h.covers(cid(1)));
+            let rec = h.detach(nid(0)).unwrap();
+            assert_eq!(rec.cluster, cid(0));
+            h.attach(nid(100), false, cid(2));
+            // nid(5) lives in cluster 0 (6 nodes per cluster).
+            assert_eq!(h.move_within(nid(5), cid(3)), Some(cid(0)));
+            assert_eq!(
+                h.cluster_stats(cid(3)).unwrap().size,
+                direct.cluster_stats(cid(3)).unwrap().size
+            );
+            let (dp, db) = shards.deltas();
+            assert_eq!((dp, db), (0, 0), "one detach + one attach net out");
+            drop(shards);
+            sharded.apply_wave_deltas(dp, db);
+        }
+
+        assert_eq!(direct.population(), sharded.population());
+        assert_eq!(direct.byz_population(), sharded.byz_population());
+        assert_eq!(direct.node_ids(), sharded.node_ids());
+        for c in 0..4 {
+            assert_eq!(
+                direct.cluster(cid(c)).unwrap().member_vec(),
+                sharded.cluster(cid(c)).unwrap().member_vec()
+            );
+        }
+        sharded.check_invariants().unwrap();
+    }
+
+    /// The facade's whole point: handles over disjoint footprints may
+    /// run on different threads, and the final registry state is
+    /// independent of their interleaving.
+    #[test]
+    fn disjoint_handles_mutate_concurrently() {
+        let mut reg = registry_with(8, 8); // 64 nodes, ids 0..64
+        {
+            let shards = reg.wave_shards();
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let shards = &shards;
+                    s.spawn(move || {
+                        // Thread t owns clusters 2t and 2t+1.
+                        let fp = [cid(2 * t), cid(2 * t + 1)];
+                        let mut h = shards.handle(&fp);
+                        // Detach one member, move another across the
+                        // footprint, attach a fresh node.
+                        h.detach(nid(2 * t * 8)).unwrap();
+                        h.move_within(nid(2 * t * 8 + 1), cid(2 * t + 1)).unwrap();
+                        h.attach(nid(1000 + t), t % 2 == 0, cid(2 * t + 1));
+                    });
+                }
+            });
+            let (dp, db) = shards.deltas();
+            assert_eq!(dp, 0, "4 detaches + 4 attaches net out");
+            drop(shards);
+            reg.apply_wave_deltas(dp, db);
+        }
+        reg.check_invariants().unwrap();
+        assert_eq!(reg.population(), 64);
+        for t in 0..4u64 {
+            assert!(!reg.contains(nid(2 * t * 8)));
+            assert!(reg.contains(nid(1000 + t)));
+            assert_eq!(reg.get(nid(2 * t * 8 + 1)).unwrap().cluster, cid(2 * t + 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "escaped its footprint")]
+    #[cfg(debug_assertions)]
+    fn handle_escape_is_caught() {
+        let mut reg = registry_with(3, 4);
+        let shards = reg.wave_shards();
+        let mut h = shards.handle(&[cid(0)]);
+        // nid(4) lives in cluster 1 — outside the footprint.
+        let _ = h.detach(nid(4));
+    }
+
+    #[test]
+    fn move_any_across_and_within_shards() {
+        let mut reg = registry_with(CLUSTER_SHARDS as u64 + 1, 2);
+        {
+            let shards = reg.wave_shards();
+            // cid(0) and cid(CLUSTER_SHARDS) share a shard; cid(1) does
+            // not. Exercise both lock paths plus the unknown-node case.
+            assert_eq!(
+                shards.move_any(nid(0), cid(CLUSTER_SHARDS as u64)),
+                Some(cid(0))
+            );
+            assert_eq!(shards.move_any(nid(1), cid(1)), Some(cid(0)));
+            assert_eq!(shards.move_any(nid(1), cid(1)), Some(cid(1)), "no-op");
+            assert_eq!(shards.move_any(nid(9999), cid(1)), None);
+            assert!(shards.contains_cluster(cid(1)));
+            assert!(!shards.contains_cluster(cid(999)));
+            assert_eq!(shards.node_record(nid(1)).unwrap().cluster, cid(1));
+            assert_eq!(shards.deltas(), (0, 0));
+        }
         reg.check_invariants().unwrap();
     }
 }

@@ -1,0 +1,1174 @@
+//! Threaded execution of conflict-free waves — the engine that turns
+//! the [`crate::batch`] *schedule* into wall-clock parallelism.
+//!
+//! PR 2's `step_parallel` schedules a batch into footprint-disjoint
+//! waves but still executes the operations one after another;
+//! `rounds_parallel` is an estimate, not a measurement. This module
+//! adds [`NowSystem::step_parallel_threaded`], which actually runs a
+//! wave's operations on worker threads while keeping the run
+//! **bit-identical at every thread count** — same admitted ids, same
+//! population, same ledger totals, same wave schedule whether the batch
+//! runs on 1, 2, or 8 workers.
+//!
+//! # How determinism survives threading
+//!
+//! Three mechanisms, mirrored by `vendor/README.md`'s determinism
+//! notes:
+//!
+//! 1. **Plan/apply split.** Each operation is *planned* by a pure
+//!    kernel ([`Planner`]) that reads the immutable pre-wave state
+//!    (registry + overlay are shared read-only across workers) through
+//!    a copy-on-read *view* that overlays the operation's own effects —
+//!    snapshot-isolation semantics. Planning emits an [`OpPlan`]: the
+//!    op's registry effects, its private ledger, and a deferred
+//!    split/merge check. Plans are pure functions of `(pre-wave state,
+//!    op, substream)`, so the thread that computes one is irrelevant.
+//! 2. **Per-operation substreams.** Every operation draws from a
+//!    ChaCha12 stream derived via [`DetRng::for_op`] from `(master,
+//!    time_step, canonical op index)` — never from the shared system
+//!    generator — so thread interleaving cannot perturb anyone's
+//!    randomness. The master key is a single draw from the system
+//!    stream per batch.
+//! 3. **Canonical merge.** Effects, ledger deltas
+//!    ([`Ledger::merge_child`]), and deferred maintenance apply on the
+//!    driving thread in canonical batch order (departures before
+//!    arrivals, each in input order). Footprint-local effects go
+//!    through the wave's [`crate::registry::WaveShards`] handles —
+//!    whose debug assertions enforce that a handle never escapes its
+//!    footprint — and relocations that legitimately escape (exchange
+//!    partners are walk-chosen anywhere) use the facade's unconfined
+//!    path.
+//!
+//! # Model semantics (and how they differ from `step_parallel`)
+//!
+//! The engine defines a *parallel deployment* of the §2-footnote batch:
+//! operations of one wave observe the pre-wave state plus their own
+//! effects, exactly as genuinely concurrent admissions would; a node
+//! claimed by two concurrent relocations resolves to the canonical
+//! winner (later-applied move wins; a move of a node that already
+//! departed is dropped). Split/merge maintenance runs after the wave
+//! whose operations triggered it, accounted as sibling spans of the
+//! batch rather than nested inside the triggering operation: first
+//! each op's own host/home in canonical order, then a deterministic
+//! sweep over every other cluster the wave's effects touched —
+//! conflict resolution can net-change the size of clusters that are
+//! nobody's host or home, and the size band must hold there too.
+//! Because
+//! randomness is consumed per-operation instead of from one shared
+//! stream, outcomes differ from the serial `step_parallel` path for the
+//! same seed — by design; the bit-equality contract is *across thread
+//! counts of this engine*, which the property tests pin.
+//!
+//! A strategic [`Malice`] implementation is a single stateful oracle
+//! whose hook-call order is protocol-visible, so non-neutral adversaries
+//! plan sequentially in canonical order (the results still do not
+//! depend on the requested thread count). The neutral default plans on
+//! workers.
+
+use crate::batch::{BatchReport, WaveStats};
+use crate::error::NowError;
+use crate::malice::{Malice, RandNumContext, RandNumPurpose};
+use crate::params::{NowParams, SecurityMode};
+use crate::registry::Registry;
+use crate::system::NowSystem;
+use now_net::{ClusterId, Cost, CostKind, DetRng, Ledger, NodeId};
+use now_over::Overlay;
+use rand::{Rng, RngCore};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One batched operation in canonical order, with the footprint the
+/// wave partition was computed from.
+struct OpSpec {
+    op: PlannedOp,
+    footprint: Vec<ClusterId>,
+}
+
+enum PlannedOp {
+    Leave {
+        node: NodeId,
+    },
+    Join {
+        node: NodeId,
+        honest: bool,
+        contact: ClusterId,
+    },
+}
+
+/// A registry mutation planned by a kernel, applied canonically later.
+enum Effect {
+    Detach {
+        node: NodeId,
+    },
+    Attach {
+        node: NodeId,
+        honest: bool,
+        cluster: ClusterId,
+    },
+    Move {
+        node: NodeId,
+        to: ClusterId,
+    },
+}
+
+/// Size-triggered maintenance deferred to the post-wave serial phase.
+enum Maintenance {
+    /// Re-check the join's host for an oversize split.
+    Split(ClusterId),
+    /// Re-check the leave's home for an undersize merge.
+    Merge(ClusterId),
+}
+
+/// The pure result of planning one operation.
+struct OpPlan {
+    effects: Vec<Effect>,
+    ledger: Ledger,
+    /// Inclusive cost of the operation's top-level span.
+    cost: Cost,
+    maintenance: Maintenance,
+}
+
+/// Immutable pre-wave state shared (read-only) across planner threads.
+struct WaveCtx<'a> {
+    registry: &'a Registry,
+    overlay: &'a Overlay,
+    params: NowParams,
+    recording: bool,
+}
+
+/// A cluster as one operation sees it: pre-wave membership overlaid
+/// with the operation's own effects.
+struct ViewCluster {
+    /// Members in ascending id order (mirrors `Cluster`'s set order).
+    members: Vec<NodeId>,
+    byz: usize,
+}
+
+/// The pure planning kernel: interprets one join/leave against the
+/// wave context, mirroring the serial operation semantics of
+/// [`crate::ops`] / [`crate::exchange`] / [`crate::rand_cl`] — same
+/// draw order, same ledger spans — but reading through the op's view
+/// and emitting effects instead of mutating shared state.
+struct Planner<'c, 'a> {
+    ctx: &'c WaveCtx<'a>,
+    rng: DetRng,
+    ledger: Ledger,
+    effects: Vec<Effect>,
+    view: BTreeMap<ClusterId, ViewCluster>,
+    /// Home overrides for nodes this op moved (`None` = departed).
+    homes: BTreeMap<NodeId, Option<ClusterId>>,
+    /// The op's own arrival, if any (honesty is not in the registry yet).
+    joiner: Option<(NodeId, bool)>,
+    /// Overlay neighbor lists, cached per op (the overlay is frozen
+    /// while a wave plans).
+    neighbors: BTreeMap<ClusterId, Vec<ClusterId>>,
+    /// Present only when a non-neutral adversary serializes planning.
+    malice: Option<&'c mut (dyn Malice + 'static)>,
+}
+
+impl<'c, 'a> Planner<'c, 'a> {
+    fn new(
+        ctx: &'c WaveCtx<'a>,
+        rng: DetRng,
+        malice: Option<&'c mut (dyn Malice + 'static)>,
+    ) -> Self {
+        Planner {
+            ctx,
+            rng,
+            ledger: if ctx.recording {
+                Ledger::recording()
+            } else {
+                Ledger::new()
+            },
+            effects: Vec::new(),
+            view: BTreeMap::new(),
+            homes: BTreeMap::new(),
+            joiner: None,
+            neighbors: BTreeMap::new(),
+            malice,
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // View maintenance.
+    // ---------------------------------------------------------------
+
+    fn view_mut(&mut self, c: ClusterId) -> &mut ViewCluster {
+        let reg = self.ctx.registry;
+        self.view.entry(c).or_insert_with(|| {
+            let cluster = reg.cluster(c).expect("plan touches live clusters");
+            ViewCluster {
+                members: cluster.member_vec(),
+                byz: cluster.byz_count(),
+            }
+        })
+    }
+
+    fn size(&mut self, c: ClusterId) -> u64 {
+        self.view_mut(c).members.len() as u64
+    }
+
+    fn view_members(&mut self, c: ClusterId) -> Vec<NodeId> {
+        self.view_mut(c).members.clone()
+    }
+
+    fn member_at(&mut self, c: ClusterId, idx: usize) -> NodeId {
+        self.view_mut(c).members[idx]
+    }
+
+    fn contains_member(&mut self, c: ClusterId, n: NodeId) -> bool {
+        self.view_mut(c).members.binary_search(&n).is_ok()
+    }
+
+    /// `(size, secure under Plain, secure under the deployment mode)` —
+    /// the triple every walk hop and `randNum` gate needs.
+    fn cluster_security(&mut self, c: ClusterId) -> (u64, bool, bool) {
+        let mode = self.ctx.params.security();
+        let v = self.view_mut(c);
+        let size = v.members.len();
+        let plain = size > 0 && SecurityMode::Plain.rand_num_secure(v.byz, size);
+        let secure = size > 0 && mode.rand_num_secure(v.byz, size);
+        (size as u64, plain, secure)
+    }
+
+    fn honesty(&self, n: NodeId) -> bool {
+        if let Some((joiner, honest)) = self.joiner {
+            if joiner == n {
+                return honest;
+            }
+        }
+        self.ctx
+            .registry
+            .get(n)
+            .expect("honesty of a live node")
+            .honest
+    }
+
+    fn home_of(&self, n: NodeId) -> Option<ClusterId> {
+        match self.homes.get(&n) {
+            Some(over) => *over,
+            None => self.ctx.registry.get(n).map(|r| r.cluster),
+        }
+    }
+
+    fn insert_member(&mut self, c: ClusterId, n: NodeId, honest: bool) {
+        let v = self.view_mut(c);
+        let pos = v
+            .members
+            .binary_search(&n)
+            .expect_err("member absent from view");
+        v.members.insert(pos, n);
+        if !honest {
+            v.byz += 1;
+        }
+    }
+
+    fn remove_member(&mut self, c: ClusterId, n: NodeId, honest: bool) {
+        let v = self.view_mut(c);
+        let pos = v.members.binary_search(&n).expect("member present in view");
+        v.members.remove(pos);
+        if !honest {
+            v.byz -= 1;
+        }
+    }
+
+    fn attach_node(&mut self, n: NodeId, honest: bool, c: ClusterId) {
+        self.joiner = Some((n, honest));
+        self.insert_member(c, n, honest);
+        self.homes.insert(n, Some(c));
+        self.effects.push(Effect::Attach {
+            node: n,
+            honest,
+            cluster: c,
+        });
+    }
+
+    fn detach_node(&mut self, n: NodeId) {
+        let from = self.home_of(n).expect("detaching a live node");
+        let honest = self.honesty(n);
+        self.remove_member(from, n, honest);
+        self.homes.insert(n, None);
+        self.effects.push(Effect::Detach { node: n });
+    }
+
+    fn move_node(&mut self, n: NodeId, to: ClusterId) {
+        let from = self.home_of(n).expect("moving a live node");
+        if from == to {
+            return;
+        }
+        let honest = self.honesty(n);
+        self.remove_member(from, n, honest);
+        self.insert_member(to, n, honest);
+        self.homes.insert(n, Some(to));
+        self.effects.push(Effect::Move { node: n, to });
+    }
+
+    fn neighbor_list(&mut self, c: ClusterId) -> Vec<ClusterId> {
+        let overlay = self.ctx.overlay;
+        self.neighbors
+            .entry(c)
+            .or_insert_with(|| overlay.neighbors(c))
+            .clone()
+    }
+
+    // ---------------------------------------------------------------
+    // Primitive mirrors (draw order and ledger spans match the serial
+    // implementations bit for bit under a neutral adversary).
+    // ---------------------------------------------------------------
+
+    fn rand_num(&mut self, c: ClusterId, range: u64, purpose: RandNumPurpose) -> u64 {
+        let range = range.max(1);
+        let (size, _, secure) = self.cluster_security(c);
+        self.ledger.begin(CostKind::RandNum);
+        self.ledger.add_messages(2 * size * size.saturating_sub(1));
+        self.ledger.add_rounds(2);
+        self.ledger.end();
+        if secure {
+            self.rng.gen_range(0..range)
+        } else if let Some(malice) = self.malice.as_mut() {
+            let ctx = RandNumContext {
+                cluster: c,
+                purpose,
+            };
+            malice.rand_num(range, ctx, &mut self.rng)
+        } else {
+            // Neutral-adversary planning: `NoMalice::rand_num` is the
+            // same uniform draw, so the streams coincide.
+            self.rng.gen_range(0..range)
+        }
+    }
+
+    /// Mirror of [`NowSystem::rand_cl_from`] against the op's view.
+    fn rand_cl(&mut self, start: ClusterId) -> ClusterId {
+        self.ledger.begin(CostKind::RandCl);
+        let m = self.ctx.overlay.vertex_count();
+        if m <= 1 {
+            self.ledger.end();
+            return start;
+        }
+        let duration = self.ctx.params.ctrw_duration(m);
+        let mut current = start;
+        const RES: u64 = 1 << 24;
+        let hop_cap = 2_000 + 200 * (m as u64);
+        let mut hops = 0u64;
+        for _restart in 0..=self.ctx.params.max_walk_restarts() {
+            let mut remaining = duration;
+            loop {
+                if hops >= hop_cap {
+                    self.ledger.end();
+                    return current;
+                }
+                let nbrs = self.neighbor_list(current);
+                let degree = nbrs.len();
+                let (size, secure_plain, _) = self.cluster_security(current);
+                if degree == 0 {
+                    break;
+                }
+                let u = self.rand_num(current, RES, RandNumPurpose::WalkHoldingTime);
+                let unit = (u as f64 + 1.0) / (RES as f64 + 1.0);
+                let hold = -unit.ln() / degree as f64;
+                if hold >= remaining {
+                    break;
+                }
+                remaining -= hold;
+                let idx = self.rand_num(current, degree as u64, RandNumPurpose::WalkNeighborChoice)
+                    as usize;
+                let mut next = nbrs[idx.min(nbrs.len() - 1)];
+                if !secure_plain {
+                    if let Some(malice) = self.malice.as_mut() {
+                        if let Some(forced) = malice.walk_hop(&nbrs, &mut self.rng) {
+                            if nbrs.contains(&forced) {
+                                next = forced;
+                            }
+                        }
+                    }
+                }
+                let to_size = self.size(next);
+                self.ledger.add_messages(size * to_size);
+                self.ledger.add_rounds(1);
+                hops += 1;
+                current = next;
+            }
+            let (size, _, _) = self.cluster_security(current);
+            let p_accept = self.ctx.params.acceptance_probability(size as usize);
+            let draw = self.rand_num(current, RES, RandNumPurpose::WalkAcceptance);
+            if (draw as f64 + 0.5) / RES as f64 <= p_accept {
+                self.ledger.end();
+                return current;
+            }
+        }
+        self.ledger.end();
+        current
+    }
+
+    /// Mirror of the serial `exchange_single`.
+    fn exchange_single(&mut self, c: ClusterId) -> BTreeSet<ClusterId> {
+        self.ledger.begin(CostKind::Exchange);
+        let mut members = self.view_members(c);
+        if let Some(cap) = self.ctx.params.exchange_cap() {
+            if cap < members.len() {
+                let picks = now_graph::sample::sample_distinct(members.len(), cap, &mut self.rng);
+                members = picks.into_iter().map(|i| members[i]).collect();
+            }
+        }
+        let mut receivers = BTreeSet::new();
+        for x in members {
+            if self.home_of(x).map(|home| home != c).unwrap_or(true) {
+                continue;
+            }
+            let partner = self.rand_cl(c);
+            if partner == c {
+                continue;
+            }
+            let partner_size = self.size(partner) as usize;
+            if partner_size == 0 {
+                continue;
+            }
+            let idx =
+                self.rand_num(partner, partner_size as u64, RandNumPurpose::MemberIndex) as usize;
+            let mut y = self.member_at(partner, idx.min(partner_size - 1));
+            let (_, _, partner_secure) = self.cluster_security(partner);
+            if !partner_secure && self.malice.is_some() {
+                let labeled: Vec<(NodeId, bool)> = self
+                    .view_members(partner)
+                    .into_iter()
+                    .map(|m| (m, self.honesty(m)))
+                    .collect();
+                let forced = self
+                    .malice
+                    .as_mut()
+                    .expect("checked above")
+                    .exchange_victim(&labeled, &mut self.rng);
+                if let Some(forced) = forced {
+                    if self.contains_member(partner, forced) {
+                        y = forced;
+                    }
+                }
+            }
+            self.move_node(x, partner);
+            self.move_node(y, c);
+            receivers.insert(partner);
+            let size_c = self.size(c);
+            let size_p = self.size(partner);
+            self.ledger.add_messages(size_c + size_p);
+            self.ledger.add_rounds(1);
+        }
+        self.account_neighbor_notification(c);
+        let partners: Vec<ClusterId> = receivers.iter().copied().collect();
+        for partner in partners {
+            self.account_neighbor_notification(partner);
+        }
+        self.ledger.end();
+        receivers
+    }
+
+    fn exchange_all(&mut self, c: ClusterId, cascade: bool) {
+        let receivers = self.exchange_single(c);
+        if cascade {
+            for &partner in &receivers {
+                self.exchange_single(partner);
+            }
+        }
+    }
+
+    fn account_neighbor_notification(&mut self, c: ClusterId) {
+        let size = self.size(c);
+        let nbrs = self.neighbor_list(c);
+        let mut msgs = 0u64;
+        for nbr in nbrs {
+            msgs += size * self.size(nbr);
+        }
+        self.ledger.add_messages(msgs);
+        self.ledger.add_rounds(1);
+    }
+
+    // ---------------------------------------------------------------
+    // Operation kernels.
+    // ---------------------------------------------------------------
+
+    fn plan_join(&mut self, node: NodeId, honest: bool, contact: ClusterId) -> Maintenance {
+        self.ledger.begin(CostKind::Join);
+        let host = self.rand_cl(contact);
+        self.attach_node(node, honest, host);
+        let host_size = self.size(host);
+        self.ledger.add_messages(host_size);
+        self.ledger.add_rounds(1);
+        self.account_neighbor_notification(host);
+        self.ledger.add_messages(host_size);
+        self.ledger.add_rounds(1);
+        if self.ctx.params.shuffle_enabled() {
+            self.exchange_all(host, false);
+        }
+        self.ledger.end();
+        Maintenance::Split(host)
+    }
+
+    fn plan_leave(&mut self, node: NodeId) -> Maintenance {
+        let home = self.home_of(node).expect("pre-validated leaver");
+        self.ledger.begin(CostKind::Leave);
+        self.detach_node(node);
+        let size = self.size(home);
+        self.ledger.add_messages(size);
+        self.ledger.add_rounds(1);
+        self.account_neighbor_notification(home);
+        if self.ctx.params.shuffle_enabled() {
+            let cascade = self.ctx.params.cascade_enabled();
+            self.exchange_all(home, cascade);
+        }
+        self.ledger.end();
+        Maintenance::Merge(home)
+    }
+}
+
+/// Plans one operation; pure in `(ctx, spec, rng)` when `malice` is
+/// `None`.
+fn plan_op(
+    ctx: &WaveCtx<'_>,
+    spec: &OpSpec,
+    rng: DetRng,
+    malice: Option<&mut (dyn Malice + 'static)>,
+) -> OpPlan {
+    let mut planner = Planner::new(ctx, rng, malice);
+    let maintenance = match spec.op {
+        PlannedOp::Leave { node } => planner.plan_leave(node),
+        PlannedOp::Join {
+            node,
+            honest,
+            contact,
+        } => {
+            // The contact drawn at batch admission can have been
+            // dissolved by an earlier wave's merge; re-draw uniformly
+            // from the op's own substream (deterministic).
+            let contact = if ctx.registry.contains_cluster(contact) {
+                contact
+            } else {
+                let idx = planner.rng.gen_range(0..ctx.registry.cluster_count());
+                ctx.registry.cluster_id_at(idx)
+            };
+            planner.plan_join(node, honest, contact)
+        }
+    };
+    OpPlan {
+        cost: planner.ledger.total(),
+        effects: planner.effects,
+        ledger: planner.ledger,
+        maintenance,
+    }
+}
+
+/// Plans a wave on up to `threads` workers (plain sequential planning
+/// when the wave or the thread budget is width 1). Work is claimed via
+/// an atomic cursor; results land in per-op slots, so the output is
+/// positionally identical however the claims interleave.
+fn plan_wave_parallel(
+    ctx: &WaveCtx<'_>,
+    specs: &[OpSpec],
+    master: u64,
+    time_step: u64,
+    base: usize,
+    threads: usize,
+) -> Vec<OpPlan> {
+    let n = specs.len();
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let rng = DetRng::for_op(master, time_step, (base + i) as u64);
+                plan_op(ctx, spec, rng, None)
+            })
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<OpPlan>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let rng = DetRng::for_op(master, time_step, (base + i) as u64);
+                let plan = plan_op(ctx, &specs[i], rng, None);
+                *slots[i].lock().expect("plan slot poisoned") = Some(plan);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("plan slot poisoned")
+                .expect("every op planned")
+        })
+        .collect()
+}
+
+/// Order-preserving greedy wave partition over pre-batch footprints
+/// (the same rule the serial scheduler applies incrementally).
+fn partition_waves(specs: &[OpSpec]) -> Vec<Range<usize>> {
+    let mut waves = Vec::new();
+    let mut start = 0usize;
+    let mut union: BTreeSet<ClusterId> = BTreeSet::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let conflicts = i > start && spec.footprint.iter().any(|c| union.contains(c));
+        if conflicts {
+            waves.push(start..i);
+            start = i;
+            union.clear();
+        }
+        union.extend(spec.footprint.iter().copied());
+    }
+    if start < specs.len() {
+        waves.push(start..specs.len());
+    }
+    waves
+}
+
+impl NowSystem {
+    /// Executes a batch of departures and arrivals as one time step,
+    /// *actually running* each conflict-free wave's operations on up to
+    /// `threads` worker threads (see the module docs for the execution
+    /// model).
+    ///
+    /// The result is bit-identical at every `threads` value — admitted
+    /// ids, population, ledger totals and per-kind statistics, and the
+    /// wave schedule all match a `threads = 1` run of the same seed;
+    /// only [`BatchReport::wall_nanos`] varies. `threads = 0` is
+    /// treated as 1.
+    ///
+    /// Rejection rules match [`NowSystem::step_parallel`]: departures
+    /// are validated up front in canonical order against the projected
+    /// population (floor) and the batch's earlier claims (duplicates),
+    /// and rejected operations occupy no wave slot.
+    pub fn step_parallel_threaded(
+        &mut self,
+        join_honesty: &[bool],
+        leaves: &[NodeId],
+        threads: usize,
+    ) -> BatchReport {
+        let start = Instant::now();
+        let threads = threads.max(1);
+        self.ledger.begin(CostKind::Batch);
+
+        // Canonical op list with up-front rejection decisions.
+        let mut joined = Vec::with_capacity(join_honesty.len());
+        let mut left = Vec::new();
+        let mut rejected = Vec::new();
+        let mut specs: Vec<OpSpec> = Vec::new();
+        let floor = self.params.min_population();
+        let mut projected = self.population();
+        let mut claimed: BTreeSet<NodeId> = BTreeSet::new();
+        for &node in leaves {
+            if projected <= floor {
+                rejected.push((
+                    node,
+                    NowError::PopulationFloor {
+                        population: projected,
+                        floor,
+                    },
+                ));
+                continue;
+            }
+            if claimed.contains(&node) {
+                rejected.push((node, NowError::UnknownNode { node }));
+                continue;
+            }
+            match self.node_cluster(node) {
+                Ok(home) => {
+                    claimed.insert(node);
+                    projected -= 1;
+                    left.push(node);
+                    specs.push(OpSpec {
+                        op: PlannedOp::Leave { node },
+                        footprint: self.op_footprint(home),
+                    });
+                }
+                Err(e) => rejected.push((node, e)),
+            }
+        }
+        for &honest in join_honesty {
+            let contact = self.contact_cluster();
+            let node = self.ids.node();
+            joined.push(node);
+            specs.push(OpSpec {
+                op: PlannedOp::Join {
+                    node,
+                    honest,
+                    contact,
+                },
+                footprint: self.op_footprint(contact),
+            });
+        }
+
+        let waves = partition_waves(&specs);
+        let master = self.rng.next_u64();
+        let time_step = self.time_step;
+        let neutral = self.malice.is_neutral();
+        let recording = self.ledger.is_recording();
+
+        let mut wave_stats: Vec<WaveStats> = Vec::with_capacity(waves.len());
+        for wave in waves {
+            let base = wave.start;
+            let wave_specs = &specs[wave];
+
+            // ---- plan (workers; sequential for a strategic Malice) ----
+            let ctx = WaveCtx {
+                registry: &self.registry,
+                overlay: &self.overlay,
+                params: self.params,
+                recording,
+            };
+            let plans: Vec<OpPlan> = if neutral {
+                plan_wave_parallel(&ctx, wave_specs, master, time_step, base, threads)
+            } else {
+                wave_specs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, spec)| {
+                        let rng = DetRng::for_op(master, time_step, (base + i) as u64);
+                        plan_op(&ctx, spec, rng, Some(&mut *self.malice))
+                    })
+                    .collect()
+            };
+
+            // ---- wave stats from the planned costs ----
+            let mut stats = WaveStats::default();
+            for plan in &plans {
+                stats.ops += 1;
+                stats.rounds_max = stats.rounds_max.max(plan.cost.rounds);
+                stats.rounds_total += plan.cost.rounds;
+                stats.messages += plan.cost.messages;
+            }
+
+            // ---- apply effects canonically through the wave shards ----
+            // `touched` collects every cluster whose membership actually
+            // changed: canonical conflict resolution (two ops drawing
+            // the same exchange victim, relocations voided by an
+            // earlier departure) can net-change the size of clusters
+            // that are *nobody's* host or home, and those must still be
+            // maintenance-checked below.
+            let mut touched: BTreeSet<ClusterId> = BTreeSet::new();
+            {
+                let shards = self.registry.wave_shards();
+                for (spec, plan) in wave_specs.iter().zip(&plans) {
+                    let mut handle = shards.handle(&spec.footprint);
+                    for effect in &plan.effects {
+                        match *effect {
+                            Effect::Detach { node } => match shards.node_record(node) {
+                                Some(rec) if handle.covers(rec.cluster) => {
+                                    handle.detach(node);
+                                    touched.insert(rec.cluster);
+                                }
+                                Some(rec) => {
+                                    shards.detach_any(node);
+                                    touched.insert(rec.cluster);
+                                }
+                                None => {}
+                            },
+                            Effect::Attach {
+                                node,
+                                honest,
+                                cluster,
+                            } => {
+                                if handle.covers(cluster) {
+                                    handle.attach(node, honest, cluster);
+                                } else {
+                                    shards.attach_any(node, honest, cluster);
+                                }
+                                touched.insert(cluster);
+                            }
+                            Effect::Move { node, to } => match shards.node_record(node) {
+                                Some(rec) if handle.covers(rec.cluster) && handle.covers(to) => {
+                                    handle.move_within(node, to);
+                                    touched.insert(rec.cluster);
+                                    touched.insert(to);
+                                }
+                                Some(rec) => {
+                                    shards.move_any(node, to);
+                                    touched.insert(rec.cluster);
+                                    touched.insert(to);
+                                }
+                                // The node departed earlier in this
+                                // wave: the relocation is void.
+                                None => {}
+                            },
+                        }
+                    }
+                }
+                let (pop_delta, byz_delta) = shards.deltas();
+                drop(shards);
+                self.registry.apply_wave_deltas(pop_delta, byz_delta);
+            }
+
+            // ---- fold ledgers + op counters canonically ----
+            for (spec, plan) in wave_specs.iter().zip(&plans) {
+                match spec.op {
+                    PlannedOp::Join { .. } => self.join_count += 1,
+                    PlannedOp::Leave { .. } => self.leave_count += 1,
+                }
+                self.ledger.merge_child(&plan.ledger);
+            }
+
+            // ---- deferred maintenance ----
+            // First each op's own host/home in canonical order (the
+            // direct analogue of the serial oversize/undersize checks),
+            // then a sweep over every other touched cluster in
+            // ascending id order — a deterministic net to catch
+            // size-band escapes that conflict resolution produced on
+            // third-party clusters.
+            for plan in &plans {
+                match plan.maintenance {
+                    Maintenance::Split(c) => {
+                        touched.remove(&c);
+                        if self.registry.contains_cluster(c)
+                            && self.cluster_ref(c).size() > self.params.max_cluster_size()
+                        {
+                            self.split(c);
+                        }
+                    }
+                    Maintenance::Merge(c) => {
+                        touched.remove(&c);
+                        if self.registry.contains_cluster(c)
+                            && self.cluster_ref(c).size() < self.params.min_cluster_size()
+                            && self.cluster_count() > 1
+                        {
+                            self.merge(c);
+                        }
+                    }
+                }
+            }
+            for c in touched {
+                if !self.registry.contains_cluster(c) {
+                    continue;
+                }
+                if self.cluster_ref(c).size() > self.params.max_cluster_size() {
+                    self.split(c);
+                } else if self.cluster_ref(c).size() < self.params.min_cluster_size()
+                    && self.cluster_count() > 1
+                {
+                    self.merge(c);
+                }
+            }
+
+            wave_stats.push(stats);
+        }
+
+        let rounds_parallel = wave_stats.iter().map(|w| w.rounds_max).sum();
+        let cost = self.ledger.end();
+        self.advance_time_step();
+        BatchReport {
+            joined,
+            left,
+            rejected,
+            cost,
+            rounds_parallel,
+            waves: wave_stats,
+            wall_nanos: start.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::NowParams;
+    use now_net::CostKind;
+
+    fn system(n0: usize, seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        NowSystem::init_fast(params, n0, 0.2, seed)
+    }
+
+    /// Sparse overlay (capacity 16 ⇒ target degree 5) over 64 clusters:
+    /// wide waves exist.
+    fn sparse_system(seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(16).unwrap();
+        let n0 = 64 * params.target_cluster_size();
+        NowSystem::init_fast(params, n0, 0.1, seed)
+    }
+
+    /// Full observable fingerprint of a run: everything the
+    /// bit-determinism contract covers.
+    fn fingerprint(sys: &NowSystem, report: &BatchReport) -> impl PartialEq + std::fmt::Debug {
+        (
+            (
+                sys.population(),
+                sys.byz_population(),
+                sys.node_ids(),
+                sys.cluster_ids(),
+                sys.op_counts(),
+            ),
+            (
+                report.joined.clone(),
+                report.left.clone(),
+                report
+                    .rejected
+                    .iter()
+                    .map(|(n, e)| (*n, format!("{e:?}")))
+                    .collect::<Vec<_>>(),
+            ),
+            (report.cost, report.rounds_parallel, report.waves.clone()),
+            (
+                sys.ledger().total(),
+                CostKind::ALL
+                    .iter()
+                    .map(|&k| sys.ledger().stats(k))
+                    .collect::<Vec<_>>(),
+            ),
+        )
+    }
+
+    fn run_threaded(
+        seed: u64,
+        joins: &[bool],
+        n_leaves: usize,
+        threads: usize,
+    ) -> (NowSystem, BatchReport) {
+        let mut sys = sparse_system(seed);
+        let leaves: Vec<NodeId> = sys
+            .node_ids()
+            .into_iter()
+            .step_by(17)
+            .take(n_leaves)
+            .collect();
+        let report = sys.step_parallel_threaded(joins, &leaves, threads);
+        (sys, report)
+    }
+
+    #[test]
+    fn thread_count_is_unobservable() {
+        let joins = [true, false, true, true, false, true];
+        for threads in [2usize, 4, 8] {
+            let (s1, r1) = run_threaded(11, &joins, 6, 1);
+            let (st, rt) = run_threaded(11, &joins, 6, threads);
+            assert_eq!(
+                fingerprint(&s1, &r1),
+                fingerprint(&st, &rt),
+                "threads=1 vs threads={threads} diverged"
+            );
+            st.check_consistency().unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_threads_is_one_thread() {
+        let (s0, r0) = run_threaded(3, &[true, false], 2, 0);
+        let (s1, r1) = run_threaded(3, &[true, false], 2, 1);
+        assert_eq!(fingerprint(&s0, &r0), fingerprint(&s1, &r1));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (s1, r1) = run_threaded(5, &[true, true], 3, 4);
+        let (s2, r2) = run_threaded(6, &[true, true], 3, 4);
+        assert_ne!(
+            format!("{:?}", fingerprint(&s1, &r1)),
+            format!("{:?}", fingerprint(&s2, &r2))
+        );
+    }
+
+    #[test]
+    fn wide_disjoint_batches_schedule_wide_waves() {
+        let (sys, report) = run_threaded(9, &[true; 8], 8, 4);
+        assert_eq!(report.joined.len(), 8);
+        assert_eq!(report.left.len(), 8);
+        assert!(
+            report.max_wave_width() >= 2,
+            "sparse overlay should admit concurrent ops: {:?}",
+            report.waves
+        );
+        assert!(report.rounds_parallel < report.cost.rounds);
+        // Deferred split/merge maintenance is accounted in the batch
+        // span but outside the wave ops, so the wave serial sums bound
+        // the batch rounds from below.
+        assert!(
+            report.waves.iter().map(|w| w.rounds_total).sum::<u64>() <= report.cost.rounds,
+            "wave serial sums cannot exceed the batch rounds"
+        );
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn rejection_rules_match_serial_semantics() {
+        let params = NowParams::for_capacity(1 << 10).unwrap(); // floor 32
+        let mut sys = NowSystem::init_fast(params, 33, 0.0, 4);
+        let nodes = sys.node_ids();
+        // One fits above the floor, the duplicate and the rest reject.
+        let leaves = [nodes[0], nodes[0], nodes[1]];
+        let report = sys.step_parallel_threaded(&[], &leaves, 4);
+        assert_eq!(report.left, vec![nodes[0]]);
+        assert_eq!(report.rejected.len(), 2);
+        assert!(matches!(
+            report.rejected[0].1,
+            NowError::PopulationFloor { .. } | NowError::UnknownNode { .. }
+        ));
+        assert_eq!(
+            report.waves.iter().map(|w| w.ops).sum::<usize>(),
+            1,
+            "rejected ops occupy no wave slot"
+        );
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn sustained_threaded_batches_keep_invariants() {
+        let mut sys = system(220, 7);
+        let (lo, hi) = (
+            sys.params().min_cluster_size(),
+            sys.params().max_cluster_size(),
+        );
+        for round in 0..25u64 {
+            let leavers: Vec<NodeId> = sys.node_ids().into_iter().take(2).collect();
+            let joins = [round % 3 != 0, true];
+            let report = sys.step_parallel_threaded(&joins, &leavers, 4);
+            assert_eq!(report.joined.len(), 2);
+            sys.check_consistency().unwrap();
+            // The size band must hold after *every* batch — including
+            // on clusters that were only touched by conflict
+            // resolution, not by any op's own host/home maintenance.
+            for c in sys.clusters() {
+                assert!(c.size() <= hi, "cluster {} over band: {}", c.id(), c.size());
+                if sys.cluster_count() > 1 {
+                    assert!(
+                        c.size() >= lo,
+                        "cluster {} under band: {}",
+                        c.id(),
+                        c.size()
+                    );
+                }
+            }
+        }
+        let audit = sys.audit();
+        assert!(audit.size_bounds_ok);
+        let (joins, leaves, _, _) = sys.op_counts();
+        assert!(joins >= 50 && leaves >= 50);
+    }
+
+    /// Tripwire for kernel/serial drift: the planner mirrors the serial
+    /// join/leave/exchange/walk implementations, so a single-op batch
+    /// and a serial op are the *same cost model* driven by different
+    /// streams. The span-kind sets must agree exactly and the ensemble
+    /// mean per-op message cost must stay within a tight band — a
+    /// change to the serial semantics (new ledger span, changed walk
+    /// formula, cascade rule) that is not mirrored here trips this
+    /// before it silently forks the two engines.
+    #[test]
+    fn mirror_tracks_serial_cost_model() {
+        use std::collections::BTreeSet;
+        let span_kinds = |sys: &NowSystem| -> BTreeSet<CostKind> {
+            CostKind::ALL
+                .iter()
+                .copied()
+                .filter(|&k| k != CostKind::Batch && sys.ledger().stats(k).count > 0)
+                .collect()
+        };
+        // Sized so no split/merge triggers: serial nests maintenance
+        // inside the op span while the engine accounts it as a sibling,
+        // which would skew the comparison.
+        let mut serial_join = 0u64;
+        let mut mirror_join = 0u64;
+        let mut serial_leave = 0u64;
+        let mut mirror_leave = 0u64;
+        for seed in 0..12u64 {
+            let mut a = system(160, seed);
+            a.join(true);
+            let victim = a.node_ids()[0];
+            a.leave(victim).unwrap();
+            serial_join += a.ledger().stats(CostKind::Join).total_messages;
+            serial_leave += a.ledger().stats(CostKind::Leave).total_messages;
+
+            let mut b = system(160, seed);
+            b.step_parallel_threaded(&[true], &[], 1);
+            let victim = b.node_ids()[0];
+            b.step_parallel_threaded(&[], &[victim], 1);
+            mirror_join += b.ledger().stats(CostKind::Join).total_messages;
+            mirror_leave += b.ledger().stats(CostKind::Leave).total_messages;
+
+            assert_eq!(
+                span_kinds(&a),
+                span_kinds(&b),
+                "span-kind sets diverged (seed {seed})"
+            );
+        }
+        for (serial, mirror, what) in [
+            (serial_join, mirror_join, "join"),
+            (serial_leave, mirror_leave, "leave"),
+        ] {
+            let ratio = mirror as f64 / serial as f64;
+            assert!(
+                (0.75..=1.33).contains(&ratio),
+                "{what} mean cost drifted: serial {serial}, mirror {mirror} (×{ratio:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn maintenance_still_triggers_under_threading() {
+        // Dense capacity-2¹⁰ system: sustained shrinkage must merge,
+        // sustained growth must split — through the deferred path.
+        let mut sys = system(220, 8);
+        for _ in 0..30 {
+            let leavers: Vec<NodeId> = sys.node_ids().into_iter().take(3).collect();
+            sys.step_parallel_threaded(&[], &leavers, 4);
+            sys.check_consistency().unwrap();
+        }
+        let (_, _, _, merges) = sys.op_counts();
+        assert!(merges > 0, "shrinkage must merge through the wave engine");
+
+        let mut grow = system(100, 9);
+        for _ in 0..30 {
+            grow.step_parallel_threaded(&[true, true, true, true], &[], 4);
+            grow.check_consistency().unwrap();
+        }
+        let (_, _, splits, _) = grow.op_counts();
+        assert!(splits > 0, "growth must split through the wave engine");
+    }
+
+    #[test]
+    fn batch_lands_under_batch_cost_kind_with_nested_ops() {
+        let mut sys = system(150, 10);
+        let report = sys.step_parallel_threaded(&[true, false], &[], 2);
+        assert_eq!(report.joined.len(), 2);
+        let batch = sys.ledger().stats(CostKind::Batch);
+        assert_eq!(batch.count, 1);
+        assert_eq!(batch.total_messages, report.cost.messages);
+        assert_eq!(sys.ledger().stats(CostKind::Join).count, 2);
+        assert!(sys.ledger().stats(CostKind::RandCl).count > 0);
+        assert!(sys.ledger().is_balanced());
+    }
+
+    #[test]
+    fn empty_batch_advances_time_only() {
+        let mut sys = system(100, 11);
+        let t0 = sys.time_step();
+        let total = sys.ledger().total();
+        let report = sys.step_parallel_threaded(&[], &[], 8);
+        assert_eq!(sys.time_step(), t0 + 1);
+        assert_eq!(report.cost, Cost::ZERO);
+        assert_eq!(sys.ledger().total(), total);
+        assert_eq!(report.wave_count(), 0);
+    }
+
+    #[test]
+    fn recording_ledger_survives_threaded_merge() {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        let mut sys = NowSystem::init_fast(params, 150, 0.1, 12);
+        *sys.ledger_mut() = Ledger::recording();
+        let go = |threads: usize| {
+            let mut s = NowSystem::init_fast(params, 150, 0.1, 12);
+            *s.ledger_mut() = Ledger::recording();
+            s.step_parallel_threaded(&[true, true, false], &[], threads);
+            s.ledger().records().to_vec()
+        };
+        let serial = go(1);
+        let threaded = go(4);
+        assert!(!serial.is_empty());
+        assert_eq!(serial, threaded, "record streams must be bit-identical");
+        sys.check_consistency().unwrap();
+    }
+}

@@ -194,6 +194,14 @@ impl CostStats {
         self.max_messages = self.max_messages.max(cost.messages);
         self.max_rounds = self.max_rounds.max(cost.rounds);
     }
+
+    fn merge(&mut self, other: &CostStats) {
+        self.count += other.count;
+        self.total_messages += other.total_messages;
+        self.total_rounds += other.total_rounds;
+        self.max_messages = self.max_messages.max(other.max_messages);
+        self.max_rounds = self.max_rounds.max(other.max_rounds);
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -319,6 +327,49 @@ impl Ledger {
         self.records.clear();
     }
 
+    /// Whether this ledger retains per-operation records.
+    pub fn is_recording(&self) -> bool {
+        self.keep_records
+    }
+
+    /// Folds a completed child ledger into this one, exactly as if the
+    /// child's activity had run inline at the current nesting depth.
+    ///
+    /// The threaded wave executor gives each batched operation a
+    /// private ledger (so worker threads never contend on the shared
+    /// accountant) and merges them back **in canonical operation
+    /// order**: the child's total is added to the global total and to
+    /// every currently open span (inclusive accounting, as if the
+    /// child's spans had nested here), its per-kind statistics are
+    /// folded in (counts and totals add, maxima take the max), and its
+    /// records — if both ledgers record — are appended with their
+    /// depths shifted by the current open-span depth. Merging the same
+    /// children in the same order therefore yields a bit-identical
+    /// ledger regardless of which threads produced them.
+    ///
+    /// # Panics
+    /// Panics if the child still has open spans.
+    pub fn merge_child(&mut self, child: &Ledger) {
+        assert!(
+            child.is_balanced(),
+            "merge_child requires a balanced child ledger"
+        );
+        self.total += child.total;
+        for span in &mut self.stack {
+            span.cost += child.total;
+        }
+        for (kind, stats) in &child.stats {
+            self.stats.entry(*kind).or_default().merge(stats);
+        }
+        if self.keep_records {
+            let depth = self.stack.len();
+            self.records.extend(child.records.iter().map(|r| OpRecord {
+                depth: r.depth + depth,
+                ..*r
+            }));
+        }
+    }
+
     /// Number of currently open spans.
     pub fn open_spans(&self) -> usize {
         self.stack.len()
@@ -418,6 +469,70 @@ mod tests {
         l.begin(CostKind::Other);
         l.end();
         assert!(l.records().is_empty());
+    }
+
+    /// The merge contract the threaded wave executor relies on: running
+    /// an op inline vs. in a child ledger merged afterwards must leave
+    /// the parent bit-identical (totals, open-span attribution, stats,
+    /// records).
+    #[test]
+    fn merge_child_matches_inline_execution() {
+        let run_op = |l: &mut Ledger| {
+            l.begin(CostKind::Join);
+            l.add_messages(5);
+            l.begin(CostKind::RandCl);
+            l.add_messages(2);
+            l.add_rounds(1);
+            l.end();
+            l.add_rounds(1);
+            l.end();
+        };
+
+        let mut inline = Ledger::recording();
+        inline.begin(CostKind::Batch);
+        run_op(&mut inline);
+        run_op(&mut inline);
+        let inline_batch = inline.end();
+
+        let mut merged = Ledger::recording();
+        merged.begin(CostKind::Batch);
+        for _ in 0..2 {
+            let mut child = Ledger::recording();
+            run_op(&mut child);
+            merged.merge_child(&child);
+        }
+        let merged_batch = merged.end();
+
+        assert_eq!(inline_batch, merged_batch);
+        assert_eq!(inline.total(), merged.total());
+        for kind in CostKind::ALL {
+            assert_eq!(inline.stats(kind), merged.stats(kind), "{kind}");
+        }
+        assert_eq!(inline.records(), merged.records());
+    }
+
+    #[test]
+    fn merge_child_into_non_recording_parent_drops_records() {
+        let mut parent = Ledger::new();
+        let mut child = Ledger::recording();
+        child.begin(CostKind::Leave);
+        child.add_messages(3);
+        child.end();
+        parent.merge_child(&child);
+        assert!(parent.records().is_empty());
+        assert_eq!(parent.total().messages, 3);
+        assert_eq!(parent.stats(CostKind::Leave).count, 1);
+        assert!(!parent.is_recording());
+        assert!(child.is_recording());
+    }
+
+    #[test]
+    #[should_panic(expected = "balanced child")]
+    fn merge_child_rejects_open_spans() {
+        let mut parent = Ledger::new();
+        let mut child = Ledger::new();
+        child.begin(CostKind::Other);
+        parent.merge_child(&child);
     }
 
     #[test]

@@ -87,11 +87,27 @@ impl BatchDriver for BatchRandomChurn {
     }
 }
 
+/// How a batched run executes each step's wave schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchExec {
+    /// The PR 2 path: [`now_core::NowSystem::step_parallel`] schedules
+    /// waves but executes operations serially off the shared stream.
+    Scheduled,
+    /// The threaded wave executor
+    /// ([`now_core::NowSystem::step_parallel_threaded`]) with this many
+    /// worker threads. Outcomes are bit-identical across thread counts;
+    /// only the wall-clock changes.
+    Threaded(usize),
+}
+
 /// Report of one batched run ([`run_batched`]).
 #[derive(Debug, Clone)]
 pub struct BatchRunReport {
     /// Driver name.
     pub driver: String,
+    /// Worker threads used by the wave executor, `None` for the
+    /// serial scheduled path.
+    pub threads: Option<usize>,
     /// Time steps executed (each may contain many operations).
     pub steps: u64,
     /// Total joins admitted.
@@ -110,6 +126,14 @@ pub struct BatchRunReport {
     /// Width of the widest wave observed (number of operations running
     /// concurrently).
     pub max_wave_width: usize,
+    /// Total round slack of the schedules: Σ over waves of
+    /// `rounds_total − rounds_max`, the serial rounds the wave
+    /// structure saved (surfaces [`now_core::WaveStats::rounds_total`]
+    /// as an aggregate).
+    pub wave_slack_rounds: u64,
+    /// Wall-clock nanoseconds spent inside batch execution across all
+    /// steps (host-dependent; excluded from determinism comparisons).
+    pub wall_nanos: u64,
     /// Waves per step over time (1 point per step; lower = more
     /// parallelism for a fixed batch width).
     pub waves_per_step: TimeSeries,
@@ -162,17 +186,34 @@ impl BatchRunReport {
     }
 }
 
-/// Runs `steps` batched time steps of `driver`-produced churn, auditing
-/// after every step.
+/// Runs `steps` batched time steps of `driver`-produced churn through
+/// the serial wave *scheduler*, auditing after every step. Equivalent
+/// to [`run_batched_with`] with [`BatchExec::Scheduled`].
 pub fn run_batched(
     sys: &mut NowSystem,
     driver: &mut dyn BatchDriver,
     steps: u64,
     seed: u64,
 ) -> BatchRunReport {
+    run_batched_with(sys, driver, steps, seed, BatchExec::Scheduled)
+}
+
+/// Runs `steps` batched time steps of `driver`-produced churn with the
+/// chosen execution engine, auditing after every step.
+pub fn run_batched_with(
+    sys: &mut NowSystem,
+    driver: &mut dyn BatchDriver,
+    steps: u64,
+    seed: u64,
+    exec: BatchExec,
+) -> BatchRunReport {
     let mut rng = DetRng::new(seed);
     let mut report = BatchRunReport {
         driver: driver.name().to_string(),
+        threads: match exec {
+            BatchExec::Scheduled => None,
+            BatchExec::Threaded(t) => Some(t.max(1)),
+        },
         steps: 0,
         joins: 0,
         leaves: 0,
@@ -181,6 +222,8 @@ pub fn run_batched(
         rounds_parallel: 0,
         waves: 0,
         max_wave_width: 0,
+        wave_slack_rounds: 0,
+        wall_nanos: 0,
         waves_per_step: TimeSeries::new("waves_per_step"),
         population: TimeSeries::new("population"),
         worst_byz_fraction: TimeSeries::new("worst_byz_fraction"),
@@ -189,7 +232,10 @@ pub fn run_batched(
     };
     for _ in 0..steps {
         let (joins, leaves) = driver.decide_batch(sys, &mut rng);
-        let batch = sys.step_parallel(&joins, &leaves);
+        let batch = match exec {
+            BatchExec::Scheduled => sys.step_parallel(&joins, &leaves),
+            BatchExec::Threaded(t) => sys.step_parallel_threaded(&joins, &leaves, t),
+        };
         report.steps += 1;
         report.joins += batch.joined.len() as u64;
         report.leaves += batch.left.len() as u64;
@@ -198,6 +244,8 @@ pub fn run_batched(
         report.rounds_parallel += batch.rounds_parallel;
         report.waves += batch.wave_count() as u64;
         report.max_wave_width = report.max_wave_width.max(batch.max_wave_width());
+        report.wave_slack_rounds += batch.wave_slack_rounds();
+        report.wall_nanos += batch.wall_nanos;
 
         let audit = sys.audit();
         report
@@ -301,6 +349,52 @@ mod tests {
         assert_eq!(corrupted, 1, "projected budget admits exactly one");
         let frac = (sys.byz_population() + corrupted) as f64 / (sys.population() + 8) as f64;
         assert!(frac <= tau, "batch overshot τ: {frac}");
+    }
+
+    #[test]
+    fn threaded_runs_are_thread_count_invariant() {
+        let go = |threads: usize| {
+            let mut sys = sparse_system(13);
+            let mut driver = BatchRandomChurn::balanced(6, 0.1);
+            let r = run_batched_with(&mut sys, &mut driver, 12, 14, BatchExec::Threaded(threads));
+            sys.check_consistency().unwrap();
+            (
+                r.joins,
+                r.leaves,
+                r.rejected,
+                r.rounds_serial,
+                r.rounds_parallel,
+                r.waves,
+                r.max_wave_width,
+                r.wave_slack_rounds,
+                sys.population(),
+                sys.node_ids(),
+            )
+        };
+        let serial = go(1);
+        assert_eq!(serial, go(2));
+        assert_eq!(serial, go(8));
+    }
+
+    #[test]
+    fn threaded_report_carries_thread_and_timing_metadata() {
+        let mut sys = sparse_system(15);
+        let mut driver = BatchRandomChurn::balanced(6, 0.1);
+        let report = run_batched_with(&mut sys, &mut driver, 8, 16, BatchExec::Threaded(4));
+        assert_eq!(report.threads, Some(4));
+        assert!(report.wall_nanos > 0, "executed batches take time");
+        assert!(
+            report.wave_slack_rounds > 0,
+            "sparse batches should schedule real concurrency"
+        );
+        // Slack is consistent with the serial-vs-parallel gap whenever
+        // maintenance rounds are charged outside the schedule.
+        assert!(report.wave_slack_rounds <= report.rounds_serial - report.rounds_parallel);
+
+        let mut legacy_sys = sparse_system(15);
+        let mut legacy_driver = BatchRandomChurn::balanced(6, 0.1);
+        let legacy = run_batched(&mut legacy_sys, &mut legacy_driver, 8, 16);
+        assert_eq!(legacy.threads, None);
     }
 
     #[test]

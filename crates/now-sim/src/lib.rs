@@ -30,7 +30,9 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 
-pub use batch_run::{run_batched, BatchDriver, BatchRandomChurn, BatchRunReport};
+pub use batch_run::{
+    run_batched, run_batched_with, BatchDriver, BatchExec, BatchRandomChurn, BatchRunReport,
+};
 pub use churn::{BatchSawtooth, GrowthPhase, Sawtooth, ShrinkPhase};
 pub use metrics::{CsvTable, Summary, TimeSeries};
 pub use report::MdTable;

@@ -6,7 +6,7 @@
 //! final system for inspection. Every experiment binary and several
 //! integration tests are expressible as one `Scenario` call.
 
-use crate::batch_run::{run_batched, BatchDriver, BatchRandomChurn, BatchRunReport};
+use crate::batch_run::{BatchDriver, BatchRandomChurn, BatchRunReport};
 use crate::churn::{BatchSawtooth, Sawtooth};
 use crate::runner::{run, RunConfig, RunReport};
 use now_adversary::{
@@ -250,6 +250,30 @@ impl Scenario {
     /// [`NowError::BadParams`] for invalid parameters, a zero `width`,
     /// or a churn style without a batched driver.
     pub fn run_batched(self, width: usize) -> Result<(BatchRunReport, NowSystem), NowError> {
+        self.run_batched_with(width, crate::batch_run::BatchExec::Scheduled)
+    }
+
+    /// Batched run on the threaded wave executor: each step's
+    /// conflict-free waves execute on up to `threads` worker threads
+    /// ([`now_core::NowSystem::step_parallel_threaded`]). Outcomes are
+    /// bit-identical for every `threads` value; the report additionally
+    /// carries wall-clock timings.
+    ///
+    /// # Errors
+    /// As [`Scenario::run_batched`].
+    pub fn run_batched_threaded(
+        self,
+        width: usize,
+        threads: usize,
+    ) -> Result<(BatchRunReport, NowSystem), NowError> {
+        self.run_batched_with(width, crate::batch_run::BatchExec::Threaded(threads))
+    }
+
+    fn run_batched_with(
+        self,
+        width: usize,
+        exec: crate::batch_run::BatchExec,
+    ) -> Result<(BatchRunReport, NowSystem), NowError> {
         if width == 0 {
             return Err(NowError::BadParams {
                 reason: "batch width must be positive".to_string(),
@@ -269,7 +293,8 @@ impl Scenario {
                 })
             }
         };
-        let report = run_batched(&mut sys, driver.as_mut(), self.steps, seed);
+        let report =
+            crate::batch_run::run_batched_with(&mut sys, driver.as_mut(), self.steps, seed, exec);
         Ok((report, sys))
     }
 }
@@ -457,6 +482,30 @@ mod tests {
         assert!(report.waves > 0);
         assert_eq!(sys.time_step(), 12, "one step per batch");
         sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn batched_scenario_threaded_is_thread_count_invariant() {
+        let go = |threads: usize| {
+            let (report, sys) = Scenario::new(1 << 10)
+                .tau(0.1)
+                .initial_population(160)
+                .steps(8)
+                .seed(6)
+                .run_batched_threaded(4, threads)
+                .unwrap();
+            sys.check_consistency().unwrap();
+            assert_eq!(report.threads, Some(threads.max(1)));
+            (
+                report.joins,
+                report.leaves,
+                report.rounds_parallel,
+                report.wave_slack_rounds,
+                sys.population(),
+                sys.node_ids(),
+            )
+        };
+        assert_eq!(go(1), go(4));
     }
 
     #[test]

@@ -91,6 +91,60 @@ proptest! {
         prop_assert!(sys.check_consistency().is_ok());
     }
 
+    /// The threaded wave executor's headline contract: for any seed and
+    /// any batch shape, serial (1 worker) and threaded (2 and 8 worker)
+    /// executions are **bit-equal** on population, admitted ids, ledger
+    /// totals and per-kind statistics, and the wave schedule — thread
+    /// interleaving is unobservable.
+    #[test]
+    fn threaded_waves_are_bit_deterministic(
+        seed in any::<u64>(),
+        joins in proptest::collection::vec(any::<bool>(), 0..8),
+        leave_picks in proptest::collection::vec(any::<u16>(), 0..8),
+    ) {
+        let run = |threads: usize| {
+            let mut sys = NowSystem::init_fast(params(), 140, 0.15, seed);
+            let nodes = sys.node_ids();
+            // Arbitrary victims; duplicates allowed (the engine must
+            // reject them identically at every thread count).
+            let leaves: Vec<_> = leave_picks
+                .iter()
+                .map(|&p| nodes[p as usize % nodes.len()])
+                .collect();
+            let report = sys.step_parallel_threaded(&joins, &leaves, threads);
+            sys.check_consistency().expect("post-batch consistency");
+            (
+                (
+                    sys.population(),
+                    sys.byz_population(),
+                    sys.node_ids(),
+                    sys.cluster_ids(),
+                    sys.op_counts(),
+                ),
+                (
+                    report.joined.clone(),
+                    report.left.clone(),
+                    report
+                        .rejected
+                        .iter()
+                        .map(|(n, e)| (*n, format!("{e:?}")))
+                        .collect::<Vec<_>>(),
+                ),
+                (report.cost, report.rounds_parallel, report.waves.clone()),
+                (
+                    sys.ledger().total(),
+                    now_bft::net::CostKind::ALL
+                        .iter()
+                        .map(|&k| sys.ledger().stats(k))
+                        .collect::<Vec<_>>(),
+                ),
+            )
+        };
+        let serial = run(1);
+        prop_assert_eq!(&serial, &run(2), "threads=1 vs threads=2 diverged");
+        prop_assert_eq!(&serial, &run(8), "threads=1 vs threads=8 diverged");
+    }
+
     /// Ledger totals are monotone non-decreasing across operations and
     /// spans always balance at operation boundaries.
     #[test]

@@ -1,0 +1,474 @@
+//! Batched churn drivers: the attack styles of [`crate::strategies`]
+//! and [`crate::pressure`], emitting one *batch* of operations per time
+//! step.
+//!
+//! `Scenario::run_batched` historically covered only environmental
+//! churn (Quiet/Balanced/Sawtooth); the attack styles lacked batch
+//! counterparts (ROADMAP: "Batched adversarial drivers"). This module
+//! closes the gap: the [`BatchDriver`] trait lives here — next to the
+//! serial [`crate::Adversary`] it generalizes — and the three attack
+//! drivers emit whole batches that the conflict-free wave scheduler
+//! ([`now_core::NowSystem::step_parallel_specs`]) executes as single
+//! time steps:
+//!
+//! * [`BatchJoinLeave`] — the §3.3 cluster-capture strategy at batch
+//!   rate: withdraw Byzantine nodes parked outside the target and
+//!   re-join them (corrupt, budget permitting) steered at the target.
+//! * [`BatchForcedLeave`] — the DoS attack at batch rate: evict a
+//!   batch of the target's honest members, replacing them with
+//!   arrivals so the population (and the model floor) hold.
+//! * [`BatchSplitForcing`] — structural pressure at batch rate: flood
+//!   the target with steered arrivals so it splits every few steps.
+//!
+//! All three resolve their target through a [`ClusterPick`] policy
+//! (largest cluster by default — the natural flood target) and
+//! re-resolve whenever the current target merges away. Corruption
+//! decisions project the population forward across the batch (the
+//! pattern established by `BatchRandomChurn`), so a wide batch cannot
+//! overshoot τ by deciding every slot against the stale pre-batch
+//! ratio.
+
+use crate::budget::CorruptionBudget;
+use now_core::{JoinSpec, NowSystem};
+use now_net::{ClusterId, DetRng, NodeId};
+
+/// A churn schedule that emits one *batch* of operations per time step:
+/// join specs (corruption decision plus optional steered contact) and
+/// departing nodes. The batched analogue of [`crate::Adversary`].
+///
+/// Implementations must be deterministic functions of `(sys, rng)` —
+/// the batched runners rely on it for their bit-reproducibility
+/// guarantees.
+pub trait BatchDriver {
+    /// Decides this step's batch: the arrivals (with corruption flags
+    /// and contact steering) and the departing nodes.
+    fn decide_batch(&mut self, sys: &NowSystem, rng: &mut DetRng) -> (Vec<JoinSpec>, Vec<NodeId>);
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The batched analogue of [`crate::Quiet`]: every step is an empty
+/// batch (time passes, nothing churns) — control and quiesce phases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuietBatches;
+
+impl BatchDriver for QuietBatches {
+    fn decide_batch(
+        &mut self,
+        _sys: &NowSystem,
+        _rng: &mut DetRng,
+    ) -> (Vec<JoinSpec>, Vec<NodeId>) {
+        (Vec::new(), Vec::new())
+    }
+
+    fn name(&self) -> &'static str {
+        "quiet-batches"
+    }
+}
+
+/// How a targeted batch driver (re)selects its victim cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterPick {
+    /// The first live cluster in id order (the serial attacks' default).
+    First,
+    /// The largest live cluster (ties broken by id) — the natural
+    /// flood target.
+    Largest,
+    /// The smallest live cluster (ties broken by id) — the natural
+    /// drain target.
+    Smallest,
+}
+
+impl ClusterPick {
+    /// Resolves the policy against the current system state.
+    /// Deterministic: ties break toward the smaller cluster id.
+    pub fn resolve(self, sys: &NowSystem) -> ClusterId {
+        let ids = sys.cluster_ids();
+        match self {
+            ClusterPick::First => ids[0],
+            ClusterPick::Largest => ids
+                .iter()
+                .copied()
+                .max_by_key(|&c| {
+                    (
+                        sys.cluster(c).map(|cl| cl.size()).unwrap_or(0),
+                        std::cmp::Reverse(c),
+                    )
+                })
+                .expect("a live system has clusters"),
+            ClusterPick::Smallest => ids
+                .iter()
+                .copied()
+                .min_by_key(|&c| (sys.cluster(c).map(|cl| cl.size()).unwrap_or(usize::MAX), c))
+                .expect("a live system has clusters"),
+        }
+    }
+}
+
+/// Keeps a sticky target alive: re-resolves `pick` whenever the current
+/// target is gone (merged away).
+fn live_target(target: &mut Option<ClusterId>, pick: ClusterPick, sys: &NowSystem) -> ClusterId {
+    match *target {
+        Some(c) if sys.cluster(c).is_some() => c,
+        _ => {
+            let c = pick.resolve(sys);
+            *target = Some(c);
+            c
+        }
+    }
+}
+
+/// The §3.3 join–leave attack at batch rate: each step withdraws up to
+/// `width / 2` Byzantine nodes that sit *outside* the target cluster
+/// and re-joins the same number of corrupt arrivals (budget permitting)
+/// steered at the target. When no Byzantine node is parked outside the
+/// target, the driver falls back to pure corrupt insertion up to the
+/// projected budget — the serial strategy's "all inside already; try to
+/// add one", batched.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchJoinLeave {
+    /// Operations per step (joins + leaves combined).
+    pub width: usize,
+    /// Corruption budget for the re-joining arrivals.
+    pub budget: CorruptionBudget,
+    /// Target (re)selection policy.
+    pub pick: ClusterPick,
+    target: Option<ClusterId>,
+}
+
+impl BatchJoinLeave {
+    /// Attacks the [`ClusterPick::Largest`] cluster with batches of
+    /// `width` operations at corruption fraction `tau`.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn new(width: usize, tau: f64) -> Self {
+        assert!(width > 0, "batch width must be positive");
+        BatchJoinLeave {
+            width,
+            budget: CorruptionBudget::new(tau),
+            pick: ClusterPick::Largest,
+            target: None,
+        }
+    }
+
+    /// Overrides the target-selection policy.
+    pub fn with_pick(mut self, pick: ClusterPick) -> Self {
+        self.pick = pick;
+        self.target = None;
+        self
+    }
+
+    /// The current sticky target, if one has been resolved.
+    pub fn target(&self) -> Option<ClusterId> {
+        self.target
+    }
+}
+
+impl BatchDriver for BatchJoinLeave {
+    fn decide_batch(&mut self, sys: &NowSystem, _rng: &mut DetRng) -> (Vec<JoinSpec>, Vec<NodeId>) {
+        let target = live_target(&mut self.target, self.pick, sys);
+        let half = (self.width / 2).max(1);
+
+        // Withdraw Byzantine nodes parked outside the target (members
+        // already inside stay put), in deterministic id order.
+        let leaves: Vec<NodeId> = sys
+            .byz_node_ids()
+            .into_iter()
+            .filter(|&b| sys.node_cluster(b).map(|c| c != target).unwrap_or(false))
+            .take(half)
+            .collect();
+
+        // Re-join the withdrawn mass as corrupt arrivals steered at the
+        // target; project the withdrawals so the budget check sees the
+        // post-leave ratio. Slots the budget refuses are dropped — the
+        // §3.3 adversary only ever inserts its own nodes.
+        let mut pop = sys.population().saturating_sub(leaves.len() as u64);
+        let mut byz = sys.byz_population().saturating_sub(leaves.len() as u64);
+        let slots = if leaves.is_empty() {
+            half
+        } else {
+            leaves.len()
+        };
+        let mut joins = Vec::with_capacity(slots);
+        for _ in 0..slots {
+            if self.budget.can_corrupt_at(pop, byz) {
+                joins.push(JoinSpec::via(target, false));
+                pop += 1;
+                byz += 1;
+            }
+        }
+        (joins, leaves)
+    }
+
+    fn name(&self) -> &'static str {
+        "batch-join-leave"
+    }
+}
+
+/// The forced-leave (DoS) attack at batch rate: each step evicts up to
+/// `width / 2` *honest* members of the target cluster and interleaves
+/// the same number of uniform replacement arrivals (corrupted up to the
+/// projected budget), so the population — and the model's floor — hold
+/// while the target's Byzantine share is pressured upward.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchForcedLeave {
+    /// Operations per step (evictions + replacements combined).
+    pub width: usize,
+    /// Corruption budget for the replacement arrivals.
+    pub budget: CorruptionBudget,
+    /// Target (re)selection policy.
+    pub pick: ClusterPick,
+    target: Option<ClusterId>,
+}
+
+impl BatchForcedLeave {
+    /// Attacks the [`ClusterPick::Largest`] cluster with batches of
+    /// `width` operations at corruption fraction `tau`.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn new(width: usize, tau: f64) -> Self {
+        assert!(width > 0, "batch width must be positive");
+        BatchForcedLeave {
+            width,
+            budget: CorruptionBudget::new(tau),
+            pick: ClusterPick::Largest,
+            target: None,
+        }
+    }
+
+    /// Overrides the target-selection policy.
+    pub fn with_pick(mut self, pick: ClusterPick) -> Self {
+        self.pick = pick;
+        self.target = None;
+        self
+    }
+
+    /// The current sticky target, if one has been resolved.
+    pub fn target(&self) -> Option<ClusterId> {
+        self.target
+    }
+}
+
+impl BatchDriver for BatchForcedLeave {
+    fn decide_batch(&mut self, sys: &NowSystem, _rng: &mut DetRng) -> (Vec<JoinSpec>, Vec<NodeId>) {
+        let target = live_target(&mut self.target, self.pick, sys);
+        let half = (self.width / 2).max(1);
+
+        let leaves: Vec<NodeId> = sys
+            .cluster(target)
+            .map(|c| {
+                c.members()
+                    .filter(|&m| sys.is_honest(m).unwrap_or(false))
+                    .take(half)
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        // Replacements keep n stable; the evictions removed honest
+        // nodes, so project the population down but not the Byzantine
+        // count before the budget check.
+        let mut pop = sys.population().saturating_sub(leaves.len() as u64);
+        let mut byz = sys.byz_population();
+        let joins = (0..leaves.len())
+            .map(|_| {
+                let corrupt = self.budget.can_corrupt_at(pop, byz);
+                pop += 1;
+                if corrupt {
+                    byz += 1;
+                }
+                JoinSpec::uniform(!corrupt)
+            })
+            .collect();
+        (joins, leaves)
+    }
+
+    fn name(&self) -> &'static str {
+        "batch-forced-leave"
+    }
+}
+
+/// Split-forcing pressure at batch rate: every step floods the target
+/// with `width` arrivals steered at it (corrupted up to the projected
+/// budget), so the target repeatedly oversizes and splits. Against the
+/// full protocol `randCl` re-routes each arrival to a walk-chosen host
+/// and the pressure diffuses; against the no-shuffle ablation the
+/// target itself inflates.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSplitForcing {
+    /// Arrivals per step.
+    pub width: usize,
+    /// Corruption budget for the flood's arrivals.
+    pub budget: CorruptionBudget,
+    /// Target (re)selection policy.
+    pub pick: ClusterPick,
+    target: Option<ClusterId>,
+}
+
+impl BatchSplitForcing {
+    /// Floods the [`ClusterPick::Largest`] cluster with batches of
+    /// `width` arrivals at corruption fraction `tau`.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn new(width: usize, tau: f64) -> Self {
+        assert!(width > 0, "batch width must be positive");
+        BatchSplitForcing {
+            width,
+            budget: CorruptionBudget::new(tau),
+            pick: ClusterPick::Largest,
+            target: None,
+        }
+    }
+
+    /// Overrides the target-selection policy.
+    pub fn with_pick(mut self, pick: ClusterPick) -> Self {
+        self.pick = pick;
+        self.target = None;
+        self
+    }
+
+    /// The current sticky target, if one has been resolved.
+    pub fn target(&self) -> Option<ClusterId> {
+        self.target
+    }
+}
+
+impl BatchDriver for BatchSplitForcing {
+    fn decide_batch(&mut self, sys: &NowSystem, _rng: &mut DetRng) -> (Vec<JoinSpec>, Vec<NodeId>) {
+        let target = live_target(&mut self.target, self.pick, sys);
+        let mut pop = sys.population();
+        let mut byz = sys.byz_population();
+        let joins = (0..self.width)
+            .map(|_| {
+                let corrupt = self.budget.can_corrupt_at(pop, byz);
+                pop += 1;
+                if corrupt {
+                    byz += 1;
+                }
+                JoinSpec::via(target, !corrupt)
+            })
+            .collect();
+        (joins, Vec::new())
+    }
+
+    fn name(&self) -> &'static str {
+        "batch-split-forcing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_core::NowParams;
+
+    fn system(n0: usize, tau: f64, seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        NowSystem::init_fast(params, n0, tau, seed)
+    }
+
+    #[test]
+    fn cluster_pick_policies_resolve_deterministically() {
+        let mut sys = system(150, 0.1, 1);
+        // Random churn makes sizes unequal.
+        for i in 0..20 {
+            sys.join(i % 7 == 0);
+        }
+        let largest = ClusterPick::Largest.resolve(&sys);
+        let smallest = ClusterPick::Smallest.resolve(&sys);
+        assert_eq!(ClusterPick::First.resolve(&sys), sys.cluster_ids()[0]);
+        assert!(
+            sys.cluster(largest).unwrap().size() >= sys.cluster(smallest).unwrap().size(),
+            "largest must not be smaller than smallest"
+        );
+        assert_eq!(largest, ClusterPick::Largest.resolve(&sys), "deterministic");
+        assert_eq!(smallest, ClusterPick::Smallest.resolve(&sys));
+    }
+
+    #[test]
+    fn join_leave_batches_withdraw_and_reinsert_at_target() {
+        let sys = system(200, 0.2, 2);
+        let mut adv = BatchJoinLeave::new(6, 0.3);
+        let mut rng = DetRng::new(2);
+        let (joins, leaves) = adv.decide_batch(&sys, &mut rng);
+        let target = adv.target().unwrap();
+        assert!(!leaves.is_empty(), "byz nodes exist outside the target");
+        for &n in &leaves {
+            assert!(!sys.is_honest(n).unwrap(), "withdraws its own nodes");
+            assert_ne!(sys.node_cluster(n).unwrap(), target);
+        }
+        assert_eq!(joins.len(), leaves.len(), "re-joins the withdrawn mass");
+        for j in &joins {
+            assert!(!j.honest, "§3.3 inserts corrupt nodes");
+            assert_eq!(j.contact, Some(target), "steered at the target");
+        }
+    }
+
+    #[test]
+    fn join_leave_respects_projected_budget() {
+        // At τ exactly at the system rate, withdrawing j byz nodes buys
+        // exactly j corrupt re-insertions — never more.
+        let sys = system(100, 0.10, 3);
+        let mut adv = BatchJoinLeave::new(8, 0.10);
+        let mut rng = DetRng::new(3);
+        let (joins, leaves) = adv.decide_batch(&sys, &mut rng);
+        assert!(!leaves.is_empty());
+        assert!(joins.len() <= leaves.len(), "at most the withdrawn mass");
+        let frac = (sys.byz_population() - leaves.len() as u64 + joins.len() as u64) as f64
+            / sys.population() as f64;
+        assert!(frac <= 0.10 + 1e-9, "batch overshot τ: {frac}");
+    }
+
+    #[test]
+    fn forced_leave_batches_evict_honest_and_replace() {
+        let sys = system(200, 0.2, 4);
+        let mut adv = BatchForcedLeave::new(6, 0.2).with_pick(ClusterPick::First);
+        let mut rng = DetRng::new(4);
+        let (joins, leaves) = adv.decide_batch(&sys, &mut rng);
+        let target = adv.target().unwrap();
+        assert_eq!(leaves.len(), 3, "width/2 evictions");
+        for &n in &leaves {
+            assert!(sys.is_honest(n).unwrap(), "DoS hits honest nodes");
+            assert_eq!(sys.node_cluster(n).unwrap(), target);
+        }
+        assert_eq!(joins.len(), leaves.len(), "population held stable");
+        assert!(joins.iter().all(|j| j.contact.is_none()), "uniform rejoins");
+    }
+
+    #[test]
+    fn split_forcing_batches_flood_the_target() {
+        let sys = system(200, 0.1, 5);
+        let mut adv = BatchSplitForcing::new(5, 0.1).with_pick(ClusterPick::Smallest);
+        let mut rng = DetRng::new(5);
+        let (joins, leaves) = adv.decide_batch(&sys, &mut rng);
+        let target = adv.target().unwrap();
+        assert!(leaves.is_empty());
+        assert_eq!(joins.len(), 5);
+        assert!(joins.iter().all(|j| j.contact == Some(target)));
+        // Projected budget: at τ = 0.1 with the system already at 10%,
+        // at most a rounding-slack arrival can be corrupt.
+        let corrupt = joins.iter().filter(|j| !j.honest).count();
+        assert!(corrupt <= 1, "flood overshot the projected budget");
+    }
+
+    #[test]
+    fn dead_targets_are_reresolved() {
+        let sys = system(150, 0.1, 6);
+        for mut adv in [
+            BatchSplitForcing::new(2, 0.1).with_pick(ClusterPick::First),
+            BatchSplitForcing::new(2, 0.1).with_pick(ClusterPick::Largest),
+        ] {
+            let mut rng = DetRng::new(6);
+            let _ = adv.decide_batch(&sys, &mut rng);
+            assert!(sys.cluster(adv.target().unwrap()).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch width")]
+    fn zero_width_rejected() {
+        let _ = BatchJoinLeave::new(0, 0.1);
+    }
+}

@@ -18,6 +18,9 @@
 //!   implementation a strategic adversary uses once some cluster is
 //!   compromised: steer walks toward the target, surrender honest
 //!   members first, extremize `randNum`.
+//! * Batched attack drivers ([`BatchDriver`]): [`BatchJoinLeave`],
+//!   [`BatchForcedLeave`], [`BatchSplitForcing`] — the attack styles at
+//!   batch rate, for the §2-footnote wave-scheduled execution.
 //!
 //! The corruption *budget* is enforced by [`CorruptionBudget`]: the
 //! adversary may corrupt an arrival only while its share is below `τ`.
@@ -25,12 +28,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch_drivers;
 mod budget;
 mod malice_impls;
 mod oscillation;
 mod pressure;
 mod strategies;
 
+pub use batch_drivers::{
+    BatchDriver, BatchForcedLeave, BatchJoinLeave, BatchSplitForcing, ClusterPick, QuietBatches,
+};
 pub use budget::CorruptionBudget;
 pub use malice_impls::TargetedMalice;
 pub use oscillation::Oscillation;

@@ -1,0 +1,325 @@
+//! Per-phase campaign reports and their deterministic JSON form.
+//!
+//! The JSON contains **only deterministic outcome fields** — no
+//! wall-clock, no thread counts — so two runs of the same campaign file
+//! must be byte-identical whatever `--threads` value drove them. CI's
+//! `campaign-smoke` job diffs exactly that.
+
+use now_core::SecurityMode;
+use now_sim::{TimeSeries, Violation, ViolationKind};
+use std::fmt::Write as _;
+
+/// Outcome of one campaign phase.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Phase name (from the campaign).
+    pub name: String,
+    /// Style name (e.g. `join-leave`).
+    pub style: String,
+    /// Driver name as reported by the batch driver.
+    pub driver: String,
+    /// Steps actually executed (≤ the trigger's cap).
+    pub steps: u64,
+    /// Whether the trigger's condition fired (as opposed to the step
+    /// cap running out). Always true for `steps` triggers.
+    pub trigger_fired: bool,
+    /// Joins admitted during the phase.
+    pub joins: u64,
+    /// Leaves completed during the phase.
+    pub leaves: u64,
+    /// Departures rejected (floor / unknown).
+    pub rejected: u64,
+    /// Serial round sum over the phase.
+    pub rounds_serial: u64,
+    /// Scheduled parallel round sum over the phase.
+    pub rounds_parallel: u64,
+    /// Conflict-free waves scheduled.
+    pub waves: u64,
+    /// Widest wave observed.
+    pub max_wave_width: usize,
+    /// Round slack of the schedules (serial rounds saved).
+    pub wave_slack_rounds: u64,
+    /// Ledger message delta across the phase.
+    pub messages: u64,
+    /// Ledger round delta across the phase.
+    pub rounds: u64,
+    /// Population when the phase began.
+    pub pop_start: u64,
+    /// Population when the phase ended.
+    pub pop_end: u64,
+    /// Smallest population seen during the phase.
+    pub pop_min: u64,
+    /// Largest population seen during the phase.
+    pub pop_max: u64,
+    /// Highest worst-cluster Byzantine fraction seen during the phase.
+    pub peak_byz_fraction: f64,
+    /// Every invariant violation observed (all kinds).
+    pub violations: Vec<Violation>,
+    /// Violations binding for the system's security mode.
+    pub binding_violations: usize,
+    /// Population trajectory (one point per step).
+    pub population: TimeSeries,
+}
+
+impl PhaseReport {
+    /// Number of violations of the given kind.
+    pub fn count(&self, kind: ViolationKind) -> usize {
+        self.violations.iter().filter(|v| v.kind == kind).count()
+    }
+}
+
+/// Outcome of a whole campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub campaign: String,
+    /// Master seed the run derived from.
+    pub seed: u64,
+    /// The system's security mode (decides which violations bind).
+    pub security: SecurityMode,
+    /// Per-phase outcomes, in execution order.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl CampaignReport {
+    /// Total steps across all phases.
+    pub fn total_steps(&self) -> u64 {
+        self.phases.iter().map(|p| p.steps).sum()
+    }
+
+    /// Total binding violations across all phases.
+    pub fn total_binding_violations(&self) -> usize {
+        self.phases.iter().map(|p| p.binding_violations).sum()
+    }
+
+    /// Total ledger messages across all phases.
+    pub fn total_messages(&self) -> u64 {
+        self.phases.iter().map(|p| p.messages).sum()
+    }
+
+    /// Renders the deterministic JSON report (module docs). Hand-rolled
+    /// — the workspace carries no serde — with fixed field order and
+    /// fixed float precision, so equal runs yield equal bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"campaign\": \"{}\",", escape(&self.campaign));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(
+            out,
+            "  \"security\": \"{}\",",
+            match self.security {
+                SecurityMode::Plain => "plain",
+                SecurityMode::Authenticated => "authenticated",
+            }
+        );
+        let _ = writeln!(out, "  \"total_steps\": {},", self.total_steps());
+        let _ = writeln!(
+            out,
+            "  \"total_binding_violations\": {},",
+            self.total_binding_violations()
+        );
+        let _ = writeln!(out, "  \"total_messages\": {},", self.total_messages());
+        let _ = writeln!(out, "  \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            let comma = if i + 1 < self.phases.len() { "," } else { "" };
+            out.push_str(&phase_json(p, "    "));
+            let _ = writeln!(out, "{comma}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// JSON string escaping: backslash, quote, and control characters
+/// (reachable through the programmatic `Campaign`/`Phase` API — the
+/// text parser's whitespace tokenizer cannot produce them, but the
+/// emitter must not produce invalid JSON either way).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn phase_json(p: &PhaseReport, indent: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{indent}{{");
+    let _ = writeln!(out, "{indent}  \"name\": \"{}\",", escape(&p.name));
+    let _ = writeln!(out, "{indent}  \"style\": \"{}\",", escape(&p.style));
+    let _ = writeln!(out, "{indent}  \"driver\": \"{}\",", escape(&p.driver));
+    let _ = writeln!(out, "{indent}  \"steps\": {},", p.steps);
+    let _ = writeln!(out, "{indent}  \"trigger_fired\": {},", p.trigger_fired);
+    let _ = writeln!(out, "{indent}  \"joins\": {},", p.joins);
+    let _ = writeln!(out, "{indent}  \"leaves\": {},", p.leaves);
+    let _ = writeln!(out, "{indent}  \"rejected\": {},", p.rejected);
+    let _ = writeln!(out, "{indent}  \"rounds_serial\": {},", p.rounds_serial);
+    let _ = writeln!(out, "{indent}  \"rounds_parallel\": {},", p.rounds_parallel);
+    let _ = writeln!(out, "{indent}  \"waves\": {},", p.waves);
+    let _ = writeln!(out, "{indent}  \"max_wave_width\": {},", p.max_wave_width);
+    let _ = writeln!(out, "{indent}  \"wave_slack\": {},", p.wave_slack_rounds);
+    let _ = writeln!(out, "{indent}  \"messages\": {},", p.messages);
+    let _ = writeln!(out, "{indent}  \"rounds\": {},", p.rounds);
+    let _ = writeln!(
+        out,
+        "{indent}  \"population\": {{\"start\": {}, \"end\": {}, \"min\": {}, \"max\": {}}},",
+        p.pop_start, p.pop_end, p.pop_min, p.pop_max
+    );
+    let _ = writeln!(
+        out,
+        "{indent}  \"peak_byz_fraction\": {:.6},",
+        p.peak_byz_fraction
+    );
+    let _ = writeln!(
+        out,
+        "{indent}  \"violations\": {{\"binding\": {}, \"not_two_thirds_honest\": {}, \
+         \"not_majority_honest\": {}, \"rand_num_compromised\": {}, \"forgeable\": {}, \
+         \"size_bounds\": {}}},",
+        p.binding_violations,
+        p.count(ViolationKind::NotTwoThirdsHonest),
+        p.count(ViolationKind::NotMajorityHonest),
+        p.count(ViolationKind::RandNumCompromised),
+        p.count(ViolationKind::Forgeable),
+        p.count(ViolationKind::SizeBounds),
+    );
+    // Downsampled population trajectory: at most ~25 points per phase,
+    // stride-even so equal runs sample equal steps.
+    let points = p.population.points();
+    let stride = (points.len() / 25).max(1);
+    let traj: Vec<String> = points
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % stride == 0 || *i + 1 == points.len())
+        .map(|(_, &(step, pop))| format!("[{step}, {pop:.0}]"))
+        .collect();
+    let _ = writeln!(out, "{indent}  \"trajectory\": [{}]", traj.join(", "));
+    let _ = write!(out, "{indent}}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(name: &str) -> PhaseReport {
+        let mut population = TimeSeries::new("population");
+        for s in 0..60u64 {
+            population.push(s, 100.0 + s as f64);
+        }
+        PhaseReport {
+            name: name.into(),
+            style: "balanced".into(),
+            driver: "batch-random-churn".into(),
+            steps: 60,
+            trigger_fired: true,
+            joins: 30,
+            leaves: 28,
+            rejected: 2,
+            rounds_serial: 600,
+            rounds_parallel: 420,
+            waves: 120,
+            max_wave_width: 3,
+            wave_slack_rounds: 180,
+            messages: 12345,
+            rounds: 600,
+            pop_start: 100,
+            pop_end: 159,
+            pop_min: 100,
+            pop_max: 159,
+            peak_byz_fraction: 0.25,
+            violations: vec![Violation {
+                step: 3,
+                kind: ViolationKind::SizeBounds,
+                cluster: None,
+            }],
+            binding_violations: 1,
+            population,
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_shaped() {
+        let report = CampaignReport {
+            campaign: "t".into(),
+            seed: 7,
+            security: SecurityMode::Plain,
+            phases: vec![phase("a"), phase("b")],
+        };
+        let a = report.to_json();
+        let b = report.to_json();
+        assert_eq!(a, b, "same report, same bytes");
+        assert!(a.contains("\"campaign\": \"t\""));
+        assert!(a.contains("\"total_steps\": 120"));
+        assert!(a.contains("\"size_bounds\": 1"));
+        assert!(a.contains("\"trajectory\": [[0, 100]"));
+        assert!(!a.contains("wall"), "no wall-clock in the report");
+        assert!(!a.contains("thread"), "no thread count in the report");
+        // Trajectory is downsampled: 60 points → ≤ 32 emitted.
+        let traj_points = a.matches('[').count();
+        assert!(
+            traj_points < 80,
+            "trajectory not downsampled: {traj_points}"
+        );
+    }
+
+    #[test]
+    fn totals_aggregate_phases() {
+        let report = CampaignReport {
+            campaign: "t".into(),
+            seed: 0,
+            security: SecurityMode::Plain,
+            phases: vec![phase("a"), phase("b"), phase("c")],
+        };
+        assert_eq!(report.total_steps(), 180);
+        assert_eq!(report.total_binding_violations(), 3);
+        assert_eq!(report.total_messages(), 3 * 12345);
+        assert_eq!(report.phases[0].count(ViolationKind::SizeBounds), 1);
+        assert_eq!(report.phases[0].count(ViolationKind::Forgeable), 0);
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let mut p = phase("we \"quote\"");
+        p.style = "back\\slash".into();
+        let report = CampaignReport {
+            campaign: "c".into(),
+            seed: 0,
+            security: SecurityMode::Authenticated,
+            phases: vec![p],
+        };
+        let json = report.to_json();
+        assert!(json.contains("we \\\"quote\\\""));
+        assert!(json.contains("back\\\\slash"));
+        assert!(json.contains("\"security\": \"authenticated\""));
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        // Reachable via the programmatic API only; the emitter must
+        // still produce valid JSON.
+        let mut p = phase("multi\nline");
+        p.style = "tab\there\u{1}".into();
+        let report = CampaignReport {
+            campaign: "c\r".into(),
+            seed: 0,
+            security: SecurityMode::Plain,
+            phases: vec![p],
+        };
+        let json = report.to_json();
+        assert!(json.contains("multi\\nline"));
+        assert!(json.contains("tab\\there\\u0001"));
+        assert!(json.contains("\"campaign\": \"c\\r\""));
+        // No raw control characters inside any string literal.
+        assert!(!json
+            .lines()
+            .any(|l| l.chars().any(|c| (c as u32) < 0x20 && c != ' ')));
+    }
+}

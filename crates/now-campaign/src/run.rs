@@ -1,0 +1,387 @@
+//! The phase-switching campaign runner.
+//!
+//! Each phase compiles to a batched driver plus a stop predicate, and
+//! runs through [`now_sim::run_batched_until`] — the same
+//! wave-scheduled execution path as `Scenario::run_batched_threaded` —
+//! against the *same* [`NowSystem`], so later regimes inherit the state
+//! earlier ones produced. Per-phase driver streams derive
+//! deterministically from the campaign's master seed, so a campaign is
+//! a single reproducible run whatever the phase mix.
+
+use crate::model::{Campaign, PhaseExec, PhaseStyle, Trigger};
+use crate::report::{CampaignReport, PhaseReport};
+use now_adversary::{
+    BatchDriver, BatchForcedLeave, BatchJoinLeave, BatchSplitForcing, QuietBatches,
+};
+use now_core::{NowError, NowParams, NowSystem};
+use now_sim::{run_batched_until, BatchExec, BatchRandomChurn, BatchRunReport, BatchSawtooth};
+
+/// A phase's compiled stop condition (evaluated before the first step
+/// and after every audited step).
+type StopFn = Box<dyn FnMut(&NowSystem, &BatchRunReport) -> bool>;
+
+impl Campaign {
+    /// The system parameters this campaign builds with.
+    ///
+    /// # Errors
+    /// [`NowError::BadParams`] for invalid parameter combinations.
+    pub fn build_params(&self) -> Result<NowParams, NowError> {
+        Ok(
+            NowParams::new(self.capacity, self.k, self.l, self.tau, self.epsilon)?
+                .with_shuffle(self.shuffle),
+        )
+    }
+
+    /// Builds the campaign's initial system (shared by [`Campaign::run`]
+    /// and callers that want to pre-process the system — e.g. install a
+    /// strategic [`now_core::Malice`] — before [`Campaign::run_on`]).
+    ///
+    /// # Errors
+    /// [`NowError::BadParams`] for invalid parameters.
+    pub fn build_system(&self) -> Result<NowSystem, NowError> {
+        let params = self.build_params()?;
+        let n0 = if self.initial_population > 0 {
+            self.initial_population
+        } else {
+            10 * params.target_cluster_size()
+        };
+        Ok(NowSystem::init_fast(params, n0, self.tau, self.seed))
+    }
+
+    /// Builds the system and runs every phase in order, returning the
+    /// per-phase report together with the final system.
+    ///
+    /// `threads` is the worker count for phases on the threaded engine;
+    /// it never changes outcomes (the engine is bit-identical across
+    /// thread counts), only wall-clock.
+    ///
+    /// # Errors
+    /// [`NowError::CampaignReport`] for shape defects
+    /// ([`Campaign::check`]), [`NowError::BadParams`] for invalid
+    /// parameters.
+    pub fn run(&self, threads: usize) -> Result<(CampaignReport, NowSystem), NowError> {
+        self.check()?;
+        let mut sys = self.build_system()?;
+        let report = self.run_on(&mut sys, threads)?;
+        Ok((report, sys))
+    }
+
+    /// Runs every phase in order on a caller-built system (see
+    /// [`Campaign::build_system`]).
+    ///
+    /// # Errors
+    /// As [`Campaign::run`].
+    pub fn run_on(&self, sys: &mut NowSystem, threads: usize) -> Result<CampaignReport, NowError> {
+        self.check()?;
+        let mode = sys.params().security();
+        let mut phases = Vec::with_capacity(self.phases.len());
+
+        for (i, phase) in self.phases.iter().enumerate() {
+            let width = phase.width.unwrap_or(self.width);
+            let tau = phase.tau.unwrap_or(self.tau);
+            let mut driver: Box<dyn BatchDriver> = match phase.style {
+                PhaseStyle::Quiet => Box::new(QuietBatches),
+                PhaseStyle::Balanced => Box::new(BatchRandomChurn::balanced(width, tau)),
+                PhaseStyle::Sawtooth { low, high } => {
+                    Box::new(BatchSawtooth::new(low, high, width, tau))
+                }
+                PhaseStyle::JoinLeave => {
+                    Box::new(BatchJoinLeave::new(width, tau).with_pick(phase.target))
+                }
+                PhaseStyle::ForcedLeave => {
+                    Box::new(BatchForcedLeave::new(width, tau).with_pick(phase.target))
+                }
+                PhaseStyle::SplitForcing => {
+                    Box::new(BatchSplitForcing::new(width, tau).with_pick(phase.target))
+                }
+            };
+            let exec = match phase.exec {
+                PhaseExec::Scheduled => BatchExec::Scheduled,
+                PhaseExec::Threaded => BatchExec::Threaded(threads.max(1)),
+            };
+            // Per-phase substream: a splitmix-style mix of the master
+            // seed and the phase index, so reordering or editing one
+            // phase cannot silently reuse another phase's stream.
+            let phase_seed = self
+                .seed
+                .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+            // The trigger's condition, compiled once: the runner stops
+            // on it, and `fired` records whether it ever held (vs the
+            // step cap running out). A `steps` trigger fires by
+            // definition when its count elapses.
+            let mut condition: StopFn = match phase.trigger {
+                Trigger::Steps(_) => Box::new(|_, _| false),
+                Trigger::PopulationAbove { target, .. } => {
+                    Box::new(move |s, _| s.population() >= target)
+                }
+                Trigger::PopulationBelow { target, .. } => {
+                    Box::new(move |s, _| s.population() <= target)
+                }
+                Trigger::FirstViolation { .. } => {
+                    Box::new(move |_, r| r.binding_violations(mode) > 0)
+                }
+            };
+            let fired = std::cell::Cell::new(false);
+
+            let pop_start = sys.population();
+            let ledger_before = sys.ledger().total();
+            let r = run_batched_until(
+                sys,
+                driver.as_mut(),
+                phase.trigger.max_steps(),
+                phase_seed,
+                exec,
+                |s, rep| {
+                    let hit = condition(s, rep);
+                    if hit {
+                        fired.set(true);
+                    }
+                    hit
+                },
+            );
+            let ledger_after = sys.ledger().total();
+            let trigger_fired = matches!(phase.trigger, Trigger::Steps(_)) || fired.get();
+            let pops = r.population.summary();
+            let (pop_min, pop_max) = if pops.count == 0 {
+                (pop_start, pop_start)
+            } else {
+                (
+                    (pops.min as u64).min(pop_start),
+                    (pops.max as u64).max(pop_start),
+                )
+            };
+            phases.push(PhaseReport {
+                name: phase.name.clone(),
+                style: phase.style.name().to_string(),
+                driver: r.driver.clone(),
+                steps: r.steps,
+                trigger_fired,
+                joins: r.joins,
+                leaves: r.leaves,
+                rejected: r.rejected,
+                rounds_serial: r.rounds_serial,
+                rounds_parallel: r.rounds_parallel,
+                waves: r.waves,
+                max_wave_width: r.max_wave_width,
+                wave_slack_rounds: r.wave_slack_rounds,
+                messages: ledger_after.messages - ledger_before.messages,
+                rounds: ledger_after.rounds - ledger_before.rounds,
+                pop_start,
+                pop_end: sys.population(),
+                pop_min,
+                pop_max,
+                peak_byz_fraction: r.worst_byz_fraction.summary().max,
+                binding_violations: r.binding_violations(mode),
+                violations: r.violations,
+                population: r.population,
+            });
+        }
+
+        Ok(CampaignReport {
+            campaign: self.name.clone(),
+            seed: self.seed,
+            security: mode,
+            phases,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Phase;
+    use now_adversary::ClusterPick;
+
+    fn base() -> Campaign {
+        Campaign::new("test", 1 << 10)
+    }
+
+    #[test]
+    fn phases_run_in_order_on_one_system() {
+        let c = base()
+            .phase(Phase::new("grow", PhaseStyle::SplitForcing, Trigger::Steps(10)).width(6))
+            .phase(Phase::new("calm", PhaseStyle::Quiet, Trigger::Steps(5)))
+            .phase(Phase::new("churn", PhaseStyle::Balanced, Trigger::Steps(8)));
+        let (report, sys) = c.run(1).unwrap();
+        assert_eq!(report.phases.len(), 3);
+        assert_eq!(report.total_steps(), 23);
+        assert_eq!(sys.time_step(), 23, "one time step per batch");
+        // Quiet phase changed nothing.
+        let calm = &report.phases[1];
+        assert_eq!(calm.joins + calm.leaves, 0);
+        assert_eq!(calm.pop_start, calm.pop_end);
+        // The flood grew the population before the quiet phase.
+        assert_eq!(report.phases[0].pop_end, calm.pop_start);
+        assert!(report.phases[0].joins == 60, "6-wide × 10 steps of flood");
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn population_trigger_stops_early_and_reports_firing() {
+        let c = base().initial_population_of(120).phase(
+            Phase::new(
+                "grow",
+                PhaseStyle::SplitForcing,
+                Trigger::PopulationAbove {
+                    target: 150,
+                    cap: 500,
+                },
+            )
+            .width(5),
+        );
+        let (report, sys) = c.run(1).unwrap();
+        let p = &report.phases[0];
+        assert!(p.trigger_fired, "threshold is reachable");
+        assert!(p.steps < 500, "stopped well before the cap");
+        assert!(sys.population() >= 150);
+        // 5 joins per step: fired on the first step at or past 150.
+        assert!(sys.population() < 160);
+    }
+
+    #[test]
+    fn entry_satisfied_trigger_runs_zero_steps() {
+        // Regression: a phase whose condition already holds when it
+        // begins must not execute a single adversarial batch.
+        let c = base()
+            .initial_population_of(200)
+            .phase(Phase::new(
+                "already-there",
+                PhaseStyle::SplitForcing,
+                Trigger::PopulationAbove {
+                    target: 150,
+                    cap: 50,
+                },
+            ))
+            .phase(Phase::new("after", PhaseStyle::Quiet, Trigger::Steps(2)));
+        let (report, sys) = c.run(1).unwrap();
+        let p = &report.phases[0];
+        assert!(p.trigger_fired);
+        assert_eq!(p.steps, 0, "goal already met: no batch may run");
+        assert_eq!(p.joins + p.leaves, 0);
+        assert_eq!(p.pop_start, p.pop_end);
+        assert_eq!(sys.population(), 200);
+        assert_eq!(report.phases[1].steps, 2, "later phases still run");
+    }
+
+    #[test]
+    fn capped_trigger_reports_not_fired() {
+        let c = base().initial_population_of(120).phase(Phase::new(
+            "hopeless",
+            PhaseStyle::Quiet,
+            Trigger::PopulationAbove {
+                target: 10_000,
+                cap: 4,
+            },
+        ));
+        let (report, _) = c.run(1).unwrap();
+        let p = &report.phases[0];
+        assert!(!p.trigger_fired);
+        assert_eq!(p.steps, 4, "ran to the cap");
+    }
+
+    #[test]
+    fn campaign_runs_are_deterministic_across_thread_counts() {
+        let c = base()
+            .initial_population_of(160)
+            .phase(Phase::new("warm", PhaseStyle::Balanced, Trigger::Steps(6)))
+            .phase(
+                Phase::new("flood", PhaseStyle::JoinLeave, Trigger::Steps(6))
+                    .width(6)
+                    .tau(0.2),
+            )
+            .phase(
+                Phase::new("dos", PhaseStyle::ForcedLeave, Trigger::Steps(6))
+                    .target(ClusterPick::First),
+            );
+        let (r1, s1) = c.run(1).unwrap();
+        let (r4, s4) = c.run(4).unwrap();
+        assert_eq!(r1.to_json(), r4.to_json(), "byte-identical across threads");
+        assert_eq!(s1.population(), s4.population());
+        assert_eq!(s1.node_ids(), s4.node_ids());
+        s1.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn scheduled_and_threaded_phases_both_run() {
+        let c = base()
+            .initial_population_of(140)
+            .phase(
+                Phase::new("sched", PhaseStyle::Balanced, Trigger::Steps(5))
+                    .exec(PhaseExec::Scheduled),
+            )
+            .phase(Phase::new(
+                "thread",
+                PhaseStyle::Balanced,
+                Trigger::Steps(5),
+            ));
+        let (report, sys) = c.run(2).unwrap();
+        assert_eq!(report.total_steps(), 10);
+        sys.check_consistency().unwrap();
+        // And the mixed-engine run is reproducible as a whole.
+        let (again, _) = c.run(2).unwrap();
+        assert_eq!(report.to_json(), again.to_json());
+    }
+
+    #[test]
+    fn run_on_lets_callers_prebuild_the_system() {
+        let c = base().initial_population_of(130).phase(Phase::new(
+            "churn",
+            PhaseStyle::Balanced,
+            Trigger::Steps(5),
+        ));
+        let mut sys = c.build_system().unwrap();
+        let direct = c.run_on(&mut sys, 1).unwrap();
+        let (viarun, _) = c.run(1).unwrap();
+        assert_eq!(direct.to_json(), viarun.to_json());
+    }
+
+    #[test]
+    fn ledger_and_wave_stats_are_per_phase() {
+        let c = base()
+            .initial_population_of(150)
+            .phase(Phase::new("a", PhaseStyle::Balanced, Trigger::Steps(6)).width(5))
+            .phase(Phase::new("b", PhaseStyle::Quiet, Trigger::Steps(4)));
+        let (report, _) = c.run(1).unwrap();
+        let a = &report.phases[0];
+        let b = &report.phases[1];
+        assert!(a.messages > 0);
+        assert!(a.waves > 0);
+        assert_eq!(b.messages, 0, "quiet spends nothing");
+        assert_eq!(b.waves, 0);
+        assert_eq!(report.total_messages(), a.messages);
+    }
+
+    #[test]
+    fn violation_trigger_is_honored() {
+        // τ = 0.3 at k = 2 trips the 1/3 threshold fast.
+        let mut c = base().initial_population_of(100).phase(Phase::new(
+            "probe",
+            PhaseStyle::SplitForcing,
+            Trigger::FirstViolation { cap: 200 },
+        ));
+        c.tau = 0.30;
+        let (report, _) = c.run(1).unwrap();
+        let p = &report.phases[0];
+        assert!(p.trigger_fired, "τ = 0.3 must violate quickly");
+        assert!(p.steps < 200);
+        assert!(p.binding_violations > 0);
+    }
+
+    #[test]
+    fn defective_campaigns_are_typed_errors() {
+        let empty = base();
+        assert!(matches!(empty.run(1), Err(NowError::CampaignReport { .. })));
+        let mut bad_params = base().phase(Phase::new("a", PhaseStyle::Quiet, Trigger::Steps(1)));
+        bad_params.tau = 0.45; // over the plain-mode bound
+        assert!(matches!(bad_params.run(1), Err(NowError::BadParams { .. })));
+    }
+
+    impl Campaign {
+        /// Test shorthand.
+        fn initial_population_of(mut self, n0: usize) -> Self {
+            self.initial_population = n0;
+            self
+        }
+    }
+}

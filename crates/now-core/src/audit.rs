@@ -221,28 +221,58 @@ mod tests {
         assert!(a.size_bounds_ok, "lone cluster may be small");
     }
 
+    /// At τ = 0.40 (authenticated mode only) the plain 2/3-honest
+    /// target is hopeless while the Remark 1 majority target fails only
+    /// on binomial tails. Asserted over a 5-seed quantile ensemble
+    /// rather than one pinned seed (ROADMAP "statistical-test
+    /// robustness"): the old single-seed form asserted
+    /// `all_majority_honest` outright, which the vendored stream
+    /// satisfies on only 2 of these 5 seeds — it held only on its
+    /// pinned seed. Measured ensemble of worst per-cluster Byzantine
+    /// fractions: [0.450, 0.450, 0.500, 0.500, 0.525].
     #[test]
     fn authenticated_mode_binds_the_majority_invariant() {
         use crate::params::{NowParams, SecurityMode};
-        // τ = 0.40 is only constructible in authenticated mode.
         let params = NowParams::new_authenticated(1 << 10, 4, 1.5, 0.40, 0.05).unwrap();
-        // The seed is pinned to the vendored RNG stream (vendor/rand):
-        // at τ = 0.40 the majority invariant is a whp property, not a
-        // sure one, so re-pin if the RNG stream ever changes.
-        let sys = NowSystem::init_fast(params, 400, 0.40, 22);
-        let a = sys.audit();
-        assert_eq!(a.security, SecurityMode::Authenticated);
-        // At 40% corruption many clusters will exceed 1/3 Byzantine —
-        // the plain invariant fails — but with k = 4 the majority
-        // invariant holds for this seed.
+        let mut worsts = Vec::new();
+        let mut majority_holds = 0usize;
+        for seed in [21u64, 22, 23, 24, 25] {
+            let sys = NowSystem::init_fast(params, 400, 0.40, seed);
+            let a = sys.audit();
+            assert_eq!(a.security, SecurityMode::Authenticated);
+            // Structural on every seed: at 40% corruption some cluster
+            // exceeds 1/3 Byzantine, so the plain target fails, and the
+            // binding invariant is the majority one by mode.
+            assert!(
+                !a.all_two_thirds_honest(),
+                "plain target unreachable at τ=0.4 (seed {seed})"
+            );
+            assert_eq!(
+                a.invariant_ok(),
+                a.all_majority_honest(),
+                "authenticated mode binds the majority invariant (seed {seed})"
+            );
+            if a.all_majority_honest() {
+                majority_holds += 1;
+            }
+            worsts.push(a.worst_byz_fraction);
+        }
+        worsts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Statistical, quantile-banded: the majority target is reachable
+        // (some seeds are fully majority-honest — the plain target never
+        // is), the median seed sits at the 1/2 line or under, and even
+        // the worst seed stays within a grazing band of it.
         assert!(
-            !a.all_two_thirds_honest(),
-            "plain target unreachable at τ=0.4"
+            majority_holds >= 1,
+            "majority target unreachable on every seed"
         );
-        assert!(a.all_majority_honest(), "Remark 1 target");
         assert!(
-            a.invariant_ok(),
-            "the binding invariant is the majority one"
+            worsts[worsts.len() / 2] <= 0.50 + 1e-9,
+            "median worst fraction beyond 1/2: {worsts:?}"
+        );
+        assert!(
+            *worsts.last().unwrap() < 0.60,
+            "worst seed deeply captured: {worsts:?}"
         );
     }
 

@@ -58,6 +58,42 @@ use crate::system::NowSystem;
 use now_net::{ClusterId, Cost, CostKind, NodeId};
 use std::collections::BTreeSet;
 
+/// One arrival of a batched step: the adversary's corruption decision
+/// plus an optional steered contact cluster.
+///
+/// The paper's adversary controls its own nodes' contact choice (the
+/// §3.3 join–leave attack depends on it), so batched attack drivers
+/// need the same lever the serial [`NowSystem::join_via`] provides. A
+/// `contact` of `None` draws a uniformly random live cluster, exactly
+/// like [`NowSystem::join`]; a stale contact (the cluster merged away
+/// between decision and execution) degrades to the uniform draw rather
+/// than aborting the batch, mirroring the serial runner's behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinSpec {
+    /// Whether the arrival is honest (the corruption decision).
+    pub honest: bool,
+    /// Contact cluster, if the adversary steers it.
+    pub contact: Option<ClusterId>,
+}
+
+impl JoinSpec {
+    /// An arrival contacting a uniformly random cluster.
+    pub fn uniform(honest: bool) -> Self {
+        JoinSpec {
+            honest,
+            contact: None,
+        }
+    }
+
+    /// An arrival steered at a specific contact cluster.
+    pub fn via(contact: ClusterId, honest: bool) -> Self {
+        JoinSpec {
+            honest,
+            contact: Some(contact),
+        }
+    }
+}
+
 /// Aggregate of one conflict-free wave of a batched step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WaveStats {
@@ -213,9 +249,19 @@ impl NowSystem {
     /// report carries the wave schedule and the derived parallel round
     /// count alongside.
     pub fn step_parallel(&mut self, join_honesty: &[bool], leaves: &[NodeId]) -> BatchReport {
+        let joins: Vec<JoinSpec> = join_honesty.iter().map(|&h| JoinSpec::uniform(h)).collect();
+        self.step_parallel_specs(&joins, leaves)
+    }
+
+    /// [`NowSystem::step_parallel`] with per-arrival contact steering:
+    /// each [`JoinSpec`] may pin its contact cluster (the batched
+    /// analogue of [`NowSystem::join_via`]), which the attack drivers
+    /// (join–leave flood, split forcing) require. Stale contacts
+    /// degrade to the uniform draw (see [`JoinSpec`]).
+    pub fn step_parallel_specs(&mut self, joins: &[JoinSpec], leaves: &[NodeId]) -> BatchReport {
         let start = std::time::Instant::now();
         self.ledger_mut().begin(CostKind::Batch);
-        let mut joined = Vec::with_capacity(join_honesty.len());
+        let mut joined = Vec::with_capacity(joins.len());
         let mut left = Vec::with_capacity(leaves.len());
         let mut rejected = Vec::new();
         let mut sched = WaveScheduler::new();
@@ -241,11 +287,14 @@ impl NowSystem {
                 Err(e) => rejected.push((node, e)),
             }
         }
-        for &honest in join_honesty {
-            let contact = self.contact_cluster();
+        for &spec in joins {
+            let contact = match spec.contact {
+                Some(c) if self.cluster(c).is_some() => c,
+                _ => self.contact_cluster(),
+            };
             let footprint = self.op_footprint(contact);
             let before = self.ledger().total();
-            joined.push(self.join_inner(contact, honest));
+            joined.push(self.join_inner(contact, spec.honest));
             let after = self.ledger().total();
             sched.place(
                 &footprint,

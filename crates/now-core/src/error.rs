@@ -41,6 +41,20 @@ pub enum NowError {
         /// The ceiling.
         ceiling: u64,
     },
+    /// A campaign file failed to parse (see `now-campaign`): the line
+    /// number is 1-based and the reason names the malformed directive.
+    CampaignParse {
+        /// 1-based line number of the offending directive.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A campaign run or report emission failed outside parsing (e.g.
+    /// an empty phase list, or an I/O failure writing the JSON report).
+    CampaignReport {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NowError {
@@ -61,6 +75,12 @@ impl fmt::Display for NowError {
                 f,
                 "population {population} at the model ceiling {ceiling}; join refused"
             ),
+            NowError::CampaignParse { line, reason } => {
+                write!(f, "campaign parse error at line {line}: {reason}")
+            }
+            NowError::CampaignReport { reason } => {
+                write!(f, "campaign report error: {reason}")
+            }
         }
     }
 }
@@ -82,6 +102,18 @@ mod tests {
             floor: 16,
         };
         assert!(e.to_string().contains("floor"));
+        let e = NowError::CampaignParse {
+            line: 7,
+            reason: "unknown directive `frobnicate`".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "campaign parse error at line 7: unknown directive `frobnicate`"
+        );
+        let e = NowError::CampaignReport {
+            reason: "campaign has no phases".into(),
+        };
+        assert!(e.to_string().contains("no phases"));
     }
 
     #[test]

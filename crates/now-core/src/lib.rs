@@ -63,7 +63,7 @@ mod views;
 mod wave_exec;
 
 pub use audit::SystemAudit;
-pub use batch::{BatchReport, WaveStats};
+pub use batch::{BatchReport, JoinSpec, WaveStats};
 pub use cluster::Cluster;
 pub use error::NowError;
 pub use malice::{Malice, NoMalice, RandNumContext, RandNumPurpose};

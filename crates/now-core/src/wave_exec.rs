@@ -651,12 +651,30 @@ impl NowSystem {
         leaves: &[NodeId],
         threads: usize,
     ) -> BatchReport {
+        let joins: Vec<crate::batch::JoinSpec> = join_honesty
+            .iter()
+            .map(|&h| crate::batch::JoinSpec::uniform(h))
+            .collect();
+        self.step_parallel_threaded_specs(&joins, leaves, threads)
+    }
+
+    /// [`NowSystem::step_parallel_threaded`] with per-arrival contact
+    /// steering (see [`crate::batch::JoinSpec`]): the threaded
+    /// counterpart of [`NowSystem::step_parallel_specs`]. Contact
+    /// resolution happens on the driving thread before planning, so the
+    /// bit-identical-across-thread-counts contract is unaffected.
+    pub fn step_parallel_threaded_specs(
+        &mut self,
+        joins: &[crate::batch::JoinSpec],
+        leaves: &[NodeId],
+        threads: usize,
+    ) -> BatchReport {
         let start = Instant::now();
         let threads = threads.max(1);
         self.ledger.begin(CostKind::Batch);
 
         // Canonical op list with up-front rejection decisions.
-        let mut joined = Vec::with_capacity(join_honesty.len());
+        let mut joined = Vec::with_capacity(joins.len());
         let mut left = Vec::new();
         let mut rejected = Vec::new();
         let mut specs: Vec<OpSpec> = Vec::new();
@@ -691,14 +709,17 @@ impl NowSystem {
                 Err(e) => rejected.push((node, e)),
             }
         }
-        for &honest in join_honesty {
-            let contact = self.contact_cluster();
+        for &spec in joins {
+            let contact = match spec.contact {
+                Some(c) if self.cluster(c).is_some() => c,
+                _ => self.contact_cluster(),
+            };
             let node = self.ids.node();
             joined.push(node);
             specs.push(OpSpec {
                 op: PlannedOp::Join {
                     node,
-                    honest,
+                    honest: spec.honest,
                     contact,
                 },
                 footprint: self.op_footprint(contact),

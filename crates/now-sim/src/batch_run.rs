@@ -12,19 +12,14 @@
 use crate::metrics::TimeSeries;
 use crate::runner::{record_violations, Violation};
 use now_adversary::CorruptionBudget;
-use now_core::{NowSystem, SystemAudit};
+use now_core::{JoinSpec, NowSystem, SystemAudit};
 use now_net::{DetRng, NodeId};
 use rand::Rng;
 
-/// A churn schedule that emits one *batch* of operations per time step.
-pub trait BatchDriver {
-    /// Decides this step's batch: corruption flags for the arrivals and
-    /// the departing nodes.
-    fn decide_batch(&mut self, sys: &NowSystem, rng: &mut DetRng) -> (Vec<bool>, Vec<NodeId>);
-
-    /// Short name for reports.
-    fn name(&self) -> &'static str;
-}
+// The batch-driver trait lives in `now-adversary`, next to the serial
+// `Adversary` trait it generalizes, so the attack drivers can implement
+// it without a dependency cycle; re-exported here for continuity.
+pub use now_adversary::BatchDriver;
 
 /// Random batched churn: each step performs `Binomial(width, p_join)`
 /// joins and the remainder as leaves of distinct uniformly random nodes.
@@ -55,7 +50,7 @@ impl BatchRandomChurn {
 }
 
 impl BatchDriver for BatchRandomChurn {
-    fn decide_batch(&mut self, sys: &NowSystem, rng: &mut DetRng) -> (Vec<bool>, Vec<NodeId>) {
+    fn decide_batch(&mut self, sys: &NowSystem, rng: &mut DetRng) -> (Vec<JoinSpec>, Vec<NodeId>) {
         let mut joins = Vec::new();
         let mut n_leaves = 0usize;
         // Project the counts forward per slot: the whole batch is
@@ -66,7 +61,7 @@ impl BatchDriver for BatchRandomChurn {
         for _ in 0..self.width {
             if rng.gen_bool(self.p_join.clamp(0.0, 1.0)) {
                 let corrupt = self.budget.can_corrupt_at(pop, byz);
-                joins.push(!corrupt);
+                joins.push(JoinSpec::uniform(!corrupt));
                 pop += 1;
                 if corrupt {
                     byz += 1;
@@ -207,6 +202,24 @@ pub fn run_batched_with(
     seed: u64,
     exec: BatchExec,
 ) -> BatchRunReport {
+    run_batched_until(sys, driver, steps, seed, exec, |_, _| false)
+}
+
+/// The phase-oriented batched runner: like [`run_batched_with`], but
+/// checks `stop` before the first step and after every audited step,
+/// ending the run early when it returns `true` — the primitive the
+/// campaign engine's population and first-violation triggers are built
+/// on. A condition already satisfied at entry yields a zero-step run
+/// (no adversarial batch executes for a goal that is already met);
+/// `max_steps` caps the run regardless of the predicate.
+pub fn run_batched_until(
+    sys: &mut NowSystem,
+    driver: &mut dyn BatchDriver,
+    max_steps: u64,
+    seed: u64,
+    exec: BatchExec,
+    mut stop: impl FnMut(&NowSystem, &BatchRunReport) -> bool,
+) -> BatchRunReport {
     let mut rng = DetRng::new(seed);
     let mut report = BatchRunReport {
         driver: driver.name().to_string(),
@@ -230,11 +243,14 @@ pub fn run_batched_with(
         violations: Vec::new(),
         final_audit: sys.audit(),
     };
-    for _ in 0..steps {
+    if stop(sys, &report) {
+        return report;
+    }
+    for _ in 0..max_steps {
         let (joins, leaves) = driver.decide_batch(sys, &mut rng);
         let batch = match exec {
-            BatchExec::Scheduled => sys.step_parallel(&joins, &leaves),
-            BatchExec::Threaded(t) => sys.step_parallel_threaded(&joins, &leaves, t),
+            BatchExec::Scheduled => sys.step_parallel_specs(&joins, &leaves),
+            BatchExec::Threaded(t) => sys.step_parallel_threaded_specs(&joins, &leaves, t),
         };
         report.steps += 1;
         report.joins += batch.joined.len() as u64;
@@ -258,6 +274,9 @@ pub fn run_batched_with(
             .worst_byz_fraction
             .push(audit.time_step, audit.worst_byz_fraction);
         record_violations(&audit, &mut report.violations);
+        if stop(sys, &report) {
+            break;
+        }
     }
     report.final_audit = sys.audit();
     report
@@ -344,7 +363,7 @@ mod tests {
         let (joins, leaves) = driver.decide_batch(&sys, &mut rng);
         assert!(leaves.is_empty());
         assert_eq!(joins.len(), 8);
-        let corrupted = joins.iter().filter(|&&honest| !honest).count() as u64;
+        let corrupted = joins.iter().filter(|j| !j.honest).count() as u64;
         // Largest j with (10 + j) / (100 + j) ≤ 0.11 is j = 1.
         assert_eq!(corrupted, 1, "projected budget admits exactly one");
         let frac = (sys.byz_population() + corrupted) as f64 / (sys.population() + 8) as f64;

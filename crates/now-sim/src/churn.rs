@@ -9,7 +9,7 @@
 
 use crate::batch_run::BatchDriver;
 use now_adversary::{Action, Adversary, CorruptionBudget};
-use now_core::NowSystem;
+use now_core::{JoinSpec, NowSystem};
 use now_net::{DetRng, NodeId};
 use rand::Rng;
 
@@ -187,7 +187,7 @@ impl BatchSawtooth {
 }
 
 impl BatchDriver for BatchSawtooth {
-    fn decide_batch(&mut self, sys: &NowSystem, rng: &mut DetRng) -> (Vec<bool>, Vec<NodeId>) {
+    fn decide_batch(&mut self, sys: &NowSystem, rng: &mut DetRng) -> (Vec<JoinSpec>, Vec<NodeId>) {
         let pop = sys.population();
         if self.growing && pop >= self.high {
             self.growing = false;
@@ -207,7 +207,7 @@ impl BatchDriver for BatchSawtooth {
                     if corrupt {
                         byz += 1;
                     }
-                    !corrupt
+                    JoinSpec::uniform(!corrupt)
                 })
                 .collect();
             (joins, Vec::new())

@@ -10,7 +10,8 @@ use crate::batch_run::{BatchDriver, BatchRandomChurn, BatchRunReport};
 use crate::churn::{BatchSawtooth, Sawtooth};
 use crate::runner::{run, RunConfig, RunReport};
 use now_adversary::{
-    Adversary, BurstChurn, ForcedLeaveAttack, JoinLeaveAttack, MergeForcing, Quiet, RandomChurn,
+    Adversary, BatchForcedLeave, BatchJoinLeave, BatchSplitForcing, BurstChurn, ClusterPick,
+    ForcedLeaveAttack, JoinLeaveAttack, MergeForcing, Quiet, QuietBatches, RandomChurn,
     SplitForcing,
 };
 use now_core::{NowError, NowParams, NowSystem};
@@ -241,10 +242,13 @@ impl Scenario {
     /// operations through the conflict-free wave scheduler
     /// ([`now_core::NowSystem::step_parallel`]).
     ///
-    /// Supported churn styles map to batch drivers: `Balanced` →
+    /// Churn styles map to batch drivers: `Balanced` →
     /// [`BatchRandomChurn`], `Sawtooth` → [`BatchSawtooth`], `Quiet` →
-    /// empty batches. Adversarial styles have no batched counterpart
-    /// yet.
+    /// empty batches, `JoinLeaveAttack` → [`BatchJoinLeave`],
+    /// `ForcedLeaveAttack` → [`BatchForcedLeave`], `SplitForcing` →
+    /// [`BatchSplitForcing`] (the attack drivers target the first
+    /// cluster, mirroring the serial scenario path). `MergeForcing` and
+    /// `Burst` have no batched counterpart.
     ///
     /// # Errors
     /// [`NowError::BadParams`] for invalid parameters, a zero `width`,
@@ -287,6 +291,15 @@ impl Scenario {
             ChurnStyle::Sawtooth { low, high } => {
                 Box::new(BatchSawtooth::new(low, high, width, self.tau))
             }
+            ChurnStyle::JoinLeaveAttack => {
+                Box::new(BatchJoinLeave::new(width, self.tau).with_pick(ClusterPick::First))
+            }
+            ChurnStyle::ForcedLeaveAttack => {
+                Box::new(BatchForcedLeave::new(width, self.tau).with_pick(ClusterPick::First))
+            }
+            ChurnStyle::SplitForcing => {
+                Box::new(BatchSplitForcing::new(width, self.tau).with_pick(ClusterPick::First))
+            }
             other => {
                 return Err(NowError::BadParams {
                     reason: format!("churn style {other:?} has no batched driver"),
@@ -296,24 +309,6 @@ impl Scenario {
         let report =
             crate::batch_run::run_batched_with(&mut sys, driver.as_mut(), self.steps, seed, exec);
         Ok((report, sys))
-    }
-}
-
-/// The batched analogue of [`now_adversary::Quiet`]: every step is an
-/// empty batch.
-struct QuietBatches;
-
-impl BatchDriver for QuietBatches {
-    fn decide_batch(
-        &mut self,
-        _sys: &NowSystem,
-        _rng: &mut now_net::DetRng,
-    ) -> (Vec<bool>, Vec<now_net::NodeId>) {
-        (Vec::new(), Vec::new())
-    }
-
-    fn name(&self) -> &'static str {
-        "quiet-batches"
     }
 }
 
@@ -531,10 +526,48 @@ mod tests {
     fn batched_scenario_rejects_bad_configs() {
         assert!(Scenario::new(1 << 10).steps(1).run_batched(0).is_err());
         assert!(Scenario::new(1 << 10)
-            .churn(ChurnStyle::JoinLeaveAttack)
+            .churn(ChurnStyle::MergeForcing)
             .steps(1)
             .run_batched(2)
             .is_err());
+    }
+
+    #[test]
+    fn batched_attack_scenarios_run() {
+        for style in [
+            ChurnStyle::JoinLeaveAttack,
+            ChurnStyle::ForcedLeaveAttack,
+            ChurnStyle::SplitForcing,
+        ] {
+            let (report, sys) = Scenario::new(1 << 10)
+                .tau(0.15)
+                .initial_population(160)
+                .churn(style)
+                .steps(20)
+                .seed(4)
+                .run_batched(4)
+                .unwrap();
+            assert_eq!(report.steps, 20, "{style:?}");
+            assert!(
+                report.joins + report.leaves > 0,
+                "{style:?} produced no churn"
+            );
+            sys.check_consistency().unwrap();
+        }
+    }
+
+    #[test]
+    fn split_forcing_batches_cause_splits() {
+        let (_, sys) = Scenario::new(1 << 10)
+            .tau(0.10)
+            .initial_population(160)
+            .churn(ChurnStyle::SplitForcing)
+            .steps(30)
+            .seed(9)
+            .run_batched(6)
+            .unwrap();
+        let (_, _, splits, _) = sys.op_counts();
+        assert!(splits > 0, "180 steered arrivals must split something");
     }
 
     #[test]

@@ -1,67 +1,97 @@
-//! Parallel join/leave batches — the paper's §2 footnote, live.
+//! Parallel join/leave batches — the paper's §2 footnote, driven by the
+//! campaign engine.
 //!
 //! "The analysis can be generalized to several parallel join and leave
-//! operations." One call to `step_parallel` executes a whole batch as a
-//! single time step: the batch is scheduled into conflict-free waves by
-//! cluster-footprint disjointness, messages match the serial execution
-//! exactly, and the round complexity of the step is the sum of per-wave
-//! maxima instead of the serial sum.
+//! operations." Instead of hand-rolling a width sweep, this example
+//! declares one [`Campaign`] whose phases re-run balanced churn at
+//! growing batch widths on the *same* system: each phase's report
+//! carries the wave schedule (counts, widths, slack), so the sweep
+//! falls out of the per-phase table. A second, text-defined campaign
+//! shows the `scenarios/*.campaign` file format end to end.
 //!
 //! Run with: `cargo run --release --example batch_churn`
 
-use now_bft::core::{NowParams, NowSystem};
-use now_bft::sim::{run_batched, BatchRandomChurn};
+use now_bft::campaign::{Campaign, Phase, PhaseStyle, Trigger};
 
 fn main() {
     // Cluster count ≫ overlay degree is what gives the scheduler room:
-    // capacity 16 ⇒ overlay target degree 5, and we run 64 clusters.
-    let params = NowParams::for_capacity(16).expect("valid parameters");
-    let n0 = 64 * params.target_cluster_size();
-
-    println!("batch width sweep (400 operations each, τ = 0.1, 64 clusters):\n");
-    println!(
-        "{:>6} {:>7} {:>14} {:>16} {:>7} {:>10} {:>9}",
-        "width", "steps", "rounds serial", "rounds parallel", "waves", "max width", "speedup"
-    );
+    // capacity 16 ⇒ overlay target degree 5, and we run ~64 clusters.
+    let mut sweep = Campaign::new("width-sweep", 16);
+    sweep.tau = 0.10;
+    sweep.initial_population = 512;
+    sweep.seed = 99;
     for width in [1usize, 4, 8, 16] {
-        let mut sys = NowSystem::init_fast(params, n0, 0.1, 99);
-        let mut driver = BatchRandomChurn::balanced(width, 0.1);
-        let steps = 400 / width as u64;
-        let report = run_batched(&mut sys, &mut driver, steps, 7 + width as u64);
-        println!(
-            "{:>6} {:>7} {:>14} {:>16} {:>7} {:>10} {:>8.1}x",
-            width,
-            report.steps,
-            report.rounds_serial,
-            report.rounds_parallel,
-            report.waves,
-            report.max_wave_width,
-            report.parallel_speedup()
+        sweep = sweep.phase(
+            Phase::new(
+                format!("width-{width}"),
+                PhaseStyle::Balanced,
+                Trigger::Steps(400 / width as u64),
+            )
+            .width(width),
         );
-        sys.check_consistency().expect("system is consistent");
     }
 
-    // And the invariants don't care about the batching:
-    let mut sys = NowSystem::init_fast(params, n0, 0.1, 100);
-    let mut driver = BatchRandomChurn::balanced(8, 0.1);
-    let report = run_batched(&mut sys, &mut driver, 50, 11);
-    let audit = &report.final_audit;
+    let (report, sys) = sweep.run(4).expect("valid campaign");
+    println!("batch width sweep (400 operations per phase, τ = 0.1, ~64 clusters):\n");
     println!(
-        "\nafter 50 batched steps ({} joins, {} leaves in parallel batches of 8,",
-        report.joins, report.leaves
+        "{:>10} {:>7} {:>14} {:>16} {:>7} {:>10} {:>11}",
+        "phase", "steps", "rounds serial", "rounds parallel", "waves", "max width", "wave slack"
     );
-    println!(
-        "  scheduled into {} conflict-free waves, ≈{:.1} per step):",
-        report.waves,
-        report.mean_waves_per_step()
-    );
-    println!(
-        "  population {}, clusters {}, worst byzantine fraction {:.3}",
-        audit.population, audit.cluster_count, audit.worst_byz_fraction
-    );
-    println!(
-        "  all clusters > 2/3 honest: {}",
-        audit.all_two_thirds_honest()
-    );
+    for p in &report.phases {
+        println!(
+            "{:>10} {:>7} {:>14} {:>16} {:>7} {:>10} {:>11}",
+            p.name,
+            p.steps,
+            p.rounds_serial,
+            p.rounds_parallel,
+            p.waves,
+            p.max_wave_width,
+            p.wave_slack_rounds
+        );
+    }
+    sys.check_consistency().expect("system is consistent");
+
+    // The same engine reads the declarative text format — this is what
+    // the scenarios/ corpus and the x_campaign binary run.
+    let text = "
+campaign mixed-regimes
+capacity 16
+tau 0.10
+initial-population 512
+seed 100
+width 8
+
+phase churn
+  style balanced
+  steps 50
+
+phase flood
+  style join-leave
+  target largest
+  steps 30
+
+phase quiesce
+  style quiet
+  steps 10
+";
+    let campaign = Campaign::parse(text).expect("well-formed campaign text");
+    let (report, sys) = campaign.run(4).expect("campaign runs");
+    println!("\ndeclarative campaign `{}`:", report.campaign);
+    for p in &report.phases {
+        println!(
+            "  {:>8} ({}): {} steps, {} joins, {} leaves, {} waves (≤ {} wide), pop {}→{}",
+            p.name,
+            p.style,
+            p.steps,
+            p.joins,
+            p.leaves,
+            p.waves,
+            p.max_wave_width,
+            p.pop_start,
+            p.pop_end
+        );
+    }
+    sys.check_consistency().expect("system is consistent");
+
     println!("\nparallelism saves rounds, not messages — and Theorem 3 survives it.");
 }

@@ -1,105 +1,106 @@
-//! The §3.3 join–leave attack: NOW's shuffling vs the no-shuffle
-//! baseline — plus a hardened-adversary extension.
+//! The §3.3 join–leave attack as a campaign: NOW's shuffling vs the
+//! no-shuffle baseline — plus a hardened-adversary extension.
 //!
 //! The adversary fixates on one cluster and cycles its Byzantine nodes
-//! out of the network and back in, always contacting the target. Without
-//! `exchange` shuffling the Byzantine mass only ever accumulates in the
-//! target until it is captured; with NOW, every join scatters the host
-//! cluster's whole membership and the target hovers at the global
-//! corruption rate.
+//! out of the network and back in, always contacting the target — here
+//! at batch rate through the campaign engine's [`PhaseStyle::JoinLeave`]
+//! driver. Without `exchange` shuffling the Byzantine mass accumulates
+//! in the target until it is captured; with NOW, every join scatters
+//! the host cluster's whole membership and the target hovers near the
+//! global corruption rate.
 //!
-//! Three runs:
-//! 1. **baseline, paper adversary** — static clustering falls to the
+//! Three runs of the *same* campaign (warmup → sustained flood →
+//! quiesce), differing only in the system they run on:
+//! 1. **baseline** — `shuffle off`: static clustering falls to the
 //!    attack;
-//! 2. **NOW, paper adversary** — the same attack is absorbed;
-//! 3. **NOW, hardened adversary** (beyond the paper's analysis): if any
-//!    cluster *transiently* reaches the 1/3 `randNum`-compromise
-//!    threshold, the adversary immediately exploits it — stalling walks
-//!    at its target, steering hops, and draining honest members. This
-//!    exhibits the *sticky-threshold* effect the reproduction surfaced:
-//!    the 1/3 line, once touched, can be held. The defense is Lemma 1's
-//!    "k large enough" — see EXPERIMENTS.md (X-JLA) for the k/τ sweep.
+//! 2. **NOW** — the full protocol absorbs it;
+//! 3. **NOW, hardened adversary** (beyond the paper's analysis) — the
+//!    campaign runs on a pre-built system carrying a strategic
+//!    [`TargetedMalice`] oracle ([`Campaign::run_on`]): if any cluster
+//!    transiently reaches the 1/3 `randNum`-compromise threshold, the
+//!    adversary exploits it — stalling walks, steering hops, draining
+//!    honest members. The defense is Lemma 1's "k large enough"; see
+//!    EXPERIMENTS.md (X-JLA) for the k/τ sweep.
 //!
 //! Run with: `cargo run --release --example join_leave_attack`
 
-use now_bft::adversary::{Adversary, JoinLeaveAttack, TargetedMalice};
-use now_bft::core::{NowParams, NowSystem};
-use now_bft::net::DetRng;
-use now_bft::sim::baselines::no_shuffle_params;
+use now_bft::adversary::TargetedMalice;
+use now_bft::campaign::{Campaign, Phase, PhaseStyle, Trigger};
+use now_bft::core::SecurityMode;
 
-fn attack_run(label: &str, params: NowParams, steps: u64, hardened: bool) {
-    let tau = 0.12;
-    let mut sys = NowSystem::init_fast(params, 560, tau, 11);
-    let target = sys.cluster_ids()[0];
-    if hardened {
-        sys.set_malice(Box::new(TargetedMalice::new(target)));
-    }
-    let mut adv = JoinLeaveAttack::new(target, tau);
-    let mut rng = DetRng::new(13);
+fn campaign(shuffle: bool) -> Campaign {
+    let mut c = Campaign::new("join-leave-attack", 1 << 12);
+    c.k = 4;
+    c.l = 2.0;
+    c.tau = 0.12;
+    c.epsilon = 0.05;
+    c.initial_population = 560;
+    c.seed = 11;
+    c.width = 4;
+    c.shuffle = shuffle;
+    c.phase(Phase::new(
+        "warmup",
+        PhaseStyle::Balanced,
+        Trigger::Steps(50),
+    ))
+    .phase(
+        Phase::new("flood", PhaseStyle::JoinLeave, Trigger::Steps(500))
+            .target(now_bft::adversary::ClusterPick::First),
+    )
+    .phase(Phase::new("quiesce", PhaseStyle::Quiet, Trigger::Steps(20)))
+}
 
+fn summarize(label: &str, report: &now_bft::campaign::CampaignReport) {
     println!("\n=== {label} ===");
-    println!(
-        "target {target}, τ = {tau}, initial byz fraction {:.3}",
-        sys.cluster(target).map(|c| c.byz_fraction()).unwrap_or(0.0)
-    );
-
-    let mut captured_at = None;
-    let mut peak = 0.0f64;
-    for step in 0..steps {
-        match adv.decide(&sys, &mut rng) {
-            now_bft::adversary::Action::Join { honest, contact } => {
-                match contact {
-                    Some(c) if sys.cluster(c).is_some() => sys.join_via(c, honest),
-                    _ => sys.join(honest),
-                };
-            }
-            now_bft::adversary::Action::Leave { node } => {
-                let _ = sys.leave(node);
-            }
-            now_bft::adversary::Action::Idle => {}
-        }
-        // The target may have merged away; follow the adversary's aim.
-        let aim = adv.target;
-        let frac = sys.cluster(aim).map(|c| c.byz_fraction()).unwrap_or(0.0);
-        peak = peak.max(frac);
-        if step % (steps / 10).max(1) == 0 {
-            println!(
-                "  step {step:>5}: target byz fraction {frac:.3}, worst anywhere {:.3}",
-                sys.audit().worst_byz_fraction
-            );
-        }
-        if frac >= 0.5 && captured_at.is_none() {
-            captured_at = Some(step);
-        }
+    for p in &report.phases {
+        println!(
+            "  {:>8}: {:>4} steps, peak byz fraction {:.3}, {} binding violations",
+            p.name, p.steps, p.peak_byz_fraction, p.binding_violations
+        );
     }
-    match captured_at {
-        Some(step) => println!("  CAPTURED: adversary reached 1/2 of the target at step {step}"),
-        None => {
-            println!("  never captured (target peaked at {peak:.3}, honest majority throughout)")
-        }
+    let flood = &report.phases[1];
+    if flood.peak_byz_fraction >= 0.5 {
+        println!("  CAPTURED: some cluster reached 1/2 Byzantine during the flood");
+    } else {
+        println!(
+            "  never captured (flood peaked at {:.3}, honest majority throughout)",
+            flood.peak_byz_fraction
+        );
     }
-    sys.check_consistency().expect("consistent");
 }
 
 fn main() {
     // k = 4, l = 2.0: clusters of ~48–96 at N = 2^12. At τ = 0.12 the
     // Chernoff tail from the mean Byzantine share (~12%) to the 1/3
     // threshold is ≈ 4.7σ, so the paper-model runs stay clear of
-    // compromise, while the baseline's target has enough size headroom
-    // to be captured before a split re-randomizes it.
-    let params = NowParams::new(1 << 12, 4, 2.0, 0.12, 0.05).expect("valid parameters");
-    let steps = 2500;
-    attack_run(
-        "baseline: no shuffling, paper adversary",
-        no_shuffle_params(params),
-        steps,
-        false,
+    // compromise, while the baseline's target accumulates Byzantine
+    // mass monotonically until capture.
+    let baseline = campaign(false);
+    let (report, sys) = baseline.run(1).expect("baseline campaign runs");
+    summarize("baseline: no shuffling, batched §3.3 adversary", &report);
+    sys.check_consistency().expect("consistent");
+
+    let now = campaign(true);
+    let (report, sys) = now.run(1).expect("NOW campaign runs");
+    summarize("NOW: shuffling on, batched §3.3 adversary", &report);
+    sys.check_consistency().expect("consistent");
+
+    // The hardened run pre-builds the system, installs the strategic
+    // in-protocol oracle aimed at the flood's target, then hands the
+    // system to the same campaign.
+    let hardened = campaign(true);
+    let mut sys = hardened.build_system().expect("valid parameters");
+    let target = sys.cluster_ids()[0];
+    sys.set_malice(Box::new(TargetedMalice::new(target)));
+    let report = hardened
+        .run_on(&mut sys, 1)
+        .expect("hardened campaign runs");
+    summarize(
+        "NOW: shuffling on, HARDENED adversary (beyond-paper)",
+        &report,
     );
-    attack_run("NOW: shuffling on, paper adversary", params, steps, false);
-    attack_run(
-        "NOW: shuffling on, HARDENED adversary (beyond-paper extension)",
-        params,
-        steps,
-        true,
-    );
+    sys.check_consistency().expect("consistent");
+
+    assert_eq!(report.security, SecurityMode::Plain);
+    println!("\nshuffling is the defense: the baseline's flood concentrates, NOW's scatters.");
 }

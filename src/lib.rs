@@ -17,8 +17,9 @@
 //! | [`agreement`] | Bracha, Phase-King, Dolev–Strong, async Ben-Or, `randNum` (sync + async), quorum rule |
 //! | [`over`] | the OVER dynamic expander overlay + the Law–Siu constant-degree alternative |
 //! | [`core`] | the NOW protocol itself ([`core::NowSystem`]): ops, batches, both init paths |
-//! | [`adversary`] | churn attacks, structural pressure, in-protocol malice |
+//! | [`adversary`] | churn attacks, structural pressure, batched attack drivers, in-protocol malice |
 //! | [`sim`] | serial + batched runners, churn schedules, metrics, baselines |
+//! | [`campaign`] | declarative multi-phase attack campaigns (`scenarios/*.campaign`) |
 //! | [`apps`] | §6 applications: broadcast, sampling, aggregation, agreement, polling |
 //!
 //! # Quickstart
@@ -45,6 +46,7 @@
 pub use now_adversary as adversary;
 pub use now_agreement as agreement;
 pub use now_apps as apps;
+pub use now_campaign as campaign;
 pub use now_core as core;
 pub use now_graph as graph;
 pub use now_net as net;

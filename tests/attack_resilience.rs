@@ -10,10 +10,14 @@
 //! stream cannot silently invalidate the suite the way a single pinned
 //! seed could.
 
-use now_bft::adversary::{Action, Adversary, ForcedLeaveAttack, JoinLeaveAttack};
-use now_bft::core::{NowParams, NowSystem};
+use now_bft::adversary::{
+    Action, Adversary, BatchDriver, BatchForcedLeave, BatchJoinLeave, BatchSplitForcing,
+    ClusterPick, ForcedLeaveAttack, JoinLeaveAttack,
+};
+use now_bft::core::{NowParams, NowSystem, SecurityMode};
 use now_bft::net::DetRng;
 use now_bft::sim::baselines::no_shuffle_params;
+use now_bft::sim::run_batched;
 
 fn params() -> NowParams {
     NowParams::new(1 << 10, 3, 2.0, 0.15, 0.05).unwrap()
@@ -168,6 +172,82 @@ fn forced_leaves_do_not_concentrate_byzantines() {
         *peaks.last().unwrap() < 0.50,
         "forced leaves crossed the forgeability line on the worst seed: {peaks:?}"
     );
+}
+
+/// Runs one batched attack driver for 60 steps on a fresh system and
+/// returns `(binding violations, forgeable-cluster violations)` over
+/// the audited steps.
+fn batched_attack_violations(
+    mut driver: Box<dyn BatchDriver>,
+    init_seed: u64,
+    drive_seed: u64,
+) -> (usize, usize) {
+    let mut sys = NowSystem::init_fast(params(), 300, 0.15, init_seed);
+    let report = run_batched(&mut sys, driver.as_mut(), 60, drive_seed);
+    sys.check_consistency().unwrap();
+    let forgeable = report
+        .violations
+        .iter()
+        .filter(|v| v.kind == now_bft::sim::ViolationKind::Forgeable)
+        .count();
+    (report.binding_violations(SecurityMode::Plain), forgeable)
+}
+
+/// Calibrated violation-count bounds for each batched attack driver, as
+/// a 5-seed quantile ensemble (module docs): at τ = 0.15 with k = 3
+/// (clusters of ~30, 1/3 threshold at 10 Byzantine members) the NOW
+/// protocol *absorbs* all three batched attacks — binding violations
+/// stay transient grazes of the 1/3 count on a minority of the 60
+/// audited steps, and no cluster ever becomes forgeable (> 1/2). The
+/// per-driver bounds are ~2× the measured ensembles on the vendored
+/// stream (60 steps, width 4): join-leave [2, 4, 6, 6, 8],
+/// forced-leave [0, 2, 2, 4, 8], split-forcing [0, 0, 2, 2, 2].
+#[test]
+fn batched_attacks_stay_within_calibrated_violation_bounds() {
+    let seeds: [(u64, u64); 5] = [(71, 72), (73, 74), (75, 76), (77, 78), (79, 80)];
+    type MakeDriver = fn() -> Box<dyn BatchDriver>;
+    let drivers: [(&str, MakeDriver, usize, usize); 3] = [
+        (
+            "join-leave",
+            || Box::new(BatchJoinLeave::new(4, 0.15).with_pick(ClusterPick::Largest)),
+            12, // median bound (measured 6)
+            18, // worst-seed bound (measured 8)
+        ),
+        (
+            "forced-leave",
+            || Box::new(BatchForcedLeave::new(4, 0.15).with_pick(ClusterPick::Smallest)),
+            8,  // median bound (measured 2)
+            16, // worst-seed bound (measured 8)
+        ),
+        (
+            "split-forcing",
+            || Box::new(BatchSplitForcing::new(4, 0.15).with_pick(ClusterPick::Largest)),
+            6,  // median bound (measured 2)
+            10, // worst-seed bound (measured 2)
+        ),
+    ];
+    for (name, make, median_bound, worst_bound) in drivers {
+        let mut counts = Vec::new();
+        for &(init, drive) in &seeds {
+            let (binding, forgeable) = batched_attack_violations(make(), init, drive);
+            assert_eq!(
+                forgeable, 0,
+                "{name}: a cluster became forgeable on seed ({init}, {drive})"
+            );
+            counts.push(binding);
+        }
+        counts.sort_unstable();
+        assert!(
+            counts[counts.len() / 2] <= median_bound,
+            "{name}: median binding violations beyond the calibrated bound \
+             {median_bound}, ensemble {counts:?}"
+        );
+        assert!(
+            *counts.last().unwrap() <= worst_bound,
+            "{name}: worst seed beyond the calibrated bound {worst_bound}, \
+             ensemble {counts:?}"
+        );
+    }
 }
 
 #[test]

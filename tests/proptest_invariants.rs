@@ -2,11 +2,30 @@
 //! must never break the partition, the registry, the overlay, or the
 //! ledger.
 
-use now_bft::core::{NowParams, NowSystem};
+use now_bft::adversary::{
+    BatchDriver, BatchForcedLeave, BatchJoinLeave, BatchSplitForcing, ClusterPick,
+};
+use now_bft::core::{JoinSpec, NowParams, NowSystem};
+use now_bft::net::{DetRng, NodeId};
 use proptest::prelude::*;
 
 fn params() -> NowParams {
     NowParams::new(1 << 10, 2, 1.5, 0.25, 0.05).unwrap()
+}
+
+/// Builds one of the three batched attack drivers (the ROADMAP's
+/// "batched adversarial drivers" gap) from proptest-chosen knobs.
+fn attack_driver(kind: usize, pick: usize, width: usize, tau: f64) -> Box<dyn BatchDriver> {
+    let pick = [
+        ClusterPick::First,
+        ClusterPick::Largest,
+        ClusterPick::Smallest,
+    ][pick % 3];
+    match kind % 3 {
+        0 => Box::new(BatchJoinLeave::new(width, tau).with_pick(pick)),
+        1 => Box::new(BatchForcedLeave::new(width, tau).with_pick(pick)),
+        _ => Box::new(BatchSplitForcing::new(width, tau).with_pick(pick)),
+    }
 }
 
 proptest! {
@@ -143,6 +162,101 @@ proptest! {
         let serial = run(1);
         prop_assert_eq!(&serial, &run(2), "threads=1 vs threads=2 diverged");
         prop_assert_eq!(&serial, &run(8), "threads=1 vs threads=8 diverged");
+    }
+
+    /// The batched attack drivers' engine-agreement contract, for every
+    /// driver kind, target policy, width, and seed:
+    ///
+    /// 1. **serial ≡ batched**: replaying a scheduled run's decided
+    ///    batches one operation at a time (`join_via`/`join`/`leave`)
+    ///    reproduces the batch execution exactly — population, admitted
+    ///    ids, node sets, and total message cost (message costs are
+    ///    schedule-invariant).
+    /// 2. **threaded(1) ≡ threaded(4)**: the threaded engine is
+    ///    bit-identical across thread counts on population, ids, wave
+    ///    schedule, and full ledger statistics.
+    #[test]
+    fn attack_drivers_agree_across_engines(
+        seed in any::<u64>(),
+        kind in 0usize..3,
+        pick in 0usize..3,
+        width in 1usize..7,
+    ) {
+        const STEPS: usize = 5;
+        let tau = 0.20;
+
+        // --- scheduled run, recording each decided batch ---
+        let mut sys = NowSystem::init_fast(params(), 150, 0.15, seed);
+        let mut driver = attack_driver(kind, pick, width, tau);
+        let mut rng = DetRng::new(seed ^ 0xA5A5_5A5A);
+        let mut script: Vec<(Vec<JoinSpec>, Vec<NodeId>)> = Vec::new();
+        let mut batched_joined = Vec::new();
+        for _ in 0..STEPS {
+            let (joins, leaves) = driver.decide_batch(&sys, &mut rng);
+            script.push((joins.clone(), leaves.clone()));
+            let report = sys.step_parallel_specs(&joins, &leaves);
+            batched_joined.extend(report.joined);
+        }
+        sys.check_consistency().expect("post-batch consistency");
+        let batched = (
+            sys.population(),
+            sys.byz_population(),
+            sys.node_ids(),
+            batched_joined,
+            sys.ledger().total().messages,
+        );
+
+        // --- serial replay of the same script, one op per time step ---
+        let mut serial = NowSystem::init_fast(params(), 150, 0.15, seed);
+        let mut serial_joined = Vec::new();
+        for (joins, leaves) in &script {
+            for &node in leaves {
+                let _ = serial.leave(node);
+            }
+            for spec in joins {
+                let id = match spec.contact {
+                    Some(c) if serial.cluster(c).is_some() => serial.join_via(c, spec.honest),
+                    _ => serial.join(spec.honest),
+                };
+                serial_joined.push(id);
+            }
+        }
+        serial.check_consistency().expect("post-serial consistency");
+        let serial_out = (
+            serial.population(),
+            serial.byz_population(),
+            serial.node_ids(),
+            serial_joined,
+            serial.ledger().total().messages,
+        );
+        prop_assert_eq!(&batched, &serial_out, "serial vs batched diverged");
+
+        // --- threaded engine: bit-identical across thread counts ---
+        let threaded = |threads: usize| {
+            let mut sys = NowSystem::init_fast(params(), 150, 0.15, seed);
+            let mut driver = attack_driver(kind, pick, width, tau);
+            let mut rng = DetRng::new(seed ^ 0xA5A5_5A5A);
+            let mut waves = Vec::new();
+            for _ in 0..STEPS {
+                let (joins, leaves) = driver.decide_batch(&sys, &mut rng);
+                let report = sys.step_parallel_threaded_specs(&joins, &leaves, threads);
+                waves.push(report.waves.clone());
+            }
+            sys.check_consistency().expect("post-threaded consistency");
+            (
+                sys.population(),
+                sys.byz_population(),
+                sys.node_ids(),
+                sys.cluster_ids(),
+                waves,
+                sys.ledger().total(),
+                now_bft::net::CostKind::ALL
+                    .iter()
+                    .map(|&k| sys.ledger().stats(k))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        prop_assert_eq!(threaded(1), threaded(4), "threads=1 vs threads=4 diverged");
     }
 
     /// Ledger totals are monotone non-decreasing across operations and

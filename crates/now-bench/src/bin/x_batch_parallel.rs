@@ -20,10 +20,12 @@
 //!   reality on the same batches.
 //!
 //! `--smoke` runs a reduced sweep for CI. The JSON report contains only
-//! deterministic outcome fields (no wall-clock), so CI can diff it two
-//! ways: two runs of the same seed must be byte-identical
-//! (`batch-smoke`), and `--threads 1` vs `--threads 4` must be
-//! byte-identical (the cross-thread determinism gate).
+//! deterministic outcome fields (no wall-clock), so CI can diff it
+//! three ways: two runs of the same seed must be byte-identical
+//! (`batch-smoke`), `--threads 1` vs `--threads 4` must be
+//! byte-identical (the cross-thread determinism gate), and `--threads N`
+//! vs `--threads N --scoped` must be byte-identical (the pooled
+//! executor against the legacy per-wave scoped spawner it replaced).
 
 use now_bench::results_dir;
 use now_core::{NowParams, NowSystem};
@@ -72,13 +74,15 @@ fn sweep(
     clusters: usize,
     capacity: u64,
     threads: Option<usize>,
+    scoped: bool,
     smoke: bool,
 ) -> Vec<Row> {
     let mut rows = Vec::new();
     for &width in widths {
-        let exec = match threads {
-            None => BatchExec::Scheduled,
-            Some(t) => BatchExec::Threaded(t),
+        let exec = match (threads, scoped) {
+            (None, _) => BatchExec::Scheduled,
+            (Some(t), false) => BatchExec::Threaded(t),
+            (Some(t), true) => BatchExec::ThreadedScoped(t),
         };
         let (report, sys, steps) = run_once(width, total_ops, clusters, capacity, exec);
         // Measured speedup: re-run the identical batches single-worker
@@ -174,10 +178,14 @@ fn parse_threads() -> Option<usize> {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let scoped = std::env::args().any(|a| a == "--scoped");
     let threads = parse_threads();
     match threads {
+        Some(t) if scoped => println!(
+            "# X-BATCH: parallel join/leave batches (§2 footnote), LEGACY scoped executor ({t} workers)\n"
+        ),
         Some(t) => println!(
-            "# X-BATCH: parallel join/leave batches (§2 footnote), threaded executor ({t} workers)\n"
+            "# X-BATCH: parallel join/leave batches (§2 footnote), pooled executor ({t} workers)\n"
         ),
         None => println!("# X-BATCH: parallel join/leave batches (§2 footnote)\n"),
     }
@@ -185,9 +193,9 @@ fn main() {
     // below the cluster count, so batches contain genuinely disjoint
     // footprints; the smoke sweep shrinks everything for CI.
     let rows = if smoke {
-        sweep(&[1, 4, 8], 60, 32, 16, threads, true)
+        sweep(&[1, 4, 8], 60, 32, 16, threads, scoped, true)
     } else {
-        sweep(&[1, 2, 4, 8, 16], 480, 64, 16, threads, false)
+        sweep(&[1, 2, 4, 8, 16], 480, 64, 16, threads, scoped, false)
     };
 
     let mut headers = vec![

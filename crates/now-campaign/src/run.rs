@@ -13,8 +13,8 @@ use crate::report::{CampaignReport, PhaseReport};
 use now_adversary::{
     BatchDriver, BatchForcedLeave, BatchJoinLeave, BatchSplitForcing, QuietBatches,
 };
-use now_core::{NowError, NowParams, NowSystem};
-use now_sim::{run_batched_until, BatchExec, BatchRandomChurn, BatchRunReport, BatchSawtooth};
+use now_core::{normalize_threads, NowError, NowParams, NowSystem, WavePool};
+use now_sim::{run_batched_until_in, BatchExec, BatchRandomChurn, BatchRunReport, BatchSawtooth};
 
 /// A phase's compiled stop condition (evaluated before the first step
 /// and after every audited step).
@@ -51,9 +51,11 @@ impl Campaign {
     /// Builds the system and runs every phase in order, returning the
     /// per-phase report together with the final system.
     ///
-    /// `threads` is the worker count for phases on the threaded engine;
-    /// it never changes outcomes (the engine is bit-identical across
-    /// thread counts), only wall-clock.
+    /// `threads` is the worker count for phases on the threaded engine
+    /// (normalized by [`now_core::normalize_threads`]; a
+    /// campaign-scoped [`WavePool`] is spawned once and reused by every
+    /// threaded phase). It never changes outcomes (the engine is
+    /// bit-identical across thread counts), only wall-clock.
     ///
     /// # Errors
     /// [`NowError::CampaignReport`] for shape defects
@@ -75,6 +77,16 @@ impl Campaign {
         self.check()?;
         let mode = sys.params().security();
         let mut phases = Vec::with_capacity(self.phases.len());
+        // One campaign-scoped worker pool: successive phases (and their
+        // steps) reuse the same workers, so a whole campaign spawns
+        // O(threads) threads however many phases and waves it runs —
+        // and none at all when no phase uses the threaded engine.
+        let threads = normalize_threads(threads);
+        let pool = self
+            .phases
+            .iter()
+            .any(|p| matches!(p.exec, PhaseExec::Threaded))
+            .then(|| WavePool::new(threads));
 
         for (i, phase) in self.phases.iter().enumerate() {
             let width = phase.width.unwrap_or(self.width);
@@ -95,9 +107,12 @@ impl Campaign {
                     Box::new(BatchSplitForcing::new(width, tau).with_pick(phase.target))
                 }
             };
-            let exec = match phase.exec {
-                PhaseExec::Scheduled => BatchExec::Scheduled,
-                PhaseExec::Threaded => BatchExec::Threaded(threads.max(1)),
+            let (exec, phase_pool) = match phase.exec {
+                PhaseExec::Scheduled => (BatchExec::Scheduled, None),
+                PhaseExec::Threaded => (
+                    BatchExec::Threaded(threads),
+                    Some(pool.as_ref().expect("threaded phase implies a pool")),
+                ),
             };
             // Per-phase substream: a splitmix-style mix of the master
             // seed and the phase index, so reordering or editing one
@@ -126,12 +141,13 @@ impl Campaign {
 
             let pop_start = sys.population();
             let ledger_before = sys.ledger().total();
-            let r = run_batched_until(
+            let r = run_batched_until_in(
                 sys,
                 driver.as_mut(),
                 phase.trigger.max_steps(),
                 phase_seed,
                 exec,
+                phase_pool,
                 |s, rep| {
                     let hit = condition(s, rep);
                     if hit {
@@ -300,6 +316,23 @@ mod tests {
         assert_eq!(s1.population(), s4.population());
         assert_eq!(s1.node_ids(), s4.node_ids());
         s1.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn zero_threads_runs_like_one_thread() {
+        // Regression for the shared `normalize_threads` rule at the
+        // campaign layer's per-phase exec knob.
+        let c = base()
+            .initial_population_of(150)
+            .phase(Phase::new("warm", PhaseStyle::Balanced, Trigger::Steps(4)))
+            .phase(
+                Phase::new("sched", PhaseStyle::Balanced, Trigger::Steps(3))
+                    .exec(PhaseExec::Scheduled),
+            );
+        let (r0, s0) = c.run(0).unwrap();
+        let (r1, s1) = c.run(1).unwrap();
+        assert_eq!(r0.to_json(), r1.to_json());
+        assert_eq!(s0.node_ids(), s1.node_ids());
     }
 
     #[test]

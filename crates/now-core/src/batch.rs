@@ -125,6 +125,12 @@ pub struct BatchReport {
     pub rounds_parallel: u64,
     /// The conflict-free wave schedule, in execution order.
     pub waves: Vec<WaveStats>,
+    /// Steered contacts ([`JoinSpec::via`]) that had been dissolved —
+    /// before the batch, or (threaded engine) by an earlier wave's
+    /// merge — and degraded to the uniform redraw. Deterministic per
+    /// engine; every engine applies the same uniform-over-all-clusters
+    /// rule the serial [`NowSystem::join`] path uses.
+    pub contact_redraws: u64,
     /// Wall-clock nanoseconds the batch took to execute on this host.
     /// The only field that legitimately varies between bit-identical
     /// runs — determinism tests and report diffs must ignore it.
@@ -222,6 +228,21 @@ impl WaveScheduler {
 }
 
 impl NowSystem {
+    /// Resolves one arrival's contact cluster at batch admission,
+    /// returning `(contact, redrawn)`: a live steered contact is
+    /// honored; a dissolved one **degrades to the uniform draw** — the
+    /// same rule the serial [`NowSystem::join`] path applies — and is
+    /// counted as a redraw ([`BatchReport::contact_redraws`]). Shared
+    /// by the scheduled and threaded engines so the rule cannot drift
+    /// per site.
+    pub(crate) fn resolve_batch_contact(&mut self, spec: JoinSpec) -> (ClusterId, bool) {
+        match spec.contact {
+            Some(c) if self.cluster(c).is_some() => (c, false),
+            Some(_) => (self.contact_cluster(), true),
+            None => (self.contact_cluster(), false),
+        }
+    }
+
     /// The cluster footprint of a maintenance operation coordinating
     /// through `center`: the cluster itself plus its current overlay
     /// neighborhood (view updates, split/merge/exchange candidates of
@@ -287,11 +308,13 @@ impl NowSystem {
                 Err(e) => rejected.push((node, e)),
             }
         }
+        let mut contact_redraws = 0u64;
         for &spec in joins {
-            let contact = match spec.contact {
-                Some(c) if self.cluster(c).is_some() => c,
-                _ => self.contact_cluster(),
-            };
+            // Contact resolution happens immediately before the op
+            // runs, so a contact dissolved by an earlier op of this
+            // very batch also degrades here.
+            let (contact, redrawn) = self.resolve_batch_contact(spec);
+            contact_redraws += u64::from(redrawn);
             let footprint = self.op_footprint(contact);
             let before = self.ledger().total();
             joined.push(self.join_inner(contact, spec.honest));
@@ -313,6 +336,7 @@ impl NowSystem {
             cost,
             rounds_parallel,
             waves,
+            contact_redraws,
             wall_nanos: start.elapsed().as_nanos() as u64,
         }
     }
@@ -536,6 +560,7 @@ mod tests {
             },
             rounds_parallel: 0,
             waves: vec![],
+            contact_redraws: 0,
             wall_nanos: 0,
         };
         assert_eq!(report.parallel_speedup(), 7.0);

@@ -43,7 +43,11 @@
 //! assert!(audit.size_bounds_ok);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the persistent wave-worker pool
+// ([`WavePool`]) transports lifetime-erased wave jobs to its workers,
+// which takes two `unsafe` blocks (SAFETY-documented in
+// `wave_exec.rs`); everything else in the crate stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod audit;
@@ -72,3 +76,4 @@ pub use rand_cl::WalkTrace;
 pub use registry::{ClusterStats, FootprintHandle, NodeRecord, Registry, WaveShards};
 pub use system::NowSystem;
 pub use views::{NodeView, ViewAudit};
+pub use wave_exec::{normalize_threads, wave_worker_spawn_total, WavePool};

@@ -10,6 +10,20 @@
 //! population, same ledger totals, same wave schedule whether the batch
 //! runs on 1, 2, or 8 workers.
 //!
+//! # Worker pool
+//!
+//! Waves execute on a persistent, channel-fed [`WavePool`]: workers
+//! spawn **once per pool** (run-scoped in `now-sim`, campaign-scoped in
+//! `now-campaign`, batch-scoped for the convenience entry points) and
+//! receive wave-plan jobs over per-worker channels — O(threads) thread
+//! spawns per run, not the O(waves·threads) the original scoped
+//! executor paid, which dominated conflict-heavy batches whose waves
+//! are narrow. Workers claim operations through an atomic cursor and
+//! write plans into positional slots, so pooled, scoped
+//! ([`NowSystem::step_parallel_scoped_specs`], retained as the
+//! reference), and sequential planning are bit-identical; property
+//! tests and the CI smoke gates pin all three equal.
+//!
 //! # How determinism survives threading
 //!
 //! Three mechanisms, mirrored by `vendor/README.md`'s determinism
@@ -76,15 +90,42 @@ use now_over::Overlay;
 use rand::{Rng, RngCore};
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 use std::time::Instant;
+
+/// Canonical normalization of the `threads` knob, shared by **every**
+/// entry point that accepts one ([`WavePool::new`], the scoped
+/// executor, `now-sim`'s `BatchExec::Threaded`, the campaign runner's
+/// per-phase exec knob): `0` means "unspecified" and is treated as 1
+/// worker. Centralized so no call site can drift to a different rule.
+pub fn normalize_threads(threads: usize) -> usize {
+    threads.max(1)
+}
+
+/// Monotone count of wave-worker threads this process has ever spawned
+/// (pooled workers and legacy scoped workers alike). Tests use the
+/// delta around a run to assert the pool's O(threads)-spawns-per-run
+/// guarantee; note the counter is process-global, so such assertions
+/// must not share a test binary with concurrently spawning tests.
+static WAVE_WORKER_SPAWNS: AtomicU64 = AtomicU64::new(0);
+
+/// Current value of the process-global wave-worker spawn counter.
+pub fn wave_worker_spawn_total() -> u64 {
+    WAVE_WORKER_SPAWNS.load(Ordering::Relaxed)
+}
 
 /// One batched operation in canonical order, with the footprint the
 /// wave partition was computed from.
 struct OpSpec {
     op: PlannedOp,
     footprint: Vec<ClusterId>,
+    /// Whether a join's steered contact was already dead at batch
+    /// admission and degraded to the uniform draw (always `false` for
+    /// leaves). Folded with the plan-time redraw into at most **one**
+    /// counted redraw per operation, matching the scheduled engine's
+    /// resolve-once-per-op semantics.
+    contact_redrawn: bool,
 }
 
 enum PlannedOp {
@@ -129,6 +170,9 @@ struct OpPlan {
     /// Inclusive cost of the operation's top-level span.
     cost: Cost,
     maintenance: Maintenance,
+    /// Whether a steered contact had been dissolved by an earlier
+    /// wave's merge and was re-drawn uniformly at plan time.
+    contact_redrawn: bool,
 }
 
 /// Immutable pre-wave state shared (read-only) across planner threads.
@@ -532,6 +576,7 @@ fn plan_op(
     malice: Option<&mut (dyn Malice + 'static)>,
 ) -> OpPlan {
     let mut planner = Planner::new(ctx, rng, malice);
+    let mut contact_redrawn = false;
     let maintenance = match spec.op {
         PlannedOp::Leave { node } => planner.plan_leave(node),
         PlannedOp::Join {
@@ -541,10 +586,15 @@ fn plan_op(
         } => {
             // The contact drawn at batch admission can have been
             // dissolved by an earlier wave's merge; re-draw uniformly
-            // from the op's own substream (deterministic).
+            // over all live clusters from the op's own substream
+            // (deterministic) — the same rule the serial path
+            // (`NowSystem::join`) and the scheduled engine
+            // (`step_parallel_specs`) apply to a stale contact, driven
+            // by a different stream.
             let contact = if ctx.registry.contains_cluster(contact) {
                 contact
             } else {
+                contact_redrawn = true;
                 let idx = planner.rng.gen_range(0..ctx.registry.cluster_count());
                 ctx.registry.cluster_id_at(idx)
             };
@@ -556,14 +606,75 @@ fn plan_op(
         effects: planner.effects,
         ledger: planner.ledger,
         maintenance,
+        contact_redrawn,
     }
 }
 
-/// Plans a wave on up to `threads` workers (plain sequential planning
-/// when the wave or the thread budget is width 1). Work is claimed via
-/// an atomic cursor; results land in per-op slots, so the output is
-/// positionally identical however the claims interleave.
-fn plan_wave_parallel(
+/// The worker claim loop shared by the pooled and scoped executors:
+/// claim the next op via the atomic cursor, derive its substream, plan
+/// it, and park the plan in its positional slot. Because both executors
+/// run this exact loop against the same `(master, time_step, base)`
+/// keying, their outputs are bit-identical however claims interleave —
+/// and identical to the sequential path.
+fn claim_and_plan(
+    ctx: &WaveCtx<'_>,
+    specs: &[OpSpec],
+    slots: &[Mutex<Option<OpPlan>>],
+    cursor: &AtomicUsize,
+    master: u64,
+    time_step: u64,
+    base: usize,
+) {
+    loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= specs.len() {
+            break;
+        }
+        let rng = DetRng::for_op(master, time_step, (base + i) as u64);
+        let plan = plan_op(ctx, &specs[i], rng, None);
+        *slots[i].lock().expect("plan slot poisoned") = Some(plan);
+    }
+}
+
+/// Single-worker planning: the canonical sequential order every
+/// parallel execution must reproduce bit for bit.
+fn plan_wave_sequential(
+    ctx: &WaveCtx<'_>,
+    specs: &[OpSpec],
+    master: u64,
+    time_step: u64,
+    base: usize,
+) -> Vec<OpPlan> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let rng = DetRng::for_op(master, time_step, (base + i) as u64);
+            plan_op(ctx, spec, rng, None)
+        })
+        .collect()
+}
+
+/// Drains the positional slots into the wave's plan vector.
+fn collect_slots(slots: Vec<Mutex<Option<OpPlan>>>) -> Vec<OpPlan> {
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("plan slot poisoned")
+                .expect("every op planned")
+        })
+        .collect()
+}
+
+/// The **legacy scoped executor**: plans a wave on up to `threads`
+/// freshly spawned scoped workers (plain sequential planning when the
+/// wave or the thread budget is width 1). Kept as the determinism and
+/// spawn-overhead reference for [`WavePool`] — `bench_wave_exec`
+/// measures pooled vs scoped, and the property tests pin them
+/// bit-equal. Spawns O(waves·threads) threads per run, which is exactly
+/// the overhead the pool removes.
+fn plan_wave_scoped(
     ctx: &WaveCtx<'_>,
     specs: &[OpSpec],
     master: u64,
@@ -574,38 +685,242 @@ fn plan_wave_parallel(
     let n = specs.len();
     let workers = threads.min(n);
     if workers <= 1 {
-        return specs
-            .iter()
-            .enumerate()
-            .map(|(i, spec)| {
-                let rng = DetRng::for_op(master, time_step, (base + i) as u64);
-                plan_op(ctx, spec, rng, None)
-            })
-            .collect();
+        return plan_wave_sequential(ctx, specs, master, time_step, base);
     }
     let slots: Vec<Mutex<Option<OpPlan>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let rng = DetRng::for_op(master, time_step, (base + i) as u64);
-                let plan = plan_op(ctx, &specs[i], rng, None);
-                *slots[i].lock().expect("plan slot poisoned") = Some(plan);
-            });
+            WAVE_WORKER_SPAWNS.fetch_add(1, Ordering::Relaxed);
+            scope.spawn(|| claim_and_plan(ctx, specs, &slots, &cursor, master, time_step, base));
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("plan slot poisoned")
-                .expect("every op planned")
-        })
-        .collect()
+    collect_slots(slots)
+}
+
+// -------------------------------------------------------------------
+// The persistent wave-worker pool.
+// -------------------------------------------------------------------
+
+/// One wave's planning work, type-erased for transport to pool workers.
+///
+/// The pointers reference the driving thread's stack frame for the
+/// current wave (context, specs, slots, cursor). They are only valid
+/// during the wave's dispatch window; see the safety contract on
+/// [`WavePool::plan_wave`].
+struct WaveJob {
+    /// Erased `&WaveCtx<'_>` (the lifetime is collapsed for transport;
+    /// workers only dereference it inside the dispatch window).
+    ctx: *const WaveCtx<'static>,
+    specs: *const OpSpec,
+    slots: *const Mutex<Option<OpPlan>>,
+    cursor: *const AtomicUsize,
+    len: usize,
+    master: u64,
+    time_step: u64,
+    base: usize,
+}
+
+// SAFETY: a `WaveJob` is an inert bundle of pointers plus plain keying
+// data. The pointees (`WaveCtx`, `OpSpec`s, slot mutexes, cursor) are
+// all `Sync` — workers only read the context/specs and synchronize slot
+// writes through the mutexes and the atomic cursor — and the driving
+// thread guarantees they outlive every worker access by blocking until
+// all completion signals for the wave have been received.
+#[allow(unsafe_code)]
+unsafe impl Send for WaveJob {}
+
+/// Executes one job: reconstitute the wave references and run the
+/// shared claim loop.
+fn run_wave_job(job: &WaveJob) {
+    // SAFETY: `WavePool::plan_wave` keeps the pointees alive (and the
+    // specs/slots slices exactly `len` long) until it has received one
+    // completion signal per dispatched job, and this function runs
+    // strictly before that job's signal is sent. The collapsed `'static`
+    // on the context is never exposed: the reference is used only within
+    // this call, inside the dispatch window.
+    #[allow(unsafe_code)]
+    let (ctx, specs, slots, cursor) = unsafe {
+        (
+            &*job.ctx,
+            std::slice::from_raw_parts(job.specs, job.len),
+            std::slice::from_raw_parts(job.slots, job.len),
+            &*job.cursor,
+        )
+    };
+    claim_and_plan(
+        ctx,
+        specs,
+        slots,
+        cursor,
+        job.master,
+        job.time_step,
+        job.base,
+    );
+}
+
+/// A worker thread of the pool: its private job channel plus the join
+/// handle (each worker owns its own receiver, so dispatching a wave to
+/// `k` workers is `k` sends and waking is exact — no shared-queue
+/// stampede).
+struct PoolWorker {
+    job_tx: mpsc::Sender<WaveJob>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+/// A persistent, channel-fed wave-worker pool: **one spawn per run, not
+/// per wave**.
+///
+/// The scoped executor of PR 3 re-spawned `threads` OS threads for
+/// every wave of width ≥ 2, so conflict-heavy batches that schedule
+/// into hundreds of narrow waves paid spawn overhead hundreds of times
+/// per step. A `WavePool` spawns its workers once, at construction, and
+/// feeds them wave-plan jobs over per-worker channels; workers claim
+/// operations through the same atomic cursor and write plans into the
+/// same positional slots as the scoped path, so the output is
+/// **bit-identical** to the scoped executor (and the sequential path)
+/// at every thread count — the property tests pin all three equal.
+///
+/// * `threads == 1` (or 0, see [`normalize_threads`]) spawns **no**
+///   workers: planning runs inline on the driving thread.
+/// * `threads == t ≥ 2` spawns exactly `t` workers for the pool's whole
+///   lifetime — O(threads) spawns per run, asserted by the
+///   spawn-accounting test via [`wave_worker_spawn_total`].
+/// * A pool is stateless between waves: it can be reused across
+///   batches, runs, phases, and even different [`NowSystem`]s, which is
+///   how `now-sim` (run-scoped) and `now-campaign` (campaign-scoped)
+///   hold one.
+///
+/// The pool is `Send` but deliberately not `Sync` (its completion
+/// receiver is single-consumer): one driving thread at a time.
+pub struct WavePool {
+    threads: usize,
+    workers: Vec<PoolWorker>,
+    done_rx: mpsc::Receiver<std::thread::Result<()>>,
+}
+
+impl WavePool {
+    /// Spawns the pool's workers: `normalize_threads(threads) - 1 + 1`
+    /// OS threads when `threads ≥ 2`, none for single-worker pools.
+    pub fn new(threads: usize) -> Self {
+        let threads = normalize_threads(threads);
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut workers = Vec::new();
+        if threads > 1 {
+            for _ in 0..threads {
+                let (job_tx, job_rx) = mpsc::channel::<WaveJob>();
+                let done = done_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name("now-wave-worker".into())
+                    .spawn(move || {
+                        while let Ok(job) = job_rx.recv() {
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    run_wave_job(&job)
+                                }));
+                            // The driver counts completion signals; a
+                            // dropped receiver means the pool is gone.
+                            if done.send(result).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn wave worker");
+                WAVE_WORKER_SPAWNS.fetch_add(1, Ordering::Relaxed);
+                workers.push(PoolWorker { job_tx, handle });
+            }
+        }
+        WavePool {
+            threads,
+            workers,
+            done_rx,
+        }
+    }
+
+    /// The normalized thread budget this pool was built with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Worker threads actually spawned (`threads` for multi-worker
+    /// pools, 0 for single-worker pools, which plan inline).
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Plans one wave on the pool. Sequential inline planning when the
+    /// wave (or the pool) is width 1; otherwise the wave is dispatched
+    /// to `min(workers, ops)` workers and the call blocks until every
+    /// dispatched worker has drained the cursor.
+    fn plan_wave(
+        &self,
+        ctx: &WaveCtx<'_>,
+        specs: &[OpSpec],
+        master: u64,
+        time_step: u64,
+        base: usize,
+    ) -> Vec<OpPlan> {
+        let n = specs.len();
+        let participants = self.workers.len().min(n);
+        if participants <= 1 {
+            return plan_wave_sequential(ctx, specs, master, time_step, base);
+        }
+        let slots: Vec<Mutex<Option<OpPlan>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        // Lifetime-collapsing cast for transport; see `WaveJob`.
+        let ctx_ptr = (ctx as *const WaveCtx<'_>).cast::<WaveCtx<'static>>();
+        for worker in &self.workers[..participants] {
+            let job = WaveJob {
+                ctx: ctx_ptr,
+                specs: specs.as_ptr(),
+                slots: slots.as_ptr(),
+                cursor: &cursor,
+                len: n,
+                master,
+                time_step,
+                base,
+            };
+            worker.job_tx.send(job).expect("pool worker alive");
+        }
+        // Block until every dispatched worker has finished: this is the
+        // synchronization the `WaveJob` safety contract relies on — the
+        // wave's stack data (ctx borrow, specs, slots, cursor) stays
+        // alive past the last worker access. Worker panics are carried
+        // back over the channel and resumed on the driving thread after
+        // the wave has fully quiesced.
+        let mut worker_panic = None;
+        for _ in 0..participants {
+            match self.done_rx.recv().expect("pool worker completes") {
+                Ok(()) => {}
+                Err(panic) => worker_panic = Some(panic),
+            }
+        }
+        if let Some(panic) = worker_panic {
+            std::panic::resume_unwind(panic);
+        }
+        collect_slots(slots)
+    }
+}
+
+impl Drop for WavePool {
+    fn drop(&mut self) {
+        // Dropping a worker's sender ends its `recv` loop; joining then
+        // cannot deadlock because no jobs are in flight (every
+        // `plan_wave` drains its own completions before returning).
+        for worker in self.workers.drain(..) {
+            drop(worker.job_tx);
+            let _ = worker.handle.join();
+        }
+    }
+}
+
+/// Which parallel planner a batched step runs its waves on.
+enum PlanEngine<'p> {
+    /// The persistent pool (one spawn per pool lifetime).
+    Pooled(&'p WavePool),
+    /// The legacy scoped executor (spawns per wave); retained as the
+    /// determinism/spawn-overhead reference.
+    Scoped(usize),
 }
 
 /// Order-preserving greedy wave partition over pre-batch footprints
@@ -645,6 +960,10 @@ impl NowSystem {
     /// are validated up front in canonical order against the projected
     /// population (floor) and the batch's earlier claims (duplicates),
     /// and rejected operations occupy no wave slot.
+    ///
+    /// This convenience form builds a batch-scoped [`WavePool`] (one
+    /// spawn set per call). Loops should hold a run-scoped pool and
+    /// call [`NowSystem::step_parallel_pooled`] instead.
     pub fn step_parallel_threaded(
         &mut self,
         join_honesty: &[bool],
@@ -669,8 +988,65 @@ impl NowSystem {
         leaves: &[NodeId],
         threads: usize,
     ) -> BatchReport {
+        let pool = WavePool::new(threads);
+        self.step_parallel_pooled_specs(joins, leaves, &pool)
+    }
+
+    /// [`NowSystem::step_parallel_threaded`] on a caller-held
+    /// [`WavePool`]: successive batches reuse the pool's workers, so a
+    /// run spawns O(threads) threads total instead of O(batches·threads)
+    /// (or the scoped executor's O(waves·threads)). Outcomes are
+    /// bit-identical to every other engine configuration of the same
+    /// seed.
+    pub fn step_parallel_pooled(
+        &mut self,
+        join_honesty: &[bool],
+        leaves: &[NodeId],
+        pool: &WavePool,
+    ) -> BatchReport {
+        let joins: Vec<crate::batch::JoinSpec> = join_honesty
+            .iter()
+            .map(|&h| crate::batch::JoinSpec::uniform(h))
+            .collect();
+        self.step_parallel_pooled_specs(&joins, leaves, pool)
+    }
+
+    /// [`NowSystem::step_parallel_pooled`] with per-arrival contact
+    /// steering — the primary batched entry point of the pooled engine.
+    pub fn step_parallel_pooled_specs(
+        &mut self,
+        joins: &[crate::batch::JoinSpec],
+        leaves: &[NodeId],
+        pool: &WavePool,
+    ) -> BatchReport {
+        self.step_parallel_engine(joins, leaves, PlanEngine::Pooled(pool))
+    }
+
+    /// The legacy scoped executor: bit-identical to the pooled engine
+    /// but spawns fresh scoped workers for every wave of width ≥ 2.
+    /// Retained as the spawn-overhead reference for benches and the
+    /// pooled ≡ scoped property/CI gates; new code should use
+    /// [`NowSystem::step_parallel_pooled_specs`].
+    pub fn step_parallel_scoped_specs(
+        &mut self,
+        joins: &[crate::batch::JoinSpec],
+        leaves: &[NodeId],
+        threads: usize,
+    ) -> BatchReport {
+        self.step_parallel_engine(
+            joins,
+            leaves,
+            PlanEngine::Scoped(normalize_threads(threads)),
+        )
+    }
+
+    fn step_parallel_engine(
+        &mut self,
+        joins: &[crate::batch::JoinSpec],
+        leaves: &[NodeId],
+        engine: PlanEngine<'_>,
+    ) -> BatchReport {
         let start = Instant::now();
-        let threads = threads.max(1);
         self.ledger.begin(CostKind::Batch);
 
         // Canonical op list with up-front rejection decisions.
@@ -704,16 +1080,19 @@ impl NowSystem {
                     specs.push(OpSpec {
                         op: PlannedOp::Leave { node },
                         footprint: self.op_footprint(home),
+                        contact_redrawn: false,
                     });
                 }
                 Err(e) => rejected.push((node, e)),
             }
         }
+        let mut contact_redraws = 0u64;
         for &spec in joins {
-            let contact = match spec.contact {
-                Some(c) if self.cluster(c).is_some() => c,
-                _ => self.contact_cluster(),
-            };
+            // Admission-time resolution against the pre-batch state;
+            // contacts dissolved later, by an earlier *wave* of this
+            // batch, get the plan-time redraw in `plan_op`. Either way
+            // the op counts as at most one redraw (see `OpSpec`).
+            let (contact, redrawn) = self.resolve_batch_contact(spec);
             let node = self.ids.node();
             joined.push(node);
             specs.push(OpSpec {
@@ -723,6 +1102,7 @@ impl NowSystem {
                     contact,
                 },
                 footprint: self.op_footprint(contact),
+                contact_redrawn: redrawn,
             });
         }
 
@@ -745,7 +1125,14 @@ impl NowSystem {
                 recording,
             };
             let plans: Vec<OpPlan> = if neutral {
-                plan_wave_parallel(&ctx, wave_specs, master, time_step, base, threads)
+                match engine {
+                    PlanEngine::Pooled(pool) => {
+                        pool.plan_wave(&ctx, wave_specs, master, time_step, base)
+                    }
+                    PlanEngine::Scoped(threads) => {
+                        plan_wave_scoped(&ctx, wave_specs, master, time_step, base, threads)
+                    }
+                }
             } else {
                 wave_specs
                     .iter()
@@ -759,11 +1146,14 @@ impl NowSystem {
 
             // ---- wave stats from the planned costs ----
             let mut stats = WaveStats::default();
-            for plan in &plans {
+            for (spec, plan) in wave_specs.iter().zip(&plans) {
                 stats.ops += 1;
                 stats.rounds_max = stats.rounds_max.max(plan.cost.rounds);
                 stats.rounds_total += plan.cost.rounds;
                 stats.messages += plan.cost.messages;
+                if spec.contact_redrawn || plan.contact_redrawn {
+                    contact_redraws += 1;
+                }
             }
 
             // ---- apply effects canonically through the wave shards ----
@@ -889,6 +1279,7 @@ impl NowSystem {
             cost,
             rounds_parallel,
             waves: wave_stats,
+            contact_redraws,
             wall_nanos: start.elapsed().as_nanos() as u64,
         }
     }
@@ -933,7 +1324,12 @@ mod tests {
                     .map(|(n, e)| (*n, format!("{e:?}")))
                     .collect::<Vec<_>>(),
             ),
-            (report.cost, report.rounds_parallel, report.waves.clone()),
+            (
+                report.cost,
+                report.rounds_parallel,
+                report.waves.clone(),
+                report.contact_redraws,
+            ),
             (
                 sys.ledger().total(),
                 CostKind::ALL
@@ -981,6 +1377,210 @@ mod tests {
         let (s0, r0) = run_threaded(3, &[true, false], 2, 0);
         let (s1, r1) = run_threaded(3, &[true, false], 2, 1);
         assert_eq!(fingerprint(&s0, &r0), fingerprint(&s1, &r1));
+    }
+
+    #[test]
+    fn threads_knob_normalizes_identically_everywhere() {
+        // The one shared rule: 0 means 1. Pinned here for the helper
+        // itself and for each now-core entry point that takes the knob;
+        // now-sim and now-campaign have their own regression tests
+        // built on the same helper.
+        assert_eq!(normalize_threads(0), 1);
+        assert_eq!(normalize_threads(1), 1);
+        assert_eq!(normalize_threads(7), 7);
+        let pool = WavePool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.worker_count(), 0, "single-worker pools plan inline");
+        let joins = [true, false];
+        let scoped = |threads: usize| {
+            let mut sys = sparse_system(3);
+            let leaves: Vec<NodeId> = sys.node_ids().into_iter().step_by(17).take(2).collect();
+            let specs: Vec<crate::batch::JoinSpec> = joins
+                .iter()
+                .map(|&h| crate::batch::JoinSpec::uniform(h))
+                .collect();
+            let report = sys.step_parallel_scoped_specs(&specs, &leaves, threads);
+            (fingerprint(&sys, &report), sys)
+        };
+        let (f0, _) = scoped(0);
+        let (f1, _) = scoped(1);
+        assert_eq!(f0, f1, "scoped executor: threads=0 must equal threads=1");
+    }
+
+    /// The tentpole contract: the pooled engine, the legacy scoped
+    /// engine, and sequential planning are bit-identical on the full
+    /// observable fingerprint, for multi-wave batches at several thread
+    /// counts.
+    #[test]
+    fn pooled_equals_scoped_equals_sequential() {
+        let joins = [true, false, true, true, false, true, true, false];
+        let build = || {
+            let sys = sparse_system(21);
+            let leaves: Vec<NodeId> = sys.node_ids().into_iter().step_by(11).take(8).collect();
+            (sys, leaves)
+        };
+        let specs: Vec<crate::batch::JoinSpec> = joins
+            .iter()
+            .map(|&h| crate::batch::JoinSpec::uniform(h))
+            .collect();
+        let (mut seq_sys, leaves) = build();
+        let seq_report = seq_sys.step_parallel_threaded_specs(&specs, &leaves, 1);
+        assert!(
+            seq_report.waves.len() >= 2,
+            "want a multi-wave batch: {:?}",
+            seq_report.waves
+        );
+        for threads in [2usize, 4, 8] {
+            let (mut pooled_sys, leaves) = build();
+            let pool = WavePool::new(threads);
+            let pooled_report = pooled_sys.step_parallel_pooled_specs(&specs, &leaves, &pool);
+            let (mut scoped_sys, leaves) = build();
+            let scoped_report = scoped_sys.step_parallel_scoped_specs(&specs, &leaves, threads);
+            assert_eq!(
+                fingerprint(&seq_sys, &seq_report),
+                fingerprint(&pooled_sys, &pooled_report),
+                "sequential vs pooled({threads}) diverged"
+            );
+            assert_eq!(
+                fingerprint(&seq_sys, &seq_report),
+                fingerprint(&scoped_sys, &scoped_report),
+                "sequential vs scoped({threads}) diverged"
+            );
+            pooled_sys.check_consistency().unwrap();
+        }
+    }
+
+    /// A run-scoped pool reused across many batches (and across
+    /// systems) produces exactly what per-batch pools produce: the pool
+    /// carries no state between waves.
+    #[test]
+    fn pool_reuse_across_batches_is_stateless() {
+        let run = |reuse: bool| {
+            let mut sys = sparse_system(17);
+            let mut out = Vec::new();
+            let shared = WavePool::new(4);
+            for step in 0..6u64 {
+                let leaves: Vec<NodeId> = sys
+                    .node_ids()
+                    .into_iter()
+                    .step_by(13)
+                    .take(3 + (step as usize % 3))
+                    .collect();
+                let joins = [step % 2 == 0, true, false];
+                let report = if reuse {
+                    sys.step_parallel_pooled(&joins, &leaves, &shared)
+                } else {
+                    let fresh = WavePool::new(4);
+                    sys.step_parallel_pooled(&joins, &leaves, &fresh)
+                };
+                out.push((
+                    report.joined,
+                    report.left,
+                    report.cost,
+                    report.waves,
+                    report.rounds_parallel,
+                ));
+            }
+            sys.check_consistency().unwrap();
+            (out, sys.population(), sys.node_ids(), sys.ledger().total())
+        };
+        assert_eq!(run(true), run(false), "pool reuse changed outcomes");
+    }
+
+    /// Steered contacts that are already dead at batch admission
+    /// degrade to the uniform redraw — same rule, and same count
+    /// surfaced, in the scheduled and threaded engines.
+    #[test]
+    fn stale_contact_at_admission_redraws_in_both_engines() {
+        let ghost = ClusterId::from_raw(999_999);
+        let joins = [
+            crate::batch::JoinSpec::via(ghost, true),
+            crate::batch::JoinSpec::uniform(true),
+        ];
+        let mut scheduled = system(150, 31);
+        assert!(scheduled.cluster(ghost).is_none());
+        let r = scheduled.step_parallel_specs(&joins, &[]);
+        assert_eq!(r.contact_redraws, 1, "scheduled engine counts the redraw");
+        assert_eq!(r.joined.len(), 2);
+        scheduled.check_consistency().unwrap();
+
+        let mut threaded = system(150, 31);
+        let r = threaded.step_parallel_threaded_specs(&joins, &[], 4);
+        assert_eq!(r.contact_redraws, 1, "threaded engine counts the redraw");
+        assert_eq!(r.joined.len(), 2);
+        threaded.check_consistency().unwrap();
+    }
+
+    /// Regression for the plan-time redraw (`plan_join` fallback): a
+    /// batch in which an earlier wave's merge dissolves a later join's
+    /// steered contact must redraw uniformly from the op's substream —
+    /// deterministically across thread counts — rather than panic or
+    /// silently attach to a dead cluster.
+    #[test]
+    fn merge_dissolving_steered_contact_mid_batch_redraws() {
+        // Dense capacity-2¹⁰ overlay: every footprint spans the whole
+        // cluster set, so the steered join serializes into its own wave
+        // *after* all departures — by which point the undersize merge
+        // has already run. Shuffle is disabled so the targeted members
+        // stay in their home cluster (exchanges would relocate them and
+        // defuse the merge).
+        let build = |seed: u64| {
+            let params = NowParams::for_capacity(1 << 10)
+                .unwrap()
+                .with_shuffle(false);
+            NowSystem::init_fast(params, 200, 0.2, seed)
+        };
+        let mut exercised = false;
+        for seed in 0..20u64 {
+            let sys = build(seed);
+            let min = sys.params().min_cluster_size();
+            let smallest = sys
+                .clusters()
+                .min_by_key(|c| (c.size(), c.id()))
+                .expect("live system");
+            let need = smallest.size() - min + 1;
+            let leaves: Vec<NodeId> = smallest.member_vec().into_iter().take(need).collect();
+            let ids_before = sys.cluster_ids();
+
+            // Probe: which cluster does the batch's merge dissolve?
+            let mut probe = build(seed);
+            probe.step_parallel_threaded(&[], &leaves, 1);
+            let dissolved: Vec<ClusterId> = ids_before
+                .iter()
+                .copied()
+                .filter(|&c| probe.cluster(c).is_none())
+                .collect();
+
+            for &victim in &dissolved {
+                let joins = [crate::batch::JoinSpec::via(victim, true)];
+                let mut s1 = build(seed);
+                let r1 = s1.step_parallel_threaded_specs(&joins, &leaves, 1);
+                if r1.contact_redraws == 0 {
+                    continue;
+                }
+                exercised = true;
+                assert_eq!(r1.joined.len(), 1, "redrawn join still admitted");
+                assert!(
+                    s1.cluster(victim).is_none(),
+                    "contact was dissolved mid-batch"
+                );
+                s1.check_consistency().unwrap();
+                let mut s4 = build(seed);
+                let r4 = s4.step_parallel_threaded_specs(&joins, &leaves, 4);
+                assert_eq!(
+                    fingerprint(&s1, &r1),
+                    fingerprint(&s4, &r4),
+                    "plan-time redraw diverged across thread counts (seed {seed})"
+                );
+            }
+            if exercised {
+                break;
+            }
+        }
+        assert!(
+            exercised,
+            "no probed seed dissolved a later op's steered contact — construction rotted"
+        );
     }
 
     #[test]

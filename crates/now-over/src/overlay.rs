@@ -22,6 +22,15 @@ pub struct Overlay {
     adj: BTreeMap<ClusterId, BTreeSet<ClusterId>>,
     params: OverParams,
     edges: usize,
+    /// Live vertices in arbitrary (insertion/swap-remove) order: the
+    /// incrementally maintained candidate pool that uniform maintenance
+    /// sampling indexes into. Kept in O(1) per insert/remove so
+    /// `add_uniform`/`repair_floor` no longer materialize an O(V)
+    /// vertex vector per operation (the cost `bench_overlay` showed
+    /// dominating add/remove).
+    sample_pool: Vec<ClusterId>,
+    /// Position of each live vertex in `sample_pool`.
+    sample_pos: BTreeMap<ClusterId, usize>,
 }
 
 impl Overlay {
@@ -31,6 +40,8 @@ impl Overlay {
             adj: BTreeMap::new(),
             params,
             edges: 0,
+            sample_pool: Vec::new(),
+            sample_pos: BTreeMap::new(),
         }
     }
 
@@ -106,7 +117,27 @@ impl Overlay {
 
     /// Inserts an isolated vertex (no-op if present).
     pub fn insert_vertex(&mut self, id: ClusterId) {
-        self.adj.entry(id).or_default();
+        if let std::collections::btree_map::Entry::Vacant(slot) = self.adj.entry(id) {
+            slot.insert(BTreeSet::new());
+            self.sample_pos.insert(id, self.sample_pool.len());
+            self.sample_pool.push(id);
+        }
+    }
+
+    /// Drops `id` from the incremental sampling pool (O(log V) for the
+    /// position lookup, O(1) for the swap-remove).
+    fn forget_sample(&mut self, id: ClusterId) {
+        let pos = self.sample_pos.remove(&id).expect("vertex was pooled");
+        self.sample_pool.swap_remove(pos);
+        if let Some(&moved) = self.sample_pool.get(pos) {
+            self.sample_pos.insert(moved, pos);
+        }
+    }
+
+    /// One uniform draw from the live vertices (O(1) against the
+    /// incremental pool).
+    fn sample_vertex<R: Rng>(&self, rng: &mut R) -> ClusterId {
+        self.sample_pool[rng.gen_range(0..self.sample_pool.len())]
     }
 
     /// Links `a`–`b` if both exist, are distinct, unlinked, and **both
@@ -165,23 +196,57 @@ impl Overlay {
     }
 
     /// OVER `Add` with uniform sampling over existing vertices.
+    ///
+    /// Candidates come from the incremental sampling pool by rejection
+    /// (expected O(1) per accepted link while most vertices are
+    /// linkable — the overwhelmingly common case), with a bounded
+    /// attempt budget; the rare dense/degenerate corner (most vertices
+    /// at the cap or already neighbors) falls back to the exhaustive
+    /// partial Fisher–Yates scan, keeping the postcondition exact.
     pub fn add_uniform<R: Rng>(&mut self, id: ClusterId, rng: &mut R) -> Vec<ClusterId> {
-        let pool: Vec<ClusterId> = self.vertices().filter(|&v| v != id).collect();
         self.insert_vertex(id);
-        let want = self.params.target_degree().min(pool.len());
+        let others = self.vertex_count() - 1;
+        let want = self.params.target_degree().min(others);
         let mut linked = Vec::new();
-        let mut candidates = pool;
-        // Partial Fisher–Yates over the candidate pool.
+        let mut attempts = 0usize;
+        let budget = 6 * want + 16;
+        while linked.len() < want && attempts < budget {
+            attempts += 1;
+            let cand = self.sample_vertex(rng);
+            if cand != id && self.link(id, cand) {
+                linked.push(cand);
+            }
+        }
+        if linked.len() < want {
+            self.link_exhaustive(id, want - linked.len(), rng, &mut linked);
+        }
+        linked
+    }
+
+    /// The exhaustive fallback: partial Fisher–Yates over every
+    /// remaining linkable vertex (O(V); reached only when rejection
+    /// sampling's budget ran out).
+    fn link_exhaustive<R: Rng>(
+        &mut self,
+        id: ClusterId,
+        mut want_more: usize,
+        rng: &mut R,
+        linked: &mut Vec<ClusterId>,
+    ) {
+        let mut rest: Vec<ClusterId> = self
+            .vertices()
+            .filter(|&v| v != id && !self.has_edge(id, v))
+            .collect();
         let mut i = 0;
-        while linked.len() < want && i < candidates.len() {
-            let j = rng.gen_range(i..candidates.len());
-            candidates.swap(i, j);
-            if self.link(id, candidates[i]) {
-                linked.push(candidates[i]);
+        while want_more > 0 && i < rest.len() {
+            let j = rng.gen_range(i..rest.len());
+            rest.swap(i, j);
+            if self.link(id, rest[i]) {
+                linked.push(rest[i]);
+                want_more -= 1;
             }
             i += 1;
         }
-        linked
     }
 
     /// OVER `Remove`: deletes `id` and its edges, then repairs every
@@ -191,6 +256,7 @@ impl Overlay {
         let Some(nbrs) = self.adj.remove(&id) else {
             return Vec::new();
         };
+        self.forget_sample(id);
         self.edges -= nbrs.len();
         for n in &nbrs {
             self.adj
@@ -207,6 +273,12 @@ impl Overlay {
 
     /// Tops `id` up to the degree floor with uniform random links (to
     /// vertices below the cap). Returns how many edges were added.
+    ///
+    /// An at-floor vertex returns without touching the pool or the rng
+    /// — the common case of `remove`'s neighbor repairs — and deficits
+    /// are filled by rejection sampling against the incremental pool
+    /// (exhaustive-scan fallback for the saturated corner), so the
+    /// per-op cost no longer carries an O(V) candidate materialization.
     pub fn repair_floor<R: Rng>(&mut self, id: ClusterId, rng: &mut R) -> usize {
         if !self.contains(id) {
             return 0;
@@ -215,19 +287,23 @@ impl Overlay {
             .params
             .degree_floor()
             .min(self.vertex_count().saturating_sub(1));
+        if self.degree(id) >= floor {
+            return 0;
+        }
         let mut added = 0;
-        let mut pool: Vec<ClusterId> = self
-            .vertices()
-            .filter(|&v| v != id && !self.has_edge(id, v))
-            .collect();
-        let mut i = 0;
-        while self.degree(id) < floor && i < pool.len() {
-            let j = rng.gen_range(i..pool.len());
-            pool.swap(i, j);
-            if self.link(id, pool[i]) {
+        let mut attempts = 0usize;
+        let budget = 6 * (floor - self.degree(id)) + 16;
+        while self.degree(id) < floor && attempts < budget {
+            attempts += 1;
+            let cand = self.sample_vertex(rng);
+            if cand != id && self.link(id, cand) {
                 added += 1;
             }
-            i += 1;
+        }
+        if self.degree(id) < floor {
+            let mut linked = Vec::new();
+            self.link_exhaustive(id, floor - self.degree(id), rng, &mut linked);
+            added += linked.len();
         }
         added
     }
@@ -283,6 +359,22 @@ impl Overlay {
                 "edge count drift: counted {count}, cached {}",
                 2 * self.edges
             ));
+        }
+        if self.sample_pool.len() != self.adj.len() || self.sample_pos.len() != self.adj.len() {
+            return Err(format!(
+                "sampling pool drift: {} pooled, {} positioned, {} live",
+                self.sample_pool.len(),
+                self.sample_pos.len(),
+                self.adj.len()
+            ));
+        }
+        for (i, &v) in self.sample_pool.iter().enumerate() {
+            if !self.adj.contains_key(&v) {
+                return Err(format!("dead vertex {v} in sampling pool"));
+            }
+            if self.sample_pos.get(&v) != Some(&i) {
+                return Err(format!("sampling position drift at {v}"));
+            }
         }
         Ok(())
     }

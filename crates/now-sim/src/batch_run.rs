@@ -12,7 +12,7 @@
 use crate::metrics::TimeSeries;
 use crate::runner::{record_violations, Violation};
 use now_adversary::CorruptionBudget;
-use now_core::{JoinSpec, NowSystem, SystemAudit};
+use now_core::{normalize_threads, JoinSpec, NowSystem, SystemAudit, WavePool};
 use now_net::{DetRng, NodeId};
 use rand::Rng;
 
@@ -88,11 +88,30 @@ pub enum BatchExec {
     /// The PR 2 path: [`now_core::NowSystem::step_parallel`] schedules
     /// waves but executes operations serially off the shared stream.
     Scheduled,
-    /// The threaded wave executor
-    /// ([`now_core::NowSystem::step_parallel_threaded`]) with this many
-    /// worker threads. Outcomes are bit-identical across thread counts;
-    /// only the wall-clock changes.
+    /// The threaded wave executor on a **run-scoped persistent
+    /// [`WavePool`]** with this many worker threads: workers spawn once
+    /// per run and every step's waves reuse them
+    /// ([`now_core::NowSystem::step_parallel_pooled`]). Outcomes are
+    /// bit-identical across thread counts; only the wall-clock changes.
     Threaded(usize),
+    /// The legacy scoped executor
+    /// ([`now_core::NowSystem::step_parallel_scoped_specs`]): spawns
+    /// fresh scoped workers for every wave of width ≥ 2. Bit-identical
+    /// to [`BatchExec::Threaded`]; retained as the spawn-overhead
+    /// reference for benches and the pooled-vs-scoped CI gate.
+    ThreadedScoped(usize),
+}
+
+impl BatchExec {
+    /// The normalized worker-thread count of the execution mode
+    /// (`None` for the serial scheduled path); every variant shares
+    /// [`normalize_threads`]' `0 → 1` rule.
+    pub fn threads(&self) -> Option<usize> {
+        match *self {
+            BatchExec::Scheduled => None,
+            BatchExec::Threaded(t) | BatchExec::ThreadedScoped(t) => Some(normalize_threads(t)),
+        }
+    }
 }
 
 /// Report of one batched run ([`run_batched`]).
@@ -218,14 +237,42 @@ pub fn run_batched_until(
     max_steps: u64,
     seed: u64,
     exec: BatchExec,
+    stop: impl FnMut(&NowSystem, &BatchRunReport) -> bool,
+) -> BatchRunReport {
+    // The run-scoped pool: one worker-spawn set for the whole run,
+    // whatever the step count or wave structure.
+    let pool = match exec {
+        BatchExec::Threaded(t) => Some(WavePool::new(t)),
+        _ => None,
+    };
+    run_batched_until_in(sys, driver, max_steps, seed, exec, pool.as_ref(), stop)
+}
+
+/// [`run_batched_until`] against a **caller-held** [`WavePool`]: the
+/// primitive for drivers of multiple runs (the campaign engine holds
+/// one pool for all of a campaign's phases, so successive phases reuse
+/// the same workers). `pool` is only consulted for
+/// [`BatchExec::Threaded`] phases; passing `None` falls back to the
+/// per-batch convenience pool of
+/// [`now_core::NowSystem::step_parallel_threaded_specs`].
+pub fn run_batched_until_in(
+    sys: &mut NowSystem,
+    driver: &mut dyn BatchDriver,
+    max_steps: u64,
+    seed: u64,
+    exec: BatchExec,
+    pool: Option<&WavePool>,
     mut stop: impl FnMut(&NowSystem, &BatchRunReport) -> bool,
 ) -> BatchRunReport {
     let mut rng = DetRng::new(seed);
     let mut report = BatchRunReport {
         driver: driver.name().to_string(),
-        threads: match exec {
-            BatchExec::Scheduled => None,
-            BatchExec::Threaded(t) => Some(t.max(1)),
+        // A caller-held pool is what actually executes Threaded steps,
+        // so its width is the honest record even if the exec knob says
+        // otherwise (outcomes are identical either way).
+        threads: match (exec, pool) {
+            (BatchExec::Threaded(_), Some(pool)) => Some(pool.threads()),
+            _ => exec.threads(),
         },
         steps: 0,
         joins: 0,
@@ -248,9 +295,13 @@ pub fn run_batched_until(
     }
     for _ in 0..max_steps {
         let (joins, leaves) = driver.decide_batch(sys, &mut rng);
-        let batch = match exec {
-            BatchExec::Scheduled => sys.step_parallel_specs(&joins, &leaves),
-            BatchExec::Threaded(t) => sys.step_parallel_threaded_specs(&joins, &leaves, t),
+        let batch = match (exec, pool) {
+            (BatchExec::Scheduled, _) => sys.step_parallel_specs(&joins, &leaves),
+            (BatchExec::Threaded(_), Some(pool)) => {
+                sys.step_parallel_pooled_specs(&joins, &leaves, pool)
+            }
+            (BatchExec::Threaded(t), None) => sys.step_parallel_threaded_specs(&joins, &leaves, t),
+            (BatchExec::ThreadedScoped(t), _) => sys.step_parallel_scoped_specs(&joins, &leaves, t),
         };
         report.steps += 1;
         report.joins += batch.joined.len() as u64;
@@ -414,6 +465,87 @@ mod tests {
         let mut legacy_driver = BatchRandomChurn::balanced(6, 0.1);
         let legacy = run_batched(&mut legacy_sys, &mut legacy_driver, 8, 16);
         assert_eq!(legacy.threads, None);
+    }
+
+    #[test]
+    fn zero_threads_normalizes_like_one_across_exec_modes() {
+        // Regression for the shared `normalize_threads` rule: the sim
+        // layer must treat `Threaded(0)` exactly like `Threaded(1)` —
+        // in the report metadata *and* in the outcomes — for the pooled
+        // and the scoped engine alike.
+        assert_eq!(BatchExec::Threaded(0).threads(), Some(1));
+        assert_eq!(BatchExec::ThreadedScoped(0).threads(), Some(1));
+        assert_eq!(BatchExec::Scheduled.threads(), None);
+        let go = |exec: BatchExec| {
+            let mut sys = sparse_system(19);
+            let mut driver = BatchRandomChurn::balanced(5, 0.1);
+            let r = run_batched_with(&mut sys, &mut driver, 6, 20, exec);
+            (
+                r.threads,
+                r.joins,
+                r.leaves,
+                r.rounds_parallel,
+                sys.node_ids(),
+            )
+        };
+        assert_eq!(go(BatchExec::Threaded(0)), go(BatchExec::Threaded(1)));
+        assert_eq!(
+            go(BatchExec::ThreadedScoped(0)),
+            go(BatchExec::ThreadedScoped(1))
+        );
+    }
+
+    #[test]
+    fn pooled_and_scoped_exec_agree_bitwise() {
+        let go = |exec: BatchExec| {
+            let mut sys = sparse_system(23);
+            let mut driver = BatchRandomChurn::balanced(7, 0.1);
+            let r = run_batched_with(&mut sys, &mut driver, 10, 24, exec);
+            sys.check_consistency().unwrap();
+            (
+                r.joins,
+                r.leaves,
+                r.rejected,
+                r.rounds_serial,
+                r.rounds_parallel,
+                r.waves,
+                r.max_wave_width,
+                r.wave_slack_rounds,
+                sys.population(),
+                sys.node_ids(),
+            )
+        };
+        let pooled = go(BatchExec::Threaded(4));
+        assert_eq!(
+            pooled,
+            go(BatchExec::ThreadedScoped(4)),
+            "pooled vs scoped diverged"
+        );
+        assert_eq!(pooled, go(BatchExec::Threaded(1)), "pooled vs serial");
+    }
+
+    #[test]
+    fn caller_held_pool_matches_run_scoped_pool() {
+        let go = |pool: Option<&now_core::WavePool>| {
+            let mut sys = sparse_system(27);
+            let mut driver = BatchRandomChurn::balanced(6, 0.1);
+            let r = run_batched_until_in(
+                &mut sys,
+                &mut driver,
+                8,
+                28,
+                BatchExec::Threaded(4),
+                pool,
+                |_, _| false,
+            );
+            (r.joins, r.leaves, r.rounds_parallel, sys.node_ids())
+        };
+        let shared = now_core::WavePool::new(4);
+        let with_shared = go(Some(&shared));
+        // The same shared pool again (reuse across runs)...
+        assert_eq!(with_shared, go(Some(&shared)));
+        // ...and the per-batch fallback.
+        assert_eq!(with_shared, go(None));
     }
 
     #[test]

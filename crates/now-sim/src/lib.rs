@@ -31,8 +31,8 @@ pub mod runner;
 pub mod scenario;
 
 pub use batch_run::{
-    run_batched, run_batched_until, run_batched_with, BatchDriver, BatchExec, BatchRandomChurn,
-    BatchRunReport,
+    run_batched, run_batched_until, run_batched_until_in, run_batched_with, BatchDriver, BatchExec,
+    BatchRandomChurn, BatchRunReport,
 };
 pub use churn::{BatchSawtooth, GrowthPhase, Sawtooth, ShrinkPhase};
 pub use metrics::{CsvTable, Summary, TimeSeries};

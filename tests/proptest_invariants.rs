@@ -164,6 +164,93 @@ proptest! {
         prop_assert_eq!(&serial, &run(8), "threads=1 vs threads=8 diverged");
     }
 
+    /// The worker-pool tentpole contract: **pooled ≡ scoped ≡ serial**
+    /// on population, admitted ids, ledger totals and per-kind stats,
+    /// and the wave schedule — across threads ∈ {1, 2, 4, 8} *and*
+    /// across pool reuse: one run-scoped [`now_bft::core::WavePool`]
+    /// serves every step of a multi-step run and must be
+    /// indistinguishable from per-wave scoped spawning and from plain
+    /// sequential planning.
+    #[test]
+    fn pooled_scoped_serial_agree_across_pool_reuse(
+        seed in any::<u64>(),
+        joins in proptest::collection::vec(any::<bool>(), 1..6),
+        leave_picks in proptest::collection::vec(any::<u16>(), 1..6),
+        steps in 2usize..5,
+    ) {
+        use now_bft::core::WavePool;
+
+        #[derive(Clone, Copy)]
+        enum Engine {
+            Serial,
+            Pooled(usize),
+            Scoped(usize),
+        }
+
+        let specs: Vec<JoinSpec> = joins.iter().map(|&h| JoinSpec::uniform(h)).collect();
+        let run = |engine: Engine| {
+            let mut sys = NowSystem::init_fast(params(), 140, 0.15, seed);
+            // One pool for the whole run: reuse across steps is part of
+            // the contract under test.
+            let pool = match engine {
+                Engine::Pooled(t) => Some(WavePool::new(t)),
+                _ => None,
+            };
+            let mut per_step = Vec::new();
+            for step in 0..steps {
+                let nodes = sys.node_ids();
+                let leaves: Vec<NodeId> = leave_picks
+                    .iter()
+                    .map(|&p| nodes[(p as usize + step) % nodes.len()])
+                    .collect();
+                let report = match engine {
+                    Engine::Serial => sys.step_parallel_threaded_specs(&specs, &leaves, 1),
+                    Engine::Pooled(_) => {
+                        sys.step_parallel_pooled_specs(&specs, &leaves, pool.as_ref().unwrap())
+                    }
+                    Engine::Scoped(t) => sys.step_parallel_scoped_specs(&specs, &leaves, t),
+                };
+                per_step.push((
+                    report.joined,
+                    report.left,
+                    report.cost,
+                    report.rounds_parallel,
+                    report.waves,
+                    report.contact_redraws,
+                ));
+            }
+            sys.check_consistency().expect("post-run consistency");
+            (
+                per_step,
+                sys.population(),
+                sys.byz_population(),
+                sys.node_ids(),
+                sys.cluster_ids(),
+                sys.ledger().total(),
+                now_bft::net::CostKind::ALL
+                    .iter()
+                    .map(|&k| sys.ledger().stats(k))
+                    .collect::<Vec<_>>(),
+            )
+        };
+
+        let serial = run(Engine::Serial);
+        for threads in [1usize, 2, 4, 8] {
+            prop_assert_eq!(
+                &serial,
+                &run(Engine::Pooled(threads)),
+                "serial vs pooled({}) diverged",
+                threads
+            );
+            prop_assert_eq!(
+                &serial,
+                &run(Engine::Scoped(threads)),
+                "serial vs scoped({}) diverged",
+                threads
+            );
+        }
+    }
+
     /// The batched attack drivers' engine-agreement contract, for every
     /// driver kind, target policy, width, and seed:
     ///

@@ -26,6 +26,7 @@
 //! adversary may corrupt an arrival only while its share is below `τ`.
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 mod batch_drivers;

@@ -31,9 +31,73 @@
 //! [`AsyncNet`]: now_net::AsyncNet
 
 use crate::outcome::{ByzPlan, ProtocolResult};
-use now_net::{AsyncNet, CostKind, DetRng, Ledger};
-use rand::Rng;
+use now_net::{AsyncNet, CostKind, DetRng, EventNet, EventNetConfig, Ledger};
+use rand::{Rng, RngCore};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// The state machine's view of a network: both the delay-randomizing
+/// [`AsyncNet`] and the seeded discrete-event [`EventNet`] drive the
+/// *same* Ben-Or transition code, so the two execution paths cannot
+/// diverge semantically — only in who schedules (and who may drop)
+/// the deliveries.
+trait Transport {
+    fn send(&mut self, from: usize, to: usize, m: Msg, rng: &mut DetRng);
+    fn bcast(&mut self, from: usize, m: Msg, rng: &mut DetRng);
+    fn pop(&mut self) -> Option<(usize, usize, Msg)>;
+    fn messages_sent(&self) -> u64;
+    fn now(&self) -> u64;
+    fn dropped(&self) -> u64;
+}
+
+impl Transport for AsyncNet<Msg> {
+    fn send(&mut self, from: usize, to: usize, m: Msg, rng: &mut DetRng) {
+        AsyncNet::send(self, from, to, m, rng);
+    }
+    fn bcast(&mut self, from: usize, m: Msg, rng: &mut DetRng) {
+        self.broadcast(from, m, rng);
+    }
+    fn pop(&mut self) -> Option<(usize, usize, Msg)> {
+        AsyncNet::pop(self).map(|(_, env)| (env.from, env.to, env.payload))
+    }
+    fn messages_sent(&self) -> u64 {
+        AsyncNet::messages_sent(self)
+    }
+    fn now(&self) -> u64 {
+        AsyncNet::now(self)
+    }
+    fn dropped(&self) -> u64 {
+        // The async net delivers everything (no loss model, and Ben-Or
+        // never kills a port).
+        0
+    }
+}
+
+impl Transport for EventNet<Msg> {
+    fn send(&mut self, from: usize, to: usize, m: Msg, _rng: &mut DetRng) {
+        // Loss/partition outcomes are the model's to decide; the
+        // counters and the report's `dropped` carry the verdict.
+        let _ = EventNet::send(self, from, to, m);
+    }
+    fn bcast(&mut self, from: usize, m: Msg, _rng: &mut DetRng) {
+        for to in 0..self.ports() {
+            if to != from {
+                let _ = EventNet::send(self, from, to, m);
+            }
+        }
+    }
+    fn pop(&mut self) -> Option<(usize, usize, Msg)> {
+        EventNet::pop(self).map(|(_, env)| (env.from, env.to, env.payload))
+    }
+    fn messages_sent(&self) -> u64 {
+        EventNet::messages_sent(self)
+    }
+    fn now(&self) -> u64 {
+        EventNet::now(self)
+    }
+    fn dropped(&self) -> u64 {
+        EventNet::dropped(self)
+    }
+}
 
 /// Where the protocol's phase coin comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,10 +185,16 @@ pub struct BenOrReport {
     pub virtual_time: u64,
     /// Whether every honest node decided before the event horizon.
     pub all_decided: bool,
+    /// Messages the network model dropped (loss or partition). Always
+    /// zero on [`AsyncNet`]; on the event runtime
+    /// ([`run_ben_or_event`]) a non-zero count explains a stalled
+    /// execution — Ben-Or has no retransmission, so enough losses leave
+    /// thresholds forever unmet and `all_decided` false.
+    pub dropped: u64,
 }
 
-fn byz_volley(
-    net: &mut AsyncNet<Msg>,
+fn byz_volley<T: Transport>(
+    net: &mut T,
     p: usize,
     n: usize,
     phase: u64,
@@ -233,13 +303,72 @@ pub fn run_ben_or_with_coin(
     ledger: &mut Ledger,
     rng: &mut DetRng,
 ) -> BenOrReport {
+    let mut net: AsyncNet<Msg> = AsyncNet::new(n, max_delay);
+    run_core(
+        &mut net, n, inputs, byz, f, plan, coin, max_phases, ledger, rng,
+    )
+}
+
+/// [`run_ben_or_with_coin`] on the **event runtime**: the same Ben-Or
+/// state machine, scheduled by a seeded [`EventNet`] whose per-link
+/// latency/jitter/loss/partition models come from `net` — the
+/// asynchronous agreement building block running over the same network
+/// substrate as the event-driven NOW engine. The net's seed is drawn
+/// from `rng`, so the full execution — delivery order, losses,
+/// decisions — is a pure function of `(rng seed, net config)`.
+///
+/// Unlike [`AsyncNet`], the model may *drop* messages (loss, or a
+/// partition still unhealed at a message's scheduled delivery time).
+/// Ben-Or has no retransmission, so dropped messages can leave
+/// thresholds forever unmet: the run then ends with
+/// [`BenOrReport::all_decided`] `false` and the loss count in
+/// [`BenOrReport::dropped`] — liveness needs the network to deliver,
+/// which is exactly the asynchronous-model caveat the paper's §6
+/// points at. Safety (agreement + validity among the decided) holds
+/// regardless, since a lossy network is just one more asynchronous
+/// scheduler.
+///
+/// # Panics
+/// As [`run_ben_or`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_ben_or_event(
+    n: usize,
+    inputs: &[u64],
+    byz: &BTreeSet<usize>,
+    f: usize,
+    plan: ByzPlan,
+    coin: CoinMode,
+    net: EventNetConfig,
+    max_phases: u64,
+    ledger: &mut Ledger,
+    rng: &mut DetRng,
+) -> BenOrReport {
+    let seed = rng.next_u64();
+    let mut net: EventNet<Msg> = EventNet::new(n, net, seed);
+    run_core(
+        &mut net, n, inputs, byz, f, plan, coin, max_phases, ledger, rng,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_core<T: Transport>(
+    net: &mut T,
+    n: usize,
+    inputs: &[u64],
+    byz: &BTreeSet<usize>,
+    f: usize,
+    plan: ByzPlan,
+    coin: CoinMode,
+    max_phases: u64,
+    ledger: &mut Ledger,
+    rng: &mut DetRng,
+) -> BenOrReport {
     assert!(n > 0, "ben-or needs nodes");
     assert_eq!(inputs.len(), n, "one input per port");
     assert!(inputs.iter().all(|&v| v <= 1), "inputs must be binary");
     assert!(f < n, "resilience parameter must be below n");
 
     ledger.begin(CostKind::Agreement);
-    let mut net: AsyncNet<Msg> = AsyncNet::new(n, max_delay);
     let mut nodes: Vec<Node> = inputs.iter().map(|&v| Node::new(v)).collect();
     let half = |count: usize| 2 * count > n + f; // "more than (n+f)/2"
 
@@ -249,10 +378,10 @@ pub fn run_ben_or_with_coin(
     for p in 0..n {
         if byz.contains(&p) {
             byz_acted[p].insert(0);
-            byz_volley(&mut net, p, n, 0, plan, rng);
+            byz_volley(net, p, n, 0, plan, rng);
         } else {
             let x = nodes[p].x;
-            net.broadcast(p, Msg::Report { phase: 0, value: x }, rng);
+            net.bcast(p, Msg::Report { phase: 0, value: x }, rng);
             // Self-delivery is immediate (a node knows its own value).
             nodes[p].reports.entry(0).or_default().insert(p, x);
         }
@@ -265,29 +394,28 @@ pub fn run_ben_or_with_coin(
     };
 
     let mut aborted = false;
-    while let Some((_, env)) = net.pop() {
-        let p = env.to;
+    while let Some((from, p, payload)) = net.pop() {
         if byz.contains(&p) {
             // Byzantine nodes track phases to keep injecting volleys
             // (total silence would stall nothing — thresholds use n−f —
             // but active plans need a trigger).
-            let phase = match env.payload {
+            let phase = match payload {
                 Msg::Report { phase, .. } | Msg::Proposal { phase, .. } => phase,
             };
             if byz_acted[p].insert(phase) {
-                byz_volley(&mut net, p, n, phase, plan, rng);
+                byz_volley(net, p, n, phase, plan, rng);
             }
             continue;
         }
 
         // Record the delivery (first message per sender/phase/type).
-        match env.payload {
+        match payload {
             Msg::Report { phase, value } => {
                 nodes[p]
                     .reports
                     .entry(phase)
                     .or_default()
-                    .entry(env.from)
+                    .entry(from)
                     .or_insert(value % 2);
             }
             Msg::Proposal { phase, value } => {
@@ -295,7 +423,7 @@ pub fn run_ben_or_with_coin(
                     .proposals
                     .entry(phase)
                     .or_default()
-                    .entry(env.from)
+                    .entry(from)
                     .or_insert(value.map(|v| v % 2));
             }
         }
@@ -331,7 +459,7 @@ pub fn run_ben_or_with_coin(
                         phase,
                         value: proposal,
                     };
-                    net.broadcast(p, m, rng);
+                    net.bcast(p, m, rng);
                     nodes[p]
                         .proposals
                         .entry(phase)
@@ -388,7 +516,7 @@ pub fn run_ben_or_with_coin(
                         phase: next,
                         value: nodes[p].x,
                     };
-                    net.broadcast(p, m, rng);
+                    net.bcast(p, m, rng);
                     let x = nodes[p].x;
                     nodes[p].reports.entry(next).or_default().insert(p, x);
                 }
@@ -430,6 +558,7 @@ pub fn run_ben_or_with_coin(
         decision_phases,
         virtual_time: net.now(),
         all_decided,
+        dropped: net.dropped(),
     }
 }
 
@@ -637,6 +766,113 @@ mod tests {
         // And not constant.
         let flips: BTreeSet<u64> = (0..50).map(|p| a.flip(p, &mut rng1)).collect();
         assert_eq!(flips.len(), 2, "both values appear over 50 phases");
+    }
+
+    fn go_event(
+        n: usize,
+        inputs: &[u64],
+        byz: &[usize],
+        f: usize,
+        plan: ByzPlan,
+        net: EventNetConfig,
+        seed: u64,
+    ) -> BenOrReport {
+        let byz: BTreeSet<usize> = byz.iter().copied().collect();
+        let mut ledger = Ledger::new();
+        let mut rng = DetRng::new(seed);
+        run_ben_or_event(
+            n,
+            inputs,
+            &byz,
+            f,
+            plan,
+            CoinMode::Local,
+            net,
+            400,
+            &mut ledger,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn event_runtime_reaches_consensus_on_reliable_links() {
+        let net = EventNetConfig::ideal().with_latency(3).with_jitter(7);
+        for seed in [80u64, 81, 82] {
+            let inputs: Vec<u64> = (0..10).map(|i| (i % 2) as u64).collect();
+            let report = go_event(10, &inputs, &[3], 1, ByzPlan::Equivocate(0, 1), net, seed);
+            assert!(report.all_decided, "seed {seed} stalled");
+            assert_eq!(report.dropped, 0);
+            assert!(check_agreement(&report.result), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn event_runtime_is_deterministic_per_seed_and_config() {
+        let net = EventNetConfig::ideal()
+            .with_latency(2)
+            .with_jitter(9)
+            .with_drop(0.05);
+        let inputs: Vec<u64> = (0..10).map(|i| (i % 2) as u64).collect();
+        let a = go_event(10, &inputs, &[2], 1, ByzPlan::Random, net, 90);
+        let b = go_event(10, &inputs, &[2], 1, ByzPlan::Random, net, 90);
+        assert_eq!(a.result.decisions, b.result.decisions);
+        assert_eq!(a.result.messages, b.result.messages);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.virtual_time, b.virtual_time);
+    }
+
+    #[test]
+    fn lossy_links_stall_without_breaking_safety() {
+        // 40% loss with no retransmission: some honest nodes can stall
+        // below their n−f thresholds. Whatever happens, the decided
+        // nodes must still agree on a valid value.
+        let inputs = vec![1u64; 11];
+        let mut stalled = 0u32;
+        for seed in 100..110u64 {
+            let net = EventNetConfig::ideal().with_drop(0.4);
+            let report = go_event(11, &inputs, &[7], 2, ByzPlan::Silent, net, seed);
+            assert!(report.dropped > 0, "seed {seed}: 40% loss drops messages");
+            assert!(report.result.decisions.values().all(|&v| v == 1));
+            if !report.all_decided {
+                stalled += 1;
+            }
+        }
+        assert!(stalled > 0, "heavy loss should stall at least one run");
+    }
+
+    #[test]
+    fn partition_stalls_and_heal_restores_liveness() {
+        let inputs: Vec<u64> = (0..10).map(|i| (i % 2) as u64).collect();
+        // Unhealed split: every cross-group message is severed, so no
+        // node can gather n − f = 9 phase-0 reports.
+        let cut = go_event(
+            10,
+            &inputs,
+            &[],
+            1,
+            ByzPlan::Silent,
+            EventNetConfig::ideal().with_latency(5).with_partition(2),
+            120,
+        );
+        assert!(!cut.all_decided, "a permanent split cannot decide");
+        assert!(cut.dropped > 0);
+        assert!(cut.result.decisions.is_empty());
+        // Same config healing before the first deliveries land (latency
+        // 5, heal at 3): nothing is severed, consensus goes through.
+        let healed = go_event(
+            10,
+            &inputs,
+            &[],
+            1,
+            ByzPlan::Silent,
+            EventNetConfig::ideal()
+                .with_latency(5)
+                .with_partition(2)
+                .healing_at(3),
+            120,
+        );
+        assert!(healed.all_decided, "heal before delivery restores liveness");
+        assert!(check_agreement(&healed.result));
     }
 
     #[test]

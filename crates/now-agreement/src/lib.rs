@@ -59,7 +59,7 @@ pub mod quorum;
 pub mod rand_num;
 pub mod rand_num_async;
 
-pub use ben_or::{run_ben_or, run_ben_or_with_coin, BenOrReport, CoinMode};
+pub use ben_or::{run_ben_or, run_ben_or_event, run_ben_or_with_coin, BenOrReport, CoinMode};
 pub use bracha::run_bracha;
 pub use certificate::{certify_by_honest, CertificateError, QuorumCertificate};
 pub use crypto::{commit_value, verify_commitment, Commitment, SigOracle};

@@ -17,6 +17,7 @@
 //! accept it only with more than half of `C` behind it.
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 pub mod aggregate;

@@ -2,7 +2,7 @@
 //! the shuffle/cascade ablations called out in DESIGN.md.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use now_core::{NowParams, NowSystem};
+use now_core::{BatchInput, ExecConfig, NowParams, NowSystem};
 use std::time::Duration;
 
 fn base_system(shuffle: bool, cascade: bool) -> NowSystem {
@@ -122,7 +122,7 @@ fn bench_batch(c: &mut Criterion) {
     // should scale roughly linearly with the width (same total work as
     // serial plus the footprint planning; the savings are in protocol
     // *rounds*, which X-BATCH measures).
-    let mut group = c.benchmark_group("ops/step_parallel");
+    let mut group = c.benchmark_group("ops/step_batch");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(3));
@@ -137,7 +137,10 @@ fn bench_batch(c: &mut Criterion) {
                 },
                 |(mut sys, leavers)| {
                     let joins = vec![true; width - leavers.len()];
-                    let report = sys.step_parallel(&joins, &leavers);
+                    let report = sys.step_batch(
+                        &BatchInput::from_flags(&joins, &leavers),
+                        &ExecConfig::serial(),
+                    );
                     (sys, report.wave_count())
                 },
                 BatchSize::LargeInput,
@@ -156,7 +159,10 @@ fn bench_batch(c: &mut Criterion) {
                 (sys, leavers)
             },
             |(mut sys, leavers)| {
-                let report = sys.step_parallel(&[true, true, true, true], &leavers);
+                let report = sys.step_batch(
+                    &BatchInput::from_flags(&[true, true, true, true], &leavers),
+                    &ExecConfig::serial(),
+                );
                 (sys, report.wave_count())
             },
             BatchSize::LargeInput,

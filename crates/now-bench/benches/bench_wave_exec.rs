@@ -24,7 +24,7 @@
 //! cores.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use now_core::{NowParams, NowSystem, WavePool};
+use now_core::{BatchInput, ExecConfig, NowParams, NowSystem, WavePool};
 use now_net::{ClusterId, NodeId};
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -76,7 +76,10 @@ fn bench_wide_disjoint(c: &mut Criterion) {
                     },
                     |(mut sys, leaves)| {
                         let n = leaves.len();
-                        let report = sys.step_parallel_threaded(&[], &leaves, threads);
+                        let report = sys.step_batch(
+                            &BatchInput::from_flags(&[], &leaves),
+                            &ExecConfig::threaded(threads),
+                        );
                         assert_eq!(report.max_wave_width(), n, "one wide wave");
                         report.rounds_parallel
                     },
@@ -108,8 +111,11 @@ fn bench_narrow_dense(c: &mut Criterion) {
                     |(mut sys, leaves)| {
                         // Dense overlay: every footprint spans the whole
                         // graph, so the batch fully serializes.
-                        sys.step_parallel_threaded(&[true], &leaves, threads)
-                            .rounds_parallel
+                        sys.step_batch(
+                            &BatchInput::from_flags(&[true], &leaves),
+                            &ExecConfig::threaded(threads),
+                        )
+                        .rounds_parallel
                     },
                     criterion::BatchSize::LargeInput,
                 );
@@ -167,7 +173,10 @@ fn bench_pooled_vs_scoped_narrow_waves(c: &mut Criterion) {
                 let mut waves = 0usize;
                 for step in 0..STEPS {
                     let (joins, leaves) = batch(&sys, step);
-                    let report = sys.step_parallel_pooled_specs(&joins, &leaves, &pool);
+                    let report = sys.step_batch(
+                        &BatchInput::from_specs(&joins, &leaves),
+                        &ExecConfig::pooled(&pool),
+                    );
                     waves += report.wave_count();
                 }
                 assert!(waves > STEPS, "the workload must schedule many waves");
@@ -183,7 +192,10 @@ fn bench_pooled_vs_scoped_narrow_waves(c: &mut Criterion) {
                 let mut waves = 0usize;
                 for step in 0..STEPS {
                     let (joins, leaves) = batch(&sys, step);
-                    let report = sys.step_parallel_scoped_specs(&joins, &leaves, THREADS);
+                    let report = sys.step_batch(
+                        &BatchInput::from_specs(&joins, &leaves),
+                        &ExecConfig::scoped(THREADS),
+                    );
                     waves += report.wave_count();
                 }
                 (sys, waves)
@@ -198,7 +210,10 @@ fn bench_pooled_vs_scoped_narrow_waves(c: &mut Criterion) {
                 let pool = WavePool::new(1);
                 for step in 0..STEPS {
                     let (joins, leaves) = batch(&sys, step);
-                    sys.step_parallel_pooled_specs(&joins, &leaves, &pool);
+                    sys.step_batch(
+                        &BatchInput::from_specs(&joins, &leaves),
+                        &ExecConfig::pooled(&pool),
+                    );
                 }
                 sys
             },
@@ -213,9 +228,15 @@ fn bench_pooled_vs_scoped_narrow_waves(c: &mut Criterion) {
     let pool = WavePool::new(THREADS);
     for step in 0..STEPS {
         let (joins, leaves) = batch(&a, step);
-        let ra = a.step_parallel_pooled_specs(&joins, &leaves, &pool);
+        let ra = a.step_batch(
+            &BatchInput::from_specs(&joins, &leaves),
+            &ExecConfig::pooled(&pool),
+        );
         let (joins, leaves) = batch(&b, step);
-        let rb = b.step_parallel_scoped_specs(&joins, &leaves, THREADS);
+        let rb = b.step_batch(
+            &BatchInput::from_specs(&joins, &leaves),
+            &ExecConfig::scoped(THREADS),
+        );
         assert_eq!(ra.joined, rb.joined);
         assert_eq!(ra.cost, rb.cost);
         assert_eq!(ra.waves, rb.waves);

@@ -2,10 +2,10 @@
 //!
 //! The paper proves its claims for one join/leave per time step and
 //! notes (§2, footnote): *"the analysis can be generalized to several
-//! parallel join and leave operations."* `step_parallel` realizes the
-//! generalization as a conflict-free wave schedule over cluster
-//! footprints; `step_parallel_threaded` actually runs each wave's
-//! operations on worker threads. We sweep the batch width `w` and
+//! parallel join and leave operations."* `NowSystem::step_batch` with
+//! `ExecConfig::serial` realizes the generalization as a conflict-free
+//! wave schedule over cluster footprints; `ExecConfig::threaded`
+//! actually runs each wave's operations on worker threads. We sweep the batch width `w` and
 //! measure:
 //!
 //! * per-operation message cost (should be flat — parallelism does not
@@ -29,7 +29,7 @@
 
 use now_bench::results_dir;
 use now_core::{NowParams, NowSystem};
-use now_sim::{run_batched_with, BatchExec, BatchRandomChurn, CsvTable, MdTable};
+use now_sim::{BatchExec, BatchRandomChurn, BatchRun, CsvTable, MdTable};
 use std::fmt::Write as _;
 
 struct Row {
@@ -63,7 +63,9 @@ fn run_once(
     let mut sys = NowSystem::init_fast(params, n0, 0.10, 4200 + width as u64);
     let mut driver = BatchRandomChurn::balanced(width, 0.10);
     let steps = total_ops / width as u64;
-    let report = run_batched_with(&mut sys, &mut driver, steps, 11 + width as u64, exec);
+    let report = BatchRun::new()
+        .exec(exec)
+        .run(&mut sys, &mut driver, steps, 11 + width as u64);
     sys.check_consistency().unwrap();
     (report, sys, steps)
 }

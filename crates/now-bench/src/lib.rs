@@ -7,6 +7,7 @@
 //! primitives' wall-clock behavior.
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 use now_core::{NowParams, NowSystem};

@@ -64,6 +64,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 pub mod model;

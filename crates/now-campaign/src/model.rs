@@ -3,7 +3,7 @@
 //! termination trigger.
 
 use now_adversary::ClusterPick;
-use now_core::NowError;
+use now_core::{EventNetConfig, NowError};
 
 /// When a phase hands over to the next one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,18 +94,25 @@ impl PhaseStyle {
 
 /// Which batch execution engine a phase uses.
 ///
-/// Outcomes are deterministic either way: `Scheduled` ignores the
-/// runner's thread count entirely, and `Threaded` is bit-identical at
-/// every thread count, so a campaign report never depends on how many
-/// workers the host offered.
+/// Outcomes are deterministic in every case: `Scheduled` ignores the
+/// runner's thread count entirely, `Threaded` is bit-identical at
+/// every thread count, and `Event` replays from the campaign seed and
+/// the phase's network model alone — so a campaign report never
+/// depends on how many workers the host offered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PhaseExec {
-    /// The serial wave *scheduler* ([`now_core::NowSystem::step_parallel_specs`]).
+    /// The serial wave *scheduler*
+    /// ([`now_core::ExecConfig::Serial`]).
     Scheduled,
-    /// The threaded wave executor
-    /// ([`now_core::NowSystem::step_parallel_threaded_specs`]) with the
-    /// runner-supplied worker count.
+    /// The threaded wave executor ([`now_core::ExecConfig::Pooled`])
+    /// with the runner-supplied worker count.
     Threaded,
+    /// The event-driven network runtime
+    /// ([`now_core::ExecConfig::Event`]): each step's operations become
+    /// messages on a seeded discrete-event network shaped by the
+    /// phase's `latency`/`jitter`/`drop`/`partition` knobs, and the
+    /// protocol reacts in delivery order.
+    Event,
 }
 
 /// One phase of a campaign: a style, its knob overrides, and a trigger.
@@ -125,6 +132,12 @@ pub struct Phase {
     pub tau: Option<f64>,
     /// Execution engine for this phase.
     pub exec: PhaseExec,
+    /// Per-link network model for [`PhaseExec::Event`] phases
+    /// (latency/jitter/loss/partition). Must stay at
+    /// [`EventNetConfig::ideal`] on the other engines — they have no
+    /// network to apply it to, and a silently ignored knob would make
+    /// the campaign file lie about what ran.
+    pub net: EventNetConfig,
     /// Hand-over condition.
     pub trigger: Trigger,
 }
@@ -141,6 +154,7 @@ impl Phase {
             width: None,
             tau: None,
             exec: PhaseExec::Threaded,
+            net: EventNetConfig::ideal(),
             trigger,
         }
     }
@@ -166,6 +180,14 @@ impl Phase {
     /// Sets the execution engine.
     pub fn exec(mut self, exec: PhaseExec) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Sets the network model and switches the phase onto the event
+    /// runtime (the only engine that can honor it).
+    pub fn net(mut self, net: EventNetConfig) -> Self {
+        self.net = net;
+        self.exec = PhaseExec::Event;
         self
     }
 }
@@ -265,6 +287,19 @@ impl Campaign {
                     return fail(format!("phase `{}`: tau {tau} outside [0, 1)", p.name));
                 }
             }
+            if p.net != EventNetConfig::ideal() && p.exec != PhaseExec::Event {
+                return fail(format!(
+                    "phase `{}`: network knobs (latency/jitter/drop/partition) \
+                     require `exec event`",
+                    p.name
+                ));
+            }
+            if !(0.0..=1.0).contains(&p.net.drop) {
+                return fail(format!(
+                    "phase `{}`: drop {} outside [0, 1]",
+                    p.name, p.net.drop
+                ));
+            }
         }
         Ok(())
     }
@@ -323,6 +358,33 @@ mod tests {
         let bad_tau = Campaign::new("t", 1 << 10)
             .phase(Phase::new("a", PhaseStyle::Quiet, Trigger::Steps(1)).tau(1.5));
         assert!(bad_tau.check().is_err());
+    }
+
+    #[test]
+    fn net_knobs_require_the_event_engine() {
+        let net = EventNetConfig::ideal().with_latency(3).with_drop(0.2);
+        // The builder switches the engine along with the model.
+        let ok = Campaign::new("n", 1 << 10)
+            .phase(Phase::new("a", PhaseStyle::Balanced, Trigger::Steps(2)).net(net));
+        assert_eq!(ok.phases[0].exec, PhaseExec::Event);
+        assert!(ok.check().is_ok());
+
+        // Hand-assembled knobs on a non-event engine are a defect.
+        let mut bad = ok.clone();
+        bad.phases[0].exec = PhaseExec::Threaded;
+        let Err(NowError::CampaignReport { reason }) = bad.check() else {
+            panic!("net knobs without exec event must fail");
+        };
+        assert!(reason.contains("exec event"), "{reason}");
+
+        let mut bad_drop = Campaign::new("d", 1 << 10).phase(Phase::new(
+            "a",
+            PhaseStyle::Quiet,
+            Trigger::Steps(1),
+        ));
+        bad_drop.phases[0].exec = PhaseExec::Event;
+        bad_drop.phases[0].net = EventNetConfig::ideal().with_drop(1.5);
+        assert!(bad_drop.check().is_err());
     }
 
     #[test]

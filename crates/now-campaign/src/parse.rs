@@ -35,9 +35,29 @@
 //! `shuffle on|off`. Phase directives: `style quiet | balanced |
 //! sawtooth <low> <high> | join-leave | forced-leave | split-forcing`,
 //! `target first|largest|smallest`, `width`, `tau`,
-//! `exec scheduled|threaded`, and exactly one trigger — `steps <n>`,
-//! `until-pop-above <target> [cap <n>]`, `until-pop-below <target>
-//! [cap <n>]`, or `until-violation [cap <n>]` (default cap 10 000).
+//! `exec scheduled|threaded|event`, and exactly one trigger — `steps
+//! <n>`, `until-pop-above <target> [cap <n>]`, `until-pop-below
+//! <target> [cap <n>]`, or `until-violation [cap <n>]` (default cap
+//! 10 000).
+//!
+//! Phases on `exec event` additionally take per-link network knobs:
+//! `latency <ticks>` (base delay, ≥ 1), `jitter <ticks>` (uniform
+//! extra delay bound), `drop <p>` (loss probability in `[0, 1]`), and
+//! `partition <groups> [heal <time>]` (split the clusters into
+//! `groups` components, optionally healing at the given virtual time).
+//! Using any of them without `exec event` is an error — the other
+//! engines have no network to apply them to:
+//!
+//! ```text
+//! phase storm
+//!   style balanced
+//!   exec event
+//!   latency 2
+//!   jitter 5
+//!   drop 0.1
+//!   partition 2 heal 40
+//!   steps 100
+//! ```
 //!
 //! Every malformed input returns a typed
 //! [`NowError::CampaignParse`] with the 1-based line number — the
@@ -45,7 +65,7 @@
 
 use crate::model::{Campaign, Phase, PhaseExec, PhaseStyle, Trigger};
 use now_adversary::ClusterPick;
-use now_core::NowError;
+use now_core::{EventNetConfig, NowError};
 
 /// Default step cap for `until-*` triggers without an explicit `cap`.
 pub const DEFAULT_TRIGGER_CAP: u64 = 10_000;
@@ -72,6 +92,10 @@ struct PhaseDraft {
     width: Option<usize>,
     tau: Option<f64>,
     exec: PhaseExec,
+    net: EventNetConfig,
+    /// Line of the first network knob, if any — net knobs are only
+    /// legal on `exec event`, and the error should point at the knob.
+    net_line: Option<usize>,
     trigger: Option<Trigger>,
 }
 
@@ -85,6 +109,8 @@ impl PhaseDraft {
             width: None,
             tau: None,
             exec: PhaseExec::Threaded,
+            net: EventNetConfig::ideal(),
+            net_line: None,
             trigger: None,
         }
     }
@@ -103,6 +129,18 @@ impl PhaseDraft {
                 ),
             )
         })?;
+        if let Some(line) = self.net_line {
+            if self.exec != PhaseExec::Event {
+                return Err(err(
+                    line,
+                    format!(
+                        "phase `{}`: network knobs (latency/jitter/drop/partition) \
+                         require `exec event`",
+                        self.name
+                    ),
+                ));
+            }
+        }
         Ok(Phase {
             name: self.name,
             style,
@@ -110,6 +148,7 @@ impl PhaseDraft {
             width: self.width,
             tau: self.tau,
             exec: self.exec,
+            net: self.net,
             trigger,
         })
     }
@@ -298,11 +337,62 @@ impl Campaign {
                     }
                     ("exec", ["scheduled"]) => p.exec = PhaseExec::Scheduled,
                     ("exec", ["threaded"]) => p.exec = PhaseExec::Threaded,
+                    ("exec", ["event"]) => p.exec = PhaseExec::Event,
                     ("exec", other) => {
                         return Err(err(
                             line,
-                            format!("`exec` takes scheduled|threaded, got `{}`", other.join(" ")),
+                            format!(
+                                "`exec` takes scheduled|threaded|event, got `{}`",
+                                other.join(" ")
+                            ),
                         ))
+                    }
+                    ("latency", [n]) => {
+                        let latency: u64 = parse_num(line, "latency", n)?;
+                        if latency == 0 {
+                            return Err(err(line, "`latency` must be at least 1 tick"));
+                        }
+                        p.net.latency = latency;
+                        p.net_line.get_or_insert(line);
+                    }
+                    ("jitter", [n]) => {
+                        p.net.jitter = parse_num(line, "jitter", n)?;
+                        p.net_line.get_or_insert(line);
+                    }
+                    ("drop", [n]) => {
+                        let drop: f64 = parse_num(line, "drop", n)?;
+                        if !(0.0..=1.0).contains(&drop) {
+                            return Err(err(line, format!("drop {drop} outside [0, 1]")));
+                        }
+                        p.net.drop = drop;
+                        p.net_line.get_or_insert(line);
+                    }
+                    ("partition", [groups, rest @ ..]) => {
+                        let groups: usize = parse_num(line, "partition", groups)?;
+                        if groups < 2 {
+                            return Err(err(line, "`partition` needs at least 2 groups"));
+                        }
+                        p.net = p.net.with_partition(groups);
+                        match rest {
+                            [] => {}
+                            ["heal", t] => p.net = p.net.healing_at(parse_num(line, "heal", t)?),
+                            _ => {
+                                return Err(err(
+                                    line,
+                                    format!("expected `heal <time>`, got `{}`", rest.join(" ")),
+                                ))
+                            }
+                        }
+                        p.net_line.get_or_insert(line);
+                    }
+                    ("partition", []) => {
+                        return Err(err(
+                            line,
+                            "`partition` takes a group count: `partition <groups> [heal <time>]`",
+                        ))
+                    }
+                    ("latency" | "jitter" | "drop", _) => {
+                        return Err(err(line, format!("`{head}` takes exactly one number")))
                     }
                     ("steps", [n]) => {
                         let steps: u64 = parse_num(line, "steps", n)?;
@@ -409,6 +499,15 @@ phase regrow
 phase quiesce
   style quiet
   steps 5
+
+phase storm
+  style balanced
+  exec event
+  latency 2
+  jitter 5
+  drop 0.1
+  partition 2 heal 40
+  steps 30
 ";
 
     #[test]
@@ -419,7 +518,7 @@ phase quiesce
         assert_eq!(c.k, 3);
         assert_eq!(c.seed, 9);
         assert_eq!(c.width, 5);
-        assert_eq!(c.phases.len(), 6);
+        assert_eq!(c.phases.len(), 7);
         assert_eq!(c.phases[0].style, PhaseStyle::Balanced);
         assert_eq!(c.phases[1].width, Some(8));
         assert_eq!(c.phases[1].tau, Some(0.15));
@@ -441,6 +540,17 @@ phase quiesce
             }
         );
         assert_eq!(c.phases[5].style, PhaseStyle::Quiet);
+        let storm = &c.phases[6];
+        assert_eq!(storm.exec, PhaseExec::Event);
+        assert_eq!(
+            storm.net,
+            EventNetConfig::ideal()
+                .with_latency(2)
+                .with_jitter(5)
+                .with_drop(0.1)
+                .with_partition(2)
+                .healing_at(40)
+        );
     }
 
     #[test]
@@ -575,6 +685,41 @@ phase quiesce
     fn bad_phase_tau_is_typed() {
         let (_, reason) = parse_err("campaign x\nphase a\nstyle quiet\ntau 1.2\nsteps 2\n");
         assert!(reason.contains("outside [0, 1)"), "{reason}");
+    }
+
+    #[test]
+    fn net_knob_without_event_exec_is_typed_at_the_knob() {
+        let (line, reason) = parse_err("campaign x\nphase a\nstyle quiet\nlatency 3\nsteps 2\n");
+        assert_eq!(line, 4, "error points at the first net knob");
+        assert!(reason.contains("require `exec event`"), "{reason}");
+        let (_, reason) =
+            parse_err("campaign x\nphase a\nstyle quiet\nexec threaded\ndrop 0.5\nsteps 2\n");
+        assert!(reason.contains("require `exec event`"), "{reason}");
+    }
+
+    #[test]
+    fn bad_net_knob_values_are_typed() {
+        let head = "campaign x\nphase a\nstyle quiet\nexec event\n";
+        let (_, reason) = parse_err(&format!("{head}latency 0\nsteps 2\n"));
+        assert!(reason.contains("at least 1 tick"), "{reason}");
+        let (_, reason) = parse_err(&format!("{head}drop 1.5\nsteps 2\n"));
+        assert!(reason.contains("outside [0, 1]"), "{reason}");
+        let (_, reason) = parse_err(&format!("{head}partition 1\nsteps 2\n"));
+        assert!(reason.contains("at least 2 groups"), "{reason}");
+        let (_, reason) = parse_err(&format!("{head}partition\nsteps 2\n"));
+        assert!(reason.contains("takes a group count"), "{reason}");
+        let (_, reason) = parse_err(&format!("{head}partition 2 cure 9\nsteps 2\n"));
+        assert!(reason.contains("expected `heal <time>`"), "{reason}");
+        let (_, reason) = parse_err(&format!("{head}jitter 3 4\nsteps 2\n"));
+        assert!(reason.contains("exactly one number"), "{reason}");
+    }
+
+    #[test]
+    fn event_exec_without_knobs_is_the_ideal_network() {
+        let c =
+            Campaign::parse("campaign x\nphase a\nstyle balanced\nexec event\nsteps 3\n").unwrap();
+        assert_eq!(c.phases[0].exec, PhaseExec::Event);
+        assert_eq!(c.phases[0].net, EventNetConfig::ideal());
     }
 
     #[test]

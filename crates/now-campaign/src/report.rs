@@ -39,6 +39,9 @@ pub struct PhaseReport {
     pub max_wave_width: usize,
     /// Round slack of the schedules (serial rounds saved).
     pub wave_slack_rounds: u64,
+    /// Operations whose triggering message the event network dropped
+    /// (always zero outside `exec event` phases).
+    pub dropped: u64,
     /// Ledger message delta across the phase.
     pub messages: u64,
     /// Ledger round delta across the phase.
@@ -166,6 +169,7 @@ fn phase_json(p: &PhaseReport, indent: &str) -> String {
     let _ = writeln!(out, "{indent}  \"waves\": {},", p.waves);
     let _ = writeln!(out, "{indent}  \"max_wave_width\": {},", p.max_wave_width);
     let _ = writeln!(out, "{indent}  \"wave_slack\": {},", p.wave_slack_rounds);
+    let _ = writeln!(out, "{indent}  \"dropped\": {},", p.dropped);
     let _ = writeln!(out, "{indent}  \"messages\": {},", p.messages);
     let _ = writeln!(out, "{indent}  \"rounds\": {},", p.rounds);
     let _ = writeln!(
@@ -228,6 +232,7 @@ mod tests {
             waves: 120,
             max_wave_width: 3,
             wave_slack_rounds: 180,
+            dropped: 0,
             messages: 12345,
             rounds: 600,
             pop_start: 100,

@@ -1,12 +1,13 @@
 //! The phase-switching campaign runner.
 //!
 //! Each phase compiles to a batched driver plus a stop predicate, and
-//! runs through [`now_sim::run_batched_until`] — the same
-//! wave-scheduled execution path as `Scenario::run_batched_threaded` —
-//! against the *same* [`NowSystem`], so later regimes inherit the state
-//! earlier ones produced. Per-phase driver streams derive
-//! deterministically from the campaign's master seed, so a campaign is
-//! a single reproducible run whatever the phase mix.
+//! runs through a [`now_sim::BatchRun`] — the same wave-scheduled
+//! execution path as `Scenario::run_batch` — against the *same*
+//! [`NowSystem`], so later regimes inherit the state earlier ones
+//! produced. Per-phase driver streams derive deterministically from
+//! the campaign's master seed, so a campaign is a single reproducible
+//! run whatever the phase mix — including `exec event` phases, whose
+//! network schedules replay from the same seeds.
 
 use crate::model::{Campaign, PhaseExec, PhaseStyle, Trigger};
 use crate::report::{CampaignReport, PhaseReport};
@@ -14,7 +15,7 @@ use now_adversary::{
     BatchDriver, BatchForcedLeave, BatchJoinLeave, BatchSplitForcing, QuietBatches,
 };
 use now_core::{normalize_threads, NowError, NowParams, NowSystem, WavePool};
-use now_sim::{run_batched_until_in, BatchExec, BatchRandomChurn, BatchRunReport, BatchSawtooth};
+use now_sim::{BatchExec, BatchRandomChurn, BatchRun, BatchRunReport, BatchSawtooth};
 
 /// A phase's compiled stop condition (evaluated before the first step
 /// and after every audited step).
@@ -85,7 +86,7 @@ impl Campaign {
         let pool = self
             .phases
             .iter()
-            .any(|p| matches!(p.exec, PhaseExec::Threaded))
+            .any(|p| matches!(p.exec, PhaseExec::Threaded | PhaseExec::Event))
             .then(|| WavePool::new(threads));
 
         for (i, phase) in self.phases.iter().enumerate() {
@@ -112,6 +113,13 @@ impl Campaign {
                 PhaseExec::Threaded => (
                     BatchExec::Threaded(threads),
                     Some(pool.as_ref().expect("threaded phase implies a pool")),
+                ),
+                // Event phases plan their delivery waves on the same
+                // campaign pool; the thread count never changes the
+                // outcome, only wall-clock.
+                PhaseExec::Event => (
+                    BatchExec::Event(phase.net),
+                    Some(pool.as_ref().expect("event phase implies a pool")),
                 ),
             };
             // Per-phase substream: a splitmix-style mix of the master
@@ -141,21 +149,17 @@ impl Campaign {
 
             let pop_start = sys.population();
             let ledger_before = sys.ledger().total();
-            let r = run_batched_until_in(
-                sys,
-                driver.as_mut(),
-                phase.trigger.max_steps(),
-                phase_seed,
-                exec,
-                phase_pool,
-                |s, rep| {
-                    let hit = condition(s, rep);
-                    if hit {
-                        fired.set(true);
-                    }
-                    hit
-                },
-            );
+            let mut run = BatchRun::new().exec(exec).until(|s, rep| {
+                let hit = condition(s, rep);
+                if hit {
+                    fired.set(true);
+                }
+                hit
+            });
+            if let Some(p) = phase_pool {
+                run = run.in_pool(p);
+            }
+            let r = run.run(sys, driver.as_mut(), phase.trigger.max_steps(), phase_seed);
             let ledger_after = sys.ledger().total();
             let trigger_fired = matches!(phase.trigger, Trigger::Steps(_)) || fired.get();
             let pops = r.population.summary();
@@ -181,6 +185,7 @@ impl Campaign {
                 waves: r.waves,
                 max_wave_width: r.max_wave_width,
                 wave_slack_rounds: r.wave_slack_rounds,
+                dropped: r.dropped,
                 messages: ledger_after.messages - ledger_before.messages,
                 rounds: ledger_after.rounds - ledger_before.rounds,
                 pop_start,
@@ -383,6 +388,37 @@ mod tests {
         assert_eq!(b.messages, 0, "quiet spends nothing");
         assert_eq!(b.waves, 0);
         assert_eq!(report.total_messages(), a.messages);
+    }
+
+    #[test]
+    fn event_phases_run_and_replay_across_thread_counts() {
+        use now_core::EventNetConfig;
+        let c = base()
+            .initial_population_of(160)
+            .phase(Phase::new("warm", PhaseStyle::Balanced, Trigger::Steps(5)))
+            .phase(
+                Phase::new("storm", PhaseStyle::Balanced, Trigger::Steps(8))
+                    .width(6)
+                    .net(
+                        EventNetConfig::ideal()
+                            .with_latency(2)
+                            .with_jitter(4)
+                            .with_drop(0.3)
+                            .with_partition(2)
+                            .healing_at(20),
+                    ),
+            )
+            .phase(Phase::new("calm", PhaseStyle::Quiet, Trigger::Steps(3)));
+        let (r1, s1) = c.run(1).unwrap();
+        let (r4, s4) = c.run(4).unwrap();
+        assert_eq!(r1.to_json(), r4.to_json(), "byte-identical across threads");
+        assert_eq!(s1.node_ids(), s4.node_ids());
+        let storm = &r1.phases[1];
+        assert_eq!(storm.steps, 8);
+        assert!(storm.dropped > 0, "30% loss over 8 steps must drop joins");
+        assert_eq!(r1.phases[0].dropped, 0, "wave engines never drop");
+        assert!(r1.to_json().contains("\"dropped\":"));
+        s1.check_consistency().unwrap();
     }
 
     #[test]

@@ -55,7 +55,7 @@
 
 use crate::error::NowError;
 use crate::system::NowSystem;
-use now_net::{ClusterId, Cost, CostKind, NodeId};
+use now_net::{ClusterId, Cost, CostKind, EventRecord, NodeId};
 use std::collections::BTreeSet;
 
 /// One arrival of a batched step: the adversary's corruption decision
@@ -131,6 +131,16 @@ pub struct BatchReport {
     /// engine; every engine applies the same uniform-over-all-clusters
     /// rule the serial [`NowSystem::join`] path uses.
     pub contact_redraws: u64,
+    /// Operations whose triggering message the event network dropped
+    /// (loss or partition). Always zero outside
+    /// [`crate::ExecConfig::Event`]; a dropped operation is admitted
+    /// but not executed this step.
+    pub dropped: u64,
+    /// The delivery trace of the event engine, in delivery order (drops
+    /// first, stamped at send time). Empty outside
+    /// [`crate::ExecConfig::Event`]. Part of the deterministic replay
+    /// surface: same `(seed, config)` ⇒ byte-identical trace.
+    pub events: Vec<EventRecord>,
     /// Wall-clock nanoseconds the batch took to execute on this host.
     /// The only field that legitimately varies between bit-identical
     /// runs — determinism tests and report diffs must ignore it.
@@ -269,9 +279,12 @@ impl NowSystem {
     /// (with the usual per-operation spans nested inside it); the
     /// report carries the wave schedule and the derived parallel round
     /// count alongside.
+    #[deprecated(note = "use `NowSystem::step_batch` with `ExecConfig::serial`")]
     pub fn step_parallel(&mut self, join_honesty: &[bool], leaves: &[NodeId]) -> BatchReport {
-        let joins: Vec<JoinSpec> = join_honesty.iter().map(|&h| JoinSpec::uniform(h)).collect();
-        self.step_parallel_specs(&joins, leaves)
+        self.step_batch(
+            &crate::exec::BatchInput::from_flags(join_honesty, leaves),
+            &crate::exec::ExecConfig::serial(),
+        )
     }
 
     /// [`NowSystem::step_parallel`] with per-arrival contact steering:
@@ -279,7 +292,25 @@ impl NowSystem {
     /// analogue of [`NowSystem::join_via`]), which the attack drivers
     /// (join–leave flood, split forcing) require. Stale contacts
     /// degrade to the uniform draw (see [`JoinSpec`]).
+    #[deprecated(note = "use `NowSystem::step_batch` with `ExecConfig::serial`")]
     pub fn step_parallel_specs(&mut self, joins: &[JoinSpec], leaves: &[NodeId]) -> BatchReport {
+        self.step_batch(
+            &crate::exec::BatchInput::from_specs(joins, leaves),
+            &crate::exec::ExecConfig::serial(),
+        )
+    }
+
+    /// The serial engine ([`crate::ExecConfig::Serial`]): operations
+    /// run one after another off the system's shared randomness stream,
+    /// exactly like a sequence of [`NowSystem::join`] /
+    /// [`NowSystem::leave`] calls folded into one ledger span and one
+    /// time step. The wave schedule is *derived* (measured costs placed
+    /// by the greedy scheduler), not executed.
+    pub(crate) fn step_serial_impl(
+        &mut self,
+        joins: &[JoinSpec],
+        leaves: &[NodeId],
+    ) -> BatchReport {
         let start = std::time::Instant::now();
         self.ledger_mut().begin(CostKind::Batch);
         let mut joined = Vec::with_capacity(joins.len());
@@ -337,6 +368,8 @@ impl NowSystem {
             rounds_parallel,
             waves,
             contact_redraws,
+            dropped: 0,
+            events: Vec::new(),
             wall_nanos: start.elapsed().as_nanos() as u64,
         }
     }
@@ -345,6 +378,7 @@ impl NowSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::{BatchInput, ExecConfig};
     use crate::params::NowParams;
     use now_net::NodeId;
 
@@ -386,7 +420,10 @@ mod tests {
         let mut sys = system(120, 1);
         let before = sys.population();
         let t0 = sys.time_step();
-        let report = sys.step_parallel(&[true, true, false, true], &[]);
+        let report = sys.step_batch(
+            &BatchInput::from_flags(&[true, true, false, true], &[]),
+            &ExecConfig::serial(),
+        );
         assert_eq!(report.joined.len(), 4);
         assert!(report.left.is_empty());
         assert!(report.rejected.is_empty());
@@ -400,7 +437,10 @@ mod tests {
         let mut sys = system(150, 2);
         let leavers: Vec<NodeId> = sys.node_ids().into_iter().take(3).collect();
         let before = sys.population();
-        let report = sys.step_parallel(&[true, true], &leavers);
+        let report = sys.step_batch(
+            &BatchInput::from_flags(&[true, true], &leavers),
+            &ExecConfig::serial(),
+        );
         assert_eq!(report.left.len(), 3);
         assert_eq!(report.joined.len(), 2);
         assert_eq!(sys.population(), before - 1);
@@ -411,7 +451,10 @@ mod tests {
     fn duplicate_leave_is_rejected_not_fatal() {
         let mut sys = system(150, 3);
         let victim = sys.node_ids()[0];
-        let report = sys.step_parallel(&[], &[victim, victim]);
+        let report = sys.step_batch(
+            &BatchInput::from_flags(&[], &[victim, victim]),
+            &ExecConfig::serial(),
+        );
         assert_eq!(report.left, vec![victim]);
         assert_eq!(report.rejected.len(), 1);
         assert!(matches!(report.rejected[0].1, NowError::UnknownNode { .. }));
@@ -423,7 +466,10 @@ mod tests {
         let params = NowParams::for_capacity(1 << 10).unwrap(); // floor 32
         let mut sys = NowSystem::init_fast(params, 33, 0.0, 4);
         let leavers: Vec<NodeId> = sys.node_ids().into_iter().take(3).collect();
-        let report = sys.step_parallel(&[], &leavers);
+        let report = sys.step_batch(
+            &BatchInput::from_flags(&[], &leavers),
+            &ExecConfig::serial(),
+        );
         assert_eq!(report.left.len(), 1, "only one leave fits above the floor");
         assert_eq!(report.rejected.len(), 2);
         assert!(report
@@ -450,7 +496,10 @@ mod tests {
             .iter()
             .map(|&c| sys.cluster(c).unwrap().member_at(0))
             .collect();
-        let report = sys.step_parallel(&[], &leavers);
+        let report = sys.step_batch(
+            &BatchInput::from_flags(&[], &leavers),
+            &ExecConfig::serial(),
+        );
         assert_eq!(report.left.len(), 3);
         assert_eq!(report.wave_count(), 1, "disjoint batch must not serialize");
         assert_eq!(report.max_wave_width(), 3);
@@ -471,7 +520,10 @@ mod tests {
         // overlay, so any two operations conflict.
         let mut sys = system(200, 6);
         let leavers: Vec<NodeId> = sys.node_ids().into_iter().take(2).collect();
-        let report = sys.step_parallel(&[], &leavers);
+        let report = sys.step_batch(
+            &BatchInput::from_flags(&[], &leavers),
+            &ExecConfig::serial(),
+        );
         assert_eq!(report.left.len(), 2);
         assert_eq!(report.wave_count(), 2, "overlapping ops must serialize");
         assert_eq!(
@@ -491,7 +543,10 @@ mod tests {
         let leavers: Vec<NodeId> = batched.node_ids().into_iter().take(4).collect();
         let joins = [true, false, true];
 
-        let report = batched.step_parallel(&joins, &leavers);
+        let report = batched.step_batch(
+            &BatchInput::from_flags(&joins, &leavers),
+            &ExecConfig::serial(),
+        );
         let mut serial_joined = Vec::new();
         for &n in &leavers {
             serial.leave(n).unwrap();
@@ -517,7 +572,10 @@ mod tests {
     fn wave_stats_cover_the_whole_batch() {
         let mut sys = system(200, 5);
         let leavers: Vec<NodeId> = sys.node_ids().into_iter().take(2).collect();
-        let report = sys.step_parallel(&[true, true, true], &leavers);
+        let report = sys.step_batch(
+            &BatchInput::from_flags(&[true, true, true], &leavers),
+            &ExecConfig::serial(),
+        );
         assert_eq!(report.waves.iter().map(|w| w.ops).sum::<usize>(), 5);
         assert_eq!(
             report.waves.iter().map(|w| w.rounds_total).sum::<u64>(),
@@ -537,7 +595,7 @@ mod tests {
         // "At each time step … or nothing occurs."
         let mut sys = system(100, 6);
         let t0 = sys.time_step();
-        let report = sys.step_parallel(&[], &[]);
+        let report = sys.step_batch(&BatchInput::from_flags(&[], &[]), &ExecConfig::serial());
         assert_eq!(sys.time_step(), t0 + 1);
         assert_eq!(report.cost, Cost::ZERO);
         assert_eq!(report.rounds_parallel, 0);
@@ -561,6 +619,8 @@ mod tests {
             rounds_parallel: 0,
             waves: vec![],
             contact_redraws: 0,
+            dropped: 0,
+            events: vec![],
             wall_nanos: 0,
         };
         assert_eq!(report.parallel_speedup(), 7.0);
@@ -580,14 +640,17 @@ mod tests {
     #[test]
     fn max_wave_width_distinguishes_empty_from_serialized() {
         let mut empty = system(100, 20);
-        let report = empty.step_parallel(&[], &[]);
+        let report = empty.step_batch(&BatchInput::from_flags(&[], &[]), &ExecConfig::serial());
         assert_eq!(report.max_wave_width(), 0, "empty schedule");
         assert_eq!(report.wave_slack_rounds(), 0);
 
         // A fully serialized batch on a dense overlay reports width 1.
         let mut dense = system(200, 21);
         let leavers: Vec<NodeId> = dense.node_ids().into_iter().take(2).collect();
-        let serialized = dense.step_parallel(&[], &leavers);
+        let serialized = dense.step_batch(
+            &BatchInput::from_flags(&[], &leavers),
+            &ExecConfig::serial(),
+        );
         assert_eq!(serialized.max_wave_width(), 1, "fully serialized");
         assert_eq!(
             serialized.wave_slack_rounds(),
@@ -604,7 +667,10 @@ mod tests {
             .iter()
             .map(|&c| sys.cluster(c).unwrap().member_at(0))
             .collect();
-        let report = sys.step_parallel(&[], &leavers);
+        let report = sys.step_batch(
+            &BatchInput::from_flags(&[], &leavers),
+            &ExecConfig::serial(),
+        );
         assert_eq!(report.wave_count(), 1);
         assert_eq!(
             report.wave_slack_rounds(),
@@ -617,7 +683,7 @@ mod tests {
     #[test]
     fn batch_lands_under_batch_cost_kind() {
         let mut sys = system(150, 7);
-        sys.step_parallel(&[true], &[]);
+        sys.step_batch(&BatchInput::from_flags(&[true], &[]), &ExecConfig::serial());
         let s = sys.ledger().stats(CostKind::Batch);
         assert_eq!(s.count, 1);
         assert!(s.total_messages > 0);
@@ -631,7 +697,10 @@ mod tests {
         for round in 0..30 {
             let leavers: Vec<NodeId> = sys.node_ids().into_iter().take(2).collect();
             let joins = [round % 3 != 0, true];
-            sys.step_parallel(&joins, &leavers);
+            sys.step_batch(
+                &BatchInput::from_flags(&joins, &leavers),
+                &ExecConfig::serial(),
+            );
         }
         sys.check_consistency().unwrap();
         let audit = sys.audit();

@@ -1,0 +1,336 @@
+//! The single batched entry point: [`NowSystem::step_batch`].
+//!
+//! The batch API grew one public method per execution strategy (serial,
+//! scheduled waves, scoped threads, batch-scoped pools, caller-held
+//! pools — times the flag/spec input split). This module collapses the
+//! matrix into one method taking two values:
+//!
+//! * [`BatchInput`] — *what* the step does: the arrivals and departures
+//!   of one time step, however constructed.
+//! * [`ExecConfig`] — *how* it runs: the execution engine and its
+//!   resources (thread count, a caller-held [`WavePool`], an event
+//!   network model).
+//!
+//! Every engine is bit-deterministic from `(seed, input, config)`: the
+//! serial engine replays the shared-stream semantics of a sequence of
+//! [`NowSystem::join`] / [`NowSystem::leave`] calls, and all other
+//! engines share the plan/apply wave machinery (see
+//! [`crate::wave_exec`]) whose outcome is independent of thread count.
+//! The legacy `step_parallel*` names survive as `#[deprecated]`
+//! delegates onto this method.
+//!
+//! ```
+//! use now_core::{BatchInput, ExecConfig, NowParams, NowSystem};
+//!
+//! let params = NowParams::for_capacity(1 << 10).unwrap();
+//! let mut sys = NowSystem::init_fast(params, 300, 0.2, 7);
+//! let input = BatchInput::new().joins_uniform(4, true);
+//! let report = sys.step_batch(&input, &ExecConfig::threaded(2));
+//! assert_eq!(report.joined.len(), 4);
+//! ```
+
+use crate::batch::{BatchReport, JoinSpec};
+use crate::system::NowSystem;
+use crate::wave_exec::{normalize_threads, PlanEngine, WavePool};
+use now_net::{EventNetConfig, NodeId};
+
+/// The work of one batched time step: departures first, then arrivals,
+/// each in input order (the canonical order of the wave scheduler).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchInput {
+    /// Arrivals, with the adversary's corruption decision and optional
+    /// steered contact per entry.
+    pub joins: Vec<JoinSpec>,
+    /// Departures, by node id.
+    pub leaves: Vec<NodeId>,
+}
+
+impl BatchInput {
+    /// An empty step (still advances the time step when executed).
+    pub fn new() -> Self {
+        BatchInput::default()
+    }
+
+    /// A step from explicit join specs and leave ids (the shape the
+    /// batch drivers produce).
+    pub fn from_specs(joins: &[JoinSpec], leaves: &[NodeId]) -> Self {
+        BatchInput {
+            joins: joins.to_vec(),
+            leaves: leaves.to_vec(),
+        }
+    }
+
+    /// A step from per-arrival honesty flags (each joiner contacts a
+    /// uniformly drawn cluster) and leave ids.
+    pub fn from_flags(join_honesty: &[bool], leaves: &[NodeId]) -> Self {
+        BatchInput {
+            joins: join_honesty.iter().map(|&h| JoinSpec::uniform(h)).collect(),
+            leaves: leaves.to_vec(),
+        }
+    }
+
+    /// Appends one arrival.
+    pub fn join(mut self, spec: JoinSpec) -> Self {
+        self.joins.push(spec);
+        self
+    }
+
+    /// Appends `n` uniform-contact arrivals of the given honesty.
+    pub fn joins_uniform(mut self, n: usize, honest: bool) -> Self {
+        self.joins
+            .extend(std::iter::repeat(JoinSpec::uniform(honest)).take(n));
+        self
+    }
+
+    /// Appends one departure.
+    pub fn leave(mut self, node: NodeId) -> Self {
+        self.leaves.push(node);
+        self
+    }
+
+    /// Appends departures.
+    pub fn leaves(mut self, nodes: &[NodeId]) -> Self {
+        self.leaves.extend_from_slice(nodes);
+        self
+    }
+
+    /// True when the step carries no operations.
+    pub fn is_empty(&self) -> bool {
+        self.joins.is_empty() && self.leaves.is_empty()
+    }
+}
+
+/// How [`NowSystem::step_batch`] executes a step.
+///
+/// Every variant is bit-deterministic; [`ExecConfig::Serial`] has its
+/// own (shared-stream) randomness semantics, while all other variants
+/// produce identical outcomes to each other at every thread count —
+/// they differ only in wall-clock and spawn behavior (and the event
+/// engine in *which* admitted operations execute, governed solely by
+/// its `(seed, net)` pair).
+#[derive(Clone, Copy)]
+pub enum ExecConfig<'p> {
+    /// Operations run one after another off the system's shared
+    /// randomness stream — the semantics of serial [`NowSystem::join`]
+    /// / [`NowSystem::leave`] calls folded into one time step. The wave
+    /// schedule in the report is derived from measured costs, not
+    /// executed.
+    Serial,
+    /// The plan/apply wave engine on the driving thread: waves are
+    /// *executed* (per-operation substreams, canonical effect
+    /// application), with no worker threads. The single-threaded
+    /// reference every threaded configuration must match bit for bit.
+    Scheduled,
+    /// The wave engine on a batch-scoped [`WavePool`] of `threads`
+    /// workers (one spawn set per call; loops should hold a pool and
+    /// use [`ExecConfig::Pooled`]). `0` is treated as 1.
+    Threaded {
+        /// Worker threads for the batch-scoped pool.
+        threads: usize,
+    },
+    /// The legacy scoped executor: bit-identical to the pooled engine
+    /// but spawns fresh scoped workers for every wave of width ≥ 2.
+    /// Retained as the spawn-overhead reference for benches and the
+    /// pooled ≡ scoped property gates.
+    Scoped {
+        /// Scoped worker threads per wave. `0` is treated as 1.
+        threads: usize,
+    },
+    /// The wave engine on a caller-held [`WavePool`]: successive
+    /// batches reuse the pool's workers, so a run spawns O(threads)
+    /// threads total.
+    Pooled {
+        /// The pool whose workers plan the waves.
+        pool: &'p WavePool,
+    },
+    /// The event-driven engine: each admitted operation becomes a
+    /// message on a seeded discrete-event network
+    /// ([`now_net::EventNet`]) with per-link latency/jitter/loss/
+    /// partition models, and operations execute in **delivery order**
+    /// (conflict-free runs of deliveries still drain through the wave
+    /// workers). Messages the network drops are admitted-but-not-
+    /// executed ([`BatchReport::dropped`]); the delivery trace is
+    /// reported in [`BatchReport::events`]. Replayable from
+    /// `(seed, net)` alone — thread count never changes the outcome.
+    Event {
+        /// The per-link network model.
+        net: EventNetConfig,
+        /// Optional caller-held pool for planning delivery waves; the
+        /// driving thread plans alone when absent.
+        pool: Option<&'p WavePool>,
+    },
+}
+
+impl<'p> ExecConfig<'p> {
+    /// [`ExecConfig::Serial`].
+    pub fn serial() -> Self {
+        ExecConfig::Serial
+    }
+
+    /// [`ExecConfig::Scheduled`].
+    pub fn scheduled() -> Self {
+        ExecConfig::Scheduled
+    }
+
+    /// [`ExecConfig::Threaded`] with `threads` workers.
+    pub fn threaded(threads: usize) -> Self {
+        ExecConfig::Threaded { threads }
+    }
+
+    /// [`ExecConfig::Scoped`] with `threads` workers.
+    pub fn scoped(threads: usize) -> Self {
+        ExecConfig::Scoped { threads }
+    }
+
+    /// [`ExecConfig::Pooled`] on a caller-held pool.
+    pub fn pooled(pool: &'p WavePool) -> Self {
+        ExecConfig::Pooled { pool }
+    }
+
+    /// [`ExecConfig::Event`] planning on the driving thread.
+    pub fn event(net: EventNetConfig) -> Self {
+        ExecConfig::Event { net, pool: None }
+    }
+
+    /// [`ExecConfig::Event`] planning on a caller-held pool.
+    pub fn event_in(net: EventNetConfig, pool: &'p WavePool) -> Self {
+        ExecConfig::Event {
+            net,
+            pool: Some(pool),
+        }
+    }
+}
+
+impl std::fmt::Debug for ExecConfig<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ExecConfig::Serial => f.write_str("Serial"),
+            ExecConfig::Scheduled => f.write_str("Scheduled"),
+            ExecConfig::Threaded { threads } => f
+                .debug_struct("Threaded")
+                .field("threads", &threads)
+                .finish(),
+            ExecConfig::Scoped { threads } => {
+                f.debug_struct("Scoped").field("threads", &threads).finish()
+            }
+            ExecConfig::Pooled { pool } => f
+                .debug_struct("Pooled")
+                .field("threads", &pool.threads())
+                .finish(),
+            ExecConfig::Event { net, pool } => f
+                .debug_struct("Event")
+                .field("net", &net)
+                .field("pooled", &pool.is_some())
+                .finish(),
+        }
+    }
+}
+
+impl NowSystem {
+    /// Executes one batched time step — **the** batch entry point.
+    ///
+    /// `input` carries the step's departures and arrivals (canonical
+    /// order: departures first, each list in input order); `exec`
+    /// selects the execution engine. Rejection rules are identical
+    /// across engines: departures are validated up front against the
+    /// `N^{1/y}` population floor and the batch's earlier claims, and
+    /// rejected operations cost nothing and occupy no wave slot.
+    ///
+    /// See [`ExecConfig`] for the determinism contract per engine.
+    pub fn step_batch(&mut self, input: &BatchInput, exec: &ExecConfig<'_>) -> BatchReport {
+        match *exec {
+            ExecConfig::Serial => self.step_serial_impl(&input.joins, &input.leaves),
+            ExecConfig::Scheduled => {
+                self.step_waves_impl(&input.joins, &input.leaves, PlanEngine::Scoped(1))
+            }
+            ExecConfig::Threaded { threads } => {
+                let pool = WavePool::new(threads);
+                self.step_waves_impl(&input.joins, &input.leaves, PlanEngine::Pooled(&pool))
+            }
+            ExecConfig::Scoped { threads } => self.step_waves_impl(
+                &input.joins,
+                &input.leaves,
+                PlanEngine::Scoped(normalize_threads(threads)),
+            ),
+            ExecConfig::Pooled { pool } => {
+                self.step_waves_impl(&input.joins, &input.leaves, PlanEngine::Pooled(pool))
+            }
+            ExecConfig::Event { net, pool } => {
+                self.step_event_impl(&input.joins, &input.leaves, net, pool)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::NowParams;
+
+    fn system(n0: usize, seed: u64) -> NowSystem {
+        let params = NowParams::for_capacity(1 << 10).unwrap();
+        NowSystem::init_fast(params, n0, 0.2, seed)
+    }
+
+    #[test]
+    fn batch_input_builders_agree() {
+        let a = BatchInput::from_flags(&[true, false], &[]);
+        let b = BatchInput::new()
+            .join(JoinSpec::uniform(true))
+            .join(JoinSpec::uniform(false));
+        assert_eq!(a, b);
+        assert!(BatchInput::new().is_empty());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn scheduled_threaded_scoped_and_pooled_agree() {
+        let input = BatchInput::new().joins_uniform(12, true);
+        let mut reference = system(260, 33);
+        let want = reference.step_batch(&input, &ExecConfig::scheduled());
+        let pool = WavePool::new(3);
+        for exec in [
+            ExecConfig::threaded(4),
+            ExecConfig::scoped(2),
+            ExecConfig::pooled(&pool),
+        ] {
+            let mut sys = system(260, 33);
+            let got = sys.step_batch(&input, &exec);
+            assert_eq!(got.joined, want.joined, "{exec:?}");
+            assert_eq!(got.cost, want.cost, "{exec:?}");
+            assert_eq!(got.waves, want.waves, "{exec:?}");
+            assert_eq!(sys.population(), reference.population(), "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn serial_engine_reports_no_events() {
+        let mut sys = system(240, 5);
+        let report = sys.step_batch(
+            &BatchInput::new().joins_uniform(3, true),
+            &ExecConfig::serial(),
+        );
+        assert_eq!(report.dropped, 0);
+        assert!(report.events.is_empty());
+        assert_eq!(report.joined.len(), 3);
+    }
+
+    #[test]
+    fn empty_step_still_advances_time() {
+        let mut sys = system(240, 6);
+        let t0 = sys.time_step();
+        let report = sys.step_batch(&BatchInput::new(), &ExecConfig::scheduled());
+        assert_eq!(report.joined.len() + report.left.len(), 0);
+        assert_eq!(sys.time_step(), t0 + 1);
+    }
+
+    #[test]
+    fn exec_config_debug_is_compact() {
+        let pool = WavePool::new(2);
+        assert_eq!(format!("{:?}", ExecConfig::serial()), "Serial");
+        assert!(format!("{:?}", ExecConfig::pooled(&pool)).contains("Pooled"));
+        assert!(
+            format!("{:?}", ExecConfig::event(now_net::EventNetConfig::ideal())).contains("Event")
+        );
+    }
+}

@@ -48,13 +48,16 @@
 // which takes two `unsafe` blocks (SAFETY-documented in
 // `wave_exec.rs`); everything else in the crate stays safe code.
 #![deny(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 mod audit;
 mod batch;
 mod cluster;
 mod error;
+mod event_exec;
 mod exchange;
+mod exec;
 pub mod init;
 pub mod init_tree;
 mod malice;
@@ -70,7 +73,9 @@ pub use audit::SystemAudit;
 pub use batch::{BatchReport, JoinSpec, WaveStats};
 pub use cluster::Cluster;
 pub use error::NowError;
+pub use exec::{BatchInput, ExecConfig};
 pub use malice::{Malice, NoMalice, RandNumContext, RandNumPurpose};
+pub use now_net::{DropReason, EventNetConfig, EventRecord, Partition};
 pub use params::{NowParams, SecurityMode};
 pub use rand_cl::WalkTrace;
 pub use registry::{ClusterStats, FootprintHandle, NodeRecord, Registry, WaveShards};

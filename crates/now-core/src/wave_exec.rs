@@ -115,20 +115,30 @@ pub fn wave_worker_spawn_total() -> u64 {
     WAVE_WORKER_SPAWNS.load(Ordering::Relaxed)
 }
 
-/// One batched operation in canonical order, with the footprint the
-/// wave partition was computed from.
-struct OpSpec {
-    op: PlannedOp,
-    footprint: Vec<ClusterId>,
+/// One batched operation, with the footprint the wave partition was
+/// computed from.
+pub(crate) struct OpSpec {
+    pub(crate) op: PlannedOp,
+    pub(crate) footprint: Vec<ClusterId>,
+    /// The operation's **canonical index** in the batch (departures
+    /// before arrivals, each in input order): the key of its
+    /// [`DetRng::for_op`] substream. Stored on the spec so executors
+    /// that *reorder* operations (the event engine executes in network
+    /// delivery order) still hand every op the stream its canonical
+    /// position owns.
+    pub(crate) canon: u64,
+    /// The cluster the operation coordinates through (the leaver's
+    /// home, the joiner's contact): the event engine's delivery port.
+    pub(crate) center: ClusterId,
     /// Whether a join's steered contact was already dead at batch
     /// admission and degraded to the uniform draw (always `false` for
     /// leaves). Folded with the plan-time redraw into at most **one**
     /// counted redraw per operation, matching the scheduled engine's
     /// resolve-once-per-op semantics.
-    contact_redrawn: bool,
+    pub(crate) contact_redrawn: bool,
 }
 
-enum PlannedOp {
+pub(crate) enum PlannedOp {
     Leave {
         node: NodeId,
     },
@@ -613,7 +623,7 @@ fn plan_op(
 /// The worker claim loop shared by the pooled and scoped executors:
 /// claim the next op via the atomic cursor, derive its substream, plan
 /// it, and park the plan in its positional slot. Because both executors
-/// run this exact loop against the same `(master, time_step, base)`
+/// run this exact loop against the same `(master, time_step, canon)`
 /// keying, their outputs are bit-identical however claims interleave —
 /// and identical to the sequential path.
 fn claim_and_plan(
@@ -623,14 +633,13 @@ fn claim_and_plan(
     cursor: &AtomicUsize,
     master: u64,
     time_step: u64,
-    base: usize,
 ) {
     loop {
         let i = cursor.fetch_add(1, Ordering::Relaxed);
         if i >= specs.len() {
             break;
         }
-        let rng = DetRng::for_op(master, time_step, (base + i) as u64);
+        let rng = DetRng::for_op(master, time_step, specs[i].canon);
         let plan = plan_op(ctx, &specs[i], rng, None);
         *slots[i].lock().expect("plan slot poisoned") = Some(plan);
     }
@@ -643,13 +652,11 @@ fn plan_wave_sequential(
     specs: &[OpSpec],
     master: u64,
     time_step: u64,
-    base: usize,
 ) -> Vec<OpPlan> {
     specs
         .iter()
-        .enumerate()
-        .map(|(i, spec)| {
-            let rng = DetRng::for_op(master, time_step, (base + i) as u64);
+        .map(|spec| {
+            let rng = DetRng::for_op(master, time_step, spec.canon);
             plan_op(ctx, spec, rng, None)
         })
         .collect()
@@ -679,20 +686,19 @@ fn plan_wave_scoped(
     specs: &[OpSpec],
     master: u64,
     time_step: u64,
-    base: usize,
     threads: usize,
 ) -> Vec<OpPlan> {
     let n = specs.len();
     let workers = threads.min(n);
     if workers <= 1 {
-        return plan_wave_sequential(ctx, specs, master, time_step, base);
+        return plan_wave_sequential(ctx, specs, master, time_step);
     }
     let slots: Vec<Mutex<Option<OpPlan>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             WAVE_WORKER_SPAWNS.fetch_add(1, Ordering::Relaxed);
-            scope.spawn(|| claim_and_plan(ctx, specs, &slots, &cursor, master, time_step, base));
+            scope.spawn(|| claim_and_plan(ctx, specs, &slots, &cursor, master, time_step));
         }
     });
     collect_slots(slots)
@@ -718,7 +724,6 @@ struct WaveJob {
     len: usize,
     master: u64,
     time_step: u64,
-    base: usize,
 }
 
 // SAFETY: a `WaveJob` is an inert bundle of pointers plus plain keying
@@ -748,15 +753,7 @@ fn run_wave_job(job: &WaveJob) {
             &*job.cursor,
         )
     };
-    claim_and_plan(
-        ctx,
-        specs,
-        slots,
-        cursor,
-        job.master,
-        job.time_step,
-        job.base,
-    );
+    claim_and_plan(ctx, specs, slots, cursor, job.master, job.time_step);
 }
 
 /// A worker thread of the pool: its private job channel plus the join
@@ -858,12 +855,11 @@ impl WavePool {
         specs: &[OpSpec],
         master: u64,
         time_step: u64,
-        base: usize,
     ) -> Vec<OpPlan> {
         let n = specs.len();
         let participants = self.workers.len().min(n);
         if participants <= 1 {
-            return plan_wave_sequential(ctx, specs, master, time_step, base);
+            return plan_wave_sequential(ctx, specs, master, time_step);
         }
         let slots: Vec<Mutex<Option<OpPlan>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
@@ -878,7 +874,6 @@ impl WavePool {
                 len: n,
                 master,
                 time_step,
-                base,
             };
             worker.job_tx.send(job).expect("pool worker alive");
         }
@@ -915,7 +910,7 @@ impl Drop for WavePool {
 }
 
 /// Which parallel planner a batched step runs its waves on.
-enum PlanEngine<'p> {
+pub(crate) enum PlanEngine<'p> {
     /// The persistent pool (one spawn per pool lifetime).
     Pooled(&'p WavePool),
     /// The legacy scoped executor (spawns per wave); retained as the
@@ -924,8 +919,10 @@ enum PlanEngine<'p> {
 }
 
 /// Order-preserving greedy wave partition over pre-batch footprints
-/// (the same rule the serial scheduler applies incrementally).
-fn partition_waves(specs: &[OpSpec]) -> Vec<Range<usize>> {
+/// (the same rule the serial scheduler applies incrementally). The
+/// event engine feeds this the batch in *network delivery order*; the
+/// other engines feed it the canonical order.
+pub(crate) fn partition_waves(specs: &[OpSpec]) -> Vec<Range<usize>> {
     let mut waves = Vec::new();
     let mut start = 0usize;
     let mut union: BTreeSet<ClusterId> = BTreeSet::new();
@@ -944,6 +941,22 @@ fn partition_waves(specs: &[OpSpec]) -> Vec<Range<usize>> {
     waves
 }
 
+/// The admitted half of a batch: up-front rejection decisions applied,
+/// node ids assigned, canonical substream indices fixed. Every engine
+/// (scheduled waves, event-driven) starts from this.
+pub(crate) struct AdmittedBatch {
+    /// Ids assigned to the batch's joiners, in input order.
+    pub(crate) joined: Vec<NodeId>,
+    /// Departures that passed validation, in input order.
+    pub(crate) left: Vec<NodeId>,
+    /// Departures refused with the reason.
+    pub(crate) rejected: Vec<(NodeId, NowError)>,
+    /// The admitted operations in canonical order.
+    pub(crate) specs: Vec<OpSpec>,
+    /// Steered contacts redrawn at admission.
+    pub(crate) contact_redraws: u64,
+}
+
 impl NowSystem {
     /// Executes a batch of departures and arrivals as one time step,
     /// *actually running* each conflict-free wave's operations on up to
@@ -955,101 +968,90 @@ impl NowSystem {
     /// wave schedule all match a `threads = 1` run of the same seed;
     /// only [`BatchReport::wall_nanos`] varies. `threads = 0` is
     /// treated as 1.
-    ///
-    /// Rejection rules match [`NowSystem::step_parallel`]: departures
-    /// are validated up front in canonical order against the projected
-    /// population (floor) and the batch's earlier claims (duplicates),
-    /// and rejected operations occupy no wave slot.
-    ///
-    /// This convenience form builds a batch-scoped [`WavePool`] (one
-    /// spawn set per call). Loops should hold a run-scoped pool and
-    /// call [`NowSystem::step_parallel_pooled`] instead.
+    #[deprecated(note = "use `NowSystem::step_batch` with `ExecConfig::threaded`")]
     pub fn step_parallel_threaded(
         &mut self,
         join_honesty: &[bool],
         leaves: &[NodeId],
         threads: usize,
     ) -> BatchReport {
-        let joins: Vec<crate::batch::JoinSpec> = join_honesty
-            .iter()
-            .map(|&h| crate::batch::JoinSpec::uniform(h))
-            .collect();
-        self.step_parallel_threaded_specs(&joins, leaves, threads)
+        self.step_batch(
+            &crate::exec::BatchInput::from_flags(join_honesty, leaves),
+            &crate::exec::ExecConfig::threaded(threads),
+        )
     }
 
     /// [`NowSystem::step_parallel_threaded`] with per-arrival contact
-    /// steering (see [`crate::batch::JoinSpec`]): the threaded
-    /// counterpart of [`NowSystem::step_parallel_specs`]. Contact
-    /// resolution happens on the driving thread before planning, so the
-    /// bit-identical-across-thread-counts contract is unaffected.
+    /// steering (see [`crate::batch::JoinSpec`]).
+    #[deprecated(note = "use `NowSystem::step_batch` with `ExecConfig::threaded`")]
     pub fn step_parallel_threaded_specs(
         &mut self,
         joins: &[crate::batch::JoinSpec],
         leaves: &[NodeId],
         threads: usize,
     ) -> BatchReport {
-        let pool = WavePool::new(threads);
-        self.step_parallel_pooled_specs(joins, leaves, &pool)
+        self.step_batch(
+            &crate::exec::BatchInput::from_specs(joins, leaves),
+            &crate::exec::ExecConfig::threaded(threads),
+        )
     }
 
     /// [`NowSystem::step_parallel_threaded`] on a caller-held
-    /// [`WavePool`]: successive batches reuse the pool's workers, so a
-    /// run spawns O(threads) threads total instead of O(batches·threads)
-    /// (or the scoped executor's O(waves·threads)). Outcomes are
-    /// bit-identical to every other engine configuration of the same
-    /// seed.
+    /// [`WavePool`].
+    #[deprecated(note = "use `NowSystem::step_batch` with `ExecConfig::pooled`")]
     pub fn step_parallel_pooled(
         &mut self,
         join_honesty: &[bool],
         leaves: &[NodeId],
         pool: &WavePool,
     ) -> BatchReport {
-        let joins: Vec<crate::batch::JoinSpec> = join_honesty
-            .iter()
-            .map(|&h| crate::batch::JoinSpec::uniform(h))
-            .collect();
-        self.step_parallel_pooled_specs(&joins, leaves, pool)
+        self.step_batch(
+            &crate::exec::BatchInput::from_flags(join_honesty, leaves),
+            &crate::exec::ExecConfig::pooled(pool),
+        )
     }
 
     /// [`NowSystem::step_parallel_pooled`] with per-arrival contact
-    /// steering — the primary batched entry point of the pooled engine.
+    /// steering.
+    #[deprecated(note = "use `NowSystem::step_batch` with `ExecConfig::pooled`")]
     pub fn step_parallel_pooled_specs(
         &mut self,
         joins: &[crate::batch::JoinSpec],
         leaves: &[NodeId],
         pool: &WavePool,
     ) -> BatchReport {
-        self.step_parallel_engine(joins, leaves, PlanEngine::Pooled(pool))
+        self.step_batch(
+            &crate::exec::BatchInput::from_specs(joins, leaves),
+            &crate::exec::ExecConfig::pooled(pool),
+        )
     }
 
     /// The legacy scoped executor: bit-identical to the pooled engine
     /// but spawns fresh scoped workers for every wave of width ≥ 2.
-    /// Retained as the spawn-overhead reference for benches and the
-    /// pooled ≡ scoped property/CI gates; new code should use
-    /// [`NowSystem::step_parallel_pooled_specs`].
+    #[deprecated(note = "use `NowSystem::step_batch` with `ExecConfig::scoped`")]
     pub fn step_parallel_scoped_specs(
         &mut self,
         joins: &[crate::batch::JoinSpec],
         leaves: &[NodeId],
         threads: usize,
     ) -> BatchReport {
-        self.step_parallel_engine(
-            joins,
-            leaves,
-            PlanEngine::Scoped(normalize_threads(threads)),
+        self.step_batch(
+            &crate::exec::BatchInput::from_specs(joins, leaves),
+            &crate::exec::ExecConfig::scoped(threads),
         )
     }
 
-    fn step_parallel_engine(
+    /// Validates a batch up front and fixes the canonical order:
+    /// departures before arrivals, each in input order, with the
+    /// per-operation substream index ([`OpSpec::canon`]) equal to the
+    /// operation's canonical position. Shared by the wave engines and
+    /// the event engine, so admission semantics cannot drift between
+    /// them.
+    pub(crate) fn admit_batch(
         &mut self,
         joins: &[crate::batch::JoinSpec],
         leaves: &[NodeId],
-        engine: PlanEngine<'_>,
-    ) -> BatchReport {
-        let start = Instant::now();
-        self.ledger.begin(CostKind::Batch);
-
-        // Canonical op list with up-front rejection decisions.
+    ) -> AdmittedBatch {
         let mut joined = Vec::with_capacity(joins.len());
         let mut left = Vec::new();
         let mut rejected = Vec::new();
@@ -1080,13 +1082,17 @@ impl NowSystem {
                     specs.push(OpSpec {
                         op: PlannedOp::Leave { node },
                         footprint: self.op_footprint(home),
+                        canon: specs.len() as u64,
+                        center: home,
                         contact_redrawn: false,
                     });
                 }
                 Err(e) => rejected.push((node, e)),
             }
         }
-        let mut contact_redraws = 0u64;
+        // Redraws are counted when the op's wave executes (via the
+        // spec flag), so admission itself reports zero.
+        let contact_redraws = 0u64;
         for &spec in joins {
             // Admission-time resolution against the pre-batch state;
             // contacts dissolved later, by an earlier *wave* of this
@@ -1102,21 +1108,80 @@ impl NowSystem {
                     contact,
                 },
                 footprint: self.op_footprint(contact),
+                canon: specs.len() as u64,
+                center: contact,
                 contact_redrawn: redrawn,
             });
         }
+        AdmittedBatch {
+            joined,
+            left,
+            rejected,
+            specs,
+            contact_redraws,
+        }
+    }
+
+    pub(crate) fn step_waves_impl(
+        &mut self,
+        joins: &[crate::batch::JoinSpec],
+        leaves: &[NodeId],
+        engine: PlanEngine<'_>,
+    ) -> BatchReport {
+        let start = Instant::now();
+        self.ledger.begin(CostKind::Batch);
+
+        let AdmittedBatch {
+            joined,
+            left,
+            rejected,
+            specs,
+            mut contact_redraws,
+        } = self.admit_batch(joins, leaves);
 
         let waves = partition_waves(&specs);
         let master = self.rng.next_u64();
+
+        let mut wave_stats: Vec<WaveStats> = Vec::with_capacity(waves.len());
+        for wave in waves {
+            let stats = self.execute_wave(&specs[wave], &engine, master, &mut contact_redraws);
+            wave_stats.push(stats);
+        }
+
+        let rounds_parallel = wave_stats.iter().map(|w| w.rounds_max).sum();
+        let cost = self.ledger.end();
+        self.advance_time_step();
+        BatchReport {
+            joined,
+            left,
+            rejected,
+            cost,
+            rounds_parallel,
+            waves: wave_stats,
+            contact_redraws,
+            dropped: 0,
+            events: Vec::new(),
+            wall_nanos: start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Plans and applies one conflict-free wave: plan on the engine's
+    /// workers (sequentially for a strategic Malice), apply effects
+    /// canonically through the wave shards, fold ledgers, then run the
+    /// deferred size maintenance. Shared by the wave engines (canonical
+    /// order) and the event engine (delivery order).
+    pub(crate) fn execute_wave(
+        &mut self,
+        wave_specs: &[OpSpec],
+        engine: &PlanEngine<'_>,
+        master: u64,
+        contact_redraws: &mut u64,
+    ) -> WaveStats {
         let time_step = self.time_step;
         let neutral = self.malice.is_neutral();
         let recording = self.ledger.is_recording();
 
-        let mut wave_stats: Vec<WaveStats> = Vec::with_capacity(waves.len());
-        for wave in waves {
-            let base = wave.start;
-            let wave_specs = &specs[wave];
-
+        {
             // ---- plan (workers; sequential for a strategic Malice) ----
             let ctx = WaveCtx {
                 registry: &self.registry,
@@ -1125,20 +1190,17 @@ impl NowSystem {
                 recording,
             };
             let plans: Vec<OpPlan> = if neutral {
-                match engine {
-                    PlanEngine::Pooled(pool) => {
-                        pool.plan_wave(&ctx, wave_specs, master, time_step, base)
-                    }
+                match *engine {
+                    PlanEngine::Pooled(pool) => pool.plan_wave(&ctx, wave_specs, master, time_step),
                     PlanEngine::Scoped(threads) => {
-                        plan_wave_scoped(&ctx, wave_specs, master, time_step, base, threads)
+                        plan_wave_scoped(&ctx, wave_specs, master, time_step, threads)
                     }
                 }
             } else {
                 wave_specs
                     .iter()
-                    .enumerate()
-                    .map(|(i, spec)| {
-                        let rng = DetRng::for_op(master, time_step, (base + i) as u64);
+                    .map(|spec| {
+                        let rng = DetRng::for_op(master, time_step, spec.canon);
                         plan_op(&ctx, spec, rng, Some(&mut *self.malice))
                     })
                     .collect()
@@ -1152,7 +1214,7 @@ impl NowSystem {
                 stats.rounds_total += plan.cost.rounds;
                 stats.messages += plan.cost.messages;
                 if spec.contact_redrawn || plan.contact_redrawn {
-                    contact_redraws += 1;
+                    *contact_redraws += 1;
                 }
             }
 
@@ -1266,21 +1328,7 @@ impl NowSystem {
                 }
             }
 
-            wave_stats.push(stats);
-        }
-
-        let rounds_parallel = wave_stats.iter().map(|w| w.rounds_max).sum();
-        let cost = self.ledger.end();
-        self.advance_time_step();
-        BatchReport {
-            joined,
-            left,
-            rejected,
-            cost,
-            rounds_parallel,
-            waves: wave_stats,
-            contact_redraws,
-            wall_nanos: start.elapsed().as_nanos() as u64,
+            stats
         }
     }
 }
@@ -1288,6 +1336,7 @@ impl NowSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::{BatchInput, ExecConfig};
     use crate::params::NowParams;
     use now_net::CostKind;
 
@@ -1353,7 +1402,10 @@ mod tests {
             .step_by(17)
             .take(n_leaves)
             .collect();
-        let report = sys.step_parallel_threaded(joins, &leaves, threads);
+        let report = sys.step_batch(
+            &BatchInput::from_flags(joins, &leaves),
+            &ExecConfig::threaded(threads),
+        );
         (sys, report)
     }
 
@@ -1399,7 +1451,10 @@ mod tests {
                 .iter()
                 .map(|&h| crate::batch::JoinSpec::uniform(h))
                 .collect();
-            let report = sys.step_parallel_scoped_specs(&specs, &leaves, threads);
+            let report = sys.step_batch(
+                &BatchInput::from_specs(&specs, &leaves),
+                &ExecConfig::scoped(threads),
+            );
             (fingerprint(&sys, &report), sys)
         };
         let (f0, _) = scoped(0);
@@ -1424,7 +1479,10 @@ mod tests {
             .map(|&h| crate::batch::JoinSpec::uniform(h))
             .collect();
         let (mut seq_sys, leaves) = build();
-        let seq_report = seq_sys.step_parallel_threaded_specs(&specs, &leaves, 1);
+        let seq_report = seq_sys.step_batch(
+            &BatchInput::from_specs(&specs, &leaves),
+            &ExecConfig::threaded(1),
+        );
         assert!(
             seq_report.waves.len() >= 2,
             "want a multi-wave batch: {:?}",
@@ -1433,9 +1491,15 @@ mod tests {
         for threads in [2usize, 4, 8] {
             let (mut pooled_sys, leaves) = build();
             let pool = WavePool::new(threads);
-            let pooled_report = pooled_sys.step_parallel_pooled_specs(&specs, &leaves, &pool);
+            let pooled_report = pooled_sys.step_batch(
+                &BatchInput::from_specs(&specs, &leaves),
+                &ExecConfig::pooled(&pool),
+            );
             let (mut scoped_sys, leaves) = build();
-            let scoped_report = scoped_sys.step_parallel_scoped_specs(&specs, &leaves, threads);
+            let scoped_report = scoped_sys.step_batch(
+                &BatchInput::from_specs(&specs, &leaves),
+                &ExecConfig::scoped(threads),
+            );
             assert_eq!(
                 fingerprint(&seq_sys, &seq_report),
                 fingerprint(&pooled_sys, &pooled_report),
@@ -1468,10 +1532,16 @@ mod tests {
                     .collect();
                 let joins = [step % 2 == 0, true, false];
                 let report = if reuse {
-                    sys.step_parallel_pooled(&joins, &leaves, &shared)
+                    sys.step_batch(
+                        &BatchInput::from_flags(&joins, &leaves),
+                        &ExecConfig::pooled(&shared),
+                    )
                 } else {
                     let fresh = WavePool::new(4);
-                    sys.step_parallel_pooled(&joins, &leaves, &fresh)
+                    sys.step_batch(
+                        &BatchInput::from_flags(&joins, &leaves),
+                        &ExecConfig::pooled(&fresh),
+                    )
                 };
                 out.push((
                     report.joined,
@@ -1499,13 +1569,16 @@ mod tests {
         ];
         let mut scheduled = system(150, 31);
         assert!(scheduled.cluster(ghost).is_none());
-        let r = scheduled.step_parallel_specs(&joins, &[]);
+        let r = scheduled.step_batch(&BatchInput::from_specs(&joins, &[]), &ExecConfig::serial());
         assert_eq!(r.contact_redraws, 1, "scheduled engine counts the redraw");
         assert_eq!(r.joined.len(), 2);
         scheduled.check_consistency().unwrap();
 
         let mut threaded = system(150, 31);
-        let r = threaded.step_parallel_threaded_specs(&joins, &[], 4);
+        let r = threaded.step_batch(
+            &BatchInput::from_specs(&joins, &[]),
+            &ExecConfig::threaded(4),
+        );
         assert_eq!(r.contact_redraws, 1, "threaded engine counts the redraw");
         assert_eq!(r.joined.len(), 2);
         threaded.check_consistency().unwrap();
@@ -1544,7 +1617,10 @@ mod tests {
 
             // Probe: which cluster does the batch's merge dissolve?
             let mut probe = build(seed);
-            probe.step_parallel_threaded(&[], &leaves, 1);
+            probe.step_batch(
+                &BatchInput::from_flags(&[], &leaves),
+                &ExecConfig::threaded(1),
+            );
             let dissolved: Vec<ClusterId> = ids_before
                 .iter()
                 .copied()
@@ -1554,7 +1630,10 @@ mod tests {
             for &victim in &dissolved {
                 let joins = [crate::batch::JoinSpec::via(victim, true)];
                 let mut s1 = build(seed);
-                let r1 = s1.step_parallel_threaded_specs(&joins, &leaves, 1);
+                let r1 = s1.step_batch(
+                    &BatchInput::from_specs(&joins, &leaves),
+                    &ExecConfig::threaded(1),
+                );
                 if r1.contact_redraws == 0 {
                     continue;
                 }
@@ -1566,7 +1645,10 @@ mod tests {
                 );
                 s1.check_consistency().unwrap();
                 let mut s4 = build(seed);
-                let r4 = s4.step_parallel_threaded_specs(&joins, &leaves, 4);
+                let r4 = s4.step_batch(
+                    &BatchInput::from_specs(&joins, &leaves),
+                    &ExecConfig::threaded(4),
+                );
                 assert_eq!(
                     fingerprint(&s1, &r1),
                     fingerprint(&s4, &r4),
@@ -1621,7 +1703,10 @@ mod tests {
         let nodes = sys.node_ids();
         // One fits above the floor, the duplicate and the rest reject.
         let leaves = [nodes[0], nodes[0], nodes[1]];
-        let report = sys.step_parallel_threaded(&[], &leaves, 4);
+        let report = sys.step_batch(
+            &BatchInput::from_flags(&[], &leaves),
+            &ExecConfig::threaded(4),
+        );
         assert_eq!(report.left, vec![nodes[0]]);
         assert_eq!(report.rejected.len(), 2);
         assert!(matches!(
@@ -1646,7 +1731,10 @@ mod tests {
         for round in 0..25u64 {
             let leavers: Vec<NodeId> = sys.node_ids().into_iter().take(2).collect();
             let joins = [round % 3 != 0, true];
-            let report = sys.step_parallel_threaded(&joins, &leavers, 4);
+            let report = sys.step_batch(
+                &BatchInput::from_flags(&joins, &leavers),
+                &ExecConfig::threaded(4),
+            );
             assert_eq!(report.joined.len(), 2);
             sys.check_consistency().unwrap();
             // The size band must hold after *every* batch — including
@@ -1704,9 +1792,15 @@ mod tests {
             serial_leave += a.ledger().stats(CostKind::Leave).total_messages;
 
             let mut b = system(160, seed);
-            b.step_parallel_threaded(&[true], &[], 1);
+            b.step_batch(
+                &BatchInput::from_flags(&[true], &[]),
+                &ExecConfig::threaded(1),
+            );
             let victim = b.node_ids()[0];
-            b.step_parallel_threaded(&[], &[victim], 1);
+            b.step_batch(
+                &BatchInput::from_flags(&[], &[victim]),
+                &ExecConfig::threaded(1),
+            );
             mirror_join += b.ledger().stats(CostKind::Join).total_messages;
             mirror_leave += b.ledger().stats(CostKind::Leave).total_messages;
 
@@ -1735,7 +1829,10 @@ mod tests {
         let mut sys = system(220, 8);
         for _ in 0..30 {
             let leavers: Vec<NodeId> = sys.node_ids().into_iter().take(3).collect();
-            sys.step_parallel_threaded(&[], &leavers, 4);
+            sys.step_batch(
+                &BatchInput::from_flags(&[], &leavers),
+                &ExecConfig::threaded(4),
+            );
             sys.check_consistency().unwrap();
         }
         let (_, _, _, merges) = sys.op_counts();
@@ -1743,7 +1840,10 @@ mod tests {
 
         let mut grow = system(100, 9);
         for _ in 0..30 {
-            grow.step_parallel_threaded(&[true, true, true, true], &[], 4);
+            grow.step_batch(
+                &BatchInput::from_flags(&[true, true, true, true], &[]),
+                &ExecConfig::threaded(4),
+            );
             grow.check_consistency().unwrap();
         }
         let (_, _, splits, _) = grow.op_counts();
@@ -1753,7 +1853,10 @@ mod tests {
     #[test]
     fn batch_lands_under_batch_cost_kind_with_nested_ops() {
         let mut sys = system(150, 10);
-        let report = sys.step_parallel_threaded(&[true, false], &[], 2);
+        let report = sys.step_batch(
+            &BatchInput::from_flags(&[true, false], &[]),
+            &ExecConfig::threaded(2),
+        );
         assert_eq!(report.joined.len(), 2);
         let batch = sys.ledger().stats(CostKind::Batch);
         assert_eq!(batch.count, 1);
@@ -1768,7 +1871,7 @@ mod tests {
         let mut sys = system(100, 11);
         let t0 = sys.time_step();
         let total = sys.ledger().total();
-        let report = sys.step_parallel_threaded(&[], &[], 8);
+        let report = sys.step_batch(&BatchInput::from_flags(&[], &[]), &ExecConfig::threaded(8));
         assert_eq!(sys.time_step(), t0 + 1);
         assert_eq!(report.cost, Cost::ZERO);
         assert_eq!(sys.ledger().total(), total);
@@ -1783,7 +1886,10 @@ mod tests {
         let go = |threads: usize| {
             let mut s = NowSystem::init_fast(params, 150, 0.1, 12);
             *s.ledger_mut() = Ledger::recording();
-            s.step_parallel_threaded(&[true, true, false], &[], threads);
+            s.step_batch(
+                &BatchInput::from_flags(&[true, true, false], &[]),
+                &ExecConfig::threaded(threads),
+            );
             s.ledger().records().to_vec()
         };
         let serial = go(1);

@@ -33,6 +33,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 pub mod expansion;

@@ -24,6 +24,11 @@ use std::collections::BTreeMap;
 
 /// Asynchronous network over `n` ports with bounded adversarial delays.
 ///
+/// `max_delay` is a **simulation horizon**, not a protocol assumption:
+/// it bounds how far into virtual time the adversary can push any
+/// single delivery, so every simulated run terminates, while the
+/// protocols on top never read the clock (see the module docs).
+///
 /// # Example
 /// ```
 /// use now_net::{AsyncNet, DetRng};
@@ -31,8 +36,10 @@ use std::collections::BTreeMap;
 /// let mut net: AsyncNet<u32> = AsyncNet::new(2, 10);
 /// net.send(0, 1, 7, &mut rng);
 /// let (time, env) = net.pop().expect("one message in flight");
-/// assert!(time >= 1 && time <= 10);
+/// assert!(time >= 1 && time <= 10); // within the horizon
 /// assert_eq!((env.from, env.to, env.payload), (0, 1, 7));
+/// assert_eq!(net.messages_sent(), 1);
+/// assert_eq!(net.delivered(), 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct AsyncNet<M> {
@@ -74,7 +81,10 @@ impl<M: Clone> AsyncNet<M> {
         self.now
     }
 
-    /// Total messages accepted so far.
+    /// Total messages *sent* by live ports so far — including messages
+    /// to dead or unknown recipients, which are lost in flight and
+    /// never counted in [`AsyncNet::delivered`]. (A dead sender sends
+    /// nothing.)
     pub fn messages_sent(&self) -> u64 {
         self.messages_sent
     }
@@ -98,8 +108,25 @@ impl<M: Clone> AsyncNet<M> {
     }
 
     /// Queues a message with a uniformly random delay in
-    /// `1..=max_delay`. Traffic from or to dead/unknown ports is
-    /// silently dropped (as on [`crate::Bus`]).
+    /// `1..=max_delay` (the simulation horizon; see the type docs).
+    ///
+    /// A dead or unknown *sender* sends nothing. A live sender's
+    /// message to a dead or unknown recipient **counts in
+    /// [`AsyncNet::messages_sent`] but is never delivered** — the
+    /// sender paid for the send; the network partition between the
+    /// living and the departed ate it. [`AsyncNet::delivered`] counts
+    /// only actual deliveries.
+    ///
+    /// ```
+    /// use now_net::{AsyncNet, DetRng};
+    /// let mut rng = DetRng::new(1);
+    /// let mut net: AsyncNet<u8> = AsyncNet::new(2, 4);
+    /// net.set_alive(1, false);
+    /// net.send(0, 1, 9, &mut rng); // recipient is gone
+    /// assert_eq!(net.messages_sent(), 1);
+    /// assert!(net.pop().is_none());
+    /// assert_eq!(net.delivered(), 0);
+    /// ```
     pub fn send(&mut self, from: usize, to: usize, payload: M, rng: &mut DetRng) {
         let delay = rng.gen_range(1..=self.max_delay);
         self.send_with_delay(from, to, payload, delay);
@@ -107,16 +134,17 @@ impl<M: Clone> AsyncNet<M> {
 
     /// Queues a message with an explicit delay — the hook for an
     /// adversarial scheduler (clamped to `1..=max_delay`: delivery is
-    /// eventual).
+    /// eventual within the horizon). Counting rules match
+    /// [`AsyncNet::send`].
     pub fn send_with_delay(&mut self, from: usize, to: usize, payload: M, delay: u64) {
-        if from >= self.alive.len() || to >= self.alive.len() {
+        if from >= self.alive.len() || !self.alive[from] {
             return;
         }
-        if !self.alive[from] || !self.alive[to] {
+        self.messages_sent += 1;
+        if to >= self.alive.len() || !self.alive[to] {
             return;
         }
         let delay = delay.clamp(1, self.max_delay);
-        self.messages_sent += 1;
         self.seq += 1;
         self.queue
             .insert((self.now + delay, self.seq), Envelope { from, to, payload });
@@ -206,14 +234,39 @@ mod tests {
     fn dead_ports_drop_traffic() {
         let mut net: AsyncNet<u8> = AsyncNet::new(3, 10);
         net.set_alive(1, false);
-        net.send_with_delay(1, 0, 1, 1); // dead sender
-        net.send_with_delay(0, 1, 2, 1); // dead recipient
+        net.send_with_delay(1, 0, 1, 1); // dead sender: sends nothing
         assert_eq!(net.messages_sent(), 0);
+        net.send_with_delay(0, 1, 2, 1); // dead recipient: sent, lost
+        assert_eq!(net.messages_sent(), 1);
         assert!(net.pop().is_none());
+        assert_eq!(net.delivered(), 0);
         // Dying *after* send also drops at delivery.
         net.send_with_delay(0, 2, 3, 1);
         net.set_alive(2, false);
         assert!(net.pop().is_none());
+        assert_eq!(net.messages_sent(), 2);
+        assert_eq!(net.delivered(), 0);
+    }
+
+    /// Regression for the counter semantics: `messages_sent` counts
+    /// every live-sender send (delivered or lost), `delivered` counts
+    /// only deliveries, and the two never drift apart on a healthy
+    /// link.
+    #[test]
+    fn sent_and_delivered_counters_are_consistent() {
+        let mut net: AsyncNet<u8> = AsyncNet::new(3, 5);
+        let mut rng = DetRng::new(9);
+        for i in 0..10 {
+            net.send(0, 1, i, &mut rng); // healthy link
+        }
+        net.set_alive(2, false);
+        for i in 0..4 {
+            net.send(0, 2, i, &mut rng); // lost to a dead recipient
+        }
+        assert_eq!(net.messages_sent(), 14);
+        while net.pop().is_some() {}
+        assert_eq!(net.delivered(), 10, "only the healthy link delivers");
+        assert_eq!(net.messages_sent(), 14, "pop never re-counts sends");
     }
 
     #[test]
@@ -230,7 +283,10 @@ mod tests {
         let mut rng = DetRng::new(3);
         net.set_alive(3, false);
         net.broadcast(0, 9, &mut rng);
-        assert_eq!(net.messages_sent(), 2);
+        // The sender pays for all three sends; only two can deliver.
+        assert_eq!(net.messages_sent(), 3);
+        while net.pop().is_some() {}
+        assert_eq!(net.delivered(), 2);
     }
 
     #[test]

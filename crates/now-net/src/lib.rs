@@ -18,6 +18,10 @@
 //! * [`AsyncNet`] — an event-driven network with adversarial bounded
 //!   delays, the substrate for the paper's §6 future-work item of
 //!   removing the synchrony assumption (see `now_agreement::ben_or`).
+//! * [`EventNet`] — the seeded discrete-event scheduler: per-link
+//!   latency/jitter/loss/partition models, replayable from
+//!   `(seed, config)` alone; the substrate of the event-driven NOW
+//!   runtime (`now_core`'s `ExecConfig::Event`).
 //! * [`Ledger`] — exact message/round accounting with nested operation
 //!   spans, used by the cluster-level execution path (fidelity level L1)
 //!   and by the L0 bus alike, so both levels report comparable costs.
@@ -41,11 +45,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 #![warn(missing_docs)]
 
 mod async_net;
 mod bus;
 mod error;
+mod event;
 mod id;
 mod ledger;
 mod rng;
@@ -53,6 +59,7 @@ mod rng;
 pub use async_net::AsyncNet;
 pub use bus::{Bus, Envelope};
 pub use error::NetError;
+pub use event::{DropReason, EventNet, EventNetConfig, EventRecord, Partition};
 pub use id::{ClusterId, IdGen, NodeId};
 pub use ledger::{Cost, CostKind, CostStats, Ledger, OpRecord};
 pub use rng::DetRng;

@@ -2,17 +2,22 @@
 //!
 //! The paper's footnote generalizes the one-operation-per-step model to
 //! "several parallel join and leave operations". This module drives
-//! [`now_core::NowSystem::step_parallel`] — which schedules each batch
+//! [`now_core::NowSystem::step_batch`] — which schedules each batch
 //! into conflict-free waves by cluster-footprint disjointness — with
 //! batch-producing churn schedules, and reports the round-complexity
 //! advantage of the scheduled execution (messages are identical; rounds
 //! shrink from the batch sum to the per-wave maxima) together with the
-//! wave-level metrics of the schedule.
+//! wave-level metrics of the schedule. The [`BatchRun`] builder is the
+//! single entry point; the engine — including the event-driven network
+//! runtime of [`BatchExec::Event`] — is one knob on it.
 
 use crate::metrics::TimeSeries;
 use crate::runner::{record_violations, Violation};
 use now_adversary::CorruptionBudget;
-use now_core::{normalize_threads, JoinSpec, NowSystem, SystemAudit, WavePool};
+use now_core::{
+    normalize_threads, BatchInput, EventNetConfig, ExecConfig, JoinSpec, NowSystem, SystemAudit,
+    WavePool,
+};
 use now_net::{DetRng, NodeId};
 use rand::Rng;
 
@@ -83,38 +88,47 @@ impl BatchDriver for BatchRandomChurn {
 }
 
 /// How a batched run executes each step's wave schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BatchExec {
-    /// The PR 2 path: [`now_core::NowSystem::step_parallel`] schedules
-    /// waves but executes operations serially off the shared stream.
+    /// The PR 2 path: waves are scheduled but operations execute
+    /// serially off the shared stream
+    /// ([`now_core::ExecConfig::Serial`]).
     Scheduled,
     /// The threaded wave executor on a **run-scoped persistent
     /// [`WavePool`]** with this many worker threads: workers spawn once
     /// per run and every step's waves reuse them
-    /// ([`now_core::NowSystem::step_parallel_pooled`]). Outcomes are
-    /// bit-identical across thread counts; only the wall-clock changes.
+    /// ([`now_core::ExecConfig::Pooled`]). Outcomes are bit-identical
+    /// across thread counts; only the wall-clock changes.
     Threaded(usize),
-    /// The legacy scoped executor
-    /// ([`now_core::NowSystem::step_parallel_scoped_specs`]): spawns
-    /// fresh scoped workers for every wave of width ≥ 2. Bit-identical
-    /// to [`BatchExec::Threaded`]; retained as the spawn-overhead
-    /// reference for benches and the pooled-vs-scoped CI gate.
+    /// The legacy scoped executor ([`now_core::ExecConfig::Scoped`]):
+    /// spawns fresh scoped workers for every wave of width ≥ 2.
+    /// Bit-identical to [`BatchExec::Threaded`]; retained as the
+    /// spawn-overhead reference for benches and the pooled-vs-scoped CI
+    /// gate.
     ThreadedScoped(usize),
+    /// The event-driven engine ([`now_core::ExecConfig::Event`]): each
+    /// step's operations travel a seeded discrete-event network with
+    /// the given per-link latency/jitter/loss/partition model and
+    /// execute in delivery order; dropped messages become operations
+    /// that never happened ([`BatchRunReport::dropped`]).
+    Event(EventNetConfig),
 }
 
 impl BatchExec {
     /// The normalized worker-thread count of the execution mode
-    /// (`None` for the serial scheduled path); every variant shares
-    /// [`normalize_threads`]' `0 → 1` rule.
+    /// (`None` for the serial scheduled path and for the event engine,
+    /// which plans on the driving thread unless a pool is supplied);
+    /// every threaded variant shares [`normalize_threads`]' `0 → 1`
+    /// rule.
     pub fn threads(&self) -> Option<usize> {
         match *self {
-            BatchExec::Scheduled => None,
+            BatchExec::Scheduled | BatchExec::Event(_) => None,
             BatchExec::Threaded(t) | BatchExec::ThreadedScoped(t) => Some(normalize_threads(t)),
         }
     }
 }
 
-/// Report of one batched run ([`run_batched`]).
+/// Report of one batched run ([`BatchRun`]).
 #[derive(Debug, Clone)]
 pub struct BatchRunReport {
     /// Driver name.
@@ -145,6 +159,9 @@ pub struct BatchRunReport {
     /// structure saved (surfaces [`now_core::WaveStats::rounds_total`]
     /// as an aggregate).
     pub wave_slack_rounds: u64,
+    /// Operations whose triggering message the event network dropped
+    /// across all steps (always zero outside [`BatchExec::Event`]).
+    pub dropped: u64,
     /// Wall-clock nanoseconds spent inside batch execution across all
     /// steps (host-dependent; excluded from determinism comparisons).
     pub wall_nanos: u64,
@@ -200,20 +217,226 @@ impl BatchRunReport {
     }
 }
 
+/// Boxed stop predicate of a [`BatchRun`]: observes the system and the
+/// report-so-far after each step, returning `true` to end the run.
+type StopFn<'p> = Box<dyn FnMut(&NowSystem, &BatchRunReport) -> bool + 'p>;
+
+/// The batched runner, as a builder — **the** way to run batched churn.
+///
+/// A `BatchRun` describes *how* a batched run executes: the batch width
+/// (consumed by [`crate::Scenario::run_batch`] when it builds the
+/// driver), the execution engine, an optional caller-held [`WavePool`],
+/// and an optional stop predicate. The *what* — system, driver, length,
+/// seed — is supplied at [`BatchRun::run`] time (or by the scenario).
+///
+/// Every legacy entry point maps onto this builder:
+/// `run_batched(sys, d, n, s)` is `BatchRun::new().run(sys, d, n, s)`,
+/// `run_batched_with` adds `.exec(..)`, `run_batched_until` adds
+/// `.until(..)`, and `run_batched_until_in` adds `.in_pool(..)`.
+///
+/// # Example
+/// ```
+/// use now_sim::{BatchExec, BatchRandomChurn, BatchRun};
+/// use now_core::{NowParams, NowSystem};
+///
+/// let params = NowParams::for_capacity(1 << 10).unwrap();
+/// let mut sys = NowSystem::init_fast(params, 200, 0.1, 1);
+/// let mut driver = BatchRandomChurn::balanced(6, 0.1);
+/// let report = BatchRun::new()
+///     .exec(BatchExec::Threaded(2))
+///     .until(|_, r| r.steps >= 5)
+///     .run(&mut sys, &mut driver, 20, 2);
+/// assert_eq!(report.steps, 5);
+/// ```
+pub struct BatchRun<'p> {
+    width: usize,
+    exec: BatchExec,
+    pool: Option<&'p WavePool>,
+    stop: Option<StopFn<'p>>,
+}
+
+impl Default for BatchRun<'_> {
+    fn default() -> Self {
+        BatchRun::new()
+    }
+}
+
+impl<'p> BatchRun<'p> {
+    /// A run with the defaults: width 4, [`BatchExec::Scheduled`], no
+    /// caller-held pool, no stop predicate.
+    pub fn new() -> Self {
+        BatchRun {
+            width: 4,
+            exec: BatchExec::Scheduled,
+            pool: None,
+            stop: None,
+        }
+    }
+
+    /// Sets the batch width (operations per step). Consumed by
+    /// [`crate::Scenario::run_batch`] when it builds the churn driver;
+    /// a driver passed directly to [`BatchRun::run`] carries its own
+    /// width and ignores this knob.
+    pub fn width(mut self, width: usize) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// The configured batch width.
+    pub fn batch_width(&self) -> usize {
+        self.width
+    }
+
+    /// The configured execution engine.
+    pub fn exec_mode(&self) -> BatchExec {
+        self.exec
+    }
+
+    /// Sets the execution engine.
+    pub fn exec(mut self, exec: BatchExec) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Runs on a **caller-held** [`WavePool`]: the primitive for
+    /// drivers of multiple runs (the campaign engine holds one pool for
+    /// all of a campaign's phases, so successive phases reuse the same
+    /// workers). Consulted by [`BatchExec::Threaded`] (instead of the
+    /// run-scoped pool) and [`BatchExec::Event`] (wave planning moves
+    /// onto the pool's workers).
+    pub fn in_pool(mut self, pool: &'p WavePool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Stops the run early: `stop` is checked before the first step and
+    /// after every audited step — the primitive the campaign engine's
+    /// population and first-violation triggers are built on. A
+    /// condition already satisfied at entry yields a zero-step run; the
+    /// `max_steps` given to [`BatchRun::run`] caps the run regardless.
+    pub fn until(mut self, stop: impl FnMut(&NowSystem, &BatchRunReport) -> bool + 'p) -> Self {
+        self.stop = Some(Box::new(stop));
+        self
+    }
+
+    /// Runs at most `max_steps` batched time steps of `driver`-produced
+    /// churn on `sys`, auditing after every step.
+    pub fn run(
+        self,
+        sys: &mut NowSystem,
+        driver: &mut dyn BatchDriver,
+        max_steps: u64,
+        seed: u64,
+    ) -> BatchRunReport {
+        let BatchRun {
+            width: _,
+            exec,
+            pool,
+            stop,
+        } = self;
+        let mut stop = stop.unwrap_or_else(|| Box::new(|_: &NowSystem, _: &BatchRunReport| false));
+
+        // The run-scoped pool: one worker-spawn set for the whole run,
+        // whatever the step count or wave structure. A caller-held pool
+        // takes precedence.
+        let scoped_pool = match (exec, pool) {
+            (BatchExec::Threaded(t), None) => Some(WavePool::new(t)),
+            _ => None,
+        };
+        let pool = pool.or(scoped_pool.as_ref());
+
+        // One `ExecConfig` for the whole run — the per-step dispatch of
+        // the legacy entry points collapsed into data.
+        let exec_cfg = match (exec, pool) {
+            (BatchExec::Scheduled, _) => ExecConfig::serial(),
+            (BatchExec::Threaded(_), Some(p)) => ExecConfig::pooled(p),
+            // Unreachable (the run-scoped pool above), kept total.
+            (BatchExec::Threaded(t), None) => ExecConfig::threaded(t),
+            (BatchExec::ThreadedScoped(t), _) => ExecConfig::scoped(t),
+            (BatchExec::Event(net), Some(p)) => ExecConfig::event_in(net, p),
+            (BatchExec::Event(net), None) => ExecConfig::event(net),
+        };
+
+        let mut rng = DetRng::new(seed);
+        let mut report = BatchRunReport {
+            driver: driver.name().to_string(),
+            // A caller-held pool is what actually executes Threaded
+            // steps, so its width is the honest record even if the exec
+            // knob says otherwise (outcomes are identical either way).
+            threads: match (exec, pool) {
+                (BatchExec::Threaded(_), Some(pool)) => Some(pool.threads()),
+                _ => exec.threads(),
+            },
+            steps: 0,
+            joins: 0,
+            leaves: 0,
+            rejected: 0,
+            rounds_serial: 0,
+            rounds_parallel: 0,
+            waves: 0,
+            max_wave_width: 0,
+            wave_slack_rounds: 0,
+            dropped: 0,
+            wall_nanos: 0,
+            waves_per_step: TimeSeries::new("waves_per_step"),
+            population: TimeSeries::new("population"),
+            worst_byz_fraction: TimeSeries::new("worst_byz_fraction"),
+            violations: Vec::new(),
+            final_audit: sys.audit(),
+        };
+        if stop(sys, &report) {
+            return report;
+        }
+        for _ in 0..max_steps {
+            let (joins, leaves) = driver.decide_batch(sys, &mut rng);
+            let batch = sys.step_batch(&BatchInput::from_specs(&joins, &leaves), &exec_cfg);
+            report.steps += 1;
+            report.joins += batch.joined.len() as u64;
+            report.leaves += batch.left.len() as u64;
+            report.rejected += batch.rejected.len() as u64;
+            report.rounds_serial += batch.cost.rounds;
+            report.rounds_parallel += batch.rounds_parallel;
+            report.waves += batch.wave_count() as u64;
+            report.max_wave_width = report.max_wave_width.max(batch.max_wave_width());
+            report.wave_slack_rounds += batch.wave_slack_rounds();
+            report.dropped += batch.dropped;
+            report.wall_nanos += batch.wall_nanos;
+
+            let audit = sys.audit();
+            report
+                .waves_per_step
+                .push(audit.time_step, batch.wave_count() as f64);
+            report
+                .population
+                .push(audit.time_step, audit.population as f64);
+            report
+                .worst_byz_fraction
+                .push(audit.time_step, audit.worst_byz_fraction);
+            record_violations(&audit, &mut report.violations);
+            if stop(sys, &report) {
+                break;
+            }
+        }
+        report.final_audit = sys.audit();
+        report
+    }
+}
+
 /// Runs `steps` batched time steps of `driver`-produced churn through
-/// the serial wave *scheduler*, auditing after every step. Equivalent
-/// to [`run_batched_with`] with [`BatchExec::Scheduled`].
+/// the serial wave *scheduler*, auditing after every step.
+#[deprecated(note = "use the `BatchRun` builder")]
 pub fn run_batched(
     sys: &mut NowSystem,
     driver: &mut dyn BatchDriver,
     steps: u64,
     seed: u64,
 ) -> BatchRunReport {
-    run_batched_with(sys, driver, steps, seed, BatchExec::Scheduled)
+    BatchRun::new().run(sys, driver, steps, seed)
 }
 
 /// Runs `steps` batched time steps of `driver`-produced churn with the
 /// chosen execution engine, auditing after every step.
+#[deprecated(note = "use the `BatchRun` builder with `.exec(..)`")]
 pub fn run_batched_with(
     sys: &mut NowSystem,
     driver: &mut dyn BatchDriver,
@@ -221,16 +444,11 @@ pub fn run_batched_with(
     seed: u64,
     exec: BatchExec,
 ) -> BatchRunReport {
-    run_batched_until(sys, driver, steps, seed, exec, |_, _| false)
+    BatchRun::new().exec(exec).run(sys, driver, steps, seed)
 }
 
-/// The phase-oriented batched runner: like [`run_batched_with`], but
-/// checks `stop` before the first step and after every audited step,
-/// ending the run early when it returns `true` — the primitive the
-/// campaign engine's population and first-violation triggers are built
-/// on. A condition already satisfied at entry yields a zero-step run
-/// (no adversarial batch executes for a goal that is already met);
-/// `max_steps` caps the run regardless of the predicate.
+/// The phase-oriented batched runner with an early-stop predicate.
+#[deprecated(note = "use the `BatchRun` builder with `.until(..)`")]
 pub fn run_batched_until(
     sys: &mut NowSystem,
     driver: &mut dyn BatchDriver,
@@ -239,22 +457,14 @@ pub fn run_batched_until(
     exec: BatchExec,
     stop: impl FnMut(&NowSystem, &BatchRunReport) -> bool,
 ) -> BatchRunReport {
-    // The run-scoped pool: one worker-spawn set for the whole run,
-    // whatever the step count or wave structure.
-    let pool = match exec {
-        BatchExec::Threaded(t) => Some(WavePool::new(t)),
-        _ => None,
-    };
-    run_batched_until_in(sys, driver, max_steps, seed, exec, pool.as_ref(), stop)
+    BatchRun::new()
+        .exec(exec)
+        .until(stop)
+        .run(sys, driver, max_steps, seed)
 }
 
-/// [`run_batched_until`] against a **caller-held** [`WavePool`]: the
-/// primitive for drivers of multiple runs (the campaign engine holds
-/// one pool for all of a campaign's phases, so successive phases reuse
-/// the same workers). `pool` is only consulted for
-/// [`BatchExec::Threaded`] phases; passing `None` falls back to the
-/// per-batch convenience pool of
-/// [`now_core::NowSystem::step_parallel_threaded_specs`].
+/// The phase-oriented batched runner against a caller-held pool.
+#[deprecated(note = "use the `BatchRun` builder with `.in_pool(..)`")]
 pub fn run_batched_until_in(
     sys: &mut NowSystem,
     driver: &mut dyn BatchDriver,
@@ -262,75 +472,13 @@ pub fn run_batched_until_in(
     seed: u64,
     exec: BatchExec,
     pool: Option<&WavePool>,
-    mut stop: impl FnMut(&NowSystem, &BatchRunReport) -> bool,
+    stop: impl FnMut(&NowSystem, &BatchRunReport) -> bool,
 ) -> BatchRunReport {
-    let mut rng = DetRng::new(seed);
-    let mut report = BatchRunReport {
-        driver: driver.name().to_string(),
-        // A caller-held pool is what actually executes Threaded steps,
-        // so its width is the honest record even if the exec knob says
-        // otherwise (outcomes are identical either way).
-        threads: match (exec, pool) {
-            (BatchExec::Threaded(_), Some(pool)) => Some(pool.threads()),
-            _ => exec.threads(),
-        },
-        steps: 0,
-        joins: 0,
-        leaves: 0,
-        rejected: 0,
-        rounds_serial: 0,
-        rounds_parallel: 0,
-        waves: 0,
-        max_wave_width: 0,
-        wave_slack_rounds: 0,
-        wall_nanos: 0,
-        waves_per_step: TimeSeries::new("waves_per_step"),
-        population: TimeSeries::new("population"),
-        worst_byz_fraction: TimeSeries::new("worst_byz_fraction"),
-        violations: Vec::new(),
-        final_audit: sys.audit(),
-    };
-    if stop(sys, &report) {
-        return report;
+    let mut run = BatchRun::new().exec(exec).until(stop);
+    if let Some(pool) = pool {
+        run = run.in_pool(pool);
     }
-    for _ in 0..max_steps {
-        let (joins, leaves) = driver.decide_batch(sys, &mut rng);
-        let batch = match (exec, pool) {
-            (BatchExec::Scheduled, _) => sys.step_parallel_specs(&joins, &leaves),
-            (BatchExec::Threaded(_), Some(pool)) => {
-                sys.step_parallel_pooled_specs(&joins, &leaves, pool)
-            }
-            (BatchExec::Threaded(t), None) => sys.step_parallel_threaded_specs(&joins, &leaves, t),
-            (BatchExec::ThreadedScoped(t), _) => sys.step_parallel_scoped_specs(&joins, &leaves, t),
-        };
-        report.steps += 1;
-        report.joins += batch.joined.len() as u64;
-        report.leaves += batch.left.len() as u64;
-        report.rejected += batch.rejected.len() as u64;
-        report.rounds_serial += batch.cost.rounds;
-        report.rounds_parallel += batch.rounds_parallel;
-        report.waves += batch.wave_count() as u64;
-        report.max_wave_width = report.max_wave_width.max(batch.max_wave_width());
-        report.wave_slack_rounds += batch.wave_slack_rounds();
-        report.wall_nanos += batch.wall_nanos;
-
-        let audit = sys.audit();
-        report
-            .waves_per_step
-            .push(audit.time_step, batch.wave_count() as f64);
-        report
-            .population
-            .push(audit.time_step, audit.population as f64);
-        report
-            .worst_byz_fraction
-            .push(audit.time_step, audit.worst_byz_fraction);
-        record_violations(&audit, &mut report.violations);
-        if stop(sys, &report) {
-            break;
-        }
-    }
-    report.final_audit = sys.audit();
-    report
+    run.run(sys, driver, max_steps, seed)
 }
 
 #[cfg(test)]
@@ -347,7 +495,7 @@ mod tests {
     fn batched_run_executes_many_ops_per_step() {
         let mut sys = system(200, 0.1, 1);
         let mut driver = BatchRandomChurn::balanced(6, 0.1);
-        let report = run_batched(&mut sys, &mut driver, 20, 2);
+        let report = BatchRun::new().run(&mut sys, &mut driver, 20, 2);
         assert_eq!(report.steps, 20);
         assert!(report.joins + report.leaves > 60, "width 6 × 20 steps");
         assert_eq!(sys.time_step(), 20, "one time step per batch");
@@ -366,7 +514,7 @@ mod tests {
     fn parallel_rounds_beat_serial_on_sparse_overlays() {
         let mut sys = sparse_system(3);
         let mut driver = BatchRandomChurn::balanced(8, 0.1);
-        let report = run_batched(&mut sys, &mut driver, 10, 4);
+        let report = BatchRun::new().run(&mut sys, &mut driver, 10, 4);
         assert!(
             report.parallel_speedup() > 1.2,
             "8-wide batches on a 64-cluster sparse overlay should save \
@@ -389,7 +537,7 @@ mod tests {
         let params = NowParams::new(1 << 10, 4, 1.5, 0.30, 0.05).unwrap();
         let mut sys = NowSystem::init_fast(params, 240, 0.1, 5);
         let mut driver = BatchRandomChurn::balanced(4, 0.1);
-        let report = run_batched(&mut sys, &mut driver, 40, 6);
+        let report = BatchRun::new().run(&mut sys, &mut driver, 40, 6);
         assert!(
             report.clean(),
             "violations under batching: {:?}",
@@ -426,7 +574,12 @@ mod tests {
         let go = |threads: usize| {
             let mut sys = sparse_system(13);
             let mut driver = BatchRandomChurn::balanced(6, 0.1);
-            let r = run_batched_with(&mut sys, &mut driver, 12, 14, BatchExec::Threaded(threads));
+            let r = BatchRun::new().exec(BatchExec::Threaded(threads)).run(
+                &mut sys,
+                &mut driver,
+                12,
+                14,
+            );
             sys.check_consistency().unwrap();
             (
                 r.joins,
@@ -450,7 +603,9 @@ mod tests {
     fn threaded_report_carries_thread_and_timing_metadata() {
         let mut sys = sparse_system(15);
         let mut driver = BatchRandomChurn::balanced(6, 0.1);
-        let report = run_batched_with(&mut sys, &mut driver, 8, 16, BatchExec::Threaded(4));
+        let report = BatchRun::new()
+            .exec(BatchExec::Threaded(4))
+            .run(&mut sys, &mut driver, 8, 16);
         assert_eq!(report.threads, Some(4));
         assert!(report.wall_nanos > 0, "executed batches take time");
         assert!(
@@ -463,7 +618,7 @@ mod tests {
 
         let mut legacy_sys = sparse_system(15);
         let mut legacy_driver = BatchRandomChurn::balanced(6, 0.1);
-        let legacy = run_batched(&mut legacy_sys, &mut legacy_driver, 8, 16);
+        let legacy = BatchRun::new().run(&mut legacy_sys, &mut legacy_driver, 8, 16);
         assert_eq!(legacy.threads, None);
     }
 
@@ -479,7 +634,7 @@ mod tests {
         let go = |exec: BatchExec| {
             let mut sys = sparse_system(19);
             let mut driver = BatchRandomChurn::balanced(5, 0.1);
-            let r = run_batched_with(&mut sys, &mut driver, 6, 20, exec);
+            let r = BatchRun::new().exec(exec).run(&mut sys, &mut driver, 6, 20);
             (
                 r.threads,
                 r.joins,
@@ -500,7 +655,9 @@ mod tests {
         let go = |exec: BatchExec| {
             let mut sys = sparse_system(23);
             let mut driver = BatchRandomChurn::balanced(7, 0.1);
-            let r = run_batched_with(&mut sys, &mut driver, 10, 24, exec);
+            let r = BatchRun::new()
+                .exec(exec)
+                .run(&mut sys, &mut driver, 10, 24);
             sys.check_consistency().unwrap();
             (
                 r.joins,
@@ -529,15 +686,11 @@ mod tests {
         let go = |pool: Option<&now_core::WavePool>| {
             let mut sys = sparse_system(27);
             let mut driver = BatchRandomChurn::balanced(6, 0.1);
-            let r = run_batched_until_in(
-                &mut sys,
-                &mut driver,
-                8,
-                28,
-                BatchExec::Threaded(4),
-                pool,
-                |_, _| false,
-            );
+            let mut run = BatchRun::new().exec(BatchExec::Threaded(4));
+            if let Some(pool) = pool {
+                run = run.in_pool(pool);
+            }
+            let r = run.run(&mut sys, &mut driver, 8, 28);
             (r.joins, r.leaves, r.rounds_parallel, sys.node_ids())
         };
         let shared = now_core::WavePool::new(4);
@@ -553,7 +706,7 @@ mod tests {
         let go = || {
             let mut sys = system(200, 0.1, 7);
             let mut driver = BatchRandomChurn::balanced(5, 0.1);
-            let r = run_batched(&mut sys, &mut driver, 25, 8);
+            let r = BatchRun::new().run(&mut sys, &mut driver, 25, 8);
             (r.joins, r.leaves, r.rounds_parallel, sys.population())
         };
         assert_eq!(go(), go());
@@ -563,5 +716,71 @@ mod tests {
     #[should_panic(expected = "batch width")]
     fn zero_width_rejected() {
         let _ = BatchRandomChurn::balanced(0, 0.1);
+    }
+
+    #[test]
+    fn event_exec_runs_and_counts_drops() {
+        let net = EventNetConfig::ideal()
+            .with_latency(2)
+            .with_jitter(3)
+            .with_drop(0.3);
+        let mut sys = system(200, 0.1, 31);
+        let mut driver = BatchRandomChurn::balanced(6, 0.1);
+        let report = BatchRun::new()
+            .exec(BatchExec::Event(net))
+            .run(&mut sys, &mut driver, 15, 32);
+        assert_eq!(report.steps, 15);
+        assert_eq!(report.threads, None, "event runs carry no thread count");
+        assert!(report.dropped > 0, "30% loss over 15 steps must drop joins");
+        sys.check_consistency().unwrap();
+
+        // Same run on a caller-held pool: identical outcomes, pool width
+        // recorded nowhere (planning threads never change results).
+        let pool = WavePool::new(4);
+        let mut pooled_sys = system(200, 0.1, 31);
+        let mut pooled_driver = BatchRandomChurn::balanced(6, 0.1);
+        let pooled = BatchRun::new()
+            .exec(BatchExec::Event(net))
+            .in_pool(&pool)
+            .run(&mut pooled_sys, &mut pooled_driver, 15, 32);
+        assert_eq!(pooled.dropped, report.dropped);
+        assert_eq!(pooled.joins, report.joins);
+        assert_eq!(pooled.leaves, report.leaves);
+        assert_eq!(pooled_sys.node_ids(), sys.node_ids());
+    }
+
+    #[test]
+    fn non_event_runs_report_zero_dropped() {
+        let mut sys = system(200, 0.1, 35);
+        let mut driver = BatchRandomChurn::balanced(5, 0.1);
+        let report = BatchRun::new().run(&mut sys, &mut driver, 10, 36);
+        assert_eq!(report.dropped, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_entry_points_match_builder() {
+        let go = |legacy: bool| {
+            let mut sys = sparse_system(41);
+            let mut driver = BatchRandomChurn::balanced(6, 0.1);
+            let r = if legacy {
+                run_batched_with(&mut sys, &mut driver, 10, 42, BatchExec::Threaded(3))
+            } else {
+                BatchRun::new()
+                    .exec(BatchExec::Threaded(3))
+                    .run(&mut sys, &mut driver, 10, 42)
+            };
+            (
+                r.joins,
+                r.leaves,
+                r.rejected,
+                r.rounds_serial,
+                r.rounds_parallel,
+                r.waves,
+                r.threads,
+                sys.node_ids(),
+            )
+        };
+        assert_eq!(go(true), go(false));
     }
 }

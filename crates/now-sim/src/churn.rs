@@ -227,7 +227,7 @@ impl BatchDriver for BatchSawtooth {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::batch_run::run_batched;
+    use crate::batch_run::BatchRun;
     use crate::runner::{run, RunConfig};
     use now_core::NowParams;
 
@@ -311,7 +311,7 @@ mod tests {
         let mut sys = system(80, 0.1, 6);
         let mut driver = BatchSawtooth::new(60, 140, 5, 0.1);
         assert!(driver.is_growing());
-        let report = run_batched(&mut sys, &mut driver, 60, 7);
+        let report = BatchRun::new().run(&mut sys, &mut driver, 60, 7);
         assert_eq!(report.steps, 60);
         let pops = report.population.summary();
         assert!(pops.max >= 140.0, "never reached high: {}", pops.max);

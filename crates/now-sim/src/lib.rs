@@ -21,6 +21,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod baselines;
 pub mod batch_run;
@@ -30,10 +31,9 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 
-pub use batch_run::{
-    run_batched, run_batched_until, run_batched_until_in, run_batched_with, BatchDriver, BatchExec,
-    BatchRandomChurn, BatchRunReport,
-};
+#[allow(deprecated)]
+pub use batch_run::{run_batched, run_batched_until, run_batched_until_in, run_batched_with};
+pub use batch_run::{BatchDriver, BatchExec, BatchRandomChurn, BatchRun, BatchRunReport};
 pub use churn::{BatchSawtooth, GrowthPhase, Sawtooth, ShrinkPhase};
 pub use metrics::{CsvTable, Summary, TimeSeries};
 pub use report::MdTable;

@@ -6,7 +6,7 @@
 //! final system for inspection. Every experiment binary and several
 //! integration tests are expressible as one `Scenario` call.
 
-use crate::batch_run::{BatchDriver, BatchRandomChurn, BatchRunReport};
+use crate::batch_run::{BatchDriver, BatchRandomChurn, BatchRun, BatchRunReport};
 use crate::churn::{BatchSawtooth, Sawtooth};
 use crate::runner::{run, RunConfig, RunReport};
 use now_adversary::{
@@ -237,10 +237,11 @@ impl Scenario {
 }
 
 impl Scenario {
-    /// Builds the system and runs the churn in **batched** mode: each of
-    /// the `steps` time steps executes a whole batch of `width`
-    /// operations through the conflict-free wave scheduler
-    /// ([`now_core::NowSystem::step_parallel`]).
+    /// Builds the system and runs the churn in **batched** mode, as
+    /// configured by a [`BatchRun`] builder: each of the `steps` time
+    /// steps executes a whole batch of [`BatchRun::width`] operations
+    /// through the engine the builder selects
+    /// ([`now_core::NowSystem::step_batch`]).
     ///
     /// Churn styles map to batch drivers: `Balanced` →
     /// [`BatchRandomChurn`], `Sawtooth` → [`BatchSawtooth`], `Quiet` →
@@ -251,33 +252,10 @@ impl Scenario {
     /// `Burst` have no batched counterpart.
     ///
     /// # Errors
-    /// [`NowError::BadParams`] for invalid parameters, a zero `width`,
-    /// or a churn style without a batched driver.
-    pub fn run_batched(self, width: usize) -> Result<(BatchRunReport, NowSystem), NowError> {
-        self.run_batched_with(width, crate::batch_run::BatchExec::Scheduled)
-    }
-
-    /// Batched run on the threaded wave executor: each step's
-    /// conflict-free waves execute on up to `threads` worker threads
-    /// ([`now_core::NowSystem::step_parallel_threaded`]). Outcomes are
-    /// bit-identical for every `threads` value; the report additionally
-    /// carries wall-clock timings.
-    ///
-    /// # Errors
-    /// As [`Scenario::run_batched`].
-    pub fn run_batched_threaded(
-        self,
-        width: usize,
-        threads: usize,
-    ) -> Result<(BatchRunReport, NowSystem), NowError> {
-        self.run_batched_with(width, crate::batch_run::BatchExec::Threaded(threads))
-    }
-
-    fn run_batched_with(
-        self,
-        width: usize,
-        exec: crate::batch_run::BatchExec,
-    ) -> Result<(BatchRunReport, NowSystem), NowError> {
+    /// [`NowError::BadParams`] for invalid parameters, a zero width, or
+    /// a churn style without a batched driver.
+    pub fn run_batch(self, run: BatchRun<'_>) -> Result<(BatchRunReport, NowSystem), NowError> {
+        let width = run.batch_width();
         if width == 0 {
             return Err(NowError::BadParams {
                 reason: "batch width must be positive".to_string(),
@@ -306,9 +284,34 @@ impl Scenario {
                 })
             }
         };
-        let report =
-            crate::batch_run::run_batched_with(&mut sys, driver.as_mut(), self.steps, seed, exec);
+        let report = run.run(&mut sys, driver.as_mut(), self.steps, seed);
         Ok((report, sys))
+    }
+
+    /// Batched run through the serial wave scheduler.
+    ///
+    /// # Errors
+    /// As [`Scenario::run_batch`].
+    #[deprecated(note = "use `Scenario::run_batch` with a `BatchRun` builder")]
+    pub fn run_batched(self, width: usize) -> Result<(BatchRunReport, NowSystem), NowError> {
+        self.run_batch(BatchRun::new().width(width))
+    }
+
+    /// Batched run on the threaded wave executor.
+    ///
+    /// # Errors
+    /// As [`Scenario::run_batch`].
+    #[deprecated(note = "use `Scenario::run_batch` with a `BatchRun` builder")]
+    pub fn run_batched_threaded(
+        self,
+        width: usize,
+        threads: usize,
+    ) -> Result<(BatchRunReport, NowSystem), NowError> {
+        self.run_batch(
+            BatchRun::new()
+                .width(width)
+                .exec(crate::batch_run::BatchExec::Threaded(threads)),
+        )
     }
 }
 
@@ -470,7 +473,7 @@ mod tests {
             .initial_population(160)
             .steps(12)
             .seed(5)
-            .run_batched(4)
+            .run_batch(BatchRun::new().width(4))
             .unwrap();
         assert_eq!(report.steps, 12);
         assert!(report.joins + report.leaves > 30, "4-wide × 12 steps");
@@ -487,7 +490,11 @@ mod tests {
                 .initial_population(160)
                 .steps(8)
                 .seed(6)
-                .run_batched_threaded(4, threads)
+                .run_batch(
+                    BatchRun::new()
+                        .width(4)
+                        .exec(crate::batch_run::BatchExec::Threaded(threads)),
+                )
                 .unwrap();
             sys.check_consistency().unwrap();
             assert_eq!(report.threads, Some(threads.max(1)));
@@ -509,7 +516,7 @@ mod tests {
             .churn(ChurnStyle::Quiet)
             .initial_population(100)
             .steps(5)
-            .run_batched(3)
+            .run_batch(BatchRun::new().width(3))
             .unwrap();
         assert_eq!(quiet.joins + quiet.leaves, 0);
         assert_eq!(sys.population(), 100);
@@ -517,18 +524,21 @@ mod tests {
             .initial_population(80)
             .churn(ChurnStyle::Sawtooth { low: 60, high: 120 })
             .steps(40)
-            .run_batched(4)
+            .run_batch(BatchRun::new().width(4))
             .unwrap();
         assert!(saw.population.summary().max >= 115.0);
     }
 
     #[test]
     fn batched_scenario_rejects_bad_configs() {
-        assert!(Scenario::new(1 << 10).steps(1).run_batched(0).is_err());
+        assert!(Scenario::new(1 << 10)
+            .steps(1)
+            .run_batch(BatchRun::new().width(0))
+            .is_err());
         assert!(Scenario::new(1 << 10)
             .churn(ChurnStyle::MergeForcing)
             .steps(1)
-            .run_batched(2)
+            .run_batch(BatchRun::new().width(2))
             .is_err());
     }
 
@@ -545,7 +555,7 @@ mod tests {
                 .churn(style)
                 .steps(20)
                 .seed(4)
-                .run_batched(4)
+                .run_batch(BatchRun::new().width(4))
                 .unwrap();
             assert_eq!(report.steps, 20, "{style:?}");
             assert!(
@@ -564,7 +574,7 @@ mod tests {
             .churn(ChurnStyle::SplitForcing)
             .steps(30)
             .seed(9)
-            .run_batched(6)
+            .run_batch(BatchRun::new().width(6))
             .unwrap();
         let (_, _, splits, _) = sys.op_counts();
         assert!(splits > 0, "180 steered arrivals must split something");

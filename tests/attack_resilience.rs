@@ -17,7 +17,7 @@ use now_bft::adversary::{
 use now_bft::core::{NowParams, NowSystem, SecurityMode};
 use now_bft::net::DetRng;
 use now_bft::sim::baselines::no_shuffle_params;
-use now_bft::sim::run_batched;
+use now_bft::sim::BatchRun;
 
 fn params() -> NowParams {
     NowParams::new(1 << 10, 3, 2.0, 0.15, 0.05).unwrap()
@@ -183,7 +183,7 @@ fn batched_attack_violations(
     drive_seed: u64,
 ) -> (usize, usize) {
     let mut sys = NowSystem::init_fast(params(), 300, 0.15, init_seed);
-    let report = run_batched(&mut sys, driver.as_mut(), 60, drive_seed);
+    let report = BatchRun::new().run(&mut sys, driver.as_mut(), 60, drive_seed);
     sys.check_consistency().unwrap();
     let forgeable = report
         .violations

@@ -1,0 +1,171 @@
+//! End-to-end contracts of the deterministic event-driven network
+//! runtime:
+//!
+//! 1. **Worker-count invariance** — a NOW run on the event scheduler
+//!    (`BatchExec::Event`) is byte-identical across pools of 1, 2, 4,
+//!    and 8 workers: every outcome is a pure function of
+//!    `(seed, config)`, never of the thread schedule.
+//! 2. **Partition heal ⇒ eventual delivery** — every message the
+//!    scheduler accepts (not dropped at send time) is eventually
+//!    delivered, across a partition that heals mid-run; accepted +
+//!    dropped accounts for every send.
+
+use now_bft::core::{NowParams, NowSystem, WavePool};
+use now_bft::net::{CostKind, EventNet, EventNetConfig};
+use now_bft::sim::{BatchExec, BatchRandomChurn, BatchRun};
+use proptest::prelude::*;
+
+/// Full deterministic fingerprint of an event-driven NOW run: report
+/// aggregates, end state, and ledger statistics.
+#[allow(clippy::type_complexity)]
+fn event_run(
+    threads: usize,
+    net: EventNetConfig,
+    seed: u64,
+) -> (
+    (u64, u64, u64, u64, u64, u64, usize, u64),
+    (
+        u64,
+        u64,
+        Vec<now_bft::net::NodeId>,
+        Vec<now_bft::net::ClusterId>,
+    ),
+    Vec<now_bft::net::CostStats>,
+) {
+    let params = NowParams::for_capacity(1 << 10).expect("params");
+    let mut sys = NowSystem::init_fast(params, 200, 0.12, seed);
+    let mut driver = BatchRandomChurn::balanced(5, 0.12);
+    let pool = WavePool::new(threads);
+    let report = BatchRun::new()
+        .exec(BatchExec::Event(net))
+        .in_pool(&pool)
+        .run(&mut sys, &mut driver, 12, seed ^ 0xD1CE);
+    sys.check_consistency().expect("post-run consistency");
+    (
+        (
+            report.steps,
+            report.joins,
+            report.leaves,
+            report.rejected,
+            report.dropped,
+            report.waves,
+            report.max_wave_width,
+            report.rounds_parallel,
+        ),
+        (
+            sys.population(),
+            sys.byz_population(),
+            sys.node_ids(),
+            sys.cluster_ids(),
+        ),
+        CostKind::ALL
+            .iter()
+            .map(|&k| sys.ledger().stats(k))
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// NOW on the event scheduler replays byte-identically from
+    /// `(seed, config)` across worker pools of 1, 2, 4, and 8 threads,
+    /// for arbitrary seeds and per-link network models.
+    #[test]
+    fn event_runs_are_worker_count_invariant(
+        seed in any::<u64>(),
+        latency in 1u64..5,
+        jitter in 0u64..5,
+        drop in 0u32..30,
+    ) {
+        let net = EventNetConfig::ideal()
+            .with_latency(latency)
+            .with_jitter(jitter)
+            .with_drop(f64::from(drop) / 100.0);
+        let baseline = event_run(1, net, seed);
+        for threads in [2usize, 4, 8] {
+            prop_assert_eq!(
+                &baseline,
+                &event_run(threads, net, seed),
+                "threads=1 vs threads={} diverged",
+                threads
+            );
+        }
+    }
+
+    /// Across a partition that heals mid-run, every send the scheduler
+    /// accepts is eventually delivered, and accepted + dropped equals
+    /// messages sent — nothing is lost silently, nothing arrives twice.
+    #[test]
+    fn healed_partitions_deliver_every_accepted_message(
+        seed in any::<u64>(),
+        heal_at in 1u64..20,
+        latency in 1u64..6,
+        jitter in 0u64..4,
+    ) {
+        const N: usize = 6;
+        const VOLLEYS: u64 = 8;
+        let config = EventNetConfig::ideal()
+            .with_latency(latency)
+            .with_jitter(jitter)
+            .with_partition(2)
+            .healing_at(heal_at);
+        let mut net: EventNet<(usize, u64)> = EventNet::new(N, config, seed);
+
+        // All-to-all volleys straddling the heal: deliveries advance
+        // virtual time between volleys, so sends land before, across,
+        // and after the partition boundary.
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        let mut received = Vec::new();
+        for volley in 0..VOLLEYS {
+            for from in 0..N {
+                for to in 0..N {
+                    if net.send(from, to, (from, volley)).is_none() {
+                        accepted += 1;
+                    } else {
+                        rejected += 1;
+                    }
+                }
+            }
+            // Drain half the queue so time advances past the heal.
+            for _ in 0..(N * N / 2) {
+                match net.pop() {
+                    Some((time, env)) => received.push((time, env.from, env.to, env.payload)),
+                    None => break,
+                }
+            }
+        }
+        while let Some((time, env)) = net.pop() {
+            received.push((time, env.from, env.to, env.payload));
+        }
+
+        prop_assert_eq!(net.messages_sent(), accepted + rejected);
+        prop_assert_eq!(
+            received.len() as u64, accepted,
+            "every accepted message must eventually be delivered"
+        );
+        prop_assert_eq!(net.delivered(), accepted);
+        prop_assert_eq!(net.dropped(), rejected);
+        // Deliveries came out in nondecreasing virtual time.
+        prop_assert!(received.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Once virtual time guarantees delivery at or after the heal
+        // (`now + latency ≥ heal_at` ⇒ every schedule lands healed),
+        // cross-group sends go through: this config has no random
+        // loss, so nothing else can cut them.
+        if net.now() + latency >= heal_at {
+            let before = net.dropped();
+            for from in 0..N {
+                for to in 0..N {
+                    prop_assert!(
+                        net.send(from, to, (from, u64::MAX)).is_none(),
+                        "post-heal send {}→{} was dropped",
+                        from,
+                        to
+                    );
+                }
+            }
+            prop_assert_eq!(net.dropped(), before);
+        }
+    }
+}

@@ -14,7 +14,7 @@ use now_bft::core::init_tree::init_tree_discovered;
 use now_bft::core::{NowParams, NowSystem, SecurityMode};
 use now_bft::graph::gen;
 use now_bft::net::{CostKind, DetRng, Ledger};
-use now_bft::sim::{run_batched, BatchRandomChurn, ChurnStyle, Scenario, ViolationKind};
+use now_bft::sim::{BatchRandomChurn, BatchRun, ChurnStyle, Scenario, ViolationKind};
 use std::collections::BTreeSet;
 
 #[test]
@@ -22,7 +22,7 @@ fn batched_and_serial_runs_preserve_the_same_invariants() {
     let params = NowParams::new(1 << 10, 4, 1.5, 0.30, 0.05).unwrap();
     let mut sys = NowSystem::init_fast(params, 240, 0.1, 71);
     let mut driver = BatchRandomChurn::balanced(6, 0.1);
-    let report = run_batched(&mut sys, &mut driver, 30, 72);
+    let report = BatchRun::new().run(&mut sys, &mut driver, 30, 72);
     assert_eq!(sys.time_step(), 30, "one time step per batch");
     assert!(report.joins + report.leaves > 120, "6-wide × 30 steps");
     assert!(
@@ -47,7 +47,7 @@ fn sparse_overlays_unlock_wave_parallelism() {
     let params = NowParams::for_capacity(16).unwrap();
     let mut sys = NowSystem::init_fast(params, 64 * params.target_cluster_size(), 0.1, 73);
     let mut driver = BatchRandomChurn::balanced(8, 0.1);
-    let report = run_batched(&mut sys, &mut driver, 10, 74);
+    let report = BatchRun::new().run(&mut sys, &mut driver, 10, 74);
     assert!(
         report.parallel_speedup() > 1.2,
         "sparse overlay should coalesce waves: ×{:.2}",

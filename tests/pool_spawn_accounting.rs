@@ -7,7 +7,9 @@
 //! parallel, and any concurrently spawning test in the same process
 //! would race the counter deltas.
 
-use now_bft::core::{wave_worker_spawn_total, JoinSpec, NowParams, NowSystem, WavePool};
+use now_bft::core::{
+    wave_worker_spawn_total, BatchInput, ExecConfig, JoinSpec, NowParams, NowSystem, WavePool,
+};
 use now_bft::net::NodeId;
 
 /// Sparse overlay (capacity 16 ⇒ target degree 5) over 64 clusters, so
@@ -48,7 +50,10 @@ fn pool_spawns_o_threads_per_run_while_scoped_spawns_per_wave() {
     let mut pooled_wide_waves: Vec<usize> = Vec::new();
     for step in 0..STEPS {
         let (joins, leaves) = step_batch(&sys, step);
-        let report = sys.step_parallel_pooled_specs(&joins, &leaves, &pool);
+        let report = sys.step_batch(
+            &BatchInput::from_specs(&joins, &leaves),
+            &ExecConfig::pooled(&pool),
+        );
         pooled_wide_waves.extend(report.waves.iter().filter(|w| w.ops >= 2).map(|w| w.ops));
     }
     sys.check_consistency().unwrap();
@@ -70,7 +75,10 @@ fn pool_spawns_o_threads_per_run_while_scoped_spawns_per_wave() {
     let mut sys = sparse_system(5);
     for step in 0..3 {
         let (joins, leaves) = step_batch(&sys, step);
-        sys.step_parallel_pooled_specs(&joins, &leaves, &inline_pool);
+        sys.step_batch(
+            &BatchInput::from_specs(&joins, &leaves),
+            &ExecConfig::pooled(&inline_pool),
+        );
     }
     assert_eq!(
         wave_worker_spawn_total() - before,
@@ -84,7 +92,10 @@ fn pool_spawns_o_threads_per_run_while_scoped_spawns_per_wave() {
     let mut expected_scoped_spawns = 0u64;
     for step in 0..STEPS {
         let (joins, leaves) = step_batch(&sys, step);
-        let report = sys.step_parallel_scoped_specs(&joins, &leaves, THREADS);
+        let report = sys.step_batch(
+            &BatchInput::from_specs(&joins, &leaves),
+            &ExecConfig::scoped(THREADS),
+        );
         expected_scoped_spawns += report
             .waves
             .iter()

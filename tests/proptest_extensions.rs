@@ -7,7 +7,7 @@ use now_bft::agreement::{
     check_agreement, check_validity, run_ben_or_with_coin, ByzPlan, CoinMode,
 };
 use now_bft::apps::poll;
-use now_bft::core::{NowParams, NowSystem, SecurityMode};
+use now_bft::core::{BatchInput, ExecConfig, NowParams, NowSystem, SecurityMode};
 use now_bft::net::{AsyncNet, ClusterId, DetRng, Ledger};
 use now_bft::over::CyclesOverlay;
 use proptest::prelude::*;
@@ -36,7 +36,7 @@ proptest! {
             .map(|&p| nodes[p as usize % nodes.len()])
             .collect();
         let before = sys.population() as i64;
-        let report = sys.step_parallel(&joins, &leaves);
+        let report = sys.step_batch(&BatchInput::from_flags(&joins, &leaves), &ExecConfig::serial());
         let after = sys.population() as i64;
         prop_assert_eq!(
             after,
@@ -81,7 +81,7 @@ proptest! {
             .map(|&p| nodes[p as usize % nodes.len()])
             .collect();
 
-        let report = batched.step_parallel(&joins, &leaves);
+        let report = batched.step_batch(&BatchInput::from_flags(&joins, &leaves), &ExecConfig::serial());
         let mut serial_joined = Vec::new();
         let mut serial_left = 0usize;
         for &n in &leaves {

@@ -5,7 +5,7 @@
 use now_bft::adversary::{
     BatchDriver, BatchForcedLeave, BatchJoinLeave, BatchSplitForcing, ClusterPick,
 };
-use now_bft::core::{JoinSpec, NowParams, NowSystem};
+use now_bft::core::{BatchInput, ExecConfig, JoinSpec, NowParams, NowSystem};
 use now_bft::net::{DetRng, NodeId};
 use proptest::prelude::*;
 
@@ -130,7 +130,10 @@ proptest! {
                 .iter()
                 .map(|&p| nodes[p as usize % nodes.len()])
                 .collect();
-            let report = sys.step_parallel_threaded(&joins, &leaves, threads);
+            let report = sys.step_batch(
+                &BatchInput::from_flags(&joins, &leaves),
+                &ExecConfig::threaded(threads),
+            );
             sys.check_consistency().expect("post-batch consistency");
             (
                 (
@@ -203,12 +206,13 @@ proptest! {
                     .iter()
                     .map(|&p| nodes[(p as usize + step) % nodes.len()])
                     .collect();
+                let input = BatchInput::from_specs(&specs, &leaves);
                 let report = match engine {
-                    Engine::Serial => sys.step_parallel_threaded_specs(&specs, &leaves, 1),
+                    Engine::Serial => sys.step_batch(&input, &ExecConfig::threaded(1)),
                     Engine::Pooled(_) => {
-                        sys.step_parallel_pooled_specs(&specs, &leaves, pool.as_ref().unwrap())
+                        sys.step_batch(&input, &ExecConfig::pooled(pool.as_ref().unwrap()))
                     }
-                    Engine::Scoped(t) => sys.step_parallel_scoped_specs(&specs, &leaves, t),
+                    Engine::Scoped(t) => sys.step_batch(&input, &ExecConfig::scoped(t)),
                 };
                 per_step.push((
                     report.joined,
@@ -281,7 +285,7 @@ proptest! {
         for _ in 0..STEPS {
             let (joins, leaves) = driver.decide_batch(&sys, &mut rng);
             script.push((joins.clone(), leaves.clone()));
-            let report = sys.step_parallel_specs(&joins, &leaves);
+            let report = sys.step_batch(&BatchInput::from_specs(&joins, &leaves), &ExecConfig::serial());
             batched_joined.extend(report.joined);
         }
         sys.check_consistency().expect("post-batch consistency");
@@ -326,7 +330,8 @@ proptest! {
             let mut waves = Vec::new();
             for _ in 0..STEPS {
                 let (joins, leaves) = driver.decide_batch(&sys, &mut rng);
-                let report = sys.step_parallel_threaded_specs(&joins, &leaves, threads);
+                let report =
+                    sys.step_batch(&BatchInput::from_specs(&joins, &leaves), &ExecConfig::threaded(threads));
                 waves.push(report.waves.clone());
             }
             sys.check_consistency().expect("post-threaded consistency");
@@ -365,5 +370,116 @@ proptest! {
             prop_assert!(sys.ledger().is_balanced());
             last = now;
         }
+    }
+}
+
+// Satellite contract of the `step_batch` redesign: every deprecated
+// batch entry point is a pure delegate of `NowSystem::step_batch` —
+// bit-identical report, system state, and ledger totals for arbitrary
+// batch shapes and seeds.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_batch_entry_points_equal_step_batch(
+        seed in any::<u64>(),
+        joins in proptest::collection::vec(any::<bool>(), 0..6),
+        leave_picks in proptest::collection::vec(any::<u16>(), 0..6),
+    ) {
+        use now_bft::core::{BatchReport, WavePool};
+
+        let fingerprint = |sys: &NowSystem, report: &BatchReport| {
+            (
+                report.joined.clone(),
+                report.left.clone(),
+                report
+                    .rejected
+                    .iter()
+                    .map(|(n, e)| (*n, format!("{e:?}")))
+                    .collect::<Vec<_>>(),
+                report.cost,
+                report.rounds_parallel,
+                report.waves.clone(),
+                sys.population(),
+                sys.byz_population(),
+                sys.node_ids(),
+                sys.cluster_ids(),
+                sys.ledger().total(),
+            )
+        };
+        let specs: Vec<JoinSpec> = joins.iter().map(|&h| JoinSpec::uniform(h)).collect();
+        let setup = || NowSystem::init_fast(params(), 140, 0.15, seed);
+        let leaves_for = |sys: &NowSystem| -> Vec<NodeId> {
+            let nodes = sys.node_ids();
+            leave_picks
+                .iter()
+                .map(|&p| nodes[p as usize % nodes.len()])
+                .collect()
+        };
+        let run_new = |exec: &ExecConfig<'_>| {
+            let mut sys = setup();
+            let leaves = leaves_for(&sys);
+            let report = sys.step_batch(&BatchInput::from_specs(&specs, &leaves), exec);
+            fingerprint(&sys, &report)
+        };
+        let run_old = |f: &dyn Fn(&mut NowSystem, &[NodeId]) -> BatchReport| {
+            let mut sys = setup();
+            let leaves = leaves_for(&sys);
+            let report = f(&mut sys, &leaves);
+            fingerprint(&sys, &report)
+        };
+
+        let serial = run_new(&ExecConfig::serial());
+        prop_assert_eq!(
+            &serial,
+            &run_old(&|sys, leaves| sys.step_parallel(&joins, leaves)),
+            "step_parallel != step_batch(serial)"
+        );
+        prop_assert_eq!(
+            &serial,
+            &run_old(&|sys, leaves| sys.step_parallel_specs(&specs, leaves)),
+            "step_parallel_specs != step_batch(serial)"
+        );
+
+        let threaded = run_new(&ExecConfig::threaded(3));
+        prop_assert_eq!(
+            &threaded,
+            &run_old(&|sys, leaves| sys.step_parallel_threaded(&joins, leaves, 3)),
+            "step_parallel_threaded != step_batch(threaded)"
+        );
+        prop_assert_eq!(
+            &threaded,
+            &run_old(&|sys, leaves| sys.step_parallel_threaded_specs(&specs, leaves, 3)),
+            "step_parallel_threaded_specs != step_batch(threaded)"
+        );
+
+        let pool = WavePool::new(3);
+        let pooled = run_new(&ExecConfig::pooled(&pool));
+        prop_assert_eq!(
+            &pooled,
+            &run_old(&|sys, leaves| sys.step_parallel_pooled(&joins, leaves, &pool)),
+            "step_parallel_pooled != step_batch(pooled)"
+        );
+        prop_assert_eq!(
+            &pooled,
+            &run_old(&|sys, leaves| sys.step_parallel_pooled_specs(&specs, leaves, &pool)),
+            "step_parallel_pooled_specs != step_batch(pooled)"
+        );
+
+        let scoped = run_new(&ExecConfig::scoped(3));
+        prop_assert_eq!(
+            &scoped,
+            &run_old(&|sys, leaves| sys.step_parallel_scoped_specs(&specs, leaves, 3)),
+            "step_parallel_scoped_specs != step_batch(scoped)"
+        );
+
+        // The wave engines all land on the same answer (threaded ≡
+        // pooled ≡ scoped; the scheduled path draws from the master
+        // stream instead of per-op substreams, so it shares outcomes
+        // and ids with them but not walk costs — see
+        // `pooled_scoped_serial_agree_across_pool_reuse`).
+        prop_assert_eq!(&threaded, &pooled);
+        prop_assert_eq!(&threaded, &scoped);
     }
 }

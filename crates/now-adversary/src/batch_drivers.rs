@@ -359,6 +359,199 @@ impl BatchDriver for BatchSplitForcing {
     }
 }
 
+/// The merge-forcing drain at batch rate: each step evicts up to
+/// `width / 2` members of the target cluster (honest first — the
+/// adversary keeps its own nodes in play, exactly the serial
+/// [`crate::MergeForcing`] preference) and interleaves the same number
+/// of *uniform* replacement arrivals corrupted up to the projected
+/// budget. The replacements keep the population and model floor
+/// intact, but they land on walk-chosen hosts — so the target
+/// net-shrinks below `k·logN/l` within a few steps and the merge
+/// machinery dissolves a victim cluster into it: two clusters' worth of
+/// structural churn per batch.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchMergeForcing {
+    /// Operations per step (evictions + replacements combined).
+    pub width: usize,
+    /// Corruption budget for the replacement arrivals.
+    pub budget: CorruptionBudget,
+    /// Target (re)selection policy.
+    pub pick: ClusterPick,
+    target: Option<ClusterId>,
+}
+
+impl BatchMergeForcing {
+    /// Drains the [`ClusterPick::Largest`] cluster with batches of
+    /// `width` operations at corruption fraction `tau`.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn new(width: usize, tau: f64) -> Self {
+        assert!(width > 0, "batch width must be positive");
+        BatchMergeForcing {
+            width,
+            budget: CorruptionBudget::new(tau),
+            pick: ClusterPick::Largest,
+            target: None,
+        }
+    }
+
+    /// Overrides the target-selection policy.
+    pub fn with_pick(mut self, pick: ClusterPick) -> Self {
+        self.pick = pick;
+        self.target = None;
+        self
+    }
+
+    /// The current sticky target, if one has been resolved.
+    pub fn target(&self) -> Option<ClusterId> {
+        self.target
+    }
+}
+
+impl BatchDriver for BatchMergeForcing {
+    fn decide_batch(&mut self, sys: &NowSystem, _rng: &mut DetRng) -> (Vec<JoinSpec>, Vec<NodeId>) {
+        let target = live_target(&mut self.target, self.pick, sys);
+        let half = (self.width / 2).max(1);
+
+        // Drain honest members first, then (if the target runs out of
+        // honest mass) the adversary's own — both in id order, so the
+        // batch is a pure function of the system state.
+        let (leaves, honest_leaves) = match sys.cluster(target) {
+            Some(c) => {
+                let mut honest: Vec<NodeId> = Vec::new();
+                let mut byz: Vec<NodeId> = Vec::new();
+                for m in c.members() {
+                    if sys.is_honest(m).unwrap_or(false) {
+                        honest.push(m);
+                    } else {
+                        byz.push(m);
+                    }
+                }
+                let honest_taken = honest.len().min(half);
+                honest.truncate(half);
+                honest.extend(byz.into_iter().take(half - honest.len()));
+                (honest, honest_taken)
+            }
+            None => (Vec::new(), 0),
+        };
+
+        // Uniform replacements hold n stable; project the departures
+        // before the budget check (honest evictions lower only the
+        // population, Byzantine ones lower both counts).
+        let mut pop = sys.population().saturating_sub(leaves.len() as u64);
+        let mut byz = sys
+            .byz_population()
+            .saturating_sub((leaves.len() - honest_leaves) as u64);
+        let joins = (0..leaves.len())
+            .map(|_| {
+                let corrupt = self.budget.can_corrupt_at(pop, byz);
+                pop += 1;
+                if corrupt {
+                    byz += 1;
+                }
+                JoinSpec::uniform(!corrupt)
+            })
+            .collect();
+        (joins, leaves)
+    }
+
+    fn name(&self) -> &'static str {
+        "batch-merge-forcing"
+    }
+}
+
+/// Alternating join/leave bursts at batch rate: each *step* is one
+/// whole burst — `width` arrivals on even steps, `width` departures of
+/// distinct uniformly random nodes on odd steps. The batched analogue
+/// of the serial [`crate::BurstChurn`] (whose burst of `width`
+/// consecutive single-op steps collapses into one wave-scheduled time
+/// step here — the regime the paper's parallel-batch footnote is for).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchBurstChurn {
+    /// Operations per burst (= per step).
+    pub width: usize,
+    /// Corruption budget for the join bursts.
+    pub budget: CorruptionBudget,
+    /// Steers the join bursts at a sticky [`ClusterPick`] target
+    /// (`None` = uniform contacts, the serial driver's behavior).
+    pub pick: Option<ClusterPick>,
+    target: Option<ClusterId>,
+    position: u64,
+}
+
+impl BatchBurstChurn {
+    /// Uniform bursts of `width` operations at corruption fraction
+    /// `tau`.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn new(width: usize, tau: f64) -> Self {
+        assert!(width > 0, "batch width must be positive");
+        BatchBurstChurn {
+            width,
+            budget: CorruptionBudget::new(tau),
+            pick: None,
+            target: None,
+            position: 0,
+        }
+    }
+
+    /// Steers the join bursts at a sticky target chosen by `pick`.
+    pub fn with_pick(mut self, pick: ClusterPick) -> Self {
+        self.pick = Some(pick);
+        self.target = None;
+        self
+    }
+
+    /// Whether the next batch is a join burst.
+    pub fn is_joining(&self) -> bool {
+        self.position % 2 == 0
+    }
+
+    /// The current sticky target, if steered and resolved.
+    pub fn target(&self) -> Option<ClusterId> {
+        self.target
+    }
+}
+
+impl BatchDriver for BatchBurstChurn {
+    fn decide_batch(&mut self, sys: &NowSystem, rng: &mut DetRng) -> (Vec<JoinSpec>, Vec<NodeId>) {
+        let joining = self.is_joining();
+        self.position += 1;
+        if joining {
+            let contact = self
+                .pick
+                .map(|pick| live_target(&mut self.target, pick, sys));
+            let mut pop = sys.population();
+            let mut byz = sys.byz_population();
+            let joins = (0..self.width)
+                .map(|_| {
+                    let corrupt = self.budget.can_corrupt_at(pop, byz);
+                    pop += 1;
+                    if corrupt {
+                        byz += 1;
+                    }
+                    match contact {
+                        Some(c) => JoinSpec::via(c, !corrupt),
+                        None => JoinSpec::uniform(!corrupt),
+                    }
+                })
+                .collect();
+            (joins, Vec::new())
+        } else {
+            let nodes = sys.node_ids();
+            let want = self.width.min(nodes.len());
+            let picks = now_graph::sample::sample_distinct(nodes.len(), want, rng);
+            (Vec::new(), picks.into_iter().map(|i| nodes[i]).collect())
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "batch-burst-churn"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,5 +663,77 @@ mod tests {
     #[should_panic(expected = "batch width")]
     fn zero_width_rejected() {
         let _ = BatchJoinLeave::new(0, 0.1);
+    }
+
+    #[test]
+    fn merge_forcing_batches_drain_honest_first_and_replace_uniform() {
+        let sys = system(200, 0.2, 7);
+        let mut adv = BatchMergeForcing::new(6, 0.2).with_pick(ClusterPick::First);
+        let mut rng = DetRng::new(7);
+        let (joins, leaves) = adv.decide_batch(&sys, &mut rng);
+        let target = adv.target().unwrap();
+        assert_eq!(target, sys.cluster_ids()[0]);
+        assert_eq!(leaves.len(), 3, "width/2 evictions");
+        for &n in &leaves {
+            assert_eq!(sys.node_cluster(n).unwrap(), target, "drains the target");
+            assert!(sys.is_honest(n).unwrap(), "honest drained first");
+        }
+        assert_eq!(joins.len(), leaves.len(), "population held stable");
+        assert!(joins.iter().all(|j| j.contact.is_none()), "uniform rejoins");
+        // Projected budget: evicting honest nodes cannot fund more
+        // corruption than τ allows post-batch.
+        let corrupt = joins.iter().filter(|j| !j.honest).count() as u64;
+        let frac = (sys.byz_population() + corrupt) as f64 / sys.population() as f64;
+        assert!(frac <= 0.2 + 0.02, "batch overshot τ: {frac}");
+    }
+
+    #[test]
+    fn merge_forcing_batches_fall_back_to_byz_members() {
+        // Drain wider than the target's honest mass: the tail of the
+        // eviction list must be the adversary's own nodes, id-ordered.
+        let sys = system(60, 0.3, 8);
+        let target = sys.cluster_ids()[0];
+        let honest_count = sys.cluster(target).unwrap().honest_count();
+        let size = sys.cluster(target).unwrap().size();
+        let mut adv = BatchMergeForcing::new(2 * size, 0.3).with_pick(ClusterPick::First);
+        let mut rng = DetRng::new(8);
+        let (_, leaves) = adv.decide_batch(&sys, &mut rng);
+        assert_eq!(leaves.len(), size, "whole cluster drained");
+        let honest_evicted = leaves
+            .iter()
+            .filter(|&&n| sys.is_honest(n).unwrap())
+            .count();
+        assert_eq!(honest_evicted, honest_count, "honest first, then byz");
+    }
+
+    #[test]
+    fn burst_batches_alternate_whole_bursts() {
+        let sys = system(200, 0.1, 9);
+        let mut adv = BatchBurstChurn::new(5, 0.1);
+        let mut rng = DetRng::new(9);
+        for step in 0..6 {
+            let (joins, leaves) = adv.decide_batch(&sys, &mut rng);
+            if step % 2 == 0 {
+                assert_eq!((joins.len(), leaves.len()), (5, 0), "join burst");
+                assert!(joins.iter().all(|j| j.contact.is_none()), "uniform joins");
+            } else {
+                assert_eq!((joins.len(), leaves.len()), (0, 5), "leave burst");
+                let mut distinct = leaves.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                assert_eq!(distinct.len(), 5, "distinct departures");
+            }
+        }
+    }
+
+    #[test]
+    fn burst_batches_steer_when_picked() {
+        let sys = system(200, 0.1, 10);
+        let mut adv = BatchBurstChurn::new(4, 0.1).with_pick(ClusterPick::Largest);
+        let mut rng = DetRng::new(10);
+        let (joins, _) = adv.decide_batch(&sys, &mut rng);
+        let target = adv.target().unwrap();
+        assert_eq!(target, ClusterPick::Largest.resolve(&sys));
+        assert!(joins.iter().all(|j| j.contact == Some(target)));
     }
 }

@@ -19,8 +19,9 @@
 //!   compromised: steer walks toward the target, surrender honest
 //!   members first, extremize `randNum`.
 //! * Batched attack drivers ([`BatchDriver`]): [`BatchJoinLeave`],
-//!   [`BatchForcedLeave`], [`BatchSplitForcing`] — the attack styles at
-//!   batch rate, for the §2-footnote wave-scheduled execution.
+//!   [`BatchForcedLeave`], [`BatchSplitForcing`], [`BatchMergeForcing`],
+//!   [`BatchBurstChurn`] — the attack styles at batch rate, for the
+//!   §2-footnote wave-scheduled execution.
 //!
 //! The corruption *budget* is enforced by [`CorruptionBudget`]: the
 //! adversary may corrupt an arrival only while its share is below `τ`.
@@ -37,7 +38,8 @@ mod pressure;
 mod strategies;
 
 pub use batch_drivers::{
-    BatchDriver, BatchForcedLeave, BatchJoinLeave, BatchSplitForcing, ClusterPick, QuietBatches,
+    BatchBurstChurn, BatchDriver, BatchForcedLeave, BatchJoinLeave, BatchMergeForcing,
+    BatchSplitForcing, ClusterPick, QuietBatches,
 };
 pub use budget::CorruptionBudget;
 pub use malice_impls::TargetedMalice;

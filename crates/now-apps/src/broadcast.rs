@@ -53,7 +53,7 @@ pub fn broadcast(sys: &mut NowSystem, origin: ClusterId) -> BroadcastReport {
     while let Some((c, depth)) = queue.pop_front() {
         depth_max = depth_max.max(depth);
         let c_size = sys.cluster(c).map(|cl| cl.size() as u64).unwrap_or(0);
-        for nbr in sys.overlay().neighbors(c) {
+        for &nbr in sys.overlay().neighbors(c) {
             if reached.contains(&nbr) {
                 continue;
             }

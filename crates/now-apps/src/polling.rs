@@ -113,7 +113,7 @@ pub fn poll(
     while let Some(c) = queue.pop_front() {
         order.push(c);
         let c_size = sys.cluster(c).map(|cl| cl.size() as u64).unwrap_or(0);
-        for nbr in sys.overlay().neighbors(c) {
+        for &nbr in sys.overlay().neighbors(c) {
             if seen.insert(nbr) {
                 parent.insert(nbr, c);
                 depth.insert(nbr, depth[&c] + 1);

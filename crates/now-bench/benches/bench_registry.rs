@@ -4,6 +4,14 @@
 //! exists for. A quadratic (or even linear) blowup in any of these
 //! per-op measurements would show up as a 10×/100× spread between the
 //! sweep points.
+//!
+//! Flat-memory core (slab clusters + sorted-vec members + direct-mapped
+//! node index) before → after, measured by `x_flat_core` on the 1-vCPU
+//! dev container at 64/512/4096 clusters (ns/op, steady state):
+//! attach 82/120/159 → 53/69/101, move 100/133/184 → 52/67/71, detach
+//! 72/88/115 → 23/27/20, `node_ids()` 33/35/38 → 5/8/6 per id. The
+//! committed sweep lives in `BENCH_flat_core.json` (CI's
+//! bench-snapshot job validates it with `x_flat_core --check`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use now_core::Registry;

@@ -1,0 +1,438 @@
+//! X-FLAT — deterministic per-op timings for the flat-memory hot core.
+//!
+//! Measures the structures the wave planner hammers — registry
+//! attach/detach/move, cluster membership, overlay add/remove and
+//! neighbor iteration, and the planning share of a batched step's wall
+//! clock — at the 64/512/4096-cluster sweep points. The workload is
+//! fully seeded, so before/after runs compare like for like; only the
+//! nanoseconds move. Output is a JSON metric map suitable for pasting
+//! into `BENCH_flat_core.json` as one of its `before`/`after` columns.
+//!
+//! Modes:
+//! * (default) — full iteration counts, JSON to stdout.
+//! * `--smoke` — reduced counts for CI; same metric keys.
+//! * `--check <path>` — validate a committed `BENCH_flat_core.json`:
+//!   parses the JSON and requires `before`/`after` columns carrying
+//!   every metric this harness emits. Exits non-zero when missing or
+//!   malformed.
+
+use now_core::{BatchInput, Cluster, ExecConfig, NowParams, NowSystem, Registry};
+use now_net::{ClusterId, DetRng, NodeId};
+use now_over::{OverParams, Overlay};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// The cluster-count sweep points from the issue's acceptance criteria.
+const SWEEP: [usize; 3] = [64, 512, 4096];
+
+/// Metrics that carry one value per sweep point.
+const SWEPT_METRICS: [&str; 8] = [
+    "registry_attach",
+    "registry_move",
+    "registry_detach",
+    "registry_node_ids",
+    "overlay_add",
+    "overlay_remove",
+    "overlay_neighbors_iter",
+    "step_wall_per_op",
+];
+
+/// Scalar metrics (single value, not swept).
+const SCALAR_METRICS: [&str; 4] = [
+    "cluster_insert",
+    "cluster_contains",
+    "cluster_member_at",
+    "plan_share_percent",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--check") {
+        let path = args
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_flat_core.json");
+        match check_snapshot(path) {
+            Ok(()) => {
+                println!("{path}: ok");
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let reps = if smoke { 1 } else { 3 };
+    let mut out: BTreeMap<String, String> = BTreeMap::new();
+
+    for &clusters in &SWEEP {
+        let nodes_per = if smoke { 4 } else { 16 };
+        let (attach, mv, detach, node_ids) = bench_registry(clusters, nodes_per, reps);
+        out.insert(key("registry_attach", clusters), fmt_ns(attach));
+        out.insert(key("registry_move", clusters), fmt_ns(mv));
+        out.insert(key("registry_detach", clusters), fmt_ns(detach));
+        out.insert(key("registry_node_ids", clusters), fmt_ns(node_ids));
+
+        let (add, remove, nbrs) = bench_overlay(clusters, reps, smoke);
+        out.insert(key("overlay_add", clusters), fmt_ns(add));
+        out.insert(key("overlay_remove", clusters), fmt_ns(remove));
+        out.insert(key("overlay_neighbors_iter", clusters), fmt_ns(nbrs));
+    }
+
+    let (insert, contains, member_at) = bench_cluster(if smoke { 64 } else { 256 }, reps);
+    out.insert("cluster_insert".into(), fmt_ns(insert));
+    out.insert("cluster_contains".into(), fmt_ns(contains));
+    out.insert("cluster_member_at".into(), fmt_ns(member_at));
+
+    let mut plan_share_max = 0.0f64;
+    for &clusters in &SWEEP {
+        let (per_op, share) = bench_step(clusters, smoke);
+        out.insert(key("step_wall_per_op", clusters), fmt_ns(per_op));
+        plan_share_max = plan_share_max.max(share);
+    }
+    out.insert(
+        "plan_share_percent".into(),
+        format!("{:.1}", plan_share_max * 100.0),
+    );
+
+    println!("{{");
+    println!("  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    println!("  \"unit\": \"ns_per_op\",");
+    let last = out.len() - 1;
+    for (i, (k, v)) in out.iter().enumerate() {
+        let comma = if i == last { "" } else { "," };
+        println!("  \"{k}\": {v}{comma}");
+    }
+    println!("}}");
+}
+
+fn key(metric: &str, clusters: usize) -> String {
+    format!("{metric}_c{clusters}")
+}
+
+fn fmt_ns(ns: f64) -> String {
+    format!("{ns:.1}")
+}
+
+/// Per-op attach/move/detach/node_ids cost over `clusters` clusters
+/// populated round-robin with `clusters * nodes_per` nodes.
+fn bench_registry(clusters: usize, nodes_per: usize, reps: usize) -> (f64, f64, f64, f64) {
+    let ids: Vec<ClusterId> = (0..clusters as u64).map(ClusterId::from_raw).collect();
+    let n = clusters * nodes_per;
+    let nodes: Vec<NodeId> = (0..n as u64).map(NodeId::from_raw).collect();
+    let (mut attach, mut mv, mut detach, mut node_ids) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let mut reg = Registry::new();
+        for &c in &ids {
+            reg.create_cluster(c);
+        }
+        let t = Instant::now();
+        for (i, &node) in nodes.iter().enumerate() {
+            reg.attach(node, i % 7 != 0, ids[i % clusters]);
+        }
+        attach = attach.min(per_op(t, n));
+
+        let t = Instant::now();
+        for (i, &node) in nodes.iter().enumerate() {
+            reg.move_to(node, ids[(i + 1) % clusters]);
+        }
+        mv = mv.min(per_op(t, n));
+
+        let t = Instant::now();
+        let listed = reg.node_ids();
+        node_ids = node_ids.min(per_op(t, n));
+        assert_eq!(listed.len(), n);
+
+        let t = Instant::now();
+        for &node in &nodes {
+            reg.detach(node);
+        }
+        detach = detach.min(per_op(t, n));
+        assert!(reg.is_empty());
+    }
+    (attach, mv, detach, node_ids)
+}
+
+/// Per-op insert/contains/member_at cost on one cluster of `size`.
+fn bench_cluster(size: usize, reps: usize) -> (f64, f64, f64) {
+    let nodes: Vec<NodeId> = (0..size as u64).map(NodeId::from_raw).collect();
+    let iters = size * 64;
+    let (mut insert, mut contains, mut member_at) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let mut cl = Cluster::new(ClusterId::from_raw(0));
+        let t = Instant::now();
+        for (i, &node) in nodes.iter().enumerate() {
+            cl.insert(node, i % 5 != 0);
+        }
+        insert = insert.min(per_op(t, size));
+
+        let mut hits = 0usize;
+        let t = Instant::now();
+        for i in 0..iters {
+            if cl.contains(nodes[(i * 17) % size]) {
+                hits += 1;
+            }
+        }
+        contains = contains.min(per_op(t, iters));
+        assert_eq!(hits, iters);
+
+        let mut acc = 0u64;
+        let t = Instant::now();
+        for i in 0..iters {
+            acc = acc.wrapping_add(cl.member_at((i * 13) % size).raw());
+        }
+        member_at = member_at.min(per_op(t, iters));
+        assert!(acc > 0);
+    }
+    (insert, contains, member_at)
+}
+
+/// Per-op overlay vertex add/remove churn plus per-neighbor iteration
+/// cost over a seeded random overlay of `clusters` vertices.
+fn bench_overlay(clusters: usize, reps: usize, smoke: bool) -> (f64, f64, f64) {
+    let params = OverParams::for_capacity(1 << 10);
+    let ids: Vec<ClusterId> = (0..clusters as u64).map(ClusterId::from_raw).collect();
+    let churn = if smoke { 32 } else { 256 };
+    let scans = if smoke { 4 } else { 32 };
+    let (mut add, mut remove, mut nbrs) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for rep in 0..reps {
+        let mut rng = DetRng::new(90 + rep as u64);
+        let mut overlay = Overlay::init_random(&ids, params, &mut rng);
+
+        let fresh: Vec<ClusterId> = (0..churn as u64)
+            .map(|i| ClusterId::from_raw(1_000_000 + i))
+            .collect();
+        let t = Instant::now();
+        for &c in &fresh {
+            overlay.add_uniform(c, &mut rng);
+        }
+        add = add.min(per_op(t, churn));
+
+        let t = Instant::now();
+        for &c in &fresh {
+            overlay.remove(c, &mut rng);
+        }
+        remove = remove.min(per_op(t, churn));
+
+        let mut visited = 0usize;
+        let mut acc = 0u64;
+        let t = Instant::now();
+        for _ in 0..scans {
+            for &c in &ids {
+                for n in overlay.neighbors(c) {
+                    acc = acc.wrapping_add(n.raw());
+                    visited += 1;
+                }
+            }
+        }
+        nbrs = nbrs.min(per_op(t, visited.max(1)));
+        assert!(acc > 0);
+    }
+    (add, remove, nbrs)
+}
+
+/// Wall clock per batched operation and the planning phase's share of
+/// it, on a system sized to roughly `clusters` clusters.
+fn bench_step(clusters: usize, smoke: bool) -> (f64, f64) {
+    let params = NowParams::for_capacity(1 << 10).unwrap();
+    let n0 = clusters * params.target_cluster_size();
+    let mut sys = NowSystem::init_fast(params, n0, 0.1, 7 + clusters as u64);
+    let steps = if smoke { 2 } else { 6 };
+    let width = (clusters / 4).clamp(8, 64);
+    let joins: Vec<bool> = (0..width).map(|i| i % 5 != 0).collect();
+    let mut ops = 0usize;
+    let plan0 = now_core::wave_plan_nanos_total();
+    let t = Instant::now();
+    for step in 0..steps {
+        let leaves: Vec<NodeId> = sys
+            .node_ids()
+            .into_iter()
+            .step_by(17 + step)
+            .take(width)
+            .collect();
+        ops += joins.len() + leaves.len();
+        sys.step_batch(
+            &BatchInput::from_flags(&joins, &leaves),
+            &ExecConfig::threaded(1),
+        );
+    }
+    let wall = t.elapsed().as_nanos() as u64;
+    let plan = now_core::wave_plan_nanos_total() - plan0;
+    let share = if wall == 0 {
+        0.0
+    } else {
+        plan as f64 / wall as f64
+    };
+    (wall as f64 / ops.max(1) as f64, share)
+}
+
+fn per_op(start: Instant, ops: usize) -> f64 {
+    start.elapsed().as_nanos() as f64 / ops.max(1) as f64
+}
+
+// -------------------------------------------------------------------
+// Snapshot validation (`--check`): a minimal JSON reader sufficient
+// for the snapshot's shape — objects, strings, and numbers.
+// -------------------------------------------------------------------
+
+#[derive(Debug, PartialEq)]
+enum Json {
+    Object(BTreeMap<String, Json>),
+    Array(Vec<Json>),
+    String(String),
+    Number(f64),
+    Bool(bool),
+    Null,
+}
+
+fn check_snapshot(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let doc = parse_json(&text)?;
+    let Json::Object(top) = doc else {
+        return Err("top level is not an object".into());
+    };
+    for column in ["before", "after"] {
+        let Some(Json::Object(col)) = top.get(column) else {
+            return Err(format!("missing \"{column}\" column"));
+        };
+        for metric in SWEPT_METRICS {
+            for clusters in SWEEP {
+                let k = key(metric, clusters);
+                match col.get(&k) {
+                    Some(Json::Number(n)) if n.is_finite() && *n >= 0.0 => {}
+                    Some(_) => return Err(format!("{column}.{k} is not a finite number")),
+                    None => return Err(format!("missing {column}.{k}")),
+                }
+            }
+        }
+        for metric in SCALAR_METRICS {
+            match col.get(metric) {
+                Some(Json::Number(n)) if n.is_finite() && *n >= 0.0 => {}
+                Some(_) => return Err(format!("{column}.{metric} is not a finite number")),
+                None => return Err(format!("missing {column}.{metric}")),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let Json::String(k) = parse_value(bytes, pos)? else {
+                    return Err(format!("object key is not a string at byte {pos}"));
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let v = parse_value(bytes, pos)?;
+                map.insert(k, v);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let start = *pos;
+            while *pos < bytes.len() && bytes[*pos] != b'"' {
+                if bytes[*pos] == b'\\' {
+                    return Err(format!("escapes unsupported at byte {pos}"));
+                }
+                *pos += 1;
+            }
+            if *pos >= bytes.len() {
+                return Err("unterminated string".into());
+            }
+            let s = std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|_| "invalid utf-8 in string".to_string())?
+                .to_string();
+            *pos += 1;
+            Ok(Json::String(s))
+        }
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "bad number")?;
+            s.parse::<f64>()
+                .map(Json::Number)
+                .map_err(|_| format!("bad number {s:?} at byte {start}"))
+        }
+        None => Err("unexpected end of input".into()),
+    }
+}

@@ -67,6 +67,12 @@ pub enum PhaseStyle {
     ForcedLeave,
     /// Split-forcing flood ([`now_adversary::BatchSplitForcing`]).
     SplitForcing,
+    /// Merge pressure: drain a target cluster toward the floor
+    /// ([`now_adversary::BatchMergeForcing`]).
+    MergeForcing,
+    /// Alternating whole-burst joins and leaves
+    /// ([`now_adversary::BatchBurstChurn`]).
+    BurstChurn,
 }
 
 impl PhaseStyle {
@@ -79,6 +85,8 @@ impl PhaseStyle {
             PhaseStyle::JoinLeave => "join-leave",
             PhaseStyle::ForcedLeave => "forced-leave",
             PhaseStyle::SplitForcing => "split-forcing",
+            PhaseStyle::MergeForcing => "merge-forcing",
+            PhaseStyle::BurstChurn => "burst",
         }
     }
 
@@ -87,7 +95,10 @@ impl PhaseStyle {
     pub fn is_targeted(&self) -> bool {
         matches!(
             self,
-            PhaseStyle::JoinLeave | PhaseStyle::ForcedLeave | PhaseStyle::SplitForcing
+            PhaseStyle::JoinLeave
+                | PhaseStyle::ForcedLeave
+                | PhaseStyle::SplitForcing
+                | PhaseStyle::MergeForcing
         )
     }
 }
@@ -407,5 +418,9 @@ mod tests {
         assert!(PhaseStyle::SplitForcing.is_targeted());
         assert!(!PhaseStyle::Balanced.is_targeted());
         assert_eq!(PhaseStyle::Sawtooth { low: 1, high: 2 }.name(), "sawtooth");
+        assert_eq!(PhaseStyle::MergeForcing.name(), "merge-forcing");
+        assert!(PhaseStyle::MergeForcing.is_targeted());
+        assert_eq!(PhaseStyle::BurstChurn.name(), "burst");
+        assert!(!PhaseStyle::BurstChurn.is_targeted());
     }
 }

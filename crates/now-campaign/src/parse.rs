@@ -33,7 +33,8 @@
 //! Header directives: `campaign <name>` (required, first), `capacity`,
 //! `k`, `l`, `tau`, `epsilon`, `initial-population`, `seed`, `width`,
 //! `shuffle on|off`. Phase directives: `style quiet | balanced |
-//! sawtooth <low> <high> | join-leave | forced-leave | split-forcing`,
+//! sawtooth <low> <high> | join-leave | forced-leave | split-forcing |
+//! merge-forcing | burst`,
 //! `target first|largest|smallest`, `width`, `tau`,
 //! `exec scheduled|threaded|event`, and exactly one trigger — `steps
 //! <n>`, `until-pop-above <target> [cap <n>]`, `until-pop-below
@@ -306,6 +307,8 @@ impl Campaign {
                     ("style", ["join-leave"]) => p.style = Some(PhaseStyle::JoinLeave),
                     ("style", ["forced-leave"]) => p.style = Some(PhaseStyle::ForcedLeave),
                     ("style", ["split-forcing"]) => p.style = Some(PhaseStyle::SplitForcing),
+                    ("style", ["merge-forcing"]) => p.style = Some(PhaseStyle::MergeForcing),
+                    ("style", ["burst"]) => p.style = Some(PhaseStyle::BurstChurn),
                     ("style", other) => {
                         return Err(err(line, format!("unknown style `{}`", other.join(" "))))
                     }
@@ -508,6 +511,16 @@ phase storm
   drop 0.1
   partition 2 heal 40
   steps 30
+
+phase squeeze
+  style merge-forcing
+  target smallest
+  steps 12
+
+phase pulse
+  style burst
+  width 4
+  steps 16
 ";
 
     #[test]
@@ -518,7 +531,7 @@ phase storm
         assert_eq!(c.k, 3);
         assert_eq!(c.seed, 9);
         assert_eq!(c.width, 5);
-        assert_eq!(c.phases.len(), 7);
+        assert_eq!(c.phases.len(), 9);
         assert_eq!(c.phases[0].style, PhaseStyle::Balanced);
         assert_eq!(c.phases[1].width, Some(8));
         assert_eq!(c.phases[1].tau, Some(0.15));
@@ -551,6 +564,10 @@ phase storm
                 .with_partition(2)
                 .healing_at(40)
         );
+        assert_eq!(c.phases[7].style, PhaseStyle::MergeForcing);
+        assert_eq!(c.phases[7].target, ClusterPick::Smallest);
+        assert_eq!(c.phases[8].style, PhaseStyle::BurstChurn);
+        assert_eq!(c.phases[8].width, Some(4));
     }
 
     #[test]

@@ -12,7 +12,8 @@
 use crate::model::{Campaign, PhaseExec, PhaseStyle, Trigger};
 use crate::report::{CampaignReport, PhaseReport};
 use now_adversary::{
-    BatchDriver, BatchForcedLeave, BatchJoinLeave, BatchSplitForcing, QuietBatches,
+    BatchBurstChurn, BatchDriver, BatchForcedLeave, BatchJoinLeave, BatchMergeForcing,
+    BatchSplitForcing, QuietBatches,
 };
 use now_core::{normalize_threads, NowError, NowParams, NowSystem, WavePool};
 use now_sim::{BatchExec, BatchRandomChurn, BatchRun, BatchRunReport, BatchSawtooth};
@@ -107,6 +108,10 @@ impl Campaign {
                 PhaseStyle::SplitForcing => {
                     Box::new(BatchSplitForcing::new(width, tau).with_pick(phase.target))
                 }
+                PhaseStyle::MergeForcing => {
+                    Box::new(BatchMergeForcing::new(width, tau).with_pick(phase.target))
+                }
+                PhaseStyle::BurstChurn => Box::new(BatchBurstChurn::new(width, tau)),
             };
             let (exec, phase_pool) = match phase.exec {
                 PhaseExec::Scheduled => (BatchExec::Scheduled, None),

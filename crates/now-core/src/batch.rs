@@ -258,7 +258,9 @@ impl NowSystem {
     /// neighborhood (view updates, split/merge/exchange candidates of
     /// the first coordination round).
     pub fn op_footprint(&self, center: ClusterId) -> Vec<ClusterId> {
-        let mut fp = self.overlay().neighbors(center);
+        let nbrs = self.overlay().neighbors(center);
+        let mut fp = Vec::with_capacity(nbrs.len() + 1);
+        fp.extend_from_slice(nbrs);
         fp.push(center);
         fp
     }

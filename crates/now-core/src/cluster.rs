@@ -2,9 +2,15 @@
 
 use crate::params::SecurityMode;
 use now_net::{ClusterId, NodeId};
-use std::collections::BTreeSet;
 
 /// One NOW cluster: a vertex of the overlay and a set of member nodes.
+///
+/// Members live in one sorted, contiguous `Vec<NodeId>` — membership is
+/// a binary search, iteration is a cache-line walk, and `member_at` is
+/// a direct index (the wave planner draws exchange victims by index on
+/// every operation). Clusters are polylog-sized, so the `O(size)`
+/// shifts on insert/remove stay well under the pointer-chasing cost of
+/// the `BTreeSet` layout this replaced.
 ///
 /// The cluster caches its Byzantine member count so the audits — which
 /// run after every operation in long experiments — cost O(1). The cache
@@ -15,7 +21,8 @@ use std::collections::BTreeSet;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cluster {
     id: ClusterId,
-    members: BTreeSet<NodeId>,
+    /// Sorted ascending; the invariant every method below preserves.
+    members: Vec<NodeId>,
     byz_count: usize,
 }
 
@@ -24,7 +31,7 @@ impl Cluster {
     pub fn new(id: ClusterId) -> Self {
         Cluster {
             id,
-            members: BTreeSet::new(),
+            members: Vec::new(),
             byz_count: 0,
         }
     }
@@ -99,9 +106,9 @@ impl Cluster {
         mode.invariant_holds(self.honest_count(), self.members.len())
     }
 
-    /// Membership test.
+    /// Membership test (binary search over the sorted member vec).
     pub fn contains(&self, node: NodeId) -> bool {
-        self.members.contains(&node)
+        self.members.binary_search(&node).is_ok()
     }
 
     /// Iterates members in id order.
@@ -109,47 +116,55 @@ impl Cluster {
         self.members.iter().copied()
     }
 
+    /// Members in id order, borrowed — the zero-copy view for read-only
+    /// walks (planner views, audits, quorum checks).
+    pub fn member_slice(&self) -> &[NodeId] {
+        &self.members
+    }
+
     /// Members as an owned, id-ordered vector (snapshot for iteration
     /// while mutating).
     pub fn member_vec(&self) -> Vec<NodeId> {
-        self.members.iter().copied().collect()
-    }
-
-    /// The member set (for quorum checks).
-    pub fn member_set(&self) -> &BTreeSet<NodeId> {
-        &self.members
+        self.members.clone()
     }
 
     /// Adds a member; `honest` is the simulator's ground truth. Returns
     /// `false` (and changes nothing) if already present.
     pub fn insert(&mut self, node: NodeId, honest: bool) -> bool {
-        let inserted = self.members.insert(node);
-        if inserted && !honest {
-            self.byz_count += 1;
+        match self.members.binary_search(&node) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.members.insert(pos, node);
+                if !honest {
+                    self.byz_count += 1;
+                }
+                true
+            }
         }
-        inserted
     }
 
     /// Removes a member; `honest` must match the flag used at insertion.
     /// Returns `false` if the node was not a member.
     pub fn remove(&mut self, node: NodeId, honest: bool) -> bool {
-        let removed = self.members.remove(&node);
-        if removed && !honest {
-            self.byz_count -= 1;
+        match self.members.binary_search(&node) {
+            Ok(pos) => {
+                self.members.remove(pos);
+                if !honest {
+                    self.byz_count -= 1;
+                }
+                true
+            }
+            Err(_) => false,
         }
-        removed
     }
 
-    /// The member at `index` in id order.
+    /// The member at `index` in id order (a direct index into the
+    /// sorted member vec).
     ///
     /// # Panics
     /// Panics if `index ≥ size()`.
     pub fn member_at(&self, index: usize) -> NodeId {
-        *self
-            .members
-            .iter()
-            .nth(index)
-            .expect("member index out of range")
+        self.members[index]
     }
 }
 

@@ -78,7 +78,9 @@ pub use malice::{Malice, NoMalice, RandNumContext, RandNumPurpose};
 pub use now_net::{DropReason, EventNetConfig, EventRecord, Partition};
 pub use params::{NowParams, SecurityMode};
 pub use rand_cl::WalkTrace;
-pub use registry::{ClusterStats, FootprintHandle, NodeRecord, Registry, WaveShards};
+pub use registry::{
+    ClusterIdx, ClusterStats, FootprintHandle, NodeIdx, NodeRecord, Registry, WaveShards,
+};
 pub use system::NowSystem;
 pub use views::{NodeView, ViewAudit};
-pub use wave_exec::{normalize_threads, wave_worker_spawn_total, WavePool};
+pub use wave_exec::{normalize_threads, wave_plan_nanos_total, wave_worker_spawn_total, WavePool};

@@ -269,7 +269,7 @@ impl NowSystem {
         self.ledger.begin(CostKind::Overlay);
         let victim_size = absorbed.len() as u64;
         let mut teardown_msgs = 0u64;
-        for nbr in self.overlay.neighbors(victim) {
+        for &nbr in self.overlay.neighbors(victim) {
             if let Some(stats) = self.registry.cluster_stats(nbr) {
                 teardown_msgs += victim_size * stats.size as u64;
             }

@@ -35,10 +35,12 @@ pub struct WalkTrace {
 /// duration of one `randCl` invocation (membership and overlay are
 /// immutable while a walk runs, so the cache never goes stale).
 ///
-/// Without this, every hop re-derived the overlay degree, re-allocated
-/// the neighbor list, and re-fetched cluster size and `randNum`-security
-/// from the registry — the dominant wall-clock cost of the biased CTRW
-/// that every join performs (`bench_randcl` measures the win).
+/// Without this, every hop re-derived the overlay degree and re-fetched
+/// cluster size and `randNum`-security from the registry — the dominant
+/// wall-clock cost of the biased CTRW that every join performs
+/// (`bench_randcl` measures the win). Neighbor lists are *not* cached:
+/// [`crate::NowSystem`]'s overlay hands out its sorted slab slices by
+/// borrow, so a hop reads them allocation-free at the point of use.
 struct VertexFacts {
     degree: usize,
     size: u64,
@@ -48,7 +50,6 @@ struct VertexFacts {
     /// Security under the deployment's [`crate::SecurityMode`]: gates
     /// the collective draws themselves.
     secure_mode: bool,
-    neighbors: Vec<ClusterId>,
 }
 
 /// Looks up (or computes once) the walk-relevant facts of `c`.
@@ -64,7 +65,6 @@ fn facts<'a>(
             size: cluster.size() as u64,
             secure_plain: cluster.rand_num_secure(),
             secure_mode: cluster.rand_num_secure_in(sys.params().security()),
-            neighbors: sys.overlay().neighbors(c),
         }
     })
 }
@@ -182,12 +182,12 @@ impl NowSystem {
                     secure_mode,
                     crate::malice::RandNumPurpose::WalkNeighborChoice,
                 ) as usize;
-                let cur = facts(&mut cache, self, current);
-                let mut next = cur.neighbors[idx.min(cur.neighbors.len() - 1)];
+                let nbrs = self.overlay.neighbors(current);
+                let mut next = nbrs[idx.min(nbrs.len() - 1)];
                 if !secure_plain {
                     trace.compromised_hops += 1;
-                    if let Some(forced) = self.malice.walk_hop(&cur.neighbors, &mut self.rng) {
-                        if cur.neighbors.contains(&forced) {
+                    if let Some(forced) = self.malice.walk_hop(nbrs, &mut self.rng) {
+                        if nbrs.contains(&forced) {
                             next = forced;
                         }
                     }

@@ -342,7 +342,7 @@ impl NowSystem {
     pub(crate) fn account_neighbor_notification(&mut self, c: ClusterId) {
         let size = self.cluster_ref(c).size() as u64;
         let mut msgs = 0u64;
-        for nbr in self.overlay.neighbors(c) {
+        for &nbr in self.overlay.neighbors(c) {
             if let Some(stats) = self.registry.cluster_stats(nbr) {
                 msgs += size * stats.size as u64;
             }
@@ -463,8 +463,8 @@ mod tests {
         assert_eq!(a.cluster_ids(), b.cluster_ids());
         for id in a.cluster_ids() {
             assert_eq!(
-                a.cluster(id).unwrap().member_vec(),
-                b.cluster(id).unwrap().member_vec()
+                a.cluster(id).unwrap().member_slice(),
+                b.cluster(id).unwrap().member_slice()
             );
         }
     }

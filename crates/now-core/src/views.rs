@@ -86,7 +86,7 @@ impl NowSystem {
             .members()
             .collect();
         let mut neighbor_members = BTreeMap::new();
-        for nbr in self.overlay().neighbors(cluster) {
+        for &nbr in self.overlay().neighbors(cluster) {
             if let Some(c) = self.cluster(nbr) {
                 neighbor_members.insert(nbr, c.members().collect());
             }
@@ -131,7 +131,7 @@ impl NowSystem {
         // endpoints of every edge are live clusters with full member
         // knowledge of each other).
         for c in self.cluster_ids() {
-            for d in self.overlay().neighbors(c) {
+            for &d in self.overlay().neighbors(c) {
                 if self.cluster(d).is_none() {
                     violations.push(format!("overlay edge {c}–{d} dangles on a dead cluster"));
                     continue;
@@ -205,7 +205,8 @@ mod tests {
         let expected: BTreeSet<NodeId> = sys.cluster(home).unwrap().members().collect();
         assert_eq!(view.own_members, expected);
         // Neighbor map matches the overlay exactly (parsimony).
-        let overlay_nbrs: BTreeSet<ClusterId> = sys.overlay().neighbors(home).into_iter().collect();
+        let overlay_nbrs: BTreeSet<ClusterId> =
+            sys.overlay().neighbors(home).iter().copied().collect();
         let view_nbrs: BTreeSet<ClusterId> = view.neighbor_members.keys().copied().collect();
         assert_eq!(view_nbrs, overlay_nbrs);
     }

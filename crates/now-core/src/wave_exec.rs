@@ -115,6 +115,18 @@ pub fn wave_worker_spawn_total() -> u64 {
     WAVE_WORKER_SPAWNS.load(Ordering::Relaxed)
 }
 
+/// Process-global nanoseconds the driving thread has spent in the
+/// planning phase of [`NowSystem::execute_wave`] (wall clock around the
+/// plan dispatch, including the block on pool workers). Benchmarks take
+/// deltas around a run to report planning's share of step wall clock.
+static WAVE_PLAN_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Current value of the process-global planning-phase wall-clock
+/// counter, in nanoseconds.
+pub fn wave_plan_nanos_total() -> u64 {
+    WAVE_PLAN_NANOS.load(Ordering::Relaxed)
+}
+
 /// One batched operation, with the footprint the wave partition was
 /// computed from.
 pub(crate) struct OpSpec {
@@ -216,9 +228,6 @@ struct Planner<'c, 'a> {
     homes: BTreeMap<NodeId, Option<ClusterId>>,
     /// The op's own arrival, if any (honesty is not in the registry yet).
     joiner: Option<(NodeId, bool)>,
-    /// Overlay neighbor lists, cached per op (the overlay is frozen
-    /// while a wave plans).
-    neighbors: BTreeMap<ClusterId, Vec<ClusterId>>,
     /// Present only when a non-neutral adversary serializes planning.
     malice: Option<&'c mut (dyn Malice + 'static)>,
 }
@@ -241,7 +250,6 @@ impl<'c, 'a> Planner<'c, 'a> {
             view: BTreeMap::new(),
             homes: BTreeMap::new(),
             joiner: None,
-            neighbors: BTreeMap::new(),
             malice,
         }
     }
@@ -360,12 +368,11 @@ impl<'c, 'a> Planner<'c, 'a> {
         self.effects.push(Effect::Move { node: n, to });
     }
 
-    fn neighbor_list(&mut self, c: ClusterId) -> Vec<ClusterId> {
-        let overlay = self.ctx.overlay;
-        self.neighbors
-            .entry(c)
-            .or_insert_with(|| overlay.neighbors(c))
-            .clone()
+    /// Overlay neighbors of `c`, borrowed straight from the frozen
+    /// overlay for the wave's lifetime `'a` — so the slice can be held
+    /// across the planner's own `&mut self` draws without a copy.
+    fn neighbor_list(&self, c: ClusterId) -> &'a [ClusterId] {
+        self.ctx.overlay.neighbors(c)
     }
 
     // ---------------------------------------------------------------
@@ -433,7 +440,7 @@ impl<'c, 'a> Planner<'c, 'a> {
                 let mut next = nbrs[idx.min(nbrs.len() - 1)];
                 if !secure_plain {
                     if let Some(malice) = self.malice.as_mut() {
-                        if let Some(forced) = malice.walk_hop(&nbrs, &mut self.rng) {
+                        if let Some(forced) = malice.walk_hop(nbrs, &mut self.rng) {
                             if nbrs.contains(&forced) {
                                 next = forced;
                             }
@@ -532,7 +539,7 @@ impl<'c, 'a> Planner<'c, 'a> {
         let size = self.size(c);
         let nbrs = self.neighbor_list(c);
         let mut msgs = 0u64;
-        for nbr in nbrs {
+        for &nbr in nbrs {
             msgs += size * self.size(nbr);
         }
         self.ledger.add_messages(msgs);
@@ -1189,6 +1196,7 @@ impl NowSystem {
                 params: self.params,
                 recording,
             };
+            let plan_start = Instant::now();
             let plans: Vec<OpPlan> = if neutral {
                 match *engine {
                     PlanEngine::Pooled(pool) => pool.plan_wave(&ctx, wave_specs, master, time_step),
@@ -1205,6 +1213,7 @@ impl NowSystem {
                     })
                     .collect()
             };
+            WAVE_PLAN_NANOS.fetch_add(plan_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
             // ---- wave stats from the planned costs ----
             let mut stats = WaveStats::default();
@@ -1274,7 +1283,6 @@ impl NowSystem {
                     }
                 }
                 let (pop_delta, byz_delta) = shards.deltas();
-                drop(shards);
                 self.registry.apply_wave_deltas(pop_delta, byz_delta);
             }
 
@@ -1612,7 +1620,7 @@ mod tests {
                 .min_by_key(|c| (c.size(), c.id()))
                 .expect("live system");
             let need = smallest.size() - min + 1;
-            let leaves: Vec<NodeId> = smallest.member_vec().into_iter().take(need).collect();
+            let leaves: Vec<NodeId> = smallest.member_slice().iter().copied().take(need).collect();
             let ids_before = sys.cluster_ids();
 
             // Probe: which cluster does the batch's merge dissolve?

@@ -5,11 +5,31 @@ use crate::params::OverParams;
 use now_graph::Graph;
 use now_net::ClusterId;
 use rand::Rng;
-use std::collections::{BTreeMap, BTreeSet};
+
+/// One vertex of the overlay slab: its id, its sorted neighbor vec, and
+/// its position in the uniform-sampling pool.
+#[derive(Debug, Clone)]
+struct VertexSlot {
+    id: ClusterId,
+    /// Sorted ascending — neighbor iteration is canonical id order, and
+    /// edge membership is a binary search.
+    neighbors: Vec<ClusterId>,
+    /// Position of this vertex in `Overlay::sample_pool`.
+    pool_pos: u32,
+    live: bool,
+}
 
 /// The cluster overlay Ĝᴿ: an undirected graph keyed by [`ClusterId`],
 /// with structural enforcement of the degree cap and floor-repair on
 /// removals.
+///
+/// Storage is a slab of [`VertexSlot`]s (freelist-recycled on removal)
+/// plus a sorted `(id, slot)` index: neighbor sets are per-vertex
+/// sorted vecs, so [`Overlay::neighbors`] is a borrow — zero
+/// allocation — and iteration is a contiguous scan in canonical id
+/// order. The previous `BTreeMap<ClusterId, BTreeSet<ClusterId>>`
+/// layout paid a pointer chase per neighbor on every footprint
+/// computation and planner walk.
 ///
 /// Neighbor selection for maintenance comes in two flavors:
 /// * `*_uniform` methods sample uniformly from the live vertices — the
@@ -19,29 +39,32 @@ use std::collections::{BTreeMap, BTreeSet};
 ///   protocol-faithful path.
 #[derive(Debug, Clone)]
 pub struct Overlay {
-    adj: BTreeMap<ClusterId, BTreeSet<ClusterId>>,
+    /// The vertex slab; freed slots are recycled via `free`.
+    slots: Vec<VertexSlot>,
+    free: Vec<u32>,
+    /// Live `(id, slot)` pairs sorted by id: the canonical iteration
+    /// order and the id → slot resolver (binary search).
+    index: Vec<(ClusterId, u32)>,
     params: OverParams,
     edges: usize,
     /// Live vertices in arbitrary (insertion/swap-remove) order: the
     /// incrementally maintained candidate pool that uniform maintenance
-    /// sampling indexes into. Kept in O(1) per insert/remove so
-    /// `add_uniform`/`repair_floor` no longer materialize an O(V)
-    /// vertex vector per operation (the cost `bench_overlay` showed
-    /// dominating add/remove).
+    /// sampling indexes into. Each vertex's position lives in its slab
+    /// slot (`pool_pos`), so pool upkeep is O(log V) for the slot
+    /// lookup and O(1) for the swap-remove.
     sample_pool: Vec<ClusterId>,
-    /// Position of each live vertex in `sample_pool`.
-    sample_pos: BTreeMap<ClusterId, usize>,
 }
 
 impl Overlay {
     /// Creates an empty overlay.
     pub fn new(params: OverParams) -> Self {
         Overlay {
-            adj: BTreeMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: Vec::new(),
             params,
             edges: 0,
             sample_pool: Vec::new(),
-            sample_pos: BTreeMap::new(),
         }
     }
 
@@ -72,6 +95,15 @@ impl Overlay {
         overlay
     }
 
+    /// Slab slot of a live vertex, by id.
+    #[inline]
+    fn slot_of(&self, id: ClusterId) -> Option<u32> {
+        self.index
+            .binary_search_by_key(&id, |&(i, _)| i)
+            .ok()
+            .map(|pos| self.index[pos].1)
+    }
+
     /// Static parameters.
     pub fn params(&self) -> OverParams {
         self.params
@@ -79,7 +111,7 @@ impl Overlay {
 
     /// Number of vertices (clusters).
     pub fn vertex_count(&self) -> usize {
-        self.adj.len()
+        self.index.len()
     }
 
     /// Number of overlay edges.
@@ -89,48 +121,74 @@ impl Overlay {
 
     /// Whether `id` is a live overlay vertex.
     pub fn contains(&self, id: ClusterId) -> bool {
-        self.adj.contains_key(&id)
+        self.slot_of(id).is_some()
     }
 
     /// Iterator over live vertices in id order.
     pub fn vertices(&self) -> impl Iterator<Item = ClusterId> + '_ {
-        self.adj.keys().copied()
+        self.index.iter().map(|&(id, _)| id)
     }
 
     /// Degree of `id` (0 if absent).
     pub fn degree(&self, id: ClusterId) -> usize {
-        self.adj.get(&id).map(|s| s.len()).unwrap_or(0)
+        self.slot_of(id)
+            .map(|s| self.slots[s as usize].neighbors.len())
+            .unwrap_or(0)
     }
 
-    /// Neighbors of `id` in id order (empty if absent).
-    pub fn neighbors(&self, id: ClusterId) -> Vec<ClusterId> {
-        self.adj
-            .get(&id)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default()
+    /// Neighbors of `id` in id order, borrowed from the slab (empty if
+    /// absent). Zero-allocation: this is the footprint/planner hot
+    /// path.
+    pub fn neighbors(&self, id: ClusterId) -> &[ClusterId] {
+        match self.slot_of(id) {
+            Some(s) => &self.slots[s as usize].neighbors,
+            None => &[],
+        }
     }
 
     /// Whether the overlay has the edge `{a, b}`.
     pub fn has_edge(&self, a: ClusterId, b: ClusterId) -> bool {
-        self.adj.get(&a).is_some_and(|s| s.contains(&b))
+        self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Inserts an isolated vertex (no-op if present).
     pub fn insert_vertex(&mut self, id: ClusterId) {
-        if let std::collections::btree_map::Entry::Vacant(slot) = self.adj.entry(id) {
-            slot.insert(BTreeSet::new());
-            self.sample_pos.insert(id, self.sample_pool.len());
-            self.sample_pool.push(id);
-        }
+        let pos = match self.index.binary_search_by_key(&id, |&(i, _)| i) {
+            Ok(_) => return,
+            Err(pos) => pos,
+        };
+        let pool_pos = self.sample_pool.len() as u32;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let v = &mut self.slots[slot as usize];
+                debug_assert!(!v.live && v.neighbors.is_empty());
+                v.id = id;
+                v.pool_pos = pool_pos;
+                v.live = true;
+                slot
+            }
+            None => {
+                self.slots.push(VertexSlot {
+                    id,
+                    neighbors: Vec::new(),
+                    pool_pos,
+                    live: true,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.index.insert(pos, (id, slot));
+        self.sample_pool.push(id);
     }
 
-    /// Drops `id` from the incremental sampling pool (O(log V) for the
-    /// position lookup, O(1) for the swap-remove).
-    fn forget_sample(&mut self, id: ClusterId) {
-        let pos = self.sample_pos.remove(&id).expect("vertex was pooled");
+    /// Drops the vertex in `slot` from the incremental sampling pool
+    /// (O(1) swap-remove; O(log V) to fix the moved entry's position).
+    fn forget_sample(&mut self, slot: u32) {
+        let pos = self.slots[slot as usize].pool_pos as usize;
         self.sample_pool.swap_remove(pos);
         if let Some(&moved) = self.sample_pool.get(pos) {
-            self.sample_pos.insert(moved, pos);
+            let ms = self.slot_of(moved).expect("pooled vertex is live");
+            self.slots[ms as usize].pool_pos = pos as u32;
         }
     }
 
@@ -143,31 +201,47 @@ impl Overlay {
     /// Links `a`–`b` if both exist, are distinct, unlinked, and **both
     /// below the degree cap**. Returns whether the edge was created.
     pub fn link(&mut self, a: ClusterId, b: ClusterId) -> bool {
-        if a == b || !self.contains(a) || !self.contains(b) || self.has_edge(a, b) {
+        if a == b {
             return false;
         }
+        let (Some(sa), Some(sb)) = (self.slot_of(a), self.slot_of(b)) else {
+            return false;
+        };
+        let pos_b = match self.slots[sa as usize].neighbors.binary_search(&b) {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
         let cap = self.params.degree_cap();
-        if self.degree(a) >= cap || self.degree(b) >= cap {
+        if self.slots[sa as usize].neighbors.len() >= cap
+            || self.slots[sb as usize].neighbors.len() >= cap
+        {
             return false;
         }
-        self.adj.get_mut(&a).expect("checked").insert(b);
-        self.adj.get_mut(&b).expect("checked").insert(a);
+        self.slots[sa as usize].neighbors.insert(pos_b, b);
+        let pos_a = self.slots[sb as usize]
+            .neighbors
+            .binary_search(&a)
+            .expect_err("symmetric adjacency");
+        self.slots[sb as usize].neighbors.insert(pos_a, a);
         self.edges += 1;
         true
     }
 
     /// Removes the edge `{a, b}`; returns whether it existed.
     pub fn unlink(&mut self, a: ClusterId, b: ClusterId) -> bool {
-        let Some(sa) = self.adj.get_mut(&a) else {
+        let Some(sa) = self.slot_of(a) else {
             return false;
         };
-        if !sa.remove(&b) {
+        let Ok(pos_b) = self.slots[sa as usize].neighbors.binary_search(&b) else {
             return false;
-        }
-        self.adj
-            .get_mut(&b)
-            .expect("symmetric adjacency")
-            .remove(&a);
+        };
+        self.slots[sa as usize].neighbors.remove(pos_b);
+        let sb = self.slot_of(b).expect("symmetric adjacency");
+        let pos_a = self.slots[sb as usize]
+            .neighbors
+            .binary_search(&a)
+            .expect("symmetric adjacency");
+        self.slots[sb as usize].neighbors.remove(pos_a);
         self.edges -= 1;
         true
     }
@@ -249,22 +323,34 @@ impl Overlay {
         }
     }
 
-    /// OVER `Remove`: deletes `id` and its edges, then repairs every
-    /// former neighbor that fell below the degree floor by linking it to
-    /// fresh uniform vertices. Returns the former neighbors.
+    /// OVER `Remove`: deletes `id` and its edges (freeing its slab
+    /// slot), then repairs every former neighbor that fell below the
+    /// degree floor by linking it to fresh uniform vertices. Returns
+    /// the former neighbors.
     pub fn remove<R: Rng>(&mut self, id: ClusterId, rng: &mut R) -> Vec<ClusterId> {
-        let Some(nbrs) = self.adj.remove(&id) else {
+        let Some(pos) = self.index.binary_search_by_key(&id, |&(i, _)| i).ok() else {
             return Vec::new();
         };
-        self.forget_sample(id);
-        self.edges -= nbrs.len();
-        for n in &nbrs {
-            self.adj
-                .get_mut(n)
-                .expect("symmetric adjacency")
-                .remove(&id);
+        let slot = self.index[pos].1;
+        self.index.remove(pos);
+        self.forget_sample(slot);
+        let former = {
+            let v = &mut self.slots[slot as usize];
+            v.live = false;
+            std::mem::take(&mut v.neighbors)
+        };
+        self.free.push(slot);
+        self.edges -= former.len();
+        for &n in &former {
+            let sn = self.slot_of(n).expect("symmetric adjacency");
+            let p = self.slots[sn as usize]
+                .neighbors
+                .binary_search(&id)
+                .expect("symmetric adjacency");
+            self.slots[sn as usize].neighbors.remove(p);
         }
-        let former: Vec<ClusterId> = nbrs.into_iter().collect();
+        // Repairs run in ascending neighbor-id order — the canonical
+        // order the rng-consumption determinism contract pins.
         for &n in &former {
             self.repair_floor(n, rng);
         }
@@ -312,18 +398,17 @@ impl Overlay {
     /// id-order index mapping (`index[i]` is the cluster at dense
     /// vertex `i`).
     pub fn to_dense(&self) -> (Graph, Vec<ClusterId>) {
-        let index: Vec<ClusterId> = self.vertices().collect();
-        let pos: BTreeMap<ClusterId, usize> =
-            index.iter().enumerate().map(|(i, &c)| (c, i)).collect();
-        let mut g = Graph::new(index.len());
-        for (&v, nbrs) in &self.adj {
-            for &w in nbrs {
+        let ids: Vec<ClusterId> = self.vertices().collect();
+        let mut g = Graph::new(ids.len());
+        for (i, &v) in ids.iter().enumerate() {
+            for &w in self.neighbors(v) {
                 if v < w {
-                    g.add_edge(pos[&v], pos[&w]);
+                    let j = ids.binary_search(&w).expect("neighbor is live");
+                    g.add_edge(i, j);
                 }
             }
         }
-        (g, index)
+        (g, ids)
     }
 
     /// Measures the overlay against Properties 1–2 (see
@@ -333,22 +418,38 @@ impl Overlay {
     }
 
     /// Structural invariant check used by tests and debug assertions:
-    /// symmetry, no self-loops, consistent edge count, degree cap.
+    /// symmetry, no self-loops, sorted neighbor vecs, consistent edge
+    /// count, degree cap, slab/freelist/pool exactness.
     pub fn check_invariants(&self) -> Result<(), String> {
+        if self.index.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err("vertex index out of order".to_string());
+        }
         let mut count = 0usize;
-        for (&v, nbrs) in &self.adj {
-            if nbrs.contains(&v) {
+        for &(v, slot) in &self.index {
+            let Some(s) = self.slots.get(slot as usize) else {
+                return Err(format!("vertex {v} indexed at bogus slot {slot}"));
+            };
+            if !s.live {
+                return Err(format!("vertex {v} indexed at dead slot {slot}"));
+            }
+            if s.id != v {
+                return Err(format!("slot id drift: {v} indexed, slot holds {}", s.id));
+            }
+            if s.neighbors.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("neighbor vec of {v} out of order"));
+            }
+            if s.neighbors.binary_search(&v).is_ok() {
                 return Err(format!("self-loop at {v}"));
             }
-            if nbrs.len() > self.params.degree_cap() {
+            if s.neighbors.len() > self.params.degree_cap() {
                 return Err(format!(
                     "degree cap violated at {v}: {} > {}",
-                    nbrs.len(),
+                    s.neighbors.len(),
                     self.params.degree_cap()
                 ));
             }
-            for &w in nbrs {
-                if !self.adj.get(&w).is_some_and(|s| s.contains(&v)) {
+            for &w in &s.neighbors {
+                if !self.has_edge(w, v) {
                     return Err(format!("asymmetric edge {v}–{w}"));
                 }
                 count += 1;
@@ -360,19 +461,38 @@ impl Overlay {
                 2 * self.edges
             ));
         }
-        if self.sample_pool.len() != self.adj.len() || self.sample_pos.len() != self.adj.len() {
+        let live = self.slots.iter().filter(|s| s.live).count();
+        if live != self.index.len() {
             return Err(format!(
-                "sampling pool drift: {} pooled, {} positioned, {} live",
+                "slab drift: {live} live slots vs {} indexed",
+                self.index.len()
+            ));
+        }
+        if self.free.len() + live != self.slots.len() {
+            return Err(format!(
+                "freelist drift: {} free + {live} live != {} slots",
+                self.free.len(),
+                self.slots.len()
+            ));
+        }
+        for &slot in &self.free {
+            match self.slots.get(slot as usize) {
+                Some(s) if !s.live => {}
+                _ => return Err(format!("freelist holds live/bogus slot {slot}")),
+            }
+        }
+        if self.sample_pool.len() != self.index.len() {
+            return Err(format!(
+                "sampling pool drift: {} pooled, {} live",
                 self.sample_pool.len(),
-                self.sample_pos.len(),
-                self.adj.len()
+                self.index.len()
             ));
         }
         for (i, &v) in self.sample_pool.iter().enumerate() {
-            if !self.adj.contains_key(&v) {
+            let Some(slot) = self.slot_of(v) else {
                 return Err(format!("dead vertex {v} in sampling pool"));
-            }
-            if self.sample_pos.get(&v) != Some(&i) {
+            };
+            if self.slots[slot as usize].pool_pos as usize != i {
                 return Err(format!("sampling position drift at {v}"));
             }
         }
@@ -511,6 +631,19 @@ mod tests {
         let mut rng = DetRng::new(7);
         let mut overlay = Overlay::new(params());
         assert!(overlay.remove(ClusterId::from_raw(9), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn removed_vertex_slot_is_recycled() {
+        let mut rng = DetRng::new(9);
+        let mut overlay = Overlay::init_random(&ids(30), params(), &mut rng);
+        let victim = ClusterId::from_raw(3);
+        overlay.remove(victim, &mut rng);
+        assert!(overlay.neighbors(victim).is_empty(), "absent → empty slice");
+        // A later add reuses the freed slot; the overlay stays exact.
+        overlay.add_uniform(ClusterId::from_raw(500), &mut rng);
+        assert!(overlay.contains(ClusterId::from_raw(500)));
+        overlay.check_invariants().unwrap();
     }
 
     #[test]

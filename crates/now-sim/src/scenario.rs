@@ -10,9 +10,9 @@ use crate::batch_run::{BatchDriver, BatchRandomChurn, BatchRun, BatchRunReport};
 use crate::churn::{BatchSawtooth, Sawtooth};
 use crate::runner::{run, RunConfig, RunReport};
 use now_adversary::{
-    Adversary, BatchForcedLeave, BatchJoinLeave, BatchSplitForcing, BurstChurn, ClusterPick,
-    ForcedLeaveAttack, JoinLeaveAttack, MergeForcing, Quiet, QuietBatches, RandomChurn,
-    SplitForcing,
+    Adversary, BatchBurstChurn, BatchForcedLeave, BatchJoinLeave, BatchMergeForcing,
+    BatchSplitForcing, BurstChurn, ClusterPick, ForcedLeaveAttack, JoinLeaveAttack, MergeForcing,
+    Quiet, QuietBatches, RandomChurn, SplitForcing,
 };
 use now_core::{NowError, NowParams, NowSystem};
 
@@ -247,13 +247,14 @@ impl Scenario {
     /// [`BatchRandomChurn`], `Sawtooth` → [`BatchSawtooth`], `Quiet` →
     /// empty batches, `JoinLeaveAttack` → [`BatchJoinLeave`],
     /// `ForcedLeaveAttack` → [`BatchForcedLeave`], `SplitForcing` →
-    /// [`BatchSplitForcing`] (the attack drivers target the first
-    /// cluster, mirroring the serial scenario path). `MergeForcing` and
-    /// `Burst` have no batched counterpart.
+    /// [`BatchSplitForcing`], `MergeForcing` → [`BatchMergeForcing`]
+    /// (the attack drivers target the first cluster, mirroring the
+    /// serial scenario path), `Burst` → [`BatchBurstChurn`] (each step
+    /// is one whole burst; the serial `burst` length is subsumed by the
+    /// batch width).
     ///
     /// # Errors
-    /// [`NowError::BadParams`] for invalid parameters, a zero width, or
-    /// a churn style without a batched driver.
+    /// [`NowError::BadParams`] for invalid parameters or a zero width.
     pub fn run_batch(self, run: BatchRun<'_>) -> Result<(BatchRunReport, NowSystem), NowError> {
         let width = run.batch_width();
         if width == 0 {
@@ -278,11 +279,10 @@ impl Scenario {
             ChurnStyle::SplitForcing => {
                 Box::new(BatchSplitForcing::new(width, self.tau).with_pick(ClusterPick::First))
             }
-            other => {
-                return Err(NowError::BadParams {
-                    reason: format!("churn style {other:?} has no batched driver"),
-                })
+            ChurnStyle::MergeForcing => {
+                Box::new(BatchMergeForcing::new(width, self.tau).with_pick(ClusterPick::First))
             }
+            ChurnStyle::Burst { .. } => Box::new(BatchBurstChurn::new(width, self.tau)),
         };
         let report = run.run(&mut sys, driver.as_mut(), self.steps, seed);
         Ok((report, sys))
@@ -535,11 +535,43 @@ mod tests {
             .steps(1)
             .run_batch(BatchRun::new().width(0))
             .is_err());
-        assert!(Scenario::new(1 << 10)
+        assert!(Scenario::new(1 << 10).tau(0.5).steps(1).run().is_err());
+    }
+
+    #[test]
+    fn merge_forcing_batches_cause_merges() {
+        let (_, sys) = Scenario::new(1 << 10)
+            .tau(0.10)
+            .initial_population(200)
             .churn(ChurnStyle::MergeForcing)
-            .steps(1)
-            .run_batch(BatchRun::new().width(2))
-            .is_err());
+            .steps(30)
+            .seed(12)
+            .run_batch(BatchRun::new().width(6))
+            .unwrap();
+        let (_, _, _, merges) = sys.op_counts();
+        assert!(merges > 0, "sustained batched draining must merge");
+        sys.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn burst_batches_hold_population_over_a_period() {
+        let (report, sys) = Scenario::new(1 << 10)
+            .tau(0.10)
+            .initial_population(160)
+            .churn(ChurnStyle::Burst { burst: 4 })
+            .steps(20)
+            .seed(13)
+            .run_batch(BatchRun::new().width(4))
+            .unwrap();
+        assert_eq!(report.steps, 20);
+        assert!(report.joins > 0 && report.leaves > 0);
+        // Stationary over full periods: joins and leaves roughly cancel.
+        assert!(
+            sys.population() >= 150 && sys.population() <= 170,
+            "population drifted to {}",
+            sys.population()
+        );
+        sys.check_consistency().unwrap();
     }
 
     #[test]
@@ -548,6 +580,8 @@ mod tests {
             ChurnStyle::JoinLeaveAttack,
             ChurnStyle::ForcedLeaveAttack,
             ChurnStyle::SplitForcing,
+            ChurnStyle::MergeForcing,
+            ChurnStyle::Burst { burst: 4 },
         ] {
             let (report, sys) = Scenario::new(1 << 10)
                 .tau(0.15)

@@ -256,6 +256,8 @@ fn byz_volley<T: Transport>(
 ///
 /// # Panics
 /// Panics if `n == 0`, any input is not 0/1, or `f ≥ n`.
+// Protocol entry point: the full (n, inputs, byz, f, plan, …) tuple is
+// the paper's interface; bundling would hide which knobs exist.
 #[allow(clippy::too_many_arguments)]
 pub fn run_ben_or(
     n: usize,
@@ -290,6 +292,7 @@ pub fn run_ben_or(
 ///
 /// # Panics
 /// As [`run_ben_or`].
+// Same interface as run_ben_or plus the coin mode — by design.
 #[allow(clippy::too_many_arguments)]
 pub fn run_ben_or_with_coin(
     n: usize,
@@ -330,6 +333,7 @@ pub fn run_ben_or_with_coin(
 ///
 /// # Panics
 /// As [`run_ben_or`].
+// Same interface as run_ben_or plus the event-net config — by design.
 #[allow(clippy::too_many_arguments)]
 pub fn run_ben_or_event(
     n: usize,
@@ -350,6 +354,8 @@ pub fn run_ben_or_event(
     )
 }
 
+// The transport-generic core threads every public knob through — the
+// arity mirrors the three public entry points it backs.
 #[allow(clippy::too_many_arguments)]
 fn run_core<T: Transport>(
     net: &mut T,

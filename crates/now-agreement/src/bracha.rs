@@ -58,6 +58,9 @@ fn byz_message<R: Rng>(plan: ByzPlan, to: usize, make: fn(u64) -> Msg, rng: &mut
 ///
 /// # Panics
 /// Panics if `n == 0` or `sender ≥ n`.
+// Protocol entry point: takes the full (n, sender, value, byz, f, plan,
+// ledger, rng) tuple by design — bundling would hide the paper's inputs.
+#[allow(clippy::too_many_arguments)]
 pub fn run_bracha<R: Rng>(
     n: usize,
     sender: usize,

@@ -16,9 +16,18 @@
 //!
 //! Hashes are 64-bit (`std::hash::DefaultHasher` with fixed keys), which
 //! is ample for simulation-scale collision resistance.
+//!
+//! **Determinism note (D001 regression):** the oracle's issued-set is a
+//! [`BTreeSet`], not a `HashSet`. An earlier version held a `HashSet`,
+//! which was the one hash-ordered collection left in non-test code: its
+//! membership queries were deterministic, so no seed re-pins were needed
+//! when converting, but any future *iteration* over the issued set would
+//! have observed `RandomState` order and broken the byte-identical
+//! report gates. `now-lint` rule D001 keeps it (and everything else)
+//! canonical from here on.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
 
 /// A 64-bit commitment digest.
@@ -56,7 +65,7 @@ pub fn verify_commitment(commitment: Commitment, value: u64, nonce: u64, committ
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SigOracle {
-    issued: HashSet<(usize, u64)>,
+    issued: BTreeSet<(usize, u64)>,
 }
 
 /// An opaque signature handle. Possessing the handle proves nothing; the

@@ -64,6 +64,9 @@ fn chain_valid(chain: &Chain, sender: usize, needed: usize, oracle: &SigOracle) 
 ///
 /// # Panics
 /// Panics if `n == 0` or `sender ≥ n`.
+// Protocol entry point: takes the full (n, sender, value, byz, f, plan,
+// ledger, rng) tuple by design — bundling would hide the paper's inputs.
+#[allow(clippy::too_many_arguments)]
 pub fn run_dolev_strong<R: Rng>(
     n: usize,
     sender: usize,

@@ -127,6 +127,8 @@ struct NodeState {
 /// One phase of parallel Bracha broadcasts: every port in `initiators`
 /// broadcasts its item; everyone echoes/readies. Returns nothing —
 /// deliveries accumulate in `state`.
+// Phase helper shared by both randNum variants: carries the whole
+// per-phase protocol context (bus, state, items, byz, plan, …) flat.
 #[allow(clippy::too_many_arguments)]
 fn run_parallel_bracha_phase<R: Rng>(
     bus: &mut Bus<Msg>,

@@ -313,6 +313,8 @@ impl NowSystem {
         joins: &[JoinSpec],
         leaves: &[NodeId],
     ) -> BatchReport {
+        // Wall-clock measurement only: feeds `wall_nanos`, which is
+        // excluded from byte-diffed reports (lint.toml D002 allow).
         let start = std::time::Instant::now();
         self.ledger_mut().begin(CostKind::Batch);
         let mut joined = Vec::with_capacity(joins.len());

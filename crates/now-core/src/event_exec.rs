@@ -66,6 +66,8 @@ impl NowSystem {
         net: EventNetConfig,
         pool: Option<&WavePool>,
     ) -> BatchReport {
+        // Wall-clock measurement only: feeds `wall_nanos`, which is
+        // excluded from byte-diffed reports (lint.toml D002 allow).
         let start = Instant::now();
         self.ledger.begin(CostKind::Batch);
 

@@ -702,6 +702,9 @@ fn plan_wave_scoped(
     }
     let slots: Vec<Mutex<Option<OpPlan>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    // Legacy scoped spawner, kept as the bench/CI reference engine; with
+    // WavePool::new below, one of this file's two sanctioned spawn sites
+    // (lint.toml D003 allow — gated by tests/pool_spawn_accounting.rs).
     std::thread::scope(|scope| {
         for _ in 0..workers {
             WAVE_WORKER_SPAWNS.fetch_add(1, Ordering::Relaxed);
@@ -811,6 +814,8 @@ impl WavePool {
         let (done_tx, done_rx) = mpsc::channel();
         let mut workers = Vec::new();
         if threads > 1 {
+            // The pool is the workspace's home for worker threads: every
+            // other spawn is a D003 finding (lint.toml allows this file).
             for _ in 0..threads {
                 let (job_tx, job_rx) = mpsc::channel::<WaveJob>();
                 let done = done_tx.clone();
@@ -1135,6 +1140,8 @@ impl NowSystem {
         leaves: &[NodeId],
         engine: PlanEngine<'_>,
     ) -> BatchReport {
+        // Wall-clock measurement only: feeds `wall_nanos`, which is
+        // excluded from byte-diffed reports (lint.toml D002 allow).
         let start = Instant::now();
         self.ledger.begin(CostKind::Batch);
 

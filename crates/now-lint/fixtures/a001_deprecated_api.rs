@@ -1,0 +1,10 @@
+//! A001 positive (in test/bench/bin/example targets): the deprecated
+//! batch entry points collapsed by the ExecConfig redesign. Lib crates
+//! deny(deprecated); this rule closes the warn-only gap elsewhere.
+
+fn drive(sys: &mut NowSystem, joins: &[bool], leaves: &[u64], pool: &WavePool) {
+    sys.step_parallel(joins, leaves);
+    sys.step_parallel_pooled(joins, leaves, pool);
+    let report = run_batched_until(sys, 10);
+    let _ = report;
+}

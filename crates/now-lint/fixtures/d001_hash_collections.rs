@@ -1,0 +1,15 @@
+//! D001 positive: hash collections in production code. HashMap and
+//! HashSet iterate in per-process RandomState order — one traversal
+//! leaking into a report breaks byte-identical determinism gates.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct Index {
+    by_name: HashMap<String, u32>,
+}
+
+pub fn dedup(xs: &[u32]) -> usize {
+    let seen: HashSet<u32> = xs.iter().copied().collect();
+    seen.len()
+}

@@ -1,0 +1,23 @@
+//! D001 negative: hash collections behind test gates are fine — test
+//! assertions never feed deterministic reports.
+
+pub fn prod() -> u32 {
+    41
+}
+
+#[cfg(test)]
+use std::collections::HashSet;
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_collections_allowed_here() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        let s: super::HashSet<u32> = Default::default();
+        assert_eq!(super::prod() + 1, 42);
+        let _ = (m, s);
+    }
+}

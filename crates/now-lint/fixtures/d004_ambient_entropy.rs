@@ -1,0 +1,15 @@
+//! D004 positive: ambient entropy. Every random draw must come from a
+//! seeded DetRng substream — OS entropy anywhere (tests included) makes
+//! a run unreplayable.
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    let x: u64 = rand::random();
+    let _ = &mut rng;
+    x
+}
+
+pub fn more_entropy() {
+    let _ = rand::rngs::OsRng;
+    let _ = SmallRng::from_entropy();
+}

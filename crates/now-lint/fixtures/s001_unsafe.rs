@@ -1,0 +1,19 @@
+//! S001: every `unsafe` block/impl must be preceded by a `// SAFETY:`
+//! comment. One violation below; the two documented sites are clean.
+
+pub fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn documented(p: *const u32) -> u32 {
+    // SAFETY: fixture stand-in — the caller guarantees `p` is valid
+    // for reads for the duration of this call.
+    unsafe { *p }
+}
+
+pub struct Wrapper(*const u32);
+
+// SAFETY: fixture stand-in — the pointer is never dereferenced off the
+// owning thread; Send only moves the opaque handle.
+#[allow(unsafe_code)]
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,11 @@
+//! `#[cfg(not(test))]` compiles into production binaries — mentioning
+//! `test` under a `not(…)` must NOT exempt the item.
+
+#[cfg(not(test))]
+use std::collections::HashMap;
+
+#[cfg(not(test))]
+pub fn prod_only() -> u32 {
+    let m: HashMap<u32, u32> = Default::default();
+    m.len() as u32
+}

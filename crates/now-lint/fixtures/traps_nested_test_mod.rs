@@ -1,0 +1,24 @@
+//! Scoping traps: production code before and after a nested test
+//! module stays bound by the rules; the test internals are exempt.
+
+use std::collections::HashMap;
+
+pub mod inner {
+    #[cfg(test)]
+    mod tests {
+        use std::collections::HashMap;
+        use std::collections::HashSet;
+
+        #[test]
+        fn uses_both() {
+            let m: HashMap<u32, u32> = HashMap::new();
+            let s: HashSet<u32> = HashSet::new();
+            let _ = (m, s);
+        }
+    }
+
+    pub fn after_the_test_mod() -> usize {
+        let s = std::collections::HashSet::<u32>::new();
+        s.len()
+    }
+}

@@ -1,0 +1,16 @@
+//! Tokenizer traps: every rule trigger below is inert — it sits inside
+//! a string, raw string, byte string, comment, char literal, or is a
+//! lifetime. A naive grep flags this file; the tokenizer must not.
+
+pub fn traps<'a>(input: &'a str) -> String {
+    // line comment: HashMap::new(), thread_rng(), Instant::now()
+    /* block comment: std::thread::spawn(|| ()) /* nested: SystemTime */ */
+    let plain = "HashMap::new() and thread_rng() and unsafe { spawn( }";
+    let raw = r#"step_parallel " run_batched and Instant::now()"#;
+    let deep = r##"spawn(" r#"OsRng"# still one raw string"##;
+    let ch = 'u';
+    let escaped = '\'';
+    let byte = b"SystemTime::now()";
+    let byte_raw = br#"rand::random::<u64>()"#;
+    format!("{plain}{raw}{deep}{ch}{escaped}{byte:?}{byte_raw:?}{input}")
+}

@@ -1,0 +1,322 @@
+//! `lint.toml`: the committed allowlist, every entry with a reason.
+//!
+//! The file is deliberately tiny TOML — two array-of-table shapes and
+//! `key = "string"` pairs — parsed by hand (this environment has no
+//! registry access, so no `toml` crate). Anything outside that subset
+//! is a hard error: an allowlist that silently mis-parses is worse than
+//! none.
+//!
+//! ```toml
+//! [[exclude]]
+//! path = "vendor/"
+//! reason = "vendored external crates; not our code"
+//!
+//! [[allow]]
+//! rule = "D002"
+//! path = "crates/now-core/src/batch.rs"
+//! reason = "wall_nanos measurement site; never feeds deterministic state"
+//! ```
+//!
+//! * `[[exclude]]` skips whole path prefixes before analysis.
+//! * `[[allow]]` suppresses one rule for one path (exact file or `/`-
+//!   terminated directory prefix).
+//! * `reason` is **mandatory and non-empty** on every entry — the
+//!   allowlist is documentation, not an escape hatch.
+//! * Entries that suppress nothing in a run are reported as `L001`
+//!   findings so the list can only shrink, never rot.
+
+use crate::rules::RULE_IDS;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub reason: String,
+    /// Line of the `[[allow]]` header, for L001 reports.
+    pub line: u32,
+}
+
+/// One `[[exclude]]` entry.
+#[derive(Debug, Clone)]
+pub struct ExcludeEntry {
+    pub path: String,
+    pub reason: String,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    pub allows: Vec<AllowEntry>,
+    pub excludes: Vec<ExcludeEntry>,
+}
+
+impl Config {
+    /// True if `rel_path` is excluded from analysis.
+    pub fn is_excluded(&self, rel_path: &str) -> bool {
+        self.excludes
+            .iter()
+            .any(|e| path_matches(&e.path, rel_path))
+    }
+
+    /// Index of the allow entry covering (`rule`, `rel_path`), if any.
+    pub fn allow_index(&self, rule: &str, rel_path: &str) -> Option<usize> {
+        self.allows
+            .iter()
+            .position(|a| a.rule == rule && path_matches(&a.path, rel_path))
+    }
+}
+
+/// An entry path matches exactly, or as a directory prefix when it ends
+/// with `/`.
+fn path_matches(entry: &str, rel_path: &str) -> bool {
+    if let Some(dir) = entry.strip_suffix('/') {
+        rel_path
+            .strip_prefix(dir)
+            .is_some_and(|rest| rest.starts_with('/'))
+    } else {
+        entry == rel_path
+    }
+}
+
+#[derive(PartialEq)]
+enum Section {
+    None,
+    Allow,
+    Exclude,
+}
+
+struct PendingEntry {
+    section_line: u32,
+    rule: Option<String>,
+    path: Option<String>,
+    reason: Option<String>,
+}
+
+fn err(line: u32, msg: impl Into<String>) -> String {
+    format!("lint.toml:{line} {}", msg.into())
+}
+
+/// Strips a trailing `# comment`, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (idx, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..idx],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a `key = "value"` line.
+fn parse_kv(line: &str, lineno: u32) -> Result<(String, String), String> {
+    let (key, rest) = line
+        .split_once('=')
+        .ok_or_else(|| err(lineno, format!("expected `key = \"value\"`, got `{line}`")))?;
+    let key = key.trim().to_string();
+    let rest = rest.trim();
+    let inner = rest
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| {
+            err(
+                lineno,
+                format!("value for `{key}` must be a double-quoted string"),
+            )
+        })?;
+    if inner.contains('"') {
+        return Err(err(
+            lineno,
+            format!("value for `{key}` contains an unescaped quote"),
+        ));
+    }
+    Ok((key, inner.to_string()))
+}
+
+/// Parses the allowlist. Errors carry `lint.toml:<line>` locations.
+pub fn parse(text: &str) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut section = Section::None;
+    let mut pending: Option<PendingEntry> = None;
+
+    let flush = |section: &Section,
+                 pending: &mut Option<PendingEntry>,
+                 cfg: &mut Config|
+     -> Result<(), String> {
+        let Some(entry) = pending.take() else {
+            return Ok(());
+        };
+        let line = entry.section_line;
+        let reason = entry
+            .reason
+            .ok_or_else(|| err(line, "entry is missing its mandatory `reason`"))?;
+        if reason.trim().is_empty() {
+            return Err(err(line, "`reason` must not be empty"));
+        }
+        let path = entry
+            .path
+            .ok_or_else(|| err(line, "entry is missing `path`"))?;
+        match section {
+            Section::Allow => {
+                let rule = entry
+                    .rule
+                    .ok_or_else(|| err(line, "[[allow]] entry is missing `rule`"))?;
+                if !RULE_IDS.contains(&rule.as_str()) {
+                    return Err(err(
+                        line,
+                        format!("unknown rule id `{rule}` (known: {})", RULE_IDS.join(", ")),
+                    ));
+                }
+                cfg.allows.push(AllowEntry {
+                    rule,
+                    path,
+                    reason,
+                    line,
+                });
+            }
+            Section::Exclude => {
+                if entry.rule.is_some() {
+                    return Err(err(line, "[[exclude]] entries take no `rule`"));
+                }
+                cfg.excludes.push(ExcludeEntry { path, reason });
+            }
+            Section::None => unreachable!("pending entry outside a section"),
+        }
+        Ok(())
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            "[[allow]]" | "[[exclude]]" => {
+                flush(&section, &mut pending, &mut cfg)?;
+                section = if line == "[[allow]]" {
+                    Section::Allow
+                } else {
+                    Section::Exclude
+                };
+                pending = Some(PendingEntry {
+                    section_line: lineno,
+                    rule: None,
+                    path: None,
+                    reason: None,
+                });
+            }
+            _ if line.starts_with('[') => {
+                return Err(err(lineno, format!("unknown section `{line}`")));
+            }
+            _ => {
+                let entry = pending
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "key outside any [[allow]]/[[exclude]] entry"))?;
+                let (key, value) = parse_kv(line, lineno)?;
+                let slot = match key.as_str() {
+                    "rule" => &mut entry.rule,
+                    "path" => &mut entry.path,
+                    "reason" => &mut entry.reason,
+                    other => {
+                        return Err(err(lineno, format!("unknown key `{other}`")));
+                    }
+                };
+                if slot.is_some() {
+                    return Err(err(lineno, format!("duplicate key `{key}`")));
+                }
+                *slot = Some(value);
+            }
+        }
+    }
+    flush(&section, &mut pending, &mut cfg)?;
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# header comment
+[[exclude]]
+path = "vendor/"
+reason = "vendored external crates"
+
+[[allow]]
+rule = "D002"
+path = "crates/now-core/src/batch.rs" # trailing note
+reason = "wall_nanos site"
+"#;
+
+    #[test]
+    fn parses_the_documented_shape() {
+        let cfg = parse(GOOD).unwrap();
+        assert_eq!(cfg.excludes.len(), 1);
+        assert_eq!(cfg.allows.len(), 1);
+        assert!(cfg.is_excluded("vendor/rand/src/lib.rs"));
+        assert!(!cfg.is_excluded("crates/now-core/src/batch.rs"));
+        assert!(cfg
+            .allow_index("D002", "crates/now-core/src/batch.rs")
+            .is_some());
+        assert!(cfg
+            .allow_index("D001", "crates/now-core/src/batch.rs")
+            .is_none());
+        assert!(cfg
+            .allow_index("D002", "crates/now-core/src/other.rs")
+            .is_none());
+    }
+
+    #[test]
+    fn reason_is_mandatory_and_nonempty() {
+        let missing = "[[allow]]\nrule = \"D001\"\npath = \"x.rs\"\n";
+        assert!(parse(missing).unwrap_err().contains("reason"));
+        let empty = "[[allow]]\nrule = \"D001\"\npath = \"x.rs\"\nreason = \"  \"\n";
+        assert!(parse(empty).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn unknown_rules_keys_and_sections_are_errors() {
+        assert!(
+            parse("[[allow]]\nrule = \"Z999\"\npath = \"x\"\nreason = \"r\"\n")
+                .unwrap_err()
+                .contains("unknown rule id")
+        );
+        assert!(parse("[[allow]]\nbogus = \"v\"\n")
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(parse("[general]\n")
+            .unwrap_err()
+            .contains("unknown section"));
+        assert!(parse("rule = \"D001\"\n")
+            .unwrap_err()
+            .contains("outside any"));
+    }
+
+    #[test]
+    fn directory_prefixes_require_the_trailing_slash_semantics() {
+        let cfg =
+            parse("[[exclude]]\npath = \"crates/now-lint/fixtures/\"\nreason = \"r\"\n").unwrap();
+        assert!(cfg.is_excluded("crates/now-lint/fixtures/a.rs"));
+        assert!(!cfg.is_excluded("crates/now-lint/fixtures.rs"));
+        assert!(!cfg.is_excluded("crates/now-lint/src/lib.rs"));
+    }
+
+    #[test]
+    fn exclude_rejects_rule_key() {
+        let text = "[[exclude]]\nrule = \"D001\"\npath = \"x/\"\nreason = \"r\"\n";
+        assert!(parse(text).unwrap_err().contains("no `rule`"));
+    }
+
+    #[test]
+    fn hash_inside_quoted_value_is_not_a_comment() {
+        let cfg = parse("[[exclude]]\npath = \"weird#dir/\"\nreason = \"has # in it\"\n").unwrap();
+        assert_eq!(cfg.excludes[0].reason, "has # in it");
+        assert!(cfg.is_excluded("weird#dir/f.rs"));
+    }
+}

@@ -1,0 +1,147 @@
+//! The fixture corpus: each file under `fixtures/` pins one slice of
+//! tokenizer / scoping / rule behavior — positive and negative cases
+//! per rule plus the comment / string / raw-string / nested-test-module
+//! traps a naive grep gets wrong. The corpus is excluded from the real
+//! workspace run via `lint.toml` (it contains deliberate violations);
+//! these tests are what keep it honest.
+
+use now_lint::{lint_source, FileClass};
+
+/// Lints a fixture under the given class; returns `(rule, line)` pairs
+/// in source order.
+fn lint_fixture(name: &str, class: FileClass) -> Vec<(String, u32)> {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} must exist: {e}"));
+    lint_source(name, class, &src)
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect()
+}
+
+fn pairs(expect: &[(&str, u32)]) -> Vec<(String, u32)> {
+    expect.iter().map(|(r, l)| (r.to_string(), *l)).collect()
+}
+
+#[test]
+fn d001_flags_every_hash_collection_site() {
+    assert_eq!(
+        lint_fixture("d001_hash_collections.rs", FileClass::Prod),
+        pairs(&[("D001", 5), ("D001", 6), ("D001", 9), ("D001", 13)])
+    );
+}
+
+#[test]
+fn d001_exempts_test_gated_items() {
+    assert_eq!(
+        lint_fixture("d001_test_scoped.rs", FileClass::Prod),
+        pairs(&[])
+    );
+}
+
+#[test]
+fn d001_binds_in_bins_but_not_test_targets() {
+    // The same violating file is clean when it *is* a test target…
+    assert_eq!(
+        lint_fixture("d001_hash_collections.rs", FileClass::TestOnly),
+        pairs(&[])
+    );
+    // …but x_* experiment binaries emit byte-diffed JSON: rules bind.
+    assert_eq!(
+        lint_fixture("d001_hash_collections.rs", FileClass::Bin).len(),
+        4
+    );
+}
+
+#[test]
+fn d002_flags_wall_clock_reads() {
+    assert_eq!(
+        lint_fixture("d002_wall_clock.rs", FileClass::Prod),
+        pairs(&[("D002", 8), ("D002", 9)])
+    );
+    // Benches and experiment binaries measure wall time by design.
+    assert_eq!(
+        lint_fixture("d002_wall_clock.rs", FileClass::Bench),
+        pairs(&[])
+    );
+    assert_eq!(
+        lint_fixture("d002_wall_clock.rs", FileClass::Bin),
+        pairs(&[])
+    );
+}
+
+#[test]
+fn d003_flags_spawns_outside_the_pool() {
+    assert_eq!(
+        lint_fixture("d003_thread_spawn.rs", FileClass::Prod),
+        pairs(&[("D003", 6), ("D003", 8)])
+    );
+}
+
+#[test]
+fn d004_flags_ambient_entropy_even_in_tests() {
+    let expected = pairs(&[("D004", 6), ("D004", 7), ("D004", 13), ("D004", 14)]);
+    assert_eq!(
+        lint_fixture("d004_ambient_entropy.rs", FileClass::Prod),
+        expected
+    );
+    // Unreplayable tests are still unreplayable: no test exemption.
+    assert_eq!(
+        lint_fixture("d004_ambient_entropy.rs", FileClass::TestOnly),
+        expected
+    );
+}
+
+#[test]
+fn s001_flags_only_the_undocumented_unsafe() {
+    assert_eq!(
+        lint_fixture("s001_unsafe.rs", FileClass::Prod),
+        pairs(&[("S001", 5)])
+    );
+}
+
+#[test]
+fn a001_binds_in_non_lib_targets_only() {
+    let expected = pairs(&[("A001", 6), ("A001", 7), ("A001", 8)]);
+    assert_eq!(
+        lint_fixture("a001_deprecated_api.rs", FileClass::TestOnly),
+        expected
+    );
+    assert_eq!(
+        lint_fixture("a001_deprecated_api.rs", FileClass::Bench),
+        expected
+    );
+    // Lib code holds the #[deprecated] definitions; #![deny(deprecated)]
+    // polices it there, so A001 stays quiet.
+    assert_eq!(
+        lint_fixture("a001_deprecated_api.rs", FileClass::Prod),
+        pairs(&[])
+    );
+}
+
+#[test]
+fn string_and_comment_traps_stay_silent() {
+    for class in [FileClass::Prod, FileClass::TestOnly, FileClass::Bin] {
+        assert_eq!(
+            lint_fixture("traps_strings_comments.rs", class),
+            pairs(&[]),
+            "trap file must be clean under {class:?}"
+        );
+    }
+}
+
+#[test]
+fn nested_test_modules_scope_exactly() {
+    assert_eq!(
+        lint_fixture("traps_nested_test_mod.rs", FileClass::Prod),
+        pairs(&[("D001", 4), ("D001", 21)])
+    );
+}
+
+#[test]
+fn cfg_not_test_is_not_an_exemption() {
+    assert_eq!(
+        lint_fixture("traps_cfg_not_test.rs", FileClass::Prod),
+        pairs(&[("D001", 5), ("D001", 9)])
+    );
+}

@@ -376,7 +376,9 @@ proptest! {
 // Satellite contract of the `step_batch` redesign: every deprecated
 // batch entry point is a pure delegate of `NowSystem::step_batch` —
 // bit-identical report, system state, and ledger totals for arbitrary
-// batch shapes and seeds.
+// batch shapes and seeds. This is the one file allowed to name the
+// deprecated identifiers (lint.toml A001 allow): delete the delegates
+// and this proof retires together with that entry.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -157,7 +157,8 @@ fn to_json(now_rows: &[NowRow], benor_rows: &[BenOrRow]) -> String {
         let _ = write!(
             s,
             "    {{\"scenario\": \"{}\", \"steps\": {}, \"joins\": {}, \"leaves\": {}, \
-             \"rejected\": {}, \"dropped\": {}, \"waves\": {}, \"max_wave_width\": {}, \
+             \"rejected\": {}, \"sent\": {}, \"delivered\": {}, \"dropped\": {}, \
+             \"waves\": {}, \"max_wave_width\": {}, \
              \"rounds_serial\": {}, \"rounds_parallel\": {}, \"wave_slack_rounds\": {}, \
              \"population\": {}, \"messages\": {}}}",
             r.name,
@@ -165,6 +166,8 @@ fn to_json(now_rows: &[NowRow], benor_rows: &[BenOrRow]) -> String {
             r.report.joins,
             r.report.leaves,
             r.report.rejected,
+            r.report.sent,
+            r.report.delivered,
             r.report.dropped,
             r.report.waves,
             r.report.max_wave_width,
@@ -231,6 +234,8 @@ fn main() -> ExitCode {
         "steps",
         "joins",
         "leaves",
+        "sent",
+        "delivered",
         "dropped",
         "waves",
         "max_width",
@@ -244,6 +249,8 @@ fn main() -> ExitCode {
             r.report.steps.to_string(),
             r.report.joins.to_string(),
             r.report.leaves.to_string(),
+            r.report.sent.to_string(),
+            r.report.delivered.to_string(),
             r.report.dropped.to_string(),
             r.report.waves.to_string(),
             r.report.max_wave_width.to_string(),

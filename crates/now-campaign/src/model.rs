@@ -234,6 +234,16 @@ pub struct Campaign {
     /// Whether exchange shuffling is enabled (`false` = the §3.3
     /// baseline ablation).
     pub shuffle: bool,
+    /// Flight-recorder capacity: `Some(n)` enables the system's ring
+    /// buffer of the last `n` protocol events before the first phase
+    /// runs, and the report carries the trace (plus the first
+    /// violation's causal-neighborhood dump, if any). `None` records
+    /// nothing.
+    pub trace: Option<usize>,
+    /// Whether the metrics registry is enabled; the report then carries
+    /// the canonical metrics JSON. Metrics are protocol outcomes only,
+    /// so they are part of the byte-diffed determinism surface.
+    pub metrics: bool,
     /// The phases, in execution order.
     pub phases: Vec<Phase>,
 }
@@ -254,6 +264,8 @@ impl Campaign {
             seed: 0,
             width: 4,
             shuffle: true,
+            trace: None,
+            metrics: false,
             phases: Vec::new(),
         }
     }
@@ -261,6 +273,19 @@ impl Campaign {
     /// Appends a phase.
     pub fn phase(mut self, phase: Phase) -> Self {
         self.phases.push(phase);
+        self
+    }
+
+    /// Enables the flight recorder with a ring buffer of `capacity`
+    /// events.
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace = Some(capacity);
+        self
+    }
+
+    /// Enables the metrics registry.
+    pub fn metrics(mut self) -> Self {
+        self.metrics = true;
         self
     }
 
@@ -277,6 +302,9 @@ impl Campaign {
         }
         if self.width == 0 {
             return fail("campaign batch width must be positive".into());
+        }
+        if self.trace == Some(0) {
+            return fail("campaign trace capacity must be positive".into());
         }
         for p in &self.phases {
             if p.width == Some(0) {

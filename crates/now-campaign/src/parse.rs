@@ -32,7 +32,9 @@
 //!
 //! Header directives: `campaign <name>` (required, first), `capacity`,
 //! `k`, `l`, `tau`, `epsilon`, `initial-population`, `seed`, `width`,
-//! `shuffle on|off`. Phase directives: `style quiet | balanced |
+//! `shuffle on|off`, `trace <capacity>` (enable the flight recorder
+//! with a ring buffer of that many events), `metrics on|off` (enable
+//! the metrics registry). Phase directives: `style quiet | balanced |
 //! sawtooth <low> <high> | join-leave | forced-leave | split-forcing |
 //! merge-forcing | burst`,
 //! `target first|largest|smallest`, `width`, `tau`,
@@ -266,6 +268,21 @@ impl Campaign {
                                 format!("`shuffle` takes on|off, got `{}`", other.join(" ")),
                             ))
                         }
+                        ("trace", [n]) => {
+                            let cap: usize = parse_num(line, "trace", n)?;
+                            if cap == 0 {
+                                return Err(err(line, "trace capacity must be positive"));
+                            }
+                            c.trace = Some(cap);
+                        }
+                        ("metrics", ["on"]) => c.metrics = true,
+                        ("metrics", ["off"]) => c.metrics = false,
+                        ("metrics", other) => {
+                            return Err(err(
+                                line,
+                                format!("`metrics` takes on|off, got `{}`", other.join(" ")),
+                            ))
+                        }
                         ("style" | "target" | "exec" | "steps", _) => {
                             return Err(err(
                                 line,
@@ -473,6 +490,8 @@ initial-population 200
 seed 9
 width 5
 shuffle on
+trace 256
+metrics on
 
 phase warmup
   style balanced
@@ -531,6 +550,8 @@ phase pulse
         assert_eq!(c.k, 3);
         assert_eq!(c.seed, 9);
         assert_eq!(c.width, 5);
+        assert_eq!(c.trace, Some(256));
+        assert!(c.metrics);
         assert_eq!(c.phases.len(), 9);
         assert_eq!(c.phases[0].style, PhaseStyle::Balanced);
         assert_eq!(c.phases[1].width, Some(8));
@@ -635,6 +656,22 @@ phase pulse
         assert!(reason.contains("width must be positive"), "{reason}");
         let (_, reason) = parse_err("campaign x\nphase a\nstyle quiet\nsteps 0\n");
         assert!(reason.contains("`steps` must be positive"), "{reason}");
+    }
+
+    #[test]
+    fn observability_directives_are_validated() {
+        let (line, reason) = parse_err("campaign x\ntrace 0\nphase a\nstyle quiet\nsteps 1\n");
+        assert_eq!(line, 2);
+        assert!(
+            reason.contains("trace capacity must be positive"),
+            "{reason}"
+        );
+        let (_, reason) = parse_err("campaign x\nmetrics yes\nphase a\nstyle quiet\nsteps 1\n");
+        assert!(reason.contains("`metrics` takes on|off"), "{reason}");
+        // Defaults: both sinks off.
+        let c = Campaign::parse("campaign x\nphase a\nstyle quiet\nsteps 1\n").unwrap();
+        assert_eq!(c.trace, None);
+        assert!(!c.metrics);
     }
 
     #[test]

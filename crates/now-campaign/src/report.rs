@@ -39,6 +39,13 @@ pub struct PhaseReport {
     pub max_wave_width: usize,
     /// Round slack of the schedules (serial rounds saved).
     pub wave_slack_rounds: u64,
+    /// Messages the event network accepted for delivery (always zero
+    /// outside `exec event` phases). Conservation: `sent` equals
+    /// `delivered + dropped` within every phase.
+    pub sent: u64,
+    /// Messages the event network delivered (always zero outside
+    /// `exec event` phases).
+    pub delivered: u64,
     /// Operations whose triggering message the event network dropped
     /// (always zero outside `exec event` phases).
     pub dropped: u64,
@@ -82,6 +89,15 @@ pub struct CampaignReport {
     pub security: SecurityMode,
     /// Per-phase outcomes, in execution order.
     pub phases: Vec<PhaseReport>,
+    /// Flight-recorder state at campaign end, pre-rendered as canonical
+    /// JSON (see [`now_core::FlightRecorder::to_json`]); `None` when
+    /// the campaign ran without a `trace` directive. Deterministic —
+    /// part of the byte-diffed surface.
+    pub trace: Option<String>,
+    /// Metrics registry at campaign end, pre-rendered as canonical
+    /// JSON (see [`now_core::MetricsRegistry::to_json`]); `None`
+    /// without a `metrics on` directive. Deterministic.
+    pub metrics: Option<String>,
 }
 
 impl CampaignReport {
@@ -128,8 +144,34 @@ impl CampaignReport {
             out.push_str(&phase_json(p, "    "));
             let _ = writeln!(out, "{comma}");
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        out.push_str("  \"trace\": ");
+        out.push_str(&embed(self.trace.as_deref(), "  "));
+        out.push_str(",\n  \"metrics\": ");
+        out.push_str(&embed(self.metrics.as_deref(), "  "));
+        out.push_str("\n}\n");
         out
+    }
+}
+
+/// Embeds a pre-rendered JSON value (or `null`) at the given indent:
+/// continuation lines are re-indented so the composite document stays
+/// uniformly formatted — and stays byte-stable, since the input is
+/// already canonical.
+fn embed(value: Option<&str>, indent: &str) -> String {
+    match value {
+        None => "null".to_string(),
+        Some(json) => {
+            let mut out = String::with_capacity(json.len());
+            for (i, line) in json.trim_end().lines().enumerate() {
+                if i > 0 {
+                    out.push('\n');
+                    out.push_str(indent);
+                }
+                out.push_str(line);
+            }
+            out
+        }
     }
 }
 
@@ -169,6 +211,8 @@ fn phase_json(p: &PhaseReport, indent: &str) -> String {
     let _ = writeln!(out, "{indent}  \"waves\": {},", p.waves);
     let _ = writeln!(out, "{indent}  \"max_wave_width\": {},", p.max_wave_width);
     let _ = writeln!(out, "{indent}  \"wave_slack\": {},", p.wave_slack_rounds);
+    let _ = writeln!(out, "{indent}  \"sent\": {},", p.sent);
+    let _ = writeln!(out, "{indent}  \"delivered\": {},", p.delivered);
     let _ = writeln!(out, "{indent}  \"dropped\": {},", p.dropped);
     let _ = writeln!(out, "{indent}  \"messages\": {},", p.messages);
     let _ = writeln!(out, "{indent}  \"rounds\": {},", p.rounds);
@@ -232,6 +276,8 @@ mod tests {
             waves: 120,
             max_wave_width: 3,
             wave_slack_rounds: 180,
+            sent: 0,
+            delivered: 0,
             dropped: 0,
             messages: 12345,
             rounds: 600,
@@ -257,6 +303,8 @@ mod tests {
             seed: 7,
             security: SecurityMode::Plain,
             phases: vec![phase("a"), phase("b")],
+            trace: None,
+            metrics: None,
         };
         let a = report.to_json();
         let b = report.to_json();
@@ -276,12 +324,39 @@ mod tests {
     }
 
     #[test]
+    fn trace_and_metrics_embed_as_json_values() {
+        let report = CampaignReport {
+            campaign: "t".into(),
+            seed: 0,
+            security: SecurityMode::Plain,
+            phases: vec![phase("a")],
+            trace: Some("{\n  \"capacity\": 4,\n  \"events\": []\n}\n".into()),
+            metrics: Some("{\n  \"counters\": {}\n}\n".into()),
+        };
+        let json = report.to_json();
+        // Continuation lines are re-indented under the embedding key.
+        assert!(json.contains("\"trace\": {\n    \"capacity\": 4"));
+        assert!(json.contains("\"metrics\": {\n    \"counters\": {}"));
+        // Absent sinks render as explicit nulls.
+        let bare = CampaignReport {
+            trace: None,
+            metrics: None,
+            ..report
+        };
+        let j = bare.to_json();
+        assert!(j.contains("\"trace\": null"));
+        assert!(j.contains("\"metrics\": null"));
+    }
+
+    #[test]
     fn totals_aggregate_phases() {
         let report = CampaignReport {
             campaign: "t".into(),
             seed: 0,
             security: SecurityMode::Plain,
             phases: vec![phase("a"), phase("b"), phase("c")],
+            trace: None,
+            metrics: None,
         };
         assert_eq!(report.total_steps(), 180);
         assert_eq!(report.total_binding_violations(), 3);
@@ -299,6 +374,8 @@ mod tests {
             seed: 0,
             security: SecurityMode::Authenticated,
             phases: vec![p],
+            trace: None,
+            metrics: None,
         };
         let json = report.to_json();
         assert!(json.contains("we \\\"quote\\\""));
@@ -317,6 +394,8 @@ mod tests {
             seed: 0,
             security: SecurityMode::Plain,
             phases: vec![p],
+            trace: None,
+            metrics: None,
         };
         let json = report.to_json();
         assert!(json.contains("multi\\nline"));

@@ -83,6 +83,19 @@ impl Campaign {
         // steps) reuse the same workers, so a whole campaign spawns
         // O(threads) threads however many phases and waves it runs —
         // and none at all when no phase uses the threaded engine.
+        // Campaign-scoped observability: the `trace` / `metrics`
+        // header directives arm the system's sinks before the first
+        // phase. Sinks a caller already armed on a prebuilt system are
+        // left untouched (their history is preserved and captured in
+        // the final report either way).
+        if let Some(cap) = self.trace {
+            if sys.flight_recorder().is_none() {
+                sys.enable_tracing(cap);
+            }
+        }
+        if self.metrics && sys.metrics().is_none() {
+            sys.enable_metrics();
+        }
         let threads = normalize_threads(threads);
         let pool = self
             .phases
@@ -190,6 +203,8 @@ impl Campaign {
                 waves: r.waves,
                 max_wave_width: r.max_wave_width,
                 wave_slack_rounds: r.wave_slack_rounds,
+                sent: r.sent,
+                delivered: r.delivered,
                 dropped: r.dropped,
                 messages: ledger_after.messages - ledger_before.messages,
                 rounds: ledger_after.rounds - ledger_before.rounds,
@@ -209,6 +224,8 @@ impl Campaign {
             seed: self.seed,
             security: mode,
             phases,
+            trace: sys.flight_recorder().map(|r| r.to_json()),
+            metrics: sys.metrics().map(|m| m.to_json()),
         })
     }
 }
@@ -424,6 +441,72 @@ mod tests {
         assert_eq!(r1.phases[0].dropped, 0, "wave engines never drop");
         assert!(r1.to_json().contains("\"dropped\":"));
         s1.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn traced_campaigns_are_byte_identical_across_threads() {
+        use now_core::EventNetConfig;
+        let c = base()
+            .initial_population_of(160)
+            .trace(256)
+            .metrics()
+            .phase(Phase::new("warm", PhaseStyle::Balanced, Trigger::Steps(5)))
+            .phase(
+                Phase::new("storm", PhaseStyle::Balanced, Trigger::Steps(6))
+                    .width(6)
+                    .net(EventNetConfig::ideal().with_latency(1).with_drop(0.2)),
+            );
+        let (r1, _) = c.run(1).unwrap();
+        let (r4, _) = c.run(4).unwrap();
+        assert_eq!(
+            r1.to_json(),
+            r4.to_json(),
+            "trace + metrics byte-identical across threads"
+        );
+        let trace = r1.trace.as_ref().expect("trace directive arms recorder");
+        assert!(trace.contains("\"kind\": \"wave\""));
+        let metrics = r1
+            .metrics
+            .as_ref()
+            .expect("metrics directive arms registry");
+        assert!(metrics.contains("now_steps_total"));
+        assert!(metrics.contains("now_net_sent_total"));
+        // Message conservation holds per phase, and only event phases
+        // route through the network.
+        for p in &r1.phases {
+            assert_eq!(p.sent, p.delivered + p.dropped, "phase {}", p.name);
+        }
+        assert_eq!(r1.phases[0].sent, 0, "wave engines never touch the net");
+        assert!(r1.phases[1].sent > 0);
+        // The deterministic artifact must not leak run-environment data.
+        for banned in ["wall", "nanos", "thread"] {
+            assert!(!r1.to_json().contains(banned), "{banned} leaked");
+        }
+    }
+
+    #[test]
+    fn traced_violation_campaign_captures_a_dump() {
+        let mut c = base()
+            .initial_population_of(100)
+            .trace(512)
+            .metrics()
+            .phase(Phase::new(
+                "probe",
+                PhaseStyle::SplitForcing,
+                Trigger::FirstViolation { cap: 200 },
+            ));
+        c.tau = 0.30;
+        let (report, sys) = c.run(1).unwrap();
+        assert!(report.phases[0].trigger_fired);
+        let rec = sys.flight_recorder().expect("recorder armed");
+        let dump = rec.dump().expect("first violation captured a dump");
+        assert!(!dump.events.is_empty(), "dump holds the causal window");
+        assert!(report.trace.as_ref().unwrap().contains("\"dump\": {"));
+        assert!(report
+            .metrics
+            .as_ref()
+            .unwrap()
+            .contains("now_violations_total"));
     }
 
     #[test]

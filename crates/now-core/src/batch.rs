@@ -314,9 +314,11 @@ impl NowSystem {
         leaves: &[NodeId],
     ) -> BatchReport {
         // Wall-clock measurement only: feeds `wall_nanos`, which is
-        // excluded from byte-diffed reports (lint.toml D002 allow).
-        let start = std::time::Instant::now();
+        // excluded from byte-diffed reports.
+        let start = now_trace::stopwatch();
         self.ledger_mut().begin(CostKind::Batch);
+        let step = self.time_step;
+        let mut canon = 0u64;
         let mut joined = Vec::with_capacity(joins.len());
         let mut left = Vec::with_capacity(leaves.len());
         let mut rejected = Vec::new();
@@ -339,8 +341,19 @@ impl NowSystem {
                         after.rounds - before.rounds,
                         after.messages - before.messages,
                     );
+                    let data = now_trace::TraceData::OpApplied {
+                        canon,
+                        join: false,
+                        node: node.raw(),
+                    };
+                    self.hub.event(step, data);
+                    canon += 1;
                 }
-                Err(e) => rejected.push((node, e)),
+                Err(e) => {
+                    self.hub
+                        .event(step, now_trace::TraceData::OpRejected { node: node.raw() });
+                    rejected.push((node, e));
+                }
             }
         }
         let mut contact_redraws = 0u64;
@@ -352,12 +365,28 @@ impl NowSystem {
             contact_redraws += u64::from(redrawn);
             let footprint = self.op_footprint(contact);
             let before = self.ledger().total();
-            joined.push(self.join_inner(contact, spec.honest));
+            let node = self.join_inner(contact, spec.honest);
+            joined.push(node);
             let after = self.ledger().total();
             sched.place(
                 &footprint,
                 after.rounds - before.rounds,
                 after.messages - before.messages,
+            );
+            let data = now_trace::TraceData::OpApplied {
+                canon,
+                join: true,
+                node: node.raw(),
+            };
+            self.hub.event(step, data);
+            canon += 1;
+        }
+        if contact_redraws > 0 {
+            self.hub.event(
+                step,
+                now_trace::TraceData::ContactRedraws {
+                    count: contact_redraws,
+                },
             );
         }
 
@@ -374,7 +403,7 @@ impl NowSystem {
             contact_redraws,
             dropped: 0,
             events: Vec::new(),
-            wall_nanos: start.elapsed().as_nanos() as u64,
+            wall_nanos: start.elapsed_nanos(),
         }
     }
 }

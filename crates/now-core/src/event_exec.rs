@@ -47,10 +47,13 @@
 use crate::batch::{BatchReport, JoinSpec, WaveStats};
 use crate::system::NowSystem;
 use crate::wave_exec::{partition_waves, AdmittedBatch, OpSpec, PlanEngine, PlannedOp, WavePool};
-use now_net::{ClusterId, CostKind, DetRng, EventNet, EventNetConfig, EventRecord, NodeId};
+use now_net::{
+    ClusterId, CostKind, DetRng, DropReason, EventNet, EventNetConfig, EventRecord, NodeId,
+    Partition,
+};
+use now_trace::TraceData;
 use rand::{Rng, RngCore};
 use std::collections::BTreeSet;
-use std::time::Instant;
 
 /// The substream index reserved for the engine's own routing draws
 /// (which port a joiner contacts from). Admitted operations use their
@@ -67,9 +70,10 @@ impl NowSystem {
         pool: Option<&WavePool>,
     ) -> BatchReport {
         // Wall-clock measurement only: feeds `wall_nanos`, which is
-        // excluded from byte-diffed reports (lint.toml D002 allow).
-        let start = Instant::now();
+        // excluded from byte-diffed reports.
+        let start = now_trace::stopwatch();
         self.ledger.begin(CostKind::Batch);
+        let step = self.time_step;
 
         let AdmittedBatch {
             joined,
@@ -78,6 +82,22 @@ impl NowSystem {
             specs,
             mut contact_redraws,
         } = self.admit_batch(joins, leaves);
+
+        // The step's network conditions, as trace events: an in-force
+        // partition (and its scheduled heal) governs what follows.
+        if let Partition::Split { groups } = net.partition {
+            if groups >= 2 {
+                self.hub.event(
+                    step,
+                    TraceData::Partition {
+                        groups: groups as u64,
+                    },
+                );
+                if let Some(at) = net.heal_at {
+                    self.hub.event(step, TraceData::Heal { at });
+                }
+            }
+        }
 
         // Ports: the live clusters at step start, ascending id order.
         let ports: Vec<ClusterId> = self.registry.cluster_ids().to_vec();
@@ -107,7 +127,28 @@ impl NowSystem {
                 // deterministic, config-governed fraction of arrivals.
                 PlannedOp::Join { .. } => route.gen_range(0..ports.len()),
             };
-            if link.send(from, to, spec.canon).is_some() {
+            self.hub.event(
+                step,
+                TraceData::MsgSend {
+                    canon: spec.canon,
+                    from: ports[from].raw(),
+                    to: spec.center.raw(),
+                },
+            );
+            if let Some(reason) = link.send(from, to, spec.canon) {
+                let reason = match reason {
+                    DropReason::Loss => "loss",
+                    DropReason::Partition => "partition",
+                    DropReason::DeadRecipient => "dead_recipient",
+                };
+                self.hub.event(
+                    step,
+                    TraceData::MsgDrop {
+                        time: link.now(),
+                        canon: spec.canon,
+                        reason,
+                    },
+                );
                 events.push(EventRecord {
                     time: link.now(),
                     op: spec.canon,
@@ -120,6 +161,13 @@ impl NowSystem {
         // ---- drain: delivery order is the execution order ----
         let mut order: Vec<u64> = Vec::with_capacity(specs.len());
         while let Some((time, env)) = link.pop() {
+            self.hub.event(
+                step,
+                TraceData::MsgDeliver {
+                    time,
+                    canon: env.payload,
+                },
+            );
             events.push(EventRecord {
                 time,
                 op: env.payload,
@@ -180,6 +228,17 @@ impl NowSystem {
             wave_stats.push(stats);
         }
 
+        if contact_redraws > 0 {
+            self.hub.event(
+                step,
+                TraceData::ContactRedraws {
+                    count: contact_redraws,
+                },
+            );
+        }
+        self.hub.count("now_net_sent_total", link.messages_sent());
+        self.hub.count("now_net_delivered_total", link.delivered());
+        self.hub.count("now_net_dropped_total", link.dropped());
         let rounds_parallel = wave_stats.iter().map(|w| w.rounds_max).sum();
         let cost = self.ledger.end();
         self.advance_time_step();
@@ -193,7 +252,7 @@ impl NowSystem {
             contact_redraws,
             dropped,
             events,
-            wall_nanos: start.elapsed().as_nanos() as u64,
+            wall_nanos: start.elapsed_nanos(),
         }
     }
 }

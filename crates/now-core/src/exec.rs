@@ -238,7 +238,7 @@ impl NowSystem {
     ///
     /// See [`ExecConfig`] for the determinism contract per engine.
     pub fn step_batch(&mut self, input: &BatchInput, exec: &ExecConfig<'_>) -> BatchReport {
-        match *exec {
+        let report = match *exec {
             ExecConfig::Serial => self.step_serial_impl(&input.joins, &input.leaves),
             ExecConfig::Scheduled => {
                 self.step_waves_impl(&input.joins, &input.leaves, PlanEngine::Scoped(1))
@@ -258,7 +258,51 @@ impl NowSystem {
             ExecConfig::Event { net, pool } => {
                 self.step_event_impl(&input.joins, &input.leaves, net, pool)
             }
+        };
+        self.record_step_metrics(&report);
+        report
+    }
+
+    /// Folds one step's [`BatchReport`] into the metrics registry
+    /// (no-op while metrics are off). Centralized here so every engine
+    /// feeds the same metric names from the same report fields —
+    /// protocol outcomes only, never the advisory `wall_nanos`.
+    fn record_step_metrics(&mut self, report: &BatchReport) {
+        if self.hub.metrics.is_none() {
+            return;
         }
+        self.hub.count("now_steps_total", 1);
+        self.hub
+            .count("now_ops_joined_total", report.joined.len() as u64);
+        self.hub
+            .count("now_ops_left_total", report.left.len() as u64);
+        self.hub
+            .count("now_ops_rejected_total", report.rejected.len() as u64);
+        self.hub
+            .count("now_contact_redraws_total", report.contact_redraws);
+        self.hub.count("now_messages_total", report.cost.messages);
+        self.hub
+            .count("now_rounds_serial_total", report.cost.rounds);
+        self.hub
+            .count("now_rounds_parallel_total", report.rounds_parallel);
+        self.hub.count("now_waves_total", report.waves.len() as u64);
+        for wave in &report.waves {
+            self.hub.observe(
+                "now_wave_width",
+                crate::hub::WAVE_WIDTH_BOUNDS,
+                wave.ops as u64,
+            );
+            self.hub.observe(
+                "now_wave_rounds",
+                crate::hub::WAVE_ROUNDS_BOUNDS,
+                wave.rounds_max,
+            );
+        }
+        let population = self.registry.population() as i64;
+        let clusters = self.registry.cluster_count() as i64;
+        self.hub.gauge("now_population", population);
+        self.hub.gauge("now_clusters", clusters);
+        self.hub.gauge("now_step", self.time_step as i64);
     }
 }
 

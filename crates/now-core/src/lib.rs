@@ -58,6 +58,7 @@ mod error;
 mod event_exec;
 mod exchange;
 mod exec;
+mod hub;
 pub mod init;
 pub mod init_tree;
 mod malice;
@@ -76,6 +77,9 @@ pub use error::NowError;
 pub use exec::{BatchInput, ExecConfig};
 pub use malice::{Malice, NoMalice, RandNumContext, RandNumPurpose};
 pub use now_net::{DropReason, EventNetConfig, EventRecord, Partition};
+pub use now_trace::{
+    FlightRecorder, Histogram, MetricsRegistry, TraceData, TraceEvent, ViolationDump,
+};
 pub use params::{NowParams, SecurityMode};
 pub use rand_cl::WalkTrace;
 pub use registry::{

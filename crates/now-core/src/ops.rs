@@ -175,6 +175,7 @@ impl NowSystem {
         );
         self.ledger.begin(CostKind::Split);
         self.split_count += 1;
+        self.hub.count("now_splits_total", 1);
 
         // The members compute a random partition collaboratively: a
         // randNum seed drives the shuffle, so every member derives the
@@ -189,6 +190,13 @@ impl NowSystem {
         // New cluster enters the overlay with randCl-sampled neighbor
         // candidates (OVER Add).
         let new_id = self.ids.cluster();
+        self.hub.event(
+            self.time_step,
+            now_trace::TraceData::Split {
+                cluster: c.raw(),
+                new_cluster: new_id.raw(),
+            },
+        );
         self.registry.create_cluster(new_id);
         self.ledger.begin(CostKind::Overlay);
         let want = self.params.over().target_degree() + 4;
@@ -254,6 +262,14 @@ impl NowSystem {
                 .find(|&id| id != c)
                 .expect("more than one cluster")
         });
+        self.hub.count("now_merges_total", 1);
+        self.hub.event(
+            self.time_step,
+            now_trace::TraceData::Merge {
+                cluster: c.raw(),
+                absorbed: victim.raw(),
+            },
+        );
 
         // Original members of c will re-join; victim's members become c.
         let rejoiners: Vec<(NodeId, bool)> = self

@@ -32,6 +32,7 @@ pub struct NowSystem {
     pub(crate) leave_count: u64,
     pub(crate) split_count: u64,
     pub(crate) merge_count: u64,
+    pub(crate) hub: crate::hub::TraceHub,
 }
 
 impl fmt::Debug for NowSystem {
@@ -140,6 +141,7 @@ impl NowSystem {
             leave_count: 0,
             split_count: 0,
             merge_count: 0,
+            hub: crate::hub::TraceHub::default(),
         }
     }
 
@@ -271,6 +273,67 @@ impl NowSystem {
     /// Measures the system against the paper's invariants (cheap; O(#C)).
     pub fn audit(&self) -> SystemAudit {
         SystemAudit::measure(self)
+    }
+
+    // ------------------------------------------------------------------
+    // Observability (now-trace).
+    // ------------------------------------------------------------------
+
+    /// Turns on the flight recorder with a ring buffer of `capacity`
+    /// events. Every execution engine then records typed protocol
+    /// events in canonical op order, so two runs that agree on seeds
+    /// and inputs produce byte-identical traces at every thread count.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.hub.recorder = Some(now_trace::FlightRecorder::new(capacity));
+    }
+
+    /// Turns on the metrics registry. Counters, gauges, and histograms
+    /// are populated from protocol outcomes only (never the wall
+    /// clock), so exported metrics are part of the deterministic
+    /// surface.
+    pub fn enable_metrics(&mut self) {
+        self.hub.metrics = Some(now_trace::MetricsRegistry::new());
+    }
+
+    /// The flight recorder, if tracing is enabled.
+    pub fn flight_recorder(&self) -> Option<&now_trace::FlightRecorder> {
+        self.hub.recorder.as_ref()
+    }
+
+    /// The metrics registry, if metrics are enabled.
+    pub fn metrics(&self) -> Option<&now_trace::MetricsRegistry> {
+        self.hub.metrics.as_ref()
+    }
+
+    /// Records an invariant violation into the observability sinks: a
+    /// `violation` trace event, a `now_violations_total` increment, and
+    /// — once per recorder — a flight-recorder dump filtered to the
+    /// offending cluster's causal neighborhood (the cluster plus its
+    /// overlay neighbors). Harnesses (e.g. `now-sim`'s violation
+    /// auditor) call this when an audit first observes the violation.
+    pub fn record_violation(&mut self, kind: &'static str, cluster: Option<ClusterId>) {
+        let step = self.time_step;
+        let neighborhood: Vec<u64> = match cluster {
+            Some(c) => {
+                let mut ids = vec![c.raw()];
+                ids.extend(self.overlay.neighbors(c).iter().map(|n| n.raw()));
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            }
+            None => Vec::new(),
+        };
+        self.hub.event(
+            step,
+            now_trace::TraceData::Violation {
+                kind,
+                cluster: cluster.map(|c| c.raw()),
+            },
+        );
+        self.hub.count("now_violations_total", 1);
+        if let Some(rec) = &mut self.hub.recorder {
+            rec.capture_dump(step, kind, cluster.map(|c| c.raw()), &neighborhood);
+        }
     }
 
     /// Measures the overlay against Properties 1–2 (spectral; costlier).

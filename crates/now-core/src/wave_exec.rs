@@ -87,12 +87,12 @@ use crate::registry::Registry;
 use crate::system::NowSystem;
 use now_net::{ClusterId, Cost, CostKind, DetRng, Ledger, NodeId};
 use now_over::Overlay;
+use now_trace::{SpanTotal, TraceData};
 use rand::{Rng, RngCore};
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
-use std::time::Instant;
 
 /// Canonical normalization of the `threads` knob, shared by **every**
 /// entry point that accepts one ([`WavePool::new`], the scoped
@@ -119,12 +119,12 @@ pub fn wave_worker_spawn_total() -> u64 {
 /// planning phase of [`NowSystem::execute_wave`] (wall clock around the
 /// plan dispatch, including the block on pool workers). Benchmarks take
 /// deltas around a run to report planning's share of step wall clock.
-static WAVE_PLAN_NANOS: AtomicU64 = AtomicU64::new(0);
+static WAVE_PLAN_NANOS: SpanTotal = SpanTotal::new();
 
 /// Current value of the process-global planning-phase wall-clock
 /// counter, in nanoseconds.
 pub fn wave_plan_nanos_total() -> u64 {
-    WAVE_PLAN_NANOS.load(Ordering::Relaxed)
+    WAVE_PLAN_NANOS.total()
 }
 
 /// One batched operation, with the footprint the wave partition was
@@ -1064,6 +1064,7 @@ impl NowSystem {
         joins: &[crate::batch::JoinSpec],
         leaves: &[NodeId],
     ) -> AdmittedBatch {
+        let step = self.time_step;
         let mut joined = Vec::with_capacity(joins.len());
         let mut left = Vec::new();
         let mut rejected = Vec::new();
@@ -1073,6 +1074,8 @@ impl NowSystem {
         let mut claimed: BTreeSet<NodeId> = BTreeSet::new();
         for &node in leaves {
             if projected <= floor {
+                self.hub
+                    .event(step, TraceData::OpRejected { node: node.raw() });
                 rejected.push((
                     node,
                     NowError::PopulationFloor {
@@ -1083,6 +1086,8 @@ impl NowSystem {
                 continue;
             }
             if claimed.contains(&node) {
+                self.hub
+                    .event(step, TraceData::OpRejected { node: node.raw() });
                 rejected.push((node, NowError::UnknownNode { node }));
                 continue;
             }
@@ -1091,15 +1096,28 @@ impl NowSystem {
                     claimed.insert(node);
                     projected -= 1;
                     left.push(node);
+                    let canon = specs.len() as u64;
+                    self.hub.event(
+                        step,
+                        TraceData::OpPlanned {
+                            canon,
+                            join: false,
+                            node: node.raw(),
+                        },
+                    );
                     specs.push(OpSpec {
                         op: PlannedOp::Leave { node },
                         footprint: self.op_footprint(home),
-                        canon: specs.len() as u64,
+                        canon,
                         center: home,
                         contact_redrawn: false,
                     });
                 }
-                Err(e) => rejected.push((node, e)),
+                Err(e) => {
+                    self.hub
+                        .event(step, TraceData::OpRejected { node: node.raw() });
+                    rejected.push((node, e));
+                }
             }
         }
         // Redraws are counted when the op's wave executes (via the
@@ -1113,6 +1131,15 @@ impl NowSystem {
             let (contact, redrawn) = self.resolve_batch_contact(spec);
             let node = self.ids.node();
             joined.push(node);
+            let canon = specs.len() as u64;
+            self.hub.event(
+                step,
+                TraceData::OpPlanned {
+                    canon,
+                    join: true,
+                    node: node.raw(),
+                },
+            );
             specs.push(OpSpec {
                 op: PlannedOp::Join {
                     node,
@@ -1120,7 +1147,7 @@ impl NowSystem {
                     contact,
                 },
                 footprint: self.op_footprint(contact),
-                canon: specs.len() as u64,
+                canon,
                 center: contact,
                 contact_redrawn: redrawn,
             });
@@ -1141,8 +1168,8 @@ impl NowSystem {
         engine: PlanEngine<'_>,
     ) -> BatchReport {
         // Wall-clock measurement only: feeds `wall_nanos`, which is
-        // excluded from byte-diffed reports (lint.toml D002 allow).
-        let start = Instant::now();
+        // excluded from byte-diffed reports.
+        let start = now_trace::stopwatch();
         self.ledger.begin(CostKind::Batch);
 
         let AdmittedBatch {
@@ -1162,6 +1189,14 @@ impl NowSystem {
             wave_stats.push(stats);
         }
 
+        if contact_redraws > 0 {
+            self.hub.event(
+                self.time_step,
+                TraceData::ContactRedraws {
+                    count: contact_redraws,
+                },
+            );
+        }
         let rounds_parallel = wave_stats.iter().map(|w| w.rounds_max).sum();
         let cost = self.ledger.end();
         self.advance_time_step();
@@ -1175,7 +1210,7 @@ impl NowSystem {
             contact_redraws,
             dropped: 0,
             events: Vec::new(),
-            wall_nanos: start.elapsed().as_nanos() as u64,
+            wall_nanos: start.elapsed_nanos(),
         }
     }
 
@@ -1203,7 +1238,7 @@ impl NowSystem {
                 params: self.params,
                 recording,
             };
-            let plan_start = Instant::now();
+            let plan_start = now_trace::stopwatch();
             let plans: Vec<OpPlan> = if neutral {
                 match *engine {
                     PlanEngine::Pooled(pool) => pool.plan_wave(&ctx, wave_specs, master, time_step),
@@ -1220,7 +1255,7 @@ impl NowSystem {
                     })
                     .collect()
             };
-            WAVE_PLAN_NANOS.fetch_add(plan_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            plan_start.record_into(&WAVE_PLAN_NANOS);
 
             // ---- wave stats from the planned costs ----
             let mut stats = WaveStats::default();
@@ -1233,6 +1268,14 @@ impl NowSystem {
                     *contact_redraws += 1;
                 }
             }
+            self.hub.event(
+                time_step,
+                TraceData::Wave {
+                    ops: stats.ops as u64,
+                    rounds: stats.rounds_max,
+                    messages: stats.messages,
+                },
+            );
 
             // ---- apply effects canonically through the wave shards ----
             // `touched` collects every cluster whose membership actually
@@ -1295,10 +1338,24 @@ impl NowSystem {
 
             // ---- fold ledgers + op counters canonically ----
             for (spec, plan) in wave_specs.iter().zip(&plans) {
-                match spec.op {
-                    PlannedOp::Join { .. } => self.join_count += 1,
-                    PlannedOp::Leave { .. } => self.leave_count += 1,
-                }
+                let (join, node) = match spec.op {
+                    PlannedOp::Join { node, .. } => {
+                        self.join_count += 1;
+                        (true, node)
+                    }
+                    PlannedOp::Leave { node } => {
+                        self.leave_count += 1;
+                        (false, node)
+                    }
+                };
+                self.hub.event(
+                    time_step,
+                    TraceData::OpApplied {
+                        canon: spec.canon,
+                        join,
+                        node: node.raw(),
+                    },
+                );
                 self.ledger.merge_child(&plan.ledger);
             }
 

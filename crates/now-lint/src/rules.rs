@@ -11,7 +11,7 @@
 //! | rule | forbids | where it binds |
 //! |------|---------|----------------|
 //! | D001 | `HashMap` / `HashSet` (iteration-order nondeterminism) | all non-test code |
-//! | D002 | `Instant::now` / `SystemTime` (wall clock) | non-test lib code; benches and `x_*` bins are exempt, `wall_nanos` sites are allowlisted |
+//! | D002 | `Instant::now` / `SystemTime` (wall clock) | non-test lib code; benches and `x_*` bins are exempt; the one sanctioned library site is `now_trace::stopwatch` (`crates/now-trace/src/profile.rs`, allowlisted) |
 //! | D003 | thread spawning outside the `WavePool` machinery | all non-test code |
 //! | D004 | ambient entropy (`thread_rng`, `rand::random`, `OsRng`, …) | everywhere, tests included |
 //! | S001 | `unsafe` without a preceding `// SAFETY:` comment | everywhere |
@@ -161,8 +161,9 @@ pub fn lint_tokens(path: &str, class: FileClass, tokens: &[Token]) -> Vec<Findin
         }
 
         // D002 — wall clock in deterministic code. Benches and x_* bins
-        // measure time by design; the engine-internal `wall_nanos`
-        // sites are allowlisted in lint.toml with reasons.
+        // measure time by design; library code must route advisory
+        // measurement through `now_trace::stopwatch`, whose home
+        // (crates/now-trace/src/profile.rs) is the one allowlisted site.
         if !test_code && class != FileClass::Bench && class != FileClass::Bin {
             let instant_now = name == "Instant"
                 && next_noncomment(tokens, i).is_some_and(|t| t.is_punct(':'))
@@ -177,8 +178,8 @@ pub fn lint_tokens(path: &str, class: FileClass, tokens: &[Token]) -> Vec<Findin
                     tok.line,
                     "D002",
                     "Instant::now reads the wall clock; deterministic paths must derive time \
-                     from the step counter (wall-clock measurement belongs in benches, x_* \
-                     bins, or an allowlisted wall_nanos site)"
+                     from the step counter — advisory measurement goes through \
+                     now_trace::stopwatch (the one allowlisted site), benches, or x_* bins"
                         .to_string(),
                 );
             }

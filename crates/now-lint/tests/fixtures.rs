@@ -71,6 +71,17 @@ fn d002_flags_wall_clock_reads() {
 }
 
 #[test]
+fn d002_stopwatch_wrapper_is_clean_but_raw_reads_still_flag() {
+    // The sanctioned `now_trace::stopwatch` call carries no wall-clock
+    // token, so only the raw `Instant::now` beside it is reported —
+    // the wrapper cannot be used to smuggle raw reads past the rule.
+    assert_eq!(
+        lint_fixture("d002_stopwatch_wrapper.rs", FileClass::Prod),
+        pairs(&[("D002", 12)])
+    );
+}
+
+#[test]
 fn d003_flags_spawns_outside_the_pool() {
     assert_eq!(
         lint_fixture("d003_thread_spawn.rs", FileClass::Prod),

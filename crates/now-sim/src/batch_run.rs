@@ -162,6 +162,13 @@ pub struct BatchRunReport {
     /// Operations whose triggering message the event network dropped
     /// across all steps (always zero outside [`BatchExec::Event`]).
     pub dropped: u64,
+    /// Messages injected into the event network across all steps
+    /// (always zero outside [`BatchExec::Event`]). Conservation holds
+    /// per step and in aggregate: `sent == delivered + dropped`.
+    pub sent: u64,
+    /// Messages the event network delivered across all steps (always
+    /// zero outside [`BatchExec::Event`]).
+    pub delivered: u64,
     /// Wall-clock nanoseconds spent inside batch execution across all
     /// steps (host-dependent; excluded from determinism comparisons).
     pub wall_nanos: u64,
@@ -253,6 +260,8 @@ pub struct BatchRun<'p> {
     exec: BatchExec,
     pool: Option<&'p WavePool>,
     stop: Option<StopFn<'p>>,
+    trace: Option<usize>,
+    metrics: bool,
 }
 
 impl Default for BatchRun<'_> {
@@ -270,6 +279,8 @@ impl<'p> BatchRun<'p> {
             exec: BatchExec::Scheduled,
             pool: None,
             stop: None,
+            trace: None,
+            metrics: false,
         }
     }
 
@@ -309,6 +320,25 @@ impl<'p> BatchRun<'p> {
         self
     }
 
+    /// Enables the system's flight recorder before the run starts,
+    /// with a ring buffer of `capacity` events (see
+    /// [`now_core::NowSystem::enable_tracing`]). Violations the run's
+    /// audits observe are forwarded to the recorder, so the first one
+    /// captures a causal-neighborhood dump. A recorder already enabled
+    /// on the system is left as is.
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace = Some(capacity);
+        self
+    }
+
+    /// Enables the system's metrics registry before the run starts
+    /// (see [`now_core::NowSystem::enable_metrics`]). A registry
+    /// already enabled on the system is left as is.
+    pub fn metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+
     /// Stops the run early: `stop` is checked before the first step and
     /// after every audited step — the primitive the campaign engine's
     /// population and first-violation triggers are built on. A
@@ -333,8 +363,18 @@ impl<'p> BatchRun<'p> {
             exec,
             pool,
             stop,
+            trace,
+            metrics,
         } = self;
         let mut stop = stop.unwrap_or_else(|| Box::new(|_: &NowSystem, _: &BatchRunReport| false));
+        if let Some(capacity) = trace {
+            if sys.flight_recorder().is_none() {
+                sys.enable_tracing(capacity);
+            }
+        }
+        if metrics && sys.metrics().is_none() {
+            sys.enable_metrics();
+        }
 
         // The run-scoped pool: one worker-spawn set for the whole run,
         // whatever the step count or wave structure. A caller-held pool
@@ -377,6 +417,8 @@ impl<'p> BatchRun<'p> {
             max_wave_width: 0,
             wave_slack_rounds: 0,
             dropped: 0,
+            sent: 0,
+            delivered: 0,
             wall_nanos: 0,
             waves_per_step: TimeSeries::new("waves_per_step"),
             population: TimeSeries::new("population"),
@@ -400,6 +442,9 @@ impl<'p> BatchRun<'p> {
             report.max_wave_width = report.max_wave_width.max(batch.max_wave_width());
             report.wave_slack_rounds += batch.wave_slack_rounds();
             report.dropped += batch.dropped;
+            let step_delivered = batch.events.iter().filter(|e| e.delivered).count() as u64;
+            report.delivered += step_delivered;
+            report.sent += step_delivered + batch.dropped;
             report.wall_nanos += batch.wall_nanos;
 
             let audit = sys.audit();
@@ -412,7 +457,11 @@ impl<'p> BatchRun<'p> {
             report
                 .worst_byz_fraction
                 .push(audit.time_step, audit.worst_byz_fraction);
+            let seen = report.violations.len();
             record_violations(&audit, &mut report.violations);
+            for v in &report.violations[seen..] {
+                sys.record_violation(v.kind.name(), v.cluster);
+            }
             if stop(sys, &report) {
                 break;
             }

@@ -24,6 +24,18 @@ pub enum ViolationKind {
 }
 
 impl ViolationKind {
+    /// Stable snake_case tag of the kind, used as the flight recorder's
+    /// `violation` event payload and the trace-dump `kind` field.
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationKind::NotTwoThirdsHonest => "not_two_thirds_honest",
+            ViolationKind::NotMajorityHonest => "not_majority_honest",
+            ViolationKind::RandNumCompromised => "rand_num_compromised",
+            ViolationKind::Forgeable => "forgeable",
+            ViolationKind::SizeBounds => "size_bounds",
+        }
+    }
+
     /// Whether this violation kind is binding for the given substrate
     /// mode. `NotTwoThirdsHonest` is informational in Authenticated
     /// deployments (τ may legitimately exceed 1/3 there);

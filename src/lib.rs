@@ -19,6 +19,7 @@
 //! | [`core`] | the NOW protocol itself ([`core::NowSystem`]): ops, batches, both init paths |
 //! | [`adversary`] | churn attacks, structural pressure, batched attack drivers, in-protocol malice |
 //! | [`sim`] | serial + batched runners, churn schedules, metrics, baselines |
+//! | [`trace`] | deterministic flight recorder, metrics registry, opt-in phase profiler |
 //! | [`campaign`] | declarative multi-phase attack campaigns (`scenarios/*.campaign`) |
 //! | [`apps`] | §6 applications: broadcast, sampling, aggregation, agreement, polling |
 //!
@@ -52,3 +53,4 @@ pub use now_graph as graph;
 pub use now_net as net;
 pub use now_over as over;
 pub use now_sim as sim;
+pub use now_trace as trace;

@@ -93,6 +93,41 @@ proptest! {
         }
     }
 
+    /// Message conservation at the run-report level: every message an
+    /// event run sends is either delivered or dropped (`sent =
+    /// delivered + dropped`), and wave engines report zero network
+    /// traffic — the counters only ever count the event net.
+    #[test]
+    fn event_runs_conserve_sent_messages(
+        seed in any::<u64>(),
+        drop in 0u32..40,
+    ) {
+        let net = EventNetConfig::ideal()
+            .with_latency(2)
+            .with_drop(f64::from(drop) / 100.0);
+        let pool = WavePool::new(2);
+
+        let params = NowParams::for_capacity(1 << 10).expect("params");
+        let mut sys = NowSystem::init_fast(params, 200, 0.12, seed);
+        let mut driver = BatchRandomChurn::balanced(5, 0.12);
+        let report = BatchRun::new()
+            .exec(BatchExec::Event(net))
+            .in_pool(&pool)
+            .run(&mut sys, &mut driver, 12, seed ^ 0xACC7);
+        prop_assert_eq!(report.sent, report.delivered + report.dropped);
+        prop_assert!(report.sent > 0, "12 churn steps must send messages");
+
+        let params = NowParams::for_capacity(1 << 10).expect("params");
+        let mut sys = NowSystem::init_fast(params, 200, 0.12, seed);
+        let mut driver = BatchRandomChurn::balanced(5, 0.12);
+        let waved = BatchRun::new()
+            .exec(BatchExec::Threaded(2))
+            .in_pool(&pool)
+            .run(&mut sys, &mut driver, 12, seed ^ 0xACC7);
+        prop_assert_eq!(waved.sent, 0, "wave engines never touch the net");
+        prop_assert_eq!(waved.delivered, 0);
+    }
+
     /// Across a partition that heals mid-run, every send the scheduler
     /// accepts is eventually delivered, and accepted + dropped equals
     /// messages sent — nothing is lost silently, nothing arrives twice.

@@ -1,0 +1,141 @@
+//! Byte-identity contracts of the observability artifacts (the
+//! `now-trace` flight recorder + metrics registry):
+//!
+//! 1. **Engine/worker-count invariance** — the trace JSON, metrics
+//!    JSON, and Prometheus text from a run are byte-identical across
+//!    the whole wave-engine family: pooled executors of 1, 2, 4, and
+//!    8 workers and the legacy scoped executor. Every recording site
+//!    sits on the driving-thread path, so the artifacts are a pure
+//!    function of `(seed, config)`, never of the worker schedule.
+//! 2. **Event-engine invariance** — the same holds when operations
+//!    travel through the event-driven network (send/deliver/drop
+//!    events included).
+//! 3. **Serial self-replay** — the shared-stream serial engine has its
+//!    own randomness schedule (documented ≢ wave engines), but replays
+//!    itself byte-identically.
+//! 4. **No run-environment leakage** — no wall-clock or thread-count
+//!    vocabulary ever appears in a deterministic artifact.
+
+use now_bft::core::{EventNetConfig, NowParams, NowSystem, WavePool};
+use now_bft::sim::{BatchExec, BatchRandomChurn, BatchRun};
+use proptest::prelude::*;
+
+/// Runs a fixed balanced-churn workload with both sinks armed and
+/// returns the three observability artifacts.
+fn traced_run(exec: BatchExec, threads: usize, seed: u64) -> (String, String, String) {
+    let params = NowParams::for_capacity(1 << 10).expect("params");
+    let mut sys = NowSystem::init_fast(params, 200, 0.12, seed);
+    let mut driver = BatchRandomChurn::balanced(5, 0.12);
+    let pool = WavePool::new(threads);
+    BatchRun::new()
+        .exec(exec)
+        .in_pool(&pool)
+        .trace(512)
+        .metrics()
+        .run(&mut sys, &mut driver, 10, seed ^ 0x7A0E);
+    sys.check_consistency().expect("post-run consistency");
+    (
+        sys.flight_recorder().expect("tracing armed").to_json(),
+        sys.metrics().expect("metrics armed").to_json(),
+        sys.metrics().expect("metrics armed").to_prometheus(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The artifacts are byte-identical across every wave engine and
+    /// worker count, for arbitrary seeds.
+    #[test]
+    fn trace_identical_across_engines(seed in any::<u64>()) {
+        let baseline = traced_run(BatchExec::Threaded(1), 1, seed);
+        for threads in [2usize, 4, 8] {
+            prop_assert_eq!(
+                &baseline,
+                &traced_run(BatchExec::Threaded(threads), threads, seed),
+                "pooled executor with {} workers diverged",
+                threads
+            );
+        }
+        prop_assert_eq!(
+            &baseline,
+            &traced_run(BatchExec::ThreadedScoped(2), 2, seed),
+            "scoped executor diverged from the pooled baseline"
+        );
+    }
+
+    /// Worker-count invariance holds through the event-driven network
+    /// too, where the trace additionally carries send/deliver/drop
+    /// events.
+    #[test]
+    fn event_traces_are_worker_count_invariant(
+        seed in any::<u64>(),
+        latency in 1u64..4,
+        drop in 0u32..30,
+    ) {
+        let net = EventNetConfig::ideal()
+            .with_latency(latency)
+            .with_drop(f64::from(drop) / 100.0);
+        let baseline = traced_run(BatchExec::Event(net), 1, seed);
+        for threads in [2usize, 4] {
+            prop_assert_eq!(
+                &baseline,
+                &traced_run(BatchExec::Event(net), threads, seed),
+                "event engine with {} workers diverged",
+                threads
+            );
+        }
+    }
+
+    /// The shared-stream serial engine replays itself byte-identically
+    /// (its stream is documented as distinct from the wave engines').
+    #[test]
+    fn serial_traces_self_replay(seed in any::<u64>()) {
+        prop_assert_eq!(
+            traced_run(BatchExec::Scheduled, 1, seed),
+            traced_run(BatchExec::Scheduled, 1, seed)
+        );
+    }
+}
+
+/// A tiny ring under a real workload: eviction keeps the newest
+/// window, sequence numbers stay globally monotone and contiguous.
+#[test]
+fn ring_eviction_retains_the_newest_window() {
+    let params = NowParams::for_capacity(1 << 10).expect("params");
+    let mut sys = NowSystem::init_fast(params, 200, 0.12, 7);
+    sys.enable_tracing(16);
+    let mut driver = BatchRandomChurn::balanced(6, 0.12);
+    let pool = WavePool::new(2);
+    BatchRun::new()
+        .exec(BatchExec::Threaded(2))
+        .in_pool(&pool)
+        .run(&mut sys, &mut driver, 12, 99);
+    let rec = sys.flight_recorder().unwrap();
+    assert!(rec.evicted() > 0, "12 churn steps must overflow 16 slots");
+    assert_eq!(rec.len(), rec.capacity());
+    assert_eq!(rec.recorded(), rec.evicted() + rec.len() as u64);
+    let seqs: Vec<u64> = rec.events().map(|e| e.seq).collect();
+    assert_eq!(seqs.first().copied(), Some(rec.evicted()));
+    assert!(
+        seqs.windows(2).all(|w| w[1] == w[0] + 1),
+        "retained sequence numbers must be contiguous"
+    );
+}
+
+/// Determinism surface gate: the artifacts carry no wall-clock or
+/// worker-count vocabulary (mirrors CI's `trace-smoke` grep gate).
+#[test]
+fn artifacts_never_mention_run_environment() {
+    let (trace, metrics, prom) = traced_run(BatchExec::Threaded(4), 4, 0xFACE);
+    for artifact in [&trace, &metrics, &prom] {
+        for banned in ["wall", "nanos", "thread", "Instant"] {
+            assert!(
+                !artifact.contains(banned),
+                "`{banned}` leaked into a deterministic artifact"
+            );
+        }
+    }
+    assert!(metrics.contains("now_steps_total"));
+    assert!(trace.contains("\"kind\": \"wave\""));
+}

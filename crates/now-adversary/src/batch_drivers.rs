@@ -86,6 +86,8 @@ impl ClusterPick {
     pub fn resolve(self, sys: &NowSystem) -> ClusterId {
         let ids = sys.cluster_ids();
         match self {
+            // INVARIANT: the registry never drops its last cluster
+            // (LastCluster guard), so the id list is non-empty.
             ClusterPick::First => ids[0],
             ClusterPick::Largest => ids
                 .iter()
@@ -96,11 +98,13 @@ impl ClusterPick {
                         std::cmp::Reverse(c),
                     )
                 })
+                // INVARIANT: LastCluster guard — at least one id exists.
                 .expect("a live system has clusters"),
             ClusterPick::Smallest => ids
                 .iter()
                 .copied()
                 .min_by_key(|&c| (sys.cluster(c).map(|cl| cl.size()).unwrap_or(usize::MAX), c))
+                // INVARIANT: LastCluster guard — at least one id exists.
                 .expect("a live system has clusters"),
         }
     }

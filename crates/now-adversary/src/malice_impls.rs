@@ -77,6 +77,8 @@ impl Malice for TargetedMalice {
             None
         } else {
             // No direct route: pick any neighbor (walk stays legal).
+            // INVARIANT: the empty case returned None above; the draw
+            // range is exactly the neighbor count.
             Some(neighbors[rng.gen_range(0..neighbors.len())])
         }
     }

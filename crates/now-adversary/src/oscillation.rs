@@ -59,6 +59,8 @@ impl Adversary for Oscillation {
         } else {
             let nodes = sys.node_ids();
             Action::Leave {
+                // INVARIANT: adversaries only act on populated systems
+                // (population floor holds ids in the registry).
                 node: nodes[rng.gen_range(0..nodes.len())],
             }
         }

@@ -52,6 +52,8 @@ impl Adversary for SplitForcing {
     fn decide(&mut self, sys: &NowSystem, rng: &mut DetRng) -> Action {
         if sys.cluster(self.target).is_none() {
             let ids = sys.cluster_ids();
+            // INVARIANT: LastCluster guard keeps `ids` non-empty; the
+            // draw range is its exact length.
             self.target = ids[rng.gen_range(0..ids.len())];
         }
         Action::Join {
@@ -97,6 +99,8 @@ impl Adversary for MergeForcing {
     fn decide(&mut self, sys: &NowSystem, rng: &mut DetRng) -> Action {
         if sys.cluster(self.target).is_none() {
             let ids = sys.cluster_ids();
+            // INVARIANT: LastCluster guard keeps `ids` non-empty; the
+            // draw range is its exact length.
             self.target = ids[rng.gen_range(0..ids.len())];
         }
         if self.rejoin_next {
@@ -106,6 +110,8 @@ impl Adversary for MergeForcing {
                 contact: None,
             };
         }
+        // INVARIANT: the retarget branch above just ensured the
+        // target names a live cluster.
         let cluster = sys.cluster(self.target).expect("checked live above");
         let victim = cluster
             .members()
@@ -173,6 +179,8 @@ impl Adversary for BurstChurn {
         } else {
             let nodes = sys.node_ids();
             Action::Leave {
+                // INVARIANT: population floor keeps the id list non-empty;
+                // the draw range is its exact length.
                 node: nodes[rng.gen_range(0..nodes.len())],
             }
         }

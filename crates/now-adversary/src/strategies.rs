@@ -84,6 +84,8 @@ impl Adversary for RandomChurn {
             }
         } else {
             let nodes = sys.node_ids();
+            // INVARIANT: population floor keeps the id list non-empty;
+            // the draw range is its exact length.
             let node = nodes[rng.gen_range(0..nodes.len())];
             Action::Leave { node }
         }
@@ -135,6 +137,8 @@ impl Adversary for JoinLeaveAttack {
         // If the target vanished (merged), retarget to some live cluster.
         if sys.cluster(self.target).is_none() {
             let ids = sys.cluster_ids();
+            // INVARIANT: LastCluster guard keeps `ids` non-empty; the
+            // draw range is its exact length.
             self.target = ids[rng.gen_range(0..ids.len())];
         }
         if self.leave_next {
@@ -196,6 +200,8 @@ impl Adversary for ForcedLeaveAttack {
     fn decide(&mut self, sys: &NowSystem, rng: &mut DetRng) -> Action {
         if sys.cluster(self.target).is_none() {
             let ids = sys.cluster_ids();
+            // INVARIANT: LastCluster guard keeps `ids` non-empty; the
+            // draw range is its exact length.
             self.target = ids[rng.gen_range(0..ids.len())];
         }
         if self.join_next {

@@ -452,11 +452,14 @@ fn run_core<T: Transport>(
                     // thresholds only grow with more evidence).
                     let mut counts = [0usize; 2];
                     for &v in received.values() {
+                        // INVARIANT: `% 2` lands in {0, 1} — the array's exact
+                        // index set.
                         counts[(v % 2) as usize] += 1;
                     }
-                    let proposal = if half(counts[0]) {
+                    let [zeros, ones] = counts;
+                    let proposal = if half(zeros) {
                         Some(0)
-                    } else if half(counts[1]) {
+                    } else if half(ones) {
                         Some(1)
                     } else {
                         None
@@ -482,18 +485,21 @@ fn run_core<T: Transport>(
                     }
                     let mut counts = [0usize; 2];
                     for v in received.values().flatten() {
+                        // INVARIANT: `% 2` lands in {0, 1} — the array's exact
+                        // index set.
                         counts[(*v % 2) as usize] += 1;
                     }
-                    let strong = if half(counts[0]) {
+                    let [zeros, ones] = counts;
+                    let strong = if half(zeros) {
                         Some(0u64)
-                    } else if half(counts[1]) {
+                    } else if half(ones) {
                         Some(1)
                     } else {
                         None
                     };
-                    let weak = if counts[0] > f {
+                    let weak = if zeros > f {
                         Some(0u64)
-                    } else if counts[1] > f {
+                    } else if ones > f {
                         Some(1)
                     } else {
                         None

@@ -37,6 +37,7 @@ fn chain_valid(chain: &Chain, sender: usize, needed: usize, oracle: &SigOracle) 
     if chain.sigs.len() < needed || chain.sigs.is_empty() {
         return false;
     }
+    // INVARIANT: emptiness was rejected two lines up.
     if chain.sigs[0].signer() != sender {
         return false;
     }
@@ -205,6 +206,7 @@ pub fn run_dolev_strong<R: Rng>(
             .filter(|p| !byz.contains(p))
             .map(|p| {
                 let d = if extracted[p].len() == 1 {
+                    // INVARIANT: guarded by `len() == 1` on this branch.
                     Some(extracted[p][0])
                 } else {
                     None

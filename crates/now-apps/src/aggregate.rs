@@ -53,6 +53,8 @@ pub fn aggregate_count(sys: &mut NowSystem, root: ClusterId) -> AggregateReport 
         for &nbr in sys.overlay().neighbors(c) {
             if seen.insert(nbr) {
                 parent.insert(nbr, c);
+                // INVARIANT: `c` was popped from the frontier, which only
+                // holds keys already inserted into `depth`.
                 depth.insert(nbr, depth[&c] + 1);
                 let nbr_size = sys.cluster(nbr).map(|cl| cl.size() as u64).unwrap_or(0);
                 messages += c_size * nbr_size; // downstream request

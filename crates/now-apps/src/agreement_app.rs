@@ -56,11 +56,13 @@ pub fn cluster_agreement(
     let before = sys.ledger().total();
     sys.ledger_mut().begin(CostKind::Agreement);
 
+    // INVARIANT: LastCluster guard — the id list is non-empty.
     let leader = sys.cluster_ids()[0];
     let decided = proposals
         .get(&leader)
         .or_else(|| proposals.values().next())
         .copied()
+        // INVARIANT: the empty-proposals case returned early above.
         .expect("non-empty proposals");
 
     // Leader-internal coordination: one all-to-all round.

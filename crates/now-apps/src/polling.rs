@@ -74,12 +74,15 @@ pub fn poll(
     let mut honest_yes = 0u64;
     let mut honest_no = 0u64;
     for cid in sys.cluster_ids() {
+        // INVARIANT: ids listed by the registry are live in the same
+        // serial phase.
         let cluster = sys.cluster(cid).expect("listed cluster is live");
         let size = cluster.size() as u64;
         messages += size * size.saturating_sub(1);
         let mut yes = 0u64;
         let mut no = 0u64;
         for member in cluster.members() {
+            // INVARIANT: members of a live cluster are registered nodes.
             let honest = sys.is_honest(member).expect("live member");
             let ballot = if honest {
                 let b = intent(member);
@@ -116,6 +119,8 @@ pub fn poll(
         for &nbr in sys.overlay().neighbors(c) {
             if seen.insert(nbr) {
                 parent.insert(nbr, c);
+                // INVARIANT: `c` was popped from the frontier, which only
+                // holds keys already inserted into `depth`.
                 depth.insert(nbr, depth[&c] + 1);
                 let nbr_size = sys.cluster(nbr).map(|cl| cl.size() as u64).unwrap_or(0);
                 messages += c_size * nbr_size; // downstream poll request

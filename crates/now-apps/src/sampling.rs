@@ -36,6 +36,8 @@ pub fn sample_node(sys: &mut NowSystem, origin: ClusterId) -> SampleReport {
     let idx = sys.rand_num(cluster, size as u64) as usize;
     let node = sys
         .cluster(cluster)
+        // INVARIANT: RandCl walks end on live clusters, and `min`
+        // clamps the member index below the just-read size.
         .expect("rand_cl returns live clusters")
         .member_at(idx.min(size - 1));
     // Result returned to the requester along the walk's path — one

@@ -16,6 +16,8 @@ use std::path::PathBuf;
 /// Directory experiment CSVs are written to (created on demand).
 pub fn results_dir() -> PathBuf {
     let dir = PathBuf::from("results");
+    // INVARIANT: bench-harness setup — failing to create the
+    // results dir should abort the experiment loudly.
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
 }
@@ -24,6 +26,7 @@ pub fn results_dir() -> PathBuf {
 /// slack ε = 0.05, τ-bound 0.30 (the per-run corruption rate is chosen
 /// by each experiment's churn driver).
 pub fn standard_params(capacity: u64, k: usize) -> NowParams {
+    // INVARIANT: constants validated by NowParams' own tests.
     NowParams::new(capacity, k, 1.5, 0.30, 0.05).expect("standard parameters are valid")
 }
 
@@ -42,7 +45,10 @@ pub fn slope(xs: &[f64], ys: &[f64]) -> f64 {
     if n < 2 {
         return 0.0;
     }
+    // INVARIANT: `n = min(xs.len(), ys.len())`, so both prefix
+    // slices are in bounds.
     let mx = xs[..n].iter().sum::<f64>() / n as f64;
+    // INVARIANT: as above — `n` bounds both inputs.
     let my = ys[..n].iter().sum::<f64>() / n as f64;
     let mut num = 0.0;
     let mut den = 0.0;

@@ -130,6 +130,8 @@ impl Campaign {
                 PhaseExec::Scheduled => (BatchExec::Scheduled, None),
                 PhaseExec::Threaded => (
                     BatchExec::Threaded(threads),
+                    // INVARIANT: the pool was constructed upfront for any
+                    // campaign containing a threaded or event phase.
                     Some(pool.as_ref().expect("threaded phase implies a pool")),
                 ),
                 // Event phases plan their delivery waves on the same
@@ -137,6 +139,7 @@ impl Campaign {
                 // outcome, only wall-clock.
                 PhaseExec::Event => (
                     BatchExec::Event(phase.net),
+                    // INVARIANT: same upfront pool construction as above.
                     Some(pool.as_ref().expect("event phase implies a pool")),
                 ),
             };

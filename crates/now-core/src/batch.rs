@@ -337,6 +337,8 @@ impl NowSystem {
                     left.push(node);
                     let after = self.ledger().total();
                     sched.place(
+                        // INVARIANT: an admitted leave resolved its footprint
+                        // during admission, in the same serial phase.
                         &footprint.expect("admitted leave has a live home cluster"),
                         after.rounds - before.rounds,
                         after.messages - before.messages,

@@ -104,6 +104,8 @@ impl NowSystem {
         let port_of = |c: ClusterId| -> usize {
             ports
                 .binary_search(&c)
+                // INVARIANT: admission already rejected ops whose center is
+                // not a live cluster, and `ports` snapshots that same set.
                 .expect("admitted op centers on a live cluster")
         };
 
@@ -189,6 +191,8 @@ impl NowSystem {
             .map(|&canon| {
                 slots[canon as usize]
                     .take()
+                    // INVARIANT: the scheduler delivers each canon exactly once,
+                    // so its slot is still occupied on first (and only) take.
                     .expect("each op delivered at most once")
             })
             .collect();

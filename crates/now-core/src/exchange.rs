@@ -100,6 +100,8 @@ impl NowSystem {
                 let labeled: Vec<(now_net::NodeId, bool)> = self
                     .cluster_ref(partner)
                     .members()
+                    // INVARIANT: honesty of ids read from a live member vec in
+                    // the same serial phase.
                     .map(|m| (m, self.is_honest(m).expect("live member")))
                     .collect();
                 if let Some(forced) = self.malice.exchange_victim(&labeled, &mut self.rng) {

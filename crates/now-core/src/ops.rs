@@ -141,6 +141,7 @@ impl NowSystem {
 
         // Members of C update their views and tell the neighbors to
         // drop x (accepted once more than half of C says so).
+        // INVARIANT: `node` was validated live at the top of this op.
         self.detach_node(node).expect("checked above");
         let size = self.cluster_ref(home).size() as u64;
         self.ledger.add_messages(size);
@@ -185,6 +186,8 @@ impl NowSystem {
         let mut part_rng = now_net::DetRng::new(seed);
         now_graph::sample::shuffle(&mut members, &mut part_rng);
         let half = members.len() / 2;
+        // INVARIANT: `half = len / 2 <= len`, so the tail slice is in
+        // bounds even for empty member vecs.
         let movers: Vec<NodeId> = members[half..].to_vec();
 
         // New cluster enters the overlay with randCl-sampled neighbor
@@ -259,6 +262,8 @@ impl NowSystem {
         let victim = victim.unwrap_or_else(|| {
             self.cluster_ids()
                 .into_iter()
+                // INVARIANT: merge admission refuses to run below two live
+                // clusters, so a non-`c` victim exists.
                 .find(|&id| id != c)
                 .expect("more than one cluster")
         });
@@ -276,6 +281,8 @@ impl NowSystem {
             .cluster_ref(c)
             .member_vec()
             .into_iter()
+            // INVARIANT: honesty of ids read from a live member vec in
+            // the same serial phase.
             .map(|m| (m, self.is_honest(m).expect("live member")))
             .collect();
         let absorbed = self.cluster_ref(victim).member_vec();
@@ -299,10 +306,14 @@ impl NowSystem {
             self.move_node(node, c);
         }
         for (node, _) in &rejoiners {
+            // INVARIANT: rejoiners were read from the victim's live
+            // member vec above and nothing detached them since.
             self.detach_node(*node).expect("rejoiner is live");
         }
         self.registry
             .remove_cluster(victim)
+        // INVARIANT: the victim was chosen from the live cluster set
+        // in this same serial phase.
             .expect("victim is live");
         self.account_neighbor_notification(c);
 

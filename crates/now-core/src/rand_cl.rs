@@ -59,6 +59,8 @@ fn facts<'a>(
     c: ClusterId,
 ) -> &'a VertexFacts {
     cache.entry(c).or_insert_with(|| {
+        // INVARIANT: walk steps resolve neighbors from the live
+        // overlay, whose vertices are exactly the live clusters.
         let cluster = sys.cluster(c).expect("walk visits live clusters");
         VertexFacts {
             degree: sys.overlay().degree(c),
@@ -183,6 +185,8 @@ impl NowSystem {
                     crate::malice::RandNumPurpose::WalkNeighborChoice,
                 ) as usize;
                 let nbrs = self.overlay.neighbors(current);
+                // INVARIANT: walks only stand on vertices with nonempty
+                // neighbor lists; `min` clamps the drawn index into bounds.
                 let mut next = nbrs[idx.min(nbrs.len() - 1)];
                 if !secure_plain {
                     trace.compromised_hops += 1;

@@ -45,6 +45,7 @@
 //! the test suites, so the slab layout is *exact*, not approximate.
 
 use crate::cluster::Cluster;
+use crate::error::NowError;
 use now_net::{ClusterId, NodeId};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Mutex;
@@ -269,6 +270,9 @@ impl Registry {
     /// Panics if the id is already live.
     pub fn create_cluster(&mut self, id: ClusterId) {
         let pos = match self.sorted_clusters.binary_search(&id) {
+            // INVARIANT: documented `# Panics` contract — cluster ids
+            // come from a monotone IdGen, so a duplicate is a caller
+            // bug, not a runtime condition.
             Ok(_) => panic!("cluster {id} created twice"),
             Err(pos) => pos,
         };
@@ -433,6 +437,9 @@ impl Registry {
         if from_id == to {
             return Some(from_id);
         }
+        // INVARIANT: documented `# Panics` contract — move targets are
+        // resolved from live footprints by the planner; a dead target
+        // means the serial maintenance phase was bypassed.
         let to_slot = self
             .cluster_slot_of(to)
             .unwrap_or_else(|| panic!("move into dead cluster {to}"));
@@ -456,6 +463,9 @@ impl Registry {
     /// shared body for direct attaches and wave-facade attaches (which
     /// accumulate counter *deltas* instead; see [`WaveShards`]).
     fn attach_uncounted(&mut self, node: NodeId, honest: bool, cluster: ClusterId) {
+        // INVARIANT: documented `# Panics` contract — attach targets
+        // come from the caller's live cluster choice; a dead id here is
+        // an ordering bug upstream, not recoverable state.
         let cslot = self
             .cluster_slot_of(cluster)
             .unwrap_or_else(|| panic!("attach into dead cluster {cluster}"));
@@ -606,6 +616,7 @@ impl Registry {
         if self.sorted_clusters.len() != self.sorted_slots.len() {
             return Err("sorted cluster cache arrays disagree in length".to_string());
         }
+        // INVARIANT: `windows(2)` only yields slices of length 2.
         if self.sorted_clusters.windows(2).any(|w| w[0] >= w[1]) {
             return Err("sorted cluster cache out of order".to_string());
         }
@@ -705,18 +716,33 @@ impl Registry {
     /// Folds the population/Byzantine deltas of a completed wave (from
     /// [`WaveShards::deltas`]) back into the exact aggregate counters.
     ///
-    /// # Panics
-    /// Panics if a delta would drive a counter negative — that would
-    /// mean the wave detached nodes that never existed.
-    pub fn apply_wave_deltas(&mut self, pop_delta: i64, byz_delta: i64) {
-        self.population = self
+    /// # Errors
+    /// [`NowError::StateCorrupt`] if a delta would drive a counter
+    /// negative — that would mean the wave detached nodes that never
+    /// existed. The counters are left untouched on error (the first
+    /// failing check returns before either field is written).
+    pub fn apply_wave_deltas(&mut self, pop_delta: i64, byz_delta: i64) -> Result<(), NowError> {
+        let population = self
             .population
             .checked_add_signed(pop_delta)
-            .expect("population counter underflow");
-        self.byz_population = self
+            .ok_or_else(|| NowError::StateCorrupt {
+                reason: format!(
+                    "wave population delta {pop_delta} underflows counter {}",
+                    self.population
+                ),
+            })?;
+        let byz_population = self
             .byz_population
             .checked_add_signed(byz_delta)
-            .expect("byz counter underflow");
+            .ok_or_else(|| NowError::StateCorrupt {
+                reason: format!(
+                    "wave byzantine delta {byz_delta} underflows counter {}",
+                    self.byz_population
+                ),
+            })?;
+        self.population = population;
+        self.byz_population = byz_population;
+        Ok(())
     }
 }
 
@@ -760,6 +786,10 @@ impl<'a> WaveShards<'a> {
 
     /// The record of a live node (locks the store briefly).
     pub fn node_record(&self, node: NodeId) -> Option<NodeRecord> {
+        // INVARIANT: the store mutex is poisoned only if a planner
+        // worker panicked while holding it; the executor re-raises
+        // that panic after quiescence, so this path never fires in
+        // a run that is still healthy.
         self.store
             .lock()
             .expect("registry store poisoned")
@@ -768,6 +798,10 @@ impl<'a> WaveShards<'a> {
 
     /// Whether the cluster is live.
     pub fn contains_cluster(&self, cluster: ClusterId) -> bool {
+        // INVARIANT: the store mutex is poisoned only if a planner
+        // worker panicked while holding it; the executor re-raises
+        // that panic after quiescence, so this path never fires in
+        // a run that is still healthy.
         self.store
             .lock()
             .expect("registry store poisoned")
@@ -776,6 +810,10 @@ impl<'a> WaveShards<'a> {
 
     /// Per-cluster aggregate, as [`Registry::cluster_stats`].
     pub fn cluster_stats(&self, cluster: ClusterId) -> Option<ClusterStats> {
+        // INVARIANT: the store mutex is poisoned only if a planner
+        // worker panicked while holding it; the executor re-raises
+        // that panic after quiescence, so this path never fires in
+        // a run that is still healthy.
         self.store
             .lock()
             .expect("registry store poisoned")
@@ -788,6 +826,10 @@ impl<'a> WaveShards<'a> {
     /// # Panics
     /// Panics if the node is already registered or the cluster is dead.
     pub fn attach_any(&self, node: NodeId, honest: bool, cluster: ClusterId) {
+        // INVARIANT: the store mutex is poisoned only if a planner
+        // worker panicked while holding it; the executor re-raises
+        // that panic after quiescence, so this path never fires in
+        // a run that is still healthy.
         self.store
             .lock()
             .expect("registry store poisoned")
@@ -801,6 +843,10 @@ impl<'a> WaveShards<'a> {
     /// Unconfined detach; returns the node's final record, or `None` if
     /// it was not registered.
     pub fn detach_any(&self, node: NodeId) -> Option<NodeRecord> {
+        // INVARIANT: the store mutex is poisoned only if a planner
+        // worker panicked while holding it; the executor re-raises
+        // that panic after quiescence, so this path never fires in
+        // a run that is still healthy.
         let record = self
             .store
             .lock()
@@ -819,6 +865,10 @@ impl<'a> WaveShards<'a> {
     /// # Panics
     /// Panics if `to` is not a live cluster.
     pub fn move_any(&self, node: NodeId, to: ClusterId) -> Option<ClusterId> {
+        // INVARIANT: the store mutex is poisoned only if a planner
+        // worker panicked while holding it; the executor re-raises
+        // that panic after quiescence, so this path never fires in
+        // a run that is still healthy.
         self.store
             .lock()
             .expect("registry store poisoned")
@@ -1113,7 +1163,7 @@ mod tests {
             );
             let (dp, db) = shards.deltas();
             assert_eq!((dp, db), (0, 0), "one detach + one attach net out");
-            sharded.apply_wave_deltas(dp, db);
+            sharded.apply_wave_deltas(dp, db).unwrap();
         }
 
         assert_eq!(direct.population(), sharded.population());
@@ -1153,7 +1203,7 @@ mod tests {
             });
             let (dp, db) = shards.deltas();
             assert_eq!(dp, 0, "4 detaches + 4 attaches net out");
-            reg.apply_wave_deltas(dp, db);
+            reg.apply_wave_deltas(dp, db).unwrap();
         }
         reg.check_invariants().unwrap();
         assert_eq!(reg.population(), 64);
@@ -1382,7 +1432,7 @@ mod tests {
                     }
                 }
                 let (pop, byz) = shards.deltas();
-                reg.apply_wave_deltas(pop, byz);
+                reg.apply_wave_deltas(pop, byz).unwrap();
             }
             for &(tag, n, c) in &wave_ops {
                 if tag == 0 {

@@ -106,6 +106,8 @@ impl NowSystem {
             cluster_ids.push(cid);
         }
         for (pos, &idx) in order.iter().enumerate() {
+            // INVARIANT: `pos % cluster_count < cluster_ids.len()` by
+            // construction of the id vector above.
             let cid = cluster_ids[pos % cluster_count];
             registry.attach(node_ids[idx], !corrupt[idx], cid);
         }
@@ -346,12 +348,16 @@ impl NowSystem {
     // ------------------------------------------------------------------
 
     pub(crate) fn cluster_ref(&self, id: ClusterId) -> &Cluster {
+        // INVARIANT: internal callers resolve ids from the registry's
+        // own live sets within the same serial phase.
         self.registry.cluster(id).expect("cluster must exist")
     }
 
     /// Moves `node` between clusters, keeping the registry's index,
     /// member sets, and counters in sync.
     pub(crate) fn move_node(&mut self, node: NodeId, to: ClusterId) {
+        // INVARIANT: internal callers only move nodes they just read
+        // from live member vecs.
         self.registry.move_to(node, to).expect("node must be live");
     }
 

@@ -79,9 +79,12 @@ impl NowSystem {
     /// # Panics
     /// Panics if `node` is not in the network.
     pub fn node_view(&self, node: NodeId) -> NodeView {
+        // INVARIANT: documented `# Panics` contract on node_view.
         let cluster = self.node_cluster(node).expect("node must be live");
         let own_members: BTreeSet<NodeId> = self
             .cluster(cluster)
+            // INVARIANT: a live node's home cluster is live by the
+            // registry's lockstep bookkeeping.
             .expect("live cluster")
             .members()
             .collect();

@@ -261,6 +261,9 @@ impl<'c, 'a> Planner<'c, 'a> {
     fn view_mut(&mut self, c: ClusterId) -> &mut ViewCluster {
         let reg = self.ctx.registry;
         self.view.entry(c).or_insert_with(|| {
+            // INVARIANT: every cluster id reaching a plan view comes
+            // from this wave's footprint, which only names live
+            // clusters (maintenance runs serially between waves).
             let cluster = reg.cluster(c).expect("plan touches live clusters");
             ViewCluster {
                 members: cluster.member_vec(),
@@ -302,6 +305,9 @@ impl<'c, 'a> Planner<'c, 'a> {
                 return honest;
             }
         }
+        // INVARIANT: honesty is only queried for members of the wave's
+        // own view clusters (plus the joiner handled above), all of
+        // which are registered for the whole wave.
         self.ctx
             .registry
             .get(n)
@@ -330,6 +336,9 @@ impl<'c, 'a> Planner<'c, 'a> {
 
     fn remove_member(&mut self, c: ClusterId, n: NodeId, honest: bool) {
         let v = self.view_mut(c);
+        // INVARIANT: callers only remove a node from the cluster the
+        // view itself reported as its home, so the sorted member vec
+        // must contain it.
         let pos = v.members.binary_search(&n).expect("member present in view");
         v.members.remove(pos);
         if !honest {
@@ -349,6 +358,9 @@ impl<'c, 'a> Planner<'c, 'a> {
     }
 
     fn detach_node(&mut self, n: NodeId) {
+        // INVARIANT: leave planning pre-validates the leaver against
+        // the registry before the wave starts, and no other op in the
+        // same wave shares its footprint.
         let from = self.home_of(n).expect("detaching a live node");
         let honest = self.honesty(n);
         self.remove_member(from, n, honest);
@@ -357,6 +369,9 @@ impl<'c, 'a> Planner<'c, 'a> {
     }
 
     fn move_node(&mut self, n: NodeId, to: ClusterId) {
+        // INVARIANT: moves originate from exchange/walk steps over
+        // members of this wave's own view, which are live by
+        // construction.
         let from = self.home_of(n).expect("moving a live node");
         if from == to {
             return;
@@ -437,6 +452,9 @@ impl<'c, 'a> Planner<'c, 'a> {
                 remaining -= hold;
                 let idx = self.rand_num(current, degree as u64, RandNumPurpose::WalkNeighborChoice)
                     as usize;
+                // INVARIANT: `degree = nbrs.len() > 0` (checked at loop
+                // entry) and the draw is over 0..degree; the `min` is
+                // belt-and-braces against a future draw-range change.
                 let mut next = nbrs[idx.min(nbrs.len() - 1)];
                 if !secure_plain {
                     if let Some(malice) = self.malice.as_mut() {
@@ -498,6 +516,9 @@ impl<'c, 'a> Planner<'c, 'a> {
                     .into_iter()
                     .map(|m| (m, self.honesty(m)))
                     .collect();
+                // INVARIANT: guarded by `self.malice.is_some()` in the
+                // enclosing condition; the borrow is re-taken only to
+                // split it from `self.rng`.
                 let forced = self
                     .malice
                     .as_mut()
@@ -568,6 +589,8 @@ impl<'c, 'a> Planner<'c, 'a> {
     }
 
     fn plan_leave(&mut self, node: NodeId) -> Maintenance {
+        // INVARIANT: batch admission rejects leaves of unregistered
+        // nodes before specs are formed, so the leaver has a home.
         let home = self.home_of(node).expect("pre-validated leaver");
         self.ledger.begin(CostKind::Leave);
         self.detach_node(node);
@@ -648,7 +671,14 @@ fn claim_and_plan(
         }
         let rng = DetRng::for_op(master, time_step, specs[i].canon);
         let plan = plan_op(ctx, &specs[i], rng, None);
-        *slots[i].lock().expect("plan slot poisoned") = Some(plan);
+        // A poisoned slot means another worker panicked mid-wave. That
+        // first panic is re-raised by the executor after quiescence;
+        // cascading a second one here would only bury it, so this
+        // worker just stops claiming.
+        let Ok(mut slot) = slots[i].lock() else {
+            return;
+        };
+        *slot = Some(plan);
     }
 }
 
@@ -670,10 +700,16 @@ fn plan_wave_sequential(
 }
 
 /// Drains the positional slots into the wave's plan vector.
+///
+/// Only called after the executor has observed every worker finish
+/// cleanly (a worker panic is re-raised before collection).
 fn collect_slots(slots: Vec<Mutex<Option<OpPlan>>>) -> Vec<OpPlan> {
     slots
         .into_iter()
         .map(|slot| {
+            // INVARIANT: all workers completed without panicking (the
+            // executor re-raised any panic before collecting), so no
+            // slot is poisoned and the claim cursor covered every op.
             slot.into_inner()
                 .expect("plan slot poisoned")
                 .expect("every op planned")
@@ -834,6 +870,10 @@ impl WavePool {
                             }
                         }
                     })
+                    // INVARIANT: spawn fails only on OS thread-resource
+                    // exhaustion at pool construction; there is nothing
+                    // to degrade to, and failing at startup is the
+                    // honest outcome.
                     .expect("spawn wave worker");
                 WAVE_WORKER_SPAWNS.fetch_add(1, Ordering::Relaxed);
                 workers.push(PoolWorker { job_tx, handle });
@@ -877,6 +917,8 @@ impl WavePool {
         let cursor = AtomicUsize::new(0);
         // Lifetime-collapsing cast for transport; see `WaveJob`.
         let ctx_ptr = (ctx as *const WaveCtx<'_>).cast::<WaveCtx<'static>>();
+        // INVARIANT: `participants = workers.len().min(n)`, so the
+        // prefix slice is always in bounds.
         for worker in &self.workers[..participants] {
             let job = WaveJob {
                 ctx: ctx_ptr,
@@ -887,6 +929,9 @@ impl WavePool {
                 master,
                 time_step,
             };
+            // INVARIANT: workers only exit their recv loop when the
+            // pool (and thus this sender's peer) is being dropped, so
+            // a live pool's job channel always has a receiver.
             worker.job_tx.send(job).expect("pool worker alive");
         }
         // Block until every dispatched worker has finished: this is the
@@ -897,6 +942,9 @@ impl WavePool {
         // the wave has fully quiesced.
         let mut worker_panic = None;
         for _ in 0..participants {
+            // INVARIANT: every dispatched worker sends exactly one
+            // completion signal (even on panic, via catch_unwind), and
+            // workers outlive the pool that holds their senders.
             match self.done_rx.recv().expect("pool worker completes") {
                 Ok(()) => {}
                 Err(panic) => worker_panic = Some(panic),
@@ -1333,7 +1381,12 @@ impl NowSystem {
                     }
                 }
                 let (pop_delta, byz_delta) = shards.deltas();
-                self.registry.apply_wave_deltas(pop_delta, byz_delta);
+                // INVARIANT: the deltas are sums over this wave's own
+                // attach/detach calls against live records, so they can
+                // never drive a counter below the pre-wave value.
+                self.registry
+                    .apply_wave_deltas(pop_delta, byz_delta)
+                    .expect("wave deltas balance");
             }
 
             // ---- fold ledgers + op counters canonically ----

@@ -112,6 +112,8 @@ impl Graph {
         *self.adj[v]
             .iter()
             .nth(i)
+            // INVARIANT: documented contract — callers index below
+            // `degree(v)`, which is this set's exact length.
             .expect("neighbor index out of range")
     }
 

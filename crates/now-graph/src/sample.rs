@@ -59,7 +59,10 @@ impl WeightedAlias {
             }
         }
         while !small.is_empty() && !large.is_empty() {
+            // INVARIANT: the loop condition just checked both stacks
+            // non-empty.
             let s = small.pop().expect("checked non-empty");
+            // INVARIANT: same loop condition covers the large stack.
             let l = *large.last().expect("checked non-empty");
             prob[s] = work[s];
             alias[s] = l;

@@ -1,0 +1,42 @@
+//! D005 fixture: ambient draws vs canonically derived streams.
+
+pub struct Carrier {
+    rng: u32,
+}
+
+pub fn ambient_draw(x: &mut Carrier) -> u32 {
+    x.rng.gen_range(0..4)
+}
+
+pub fn derived_locally() -> u32 {
+    let mut r = DetRng::for_op(1, 2, 3);
+    r.gen_range(0..9)
+}
+
+fn kernel(rng: &mut DetRng) -> u32 {
+    rng.gen_range(0..9)
+}
+
+pub fn seeded_driver() -> u32 {
+    let mut r = DetRng::new(7);
+    kernel(&mut r)
+}
+
+fn tainted_kernel(rng: &mut DetRng) -> u32 {
+    rng.gen_range(0..9)
+}
+
+pub fn tainted_driver(x: &mut Carrier) -> u32 {
+    tainted_kernel(&mut x.rng)
+}
+
+pub fn boundary_kernel(rng: &mut DetRng) -> u32 {
+    rng.gen_range(0..9)
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_scoped_draw_is_exempt(x: &mut super::Carrier) -> u32 {
+        x.rng.gen_range(0..4)
+    }
+}

@@ -1,0 +1,43 @@
+//! Item-parser traps: nested impls in mods, trait methods, shadowed
+//! names across modules, cross-module calls, cfg(test)-scoped items.
+
+pub mod outer {
+    pub struct Gadget;
+
+    impl Gadget {
+        pub fn build() -> Gadget {
+            Gadget
+        }
+        fn helper(&self) {}
+    }
+
+    pub trait Widget {
+        fn require(&self);
+        fn provide(&self) {
+            self.require();
+        }
+    }
+
+    impl Widget for Gadget {
+        fn require(&self) {}
+    }
+
+    pub mod inner {
+        pub fn shadowed() -> u32 {
+            1
+        }
+    }
+
+    pub fn shadowed() -> u32 {
+        2
+    }
+}
+
+pub fn caller() -> u32 {
+    outer::shadowed() + outer::inner::shadowed()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn invisible() {}
+}

@@ -1,0 +1,28 @@
+//! L002 fixture: unsanctioned and nested Mutex acquisitions.
+
+use std::sync::Mutex;
+
+pub fn rogue(m: &Mutex<u32>) -> u32 {
+    // INVARIANT: fixture justification (P001 stays quiet; L002 fires).
+    *m.lock().unwrap()
+}
+
+pub struct WaveShards;
+
+impl WaveShards {
+    // Same type name as the sanctioned registry facade, wrong file:
+    // the site check is (path, scope), so this still flags.
+    pub fn double(&self, a: &Mutex<u32>, b: &Mutex<u32>) {
+        let _x = a.lock();
+        let _y = b.lock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    pub fn test_scoped_lock_is_exempt(m: &Mutex<u32>) {
+        let _ = m.lock();
+    }
+}

@@ -1,0 +1,34 @@
+//! P001 fixture: panic-capable sites with and without justification.
+
+pub fn flags() {
+    let v: Vec<u32> = Vec::new();
+    let _a = v.first().unwrap();
+    let _b = v.first().expect("reason");
+    let _c = v[0];
+    let _d = v[1 + 2];
+    let _e = &v[1..2];
+    panic!("boom");
+}
+
+pub fn justified(v: &[u32], i: usize) -> u32 {
+    // INVARIANT: fixture justification — callers pass non-empty slices.
+    let _a = v.first().unwrap();
+    let _b = v[i]; // plain single-path index: exempt by design
+    let _c = &v[..]; // full-range slice cannot panic
+    match i {
+        0 => v[i],
+        _ => {
+            // INVARIANT: fixture justification inside the arm's block.
+            unreachable!()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_scoped_is_exempt() {
+        let v: Vec<u32> = Vec::new();
+        let _ = v.first().unwrap();
+        let _ = v[0];
+    }
+}

@@ -106,6 +106,8 @@ fn strip_comment(line: &str) -> &str {
             _ if escaped => escaped = false,
             '\\' if in_str => escaped = true,
             '"' => in_str = !in_str,
+            // INVARIANT: `idx` is a char_indices boundary of this
+            // same string.
             '#' if !in_str => return &line[..idx],
             _ => {}
         }
@@ -185,6 +187,8 @@ pub fn parse(text: &str) -> Result<Config, String> {
                 }
                 cfg.excludes.push(ExcludeEntry { path, reason });
             }
+            // INVARIANT: a pending entry is only created after a
+            // section header set `section` to Allow or Exclude.
             Section::None => unreachable!("pending entry outside a section"),
         }
         Ok(())

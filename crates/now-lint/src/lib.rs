@@ -14,6 +14,15 @@
 //! committed [`config`] allowlist (`lint.toml`, every entry with a
 //! mandatory reason; stale entries are themselves findings).
 //!
+//! On top of the token rules sits the **semantic layer**: [`items`]
+//! parses each token stream into an item tree, files are grouped into
+//! *analysis units* (one per crate `src/` tree; each standalone
+//! test/bench/bin/example file is its own unit), and [`semantic`] runs
+//! the graph rules — P001 panic audit, L002 lock discipline, D005
+//! RNG-stream discipline — over each unit's call graph. [`api_lock`]
+//! renders every crate unit's public surface into a canonical
+//! `API.lock` and reports drift against the committed copy (API001).
+//!
 //! Run it locally with:
 //!
 //! ```text
@@ -23,16 +32,22 @@
 #![forbid(unsafe_code)] // a linter that polices unsafe must not need any
 #![deny(deprecated)]
 
+pub mod api_lock;
 pub mod config;
+pub mod items;
 pub mod rules;
 pub mod scope;
+pub mod semantic;
 pub mod tokenizer;
 
 pub use config::Config;
 pub use rules::{FileClass, Finding};
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+use semantic::UnitFile;
 
 /// Classifies a workspace-relative path (forward slashes) into the
 /// file class that decides which rules bind. See [`FileClass`].
@@ -87,14 +102,38 @@ pub fn discover_rs_files(root: &Path) -> Vec<PathBuf> {
     out
 }
 
+/// The analysis-unit key of a workspace-relative path: `crate:<name>`
+/// for files in a crate's `src/` tree (bins excluded — each is its own
+/// process with its own call graph), `root` for the facade package's
+/// `src/`, and `file:<rel>` for every standalone test/bench/bin/example
+/// file.
+pub fn unit_key(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some((name, tail)) = rest.split_once('/') {
+            if tail.starts_with("src/") && !tail.starts_with("src/bin/") {
+                return format!("crate:{name}");
+            }
+        }
+    }
+    if rel.starts_with("src/") {
+        return "root".to_string();
+    }
+    format!("file:{rel}")
+}
+
 /// Lints every discovered `.rs` file under `root` and applies the
-/// allowlist. Returns surviving findings (sorted by path, line, rule),
-/// including one `L001` finding per allowlist entry that suppressed
-/// nothing — the list can only shrink, never rot. IO errors on
+/// allowlist. Token rules run per file; the semantic rules (P001, L002,
+/// D005) run per analysis unit over its call graph; API001 compares
+/// each crate unit's rendered public surface against the committed
+/// `crates/<name>/API.lock`. Returns surviving findings (sorted by
+/// path, line, rule), including one `L001` finding per allowlist entry
+/// that suppressed nothing and per orphan `API.lock` (a lock with no
+/// live crate) — the lists can only shrink, never rot. IO errors on
 /// individual files are findings too, not silent skips.
 pub fn run_workspace(root: &Path, cfg: &Config) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut allow_used = vec![false; cfg.allows.len()];
+    let mut units: BTreeMap<String, Vec<UnitFile>> = BTreeMap::new();
 
     for path in discover_rs_files(root) {
         let rel = path
@@ -117,10 +156,58 @@ pub fn run_workspace(root: &Path, cfg: &Config) -> Vec<Finding> {
                 continue;
             }
         };
-        for finding in lint_source(&rel, classify(&rel), &src) {
+        let class = classify(&rel);
+        for finding in lint_source(&rel, class, &src) {
             match cfg.allow_index(finding.rule, &rel) {
                 Some(idx) => allow_used[idx] = true,
                 None => findings.push(finding),
+            }
+        }
+        units
+            .entry(unit_key(&rel))
+            .or_default()
+            .push(UnitFile::parse(&rel, class, &src));
+    }
+
+    for (key, files) in &units {
+        for finding in semantic::analyze_unit(files) {
+            match cfg.allow_index(finding.rule, &finding.path) {
+                Some(idx) => allow_used[idx] = true,
+                None => findings.push(finding),
+            }
+        }
+        if let Some(name) = key.strip_prefix("crate:") {
+            let lock_rel = format!("crates/{name}/API.lock");
+            let rendered = api_lock::render_surface(files);
+            if let Some(finding) = api_lock::check_lock(&root.join(&lock_rel), &lock_rel, &rendered)
+            {
+                match cfg.allow_index(finding.rule, &finding.path) {
+                    Some(idx) => allow_used[idx] = true,
+                    None => findings.push(finding),
+                }
+            }
+        }
+    }
+
+    // Orphan locks: an API.lock whose crate no longer contributes any
+    // sources is dead weight and, worse, a stale claim about a surface.
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            if !dir.join("API.lock").is_file() {
+                continue;
+            }
+            let name = dir.file_name().unwrap_or_default().to_string_lossy();
+            if !units.contains_key(&format!("crate:{name}")) {
+                findings.push(Finding {
+                    path: format!("crates/{name}/API.lock"),
+                    line: 0,
+                    rule: "L001",
+                    message: "orphan API.lock: this crate has no linted sources — delete the \
+                              lock with the crate"
+                        .to_string(),
+                });
             }
         }
     }
@@ -143,6 +230,79 @@ pub fn run_workspace(root: &Path, cfg: &Config) -> Vec<Finding> {
     findings
         .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
     findings
+}
+
+/// Renders every crate unit's canonical `API.lock` and writes the files
+/// under `root`. Returns the workspace-relative paths written (sorted).
+/// Used by `now-lint --write-api-locks`; the output is byte-stable, so
+/// a second run writes identical bytes.
+pub fn write_api_locks(root: &Path, cfg: &Config) -> Result<Vec<String>, String> {
+    let mut units: BTreeMap<String, Vec<UnitFile>> = BTreeMap::new();
+    for path in discover_rs_files(root) {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if cfg.is_excluded(&rel) {
+            continue;
+        }
+        let key = unit_key(&rel);
+        if !key.starts_with("crate:") {
+            continue;
+        }
+        let src =
+            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        units
+            .entry(key)
+            .or_default()
+            .push(UnitFile::parse(&rel, classify(&rel), &src));
+    }
+    let mut written = Vec::new();
+    for (key, files) in &units {
+        let name = key.strip_prefix("crate:").unwrap_or(key);
+        let lock_rel = format!("crates/{name}/API.lock");
+        let rendered = api_lock::render_surface(files);
+        fs::write(root.join(&lock_rel), rendered)
+            .map_err(|e| format!("writing {lock_rel}: {e}"))?;
+        written.push(lock_rel);
+    }
+    Ok(written)
+}
+
+/// Renders findings as a canonical JSON document (sorted input order is
+/// preserved): `{"findings":[{"path","line","rule","message"},…]}`.
+/// Hand-rolled — this crate is zero-dependency by design.
+pub fn render_json(findings: &[Finding]) -> String {
+    fn escape(s: &str, out: &mut String) {
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+    }
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"path\":\"");
+        escape(&f.path, &mut out);
+        out.push_str(&format!(
+            "\",\"line\":{},\"rule\":\"{}\",\"message\":\"",
+            f.line, f.rule
+        ));
+        escape(&f.message, &mut out);
+        out.push_str("\"}");
+    }
+    out.push_str(&format!("],\"count\":{}}}\n", findings.len()));
+    out
 }
 
 /// Loads `lint.toml` from `root`. A missing file is an empty config
@@ -198,5 +358,33 @@ mod tests {
             "workspace must be lint-clean:\n{}",
             rendered.join("\n")
         );
+    }
+
+    /// L001 covers the semantic layer too: an allow for a semantic rule
+    /// that suppresses nothing is stale, and an `API.lock` whose crate
+    /// has no linted sources is an orphan.
+    #[test]
+    fn stale_semantic_allow_and_orphan_lock_fire_l001() {
+        let root = std::env::temp_dir().join(format!("now-lint-l001-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/ghost")).unwrap();
+        fs::write(root.join("crates/ghost/API.lock"), "# stale\n").unwrap();
+        fs::create_dir_all(root.join("crates/live/src")).unwrap();
+        fs::write(root.join("crates/live/src/lib.rs"), "pub fn ok() {}\n").unwrap();
+        let cfg = config::parse(
+            "[[allow]]\nrule = \"P001\"\npath = \"nope.rs\"\nreason = \"never fires\"\n",
+        )
+        .unwrap();
+        // Baseline the live crate's lock so only the planted rot remains.
+        write_api_locks(&root, &cfg).unwrap();
+        let findings = run_workspace(&root, &cfg);
+        let got: Vec<(&str, &str)> = findings.iter().map(|f| (f.path.as_str(), f.rule)).collect();
+        assert_eq!(
+            got,
+            vec![("crates/ghost/API.lock", "L001"), ("lint.toml", "L001")],
+            "findings: {:?}",
+            findings
+        );
+        let _ = fs::remove_dir_all(&root);
     }
 }

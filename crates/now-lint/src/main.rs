@@ -3,12 +3,16 @@
 //! ```text
 //! now-lint --workspace            # lint the whole tree under lint.toml
 //! now-lint path/to/file.rs …      # lint specific files (same rules)
+//! now-lint --write-api-locks      # regenerate crates/<name>/API.lock files
 //!     --root <dir>                # workspace root (default: ascend from cwd)
 //!     --config <file>             # allowlist (default: <root>/lint.toml)
+//!     --json                      # canonical JSON findings on stdout
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings, `2` usage or config error.
-//! Findings print as `file:line rule-id message`, one per line.
+//! Findings print as `file:line rule-id message`, one per line; with
+//! `--json`, as a canonical sorted `{"findings":[…],"count":N}`
+//! document (exit codes unchanged).
 
 #![forbid(unsafe_code)] // SAFETY-comment police carry no unsafe themselves
 #![deny(deprecated)]
@@ -16,10 +20,16 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use now_lint::{classify, config, lint_source, load_config, run_workspace, Finding};
+use now_lint::semantic::UnitFile;
+use now_lint::{
+    classify, config, lint_source, load_config, render_json, run_workspace, semantic,
+    write_api_locks, Finding,
+};
 
 fn usage() -> &'static str {
-    "usage: now-lint --workspace [--root DIR] [--config FILE]\n       now-lint FILE.rs [FILE.rs …]"
+    "usage: now-lint --workspace [--root DIR] [--config FILE] [--json]\n       \
+     now-lint FILE.rs [FILE.rs …] [--json]\n       \
+     now-lint --write-api-locks [--root DIR] [--config FILE]"
 }
 
 /// Ascends from `start` to the first directory holding a `lint.toml`
@@ -36,9 +46,13 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-fn report(findings: &[Finding]) -> ExitCode {
-    for f in findings {
-        println!("{}", f.render());
+fn report(findings: &[Finding], json: bool) -> ExitCode {
+    if json {
+        print!("{}", render_json(findings));
+    } else {
+        for f in findings {
+            println!("{}", f.render());
+        }
     }
     if findings.is_empty() {
         eprintln!("now-lint: clean");
@@ -51,6 +65,8 @@ fn report(findings: &[Finding]) -> ExitCode {
 
 fn main() -> ExitCode {
     let mut workspace = false;
+    let mut json = false;
+    let mut write_locks = false;
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
     let mut files: Vec<PathBuf> = Vec::new();
@@ -59,6 +75,8 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--write-api-locks" => write_locks = true,
             "--root" => match args.next() {
                 Some(v) => root = Some(PathBuf::from(v)),
                 None => return fail("--root needs a directory argument"),
@@ -78,14 +96,14 @@ fn main() -> ExitCode {
         }
     }
 
-    if !workspace && files.is_empty() {
+    if !workspace && !write_locks && files.is_empty() {
         return fail(usage());
     }
-    if workspace && !files.is_empty() {
-        return fail("--workspace and explicit files are mutually exclusive");
+    if (workspace || write_locks) && !files.is_empty() {
+        return fail("--workspace/--write-api-locks and explicit files are mutually exclusive");
     }
 
-    if workspace {
+    if workspace || write_locks {
         let root =
             match root.or_else(|| std::env::current_dir().ok().and_then(|cwd| find_root(&cwd))) {
                 Some(r) => r,
@@ -107,11 +125,24 @@ fn main() -> ExitCode {
                 Err(e) => return fail(&e),
             },
         };
-        return report(&run_workspace(&root, &cfg));
+        if write_locks {
+            return match write_api_locks(&root, &cfg) {
+                Ok(written) => {
+                    for path in &written {
+                        eprintln!("now-lint: wrote {path}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            };
+        }
+        return report(&run_workspace(&root, &cfg), json);
     }
 
     // Explicit-file mode: no allowlist, raw rule output — used by the
     // CI seeded-violation check and for quick local runs on one file.
+    // Each file is analyzed as its own unit, so the semantic rules
+    // (P001/L002/D005) fire here too; API001 needs --workspace.
     let mut findings = Vec::new();
     for file in &files {
         let rel = file.to_string_lossy().replace('\\', "/");
@@ -119,7 +150,12 @@ fn main() -> ExitCode {
             Ok(s) => s,
             Err(e) => return fail(&format!("reading {rel}: {e}")),
         };
-        findings.extend(lint_source(&rel, classify(&rel), &src));
+        let class = classify(&rel);
+        findings.extend(lint_source(&rel, class, &src));
+        let unit = UnitFile::parse(&rel, class, &src);
+        findings.extend(semantic::analyze_unit(std::slice::from_ref(&unit)));
     }
-    report(&findings)
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    report(&findings, json)
 }

@@ -58,7 +58,9 @@ impl Finding {
 
 /// All rule ids the allowlist may reference (L001 is emitted by the
 /// driver for stale allowlist entries and cannot itself be allowed).
-pub const RULE_IDS: &[&str] = &["D001", "D002", "D003", "D004", "S001", "A001"];
+pub const RULE_IDS: &[&str] = &[
+    "D001", "D002", "D003", "D004", "D005", "S001", "A001", "P001", "L002", "API001",
+];
 
 /// Hash-based collections whose iteration order is randomized per
 /// process (`RandomState`) — poison for byte-identical reports.

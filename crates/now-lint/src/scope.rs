@@ -54,6 +54,7 @@ fn scan_attribute(tokens: &[Token], i: usize) -> (usize, bool) {
         return (j, false);
     }
     let has = |name: &str| idents.contains(&name);
+    // INVARIANT: `idents[0]` is guarded by the `len() == 1` check.
     let gating =
         (idents.len() == 1 && idents[0] == "test") || (has("cfg") && has("test") && !has("not"));
     (j, gating)

@@ -165,6 +165,8 @@ impl<M: Clone> AsyncNet<M> {
     /// (the pop proceeds to the next message).
     pub fn pop(&mut self) -> Option<(u64, Envelope<M>)> {
         while let Some((&key, _)) = self.queue.iter().next() {
+            // INVARIANT: `key` was read from the map one line up and
+            // `self` is exclusively borrowed in between.
             let env = self.queue.remove(&key).expect("key just observed");
             self.now = key.0;
             if self.alive.get(env.to).copied().unwrap_or(false) {

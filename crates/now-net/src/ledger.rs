@@ -272,6 +272,8 @@ impl Ledger {
         let span = self
             .stack
             .pop()
+            // INVARIANT: documented contract — `end` pairs with a
+            // preceding `begin`; an unbalanced call is a caller bug.
             .expect("Ledger::end called with no open span");
         self.stats.entry(span.kind).or_default().absorb(span.cost);
         if self.keep_records {

@@ -56,9 +56,14 @@ impl DetRng {
         label.hash(&mut hasher);
         let label_bits = hasher.finish();
         let mut seed = [0u8; 32];
+        // INVARIANT: fixed literal sub-ranges of a [u8; 32] — each
+        // 8-byte window is in bounds and sized to the u64 it copies.
         seed[..8].copy_from_slice(&self.inner.next_u64().to_le_bytes());
+        // INVARIANT: same fixed windows, statements two to four.
         seed[8..16].copy_from_slice(&label_bits.to_le_bytes());
+        // INVARIANT: fixed window three of four.
         seed[16..24].copy_from_slice(&self.inner.next_u64().to_le_bytes());
+        // INVARIANT: fixed window four of four.
         seed[24..32].copy_from_slice(&label_bits.rotate_left(17).to_le_bytes());
         DetRng {
             inner: ChaCha12Rng::from_seed(seed),

@@ -58,6 +58,8 @@ impl CyclesOverlay {
             let mut perm: Vec<ClusterId> = ids.to_vec();
             now_graph::sample::shuffle(&mut perm, rng);
             for (i, &v) in perm.iter().enumerate() {
+                // INVARIANT: `(i + 1) % len < len`; perm is non-empty here
+                // (enumerate yielded an element).
                 let next = perm[(i + 1) % perm.len()];
                 overlay.succ[c].insert(v, next);
                 overlay.pred[c].insert(next, v);
@@ -127,7 +129,11 @@ impl CyclesOverlay {
                 self.pred[c].insert(id, id);
                 continue;
             }
+            // INVARIANT: `live` is non-empty on this branch (the insert
+            // handled the empty-cycle case above); the draw is 0..len.
             let after = live[rng.gen_range(0..live.len())];
+            // INVARIANT: every live vertex appears in every cycle's
+            // successor map — `after` was just drawn from the live set.
             let next = self.succ[c][&after];
             self.succ[c].insert(after, id);
             self.succ[c].insert(id, next);
@@ -143,7 +149,10 @@ impl CyclesOverlay {
             return false;
         }
         for c in 0..self.cycle_count() {
+            // INVARIANT: membership in `order` (checked above) means the
+            // vertex is threaded through every cycle's pred/succ maps.
             let p = self.pred[c].remove(&id).expect("present in every cycle");
+            // INVARIANT: as above, for the successor direction.
             let s = self.succ[c].remove(&id).expect("present in every cycle");
             if p != id {
                 self.succ[c].insert(p, s);
@@ -163,6 +172,8 @@ impl CyclesOverlay {
         for &v in &ids {
             for nbr in self.neighbors(v) {
                 if v < nbr {
+                    // INVARIANT: `index` maps every live id, and neighbors of
+                    // live vertices are live.
                     g.add_edge(index[&v], index[&nbr]);
                 }
             }

@@ -80,6 +80,8 @@ impl Overlay {
         let p = params.init_edge_probability(ids.len());
         if p > 0.0 {
             for (i, &a) in ids.iter().enumerate() {
+                // INVARIANT: `i < len` from enumerate, so `i + 1` is a
+                // valid (possibly empty) tail start.
                 for &b in &ids[i + 1..] {
                     if rng.gen_bool(p) {
                         overlay.link(a, b);
@@ -187,6 +189,8 @@ impl Overlay {
         let pos = self.slots[slot as usize].pool_pos as usize;
         self.sample_pool.swap_remove(pos);
         if let Some(&moved) = self.sample_pool.get(pos) {
+            // INVARIANT: the sample pool only holds live vertices, and
+            // `moved` was just read from it.
             let ms = self.slot_of(moved).expect("pooled vertex is live");
             self.slots[ms as usize].pool_pos = pos as u32;
         }
@@ -195,6 +199,8 @@ impl Overlay {
     /// One uniform draw from the live vertices (O(1) against the
     /// incremental pool).
     fn sample_vertex<R: Rng>(&self, rng: &mut R) -> ClusterId {
+        // INVARIANT: callers sample only when vertices exist, and
+        // the draw range is exactly the pool length.
         self.sample_pool[rng.gen_range(0..self.sample_pool.len())]
     }
 
@@ -236,10 +242,17 @@ impl Overlay {
             return false;
         };
         self.slots[sa as usize].neighbors.remove(pos_b);
+        // INVARIANT: edges are kept strictly symmetric — `b` holds
+        // `a` in its neighbor vec, so both endpoints are live.
+        // INVARIANT: symmetry again — `a` was found under `b`'s
+        // slot's sorted neighbors because remove_edge maintains both
+        // directions atomically.
         let sb = self.slot_of(b).expect("symmetric adjacency");
         let pos_a = self.slots[sb as usize]
             .neighbors
             .binary_search(&a)
+                // INVARIANT: symmetric adjacency — the departing id is in
+                // each former neighbor's sorted vec.
             .expect("symmetric adjacency");
         self.slots[sb as usize].neighbors.remove(pos_a);
         self.edges -= 1;
@@ -342,7 +355,11 @@ impl Overlay {
         self.free.push(slot);
         self.edges -= former.len();
         for &n in &former {
+            // INVARIANT: `former` lists the departing vertex's neighbors,
+            // each of which is live and symmetric.
             let sn = self.slot_of(n).expect("symmetric adjacency");
+            // INVARIANT: symmetry again — the departing id is in
+            // each former neighbor's sorted vec.
             let p = self.slots[sn as usize]
                 .neighbors
                 .binary_search(&id)
@@ -403,6 +420,8 @@ impl Overlay {
         for (i, &v) in ids.iter().enumerate() {
             for &w in self.neighbors(v) {
                 if v < w {
+                    // INVARIANT: `ids` is the sorted live-vertex list and
+                    // neighbors of live vertices are live.
                     let j = ids.binary_search(&w).expect("neighbor is live");
                     g.add_edge(i, j);
                 }
@@ -421,6 +440,7 @@ impl Overlay {
     /// symmetry, no self-loops, sorted neighbor vecs, consistent edge
     /// count, degree cap, slab/freelist/pool exactness.
     pub fn check_invariants(&self) -> Result<(), String> {
+        // INVARIANT: `windows(2)` only yields slices of length 2.
         if self.index.windows(2).any(|w| w[0].0 >= w[1].0) {
             return Err("vertex index out of order".to_string());
         }
@@ -435,6 +455,7 @@ impl Overlay {
             if s.id != v {
                 return Err(format!("slot id drift: {v} indexed, slot holds {}", s.id));
             }
+            // INVARIANT: `windows(2)` only yields slices of length 2.
             if s.neighbors.windows(2).any(|w| w[0] >= w[1]) {
                 return Err(format!("neighbor vec of {v} out of order"));
             }

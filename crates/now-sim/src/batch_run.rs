@@ -459,6 +459,8 @@ impl<'p> BatchRun<'p> {
                 .push(audit.time_step, audit.worst_byz_fraction);
             let seen = report.violations.len();
             record_violations(&audit, &mut report.violations);
+            // INVARIANT: `seen` is the pre-append length of this same
+            // vec, so the tail slice is in bounds.
             for v in &report.violations[seen..] {
                 sys.record_violation(v.kind.name(), v.cluster);
             }

@@ -71,6 +71,8 @@ impl Adversary for ShrinkPhase {
         } else {
             let nodes = sys.node_ids();
             Action::Leave {
+                // INVARIANT: population floor keeps the id list non-empty;
+                // the draw range is its exact length.
                 node: nodes[rng.gen_range(0..nodes.len())],
             }
         }
@@ -134,6 +136,8 @@ impl Adversary for Sawtooth {
         } else {
             let nodes = sys.node_ids();
             Action::Leave {
+                // INVARIANT: population floor keeps the id list non-empty;
+                // the draw range is its exact length.
                 node: nodes[rng.gen_range(0..nodes.len())],
             }
         }

@@ -208,21 +208,25 @@ impl Scenario {
                 run(&mut sys, &mut Sawtooth::new(low, high, self.tau), config)
             }
             ChurnStyle::JoinLeaveAttack => {
+                // INVARIANT: LastCluster guard — index 0 always exists.
                 let target = sys.cluster_ids()[0];
                 let mut adv = JoinLeaveAttack::new(target, self.tau);
                 run_boxed(&mut sys, &mut adv, config)
             }
             ChurnStyle::ForcedLeaveAttack => {
+                // INVARIANT: LastCluster guard — index 0 always exists.
                 let target = sys.cluster_ids()[0];
                 let mut adv = ForcedLeaveAttack::new(target, self.tau);
                 run_boxed(&mut sys, &mut adv, config)
             }
             ChurnStyle::SplitForcing => {
+                // INVARIANT: LastCluster guard — index 0 always exists.
                 let target = sys.cluster_ids()[0];
                 let mut adv = SplitForcing::new(target, self.tau);
                 run_boxed(&mut sys, &mut adv, config)
             }
             ChurnStyle::MergeForcing => {
+                // INVARIANT: LastCluster guard — index 0 always exists.
                 let target = sys.cluster_ids()[0];
                 let mut adv = MergeForcing::new(target, self.tau);
                 run_boxed(&mut sys, &mut adv, config)

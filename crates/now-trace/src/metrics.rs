@@ -26,6 +26,7 @@ pub struct Histogram {
 impl Histogram {
     /// A histogram over the given ascending upper bounds.
     pub fn new(bounds: &[u64]) -> Self {
+        // INVARIANT: `windows(2)` only yields slices of length 2.
         debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
         Histogram {
             bounds: bounds.to_vec(),
